@@ -1,0 +1,412 @@
+//! The end-to-end analog likelihood engine.
+//!
+//! [`HmgmCimEngine`] programs a fitted HMG mixture onto a [`CimArray`] and
+//! serves log-likelihood queries through the DAC → array → log-ADC chain,
+//! while counting the operations the energy model needs.
+
+use crate::adc::LogAdc;
+use crate::array::{calibrate_overlap, device_sigma_range, CimArray, CimColumn};
+use crate::dac::Dac;
+use crate::mapping::SpaceMap;
+use crate::{AnalogError, Result};
+use navicim_device::inverter::{GaussianLikeCell, MultiInputInverter};
+use navicim_device::noise::NoiseModel;
+use navicim_device::params::TechParams;
+use navicim_device::variation::ProcessVariation;
+use navicim_gmm::hmg::HmgmModel;
+use navicim_math::rng::Pcg32;
+
+/// Configuration of a CIM likelihood engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CimEngineConfig {
+    /// Technology node parameters.
+    pub tech: TechParams,
+    /// Input DAC resolution in bits (the paper operates at 4 bits).
+    pub dac_bits: u32,
+    /// Log-ADC resolution in bits.
+    pub adc_bits: u32,
+    /// Maximum replica count available per component for weight encoding.
+    pub max_replicas: u32,
+    /// Process-variation severity (0 = ideal, 1 = nominal process).
+    pub variation_severity: f64,
+    /// Evaluation bandwidth for the noise model, in hertz.
+    pub noise_bandwidth: f64,
+    /// Seed for variation sampling and per-evaluation noise.
+    pub seed: u64,
+}
+
+impl Default for CimEngineConfig {
+    fn default() -> Self {
+        Self {
+            tech: TechParams::cmos_45nm(),
+            dac_bits: 4,
+            adc_bits: 8,
+            max_replicas: 5,
+            variation_severity: 1.0,
+            noise_bandwidth: 1e8,
+            seed: 0x5eed_c1a0,
+        }
+    }
+}
+
+/// Operation counters exposed to the energy model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineStats {
+    /// Likelihood evaluations served.
+    pub evaluations: u64,
+    /// Input DAC conversions performed (one per axis per evaluation).
+    pub dac_conversions: u64,
+    /// ADC conversions performed (one per evaluation).
+    pub adc_conversions: u64,
+    /// Sum of total array currents over all evaluations, in amperes
+    /// (divide by `evaluations` for the average conduction current).
+    pub current_sum: f64,
+}
+
+impl EngineStats {
+    /// Average total array current per evaluation, in amperes.
+    pub fn avg_current(&self) -> f64 {
+        if self.evaluations == 0 {
+            0.0
+        } else {
+            self.current_sum / self.evaluations as f64
+        }
+    }
+}
+
+/// An HMG mixture compiled onto an inverter array.
+#[derive(Debug, Clone)]
+pub struct HmgmCimEngine {
+    array: CimArray,
+    dacs: Vec<Dac>,
+    adc: LogAdc,
+    map: SpaceMap,
+    noise: NoiseModel,
+    tech: TechParams,
+    rng: Pcg32,
+    stats: EngineStats,
+}
+
+impl HmgmCimEngine {
+    /// Compiles `model` onto an inverter array using the world→voltage
+    /// `map`, applying programming calibration and process variation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidArgument`] on dimension mismatch and
+    /// [`AnalogError::Unrealizable`] when a kernel sigma falls outside the
+    /// device's programmable range (constrain the fit with
+    /// [`recommended_sigma_bounds`] to avoid this).
+    pub fn build(model: &HmgmModel, map: SpaceMap, config: CimEngineConfig) -> Result<Self> {
+        if model.dim() != map.dim() {
+            return Err(AnalogError::InvalidArgument(format!(
+                "model dim {} does not match map dim {}",
+                model.dim(),
+                map.dim()
+            )));
+        }
+        let tech = config.tech;
+        let mut rng = Pcg32::seed_from_u64(config.seed);
+
+        // Program one column per mixture component.
+        let w_max = model
+            .weights()
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max)
+            .max(1e-300);
+        let mut columns = Vec::with_capacity(model.num_components());
+        for (w, kernel) in model.weights().iter().zip(model.kernels()) {
+            let mut cells = Vec::with_capacity(kernel.dim());
+            for axis in 0..kernel.dim() {
+                let center_v = map.axes()[axis].to_voltage(kernel.means()[axis]);
+                let sigma_v = map.axes()[axis].sigma_to_voltage(kernel.sigmas()[axis]);
+                let overlap = calibrate_overlap(&tech, sigma_v)?;
+                cells.push(GaussianLikeCell::with_center_width(
+                    &tech, center_v, overlap,
+                )?);
+            }
+            let inverter = MultiInputInverter::new(cells)?;
+            let replicas = ((w / w_max * config.max_replicas as f64).round() as u32)
+                .clamp(1, config.max_replicas.max(1));
+            columns.push(CimColumn::new(inverter, replicas)?);
+        }
+        let mut array = CimArray::new(columns)?;
+
+        // Fabrication: draw the process-variation corner once.
+        if config.variation_severity > 0.0 {
+            let pv =
+                ProcessVariation::from_tech(&tech).with_severity(config.variation_severity);
+            array.apply_variation(&pv, &mut rng);
+        }
+
+        // ADC range: from the deepest plausible tail to the summed peak.
+        let i_max = array.max_current() * 1.1;
+        let i_min = (i_max * 1e-9).max(tech.i_leak * 0.1);
+        let adc = LogAdc::new(config.adc_bits, i_min, i_max)?;
+        let dacs = map
+            .axes()
+            .iter()
+            .map(|a| {
+                let (lo, hi) = a.voltage_range();
+                Dac::new(config.dac_bits, lo, hi)
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+        Ok(Self {
+            array,
+            dacs,
+            adc,
+            map,
+            noise: NoiseModel::room_temperature(config.noise_bandwidth),
+            tech,
+            rng,
+            stats: EngineStats::default(),
+        })
+    }
+
+    /// Per-axis `(floors, ceilings)` in *world* units for a given map —
+    /// each axis has its own voltage scale, so thin kernels remain
+    /// realizable on short axes even when long axes cannot support them.
+    pub fn recommended_sigma_bounds_per_axis(
+        tech: &TechParams,
+        map: &SpaceMap,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let (s_lo_v, s_hi_v) = device_sigma_range(tech);
+        let floors = map
+            .axes()
+            .iter()
+            .map(|a| a.sigma_to_world(s_lo_v) * 1.05)
+            .collect();
+        let ceilings = map
+            .axes()
+            .iter()
+            .map(|a| a.sigma_to_world(s_hi_v) * 0.95)
+            .collect();
+        (floors, ceilings)
+    }
+
+    /// Suggested `(sigma_floor, sigma_ceiling)` in *world* units for a
+    /// given map, so HMGM fitting stays within the device's range.
+    pub fn recommended_sigma_bounds(tech: &TechParams, map: &SpaceMap) -> (f64, f64) {
+        let (s_lo_v, s_hi_v) = device_sigma_range(tech);
+        // The most restrictive axis decides (largest floor, smallest ceiling).
+        let mut floor = f64::MIN;
+        let mut ceil = f64::MAX;
+        for axis in map.axes() {
+            floor = floor.max(axis.sigma_to_world(s_lo_v));
+            ceil = ceil.min(axis.sigma_to_world(s_hi_v));
+        }
+        // Keep a safety margin against variation-induced width changes.
+        (floor * 1.05, ceil * 0.95)
+    }
+
+    /// Serves one log-likelihood query: DAC conversion of the mapped
+    /// voltages, array read with sampled noise, log-ADC conversion.
+    ///
+    /// The returned value is `ln(I_total)` as reconstructed by the ADC —
+    /// proportional (up to an additive constant) to the map log-likelihood,
+    /// which is all a particle filter needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len()` differs from the engine dimension.
+    pub fn log_likelihood(&mut self, point: &[f64]) -> f64 {
+        assert_eq!(point.len(), self.map.dim(), "query dimension mismatch");
+        let targets = self.map.to_voltages(point);
+        let voltages: Vec<f64> = targets
+            .iter()
+            .zip(&self.dacs)
+            .map(|(&v, d)| d.convert(v))
+            .collect();
+        let i_total = self.array.total_current(&voltages);
+        // Subthreshold-style transconductance estimate for the noise draw.
+        let gm = i_total / (self.tech.slope_n * self.tech.u_t);
+        let i_noisy =
+            (i_total + self.noise.sample(gm, i_total, &mut self.rng)).max(self.tech.i_leak * 0.01);
+        self.stats.evaluations += 1;
+        self.stats.dac_conversions += self.dacs.len() as u64;
+        self.stats.adc_conversions += 1;
+        self.stats.current_sum += i_total;
+        self.adc.convert(i_noisy)
+    }
+
+    /// Sum of per-point log-likelihoods for a scan.
+    pub fn scan_log_likelihood(&mut self, points: &[Vec<f64>]) -> f64 {
+        points.iter().map(|p| self.log_likelihood(p)).sum()
+    }
+
+    /// Query dimensionality.
+    pub fn dim(&self) -> usize {
+        self.map.dim()
+    }
+
+    /// The compiled array (for inspection and energy accounting).
+    pub fn array(&self) -> &CimArray {
+        &self.array
+    }
+
+    /// The output ADC.
+    pub fn adc(&self) -> &LogAdc {
+        &self.adc
+    }
+
+    /// Operation counters accumulated since construction or the last
+    /// [`Self::reset_stats`].
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Clears the operation counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navicim_gmm::hmg::{fit_hmgm, HmgKernel, HmgmFitConfig};
+    use navicim_math::rng::SampleExt;
+
+    fn test_map() -> SpaceMap {
+        let pts = vec![vec![-1.0, -1.0, -1.0], vec![1.0, 1.0, 1.0]];
+        SpaceMap::fit_to_points(&pts, 0.15, 0.85, 0.2).unwrap()
+    }
+
+    fn test_model(map: &SpaceMap) -> HmgmModel {
+        let tech = TechParams::cmos_45nm();
+        let (floor, ceil) = HmgmCimEngine::recommended_sigma_bounds(&tech, map);
+        let sigma = (floor * 2.0).min(ceil);
+        let k1 = HmgKernel::new(vec![-0.5, 0.0, 0.2], vec![sigma; 3], 1.0).unwrap();
+        let k2 = HmgKernel::new(vec![0.6, 0.3, -0.4], vec![sigma; 3], 1.0).unwrap();
+        HmgmModel::new(vec![1.0, 0.5], vec![k1, k2]).unwrap()
+    }
+
+    #[test]
+    fn build_and_query() {
+        let map = test_map();
+        let model = test_model(&map);
+        let mut engine =
+            HmgmCimEngine::build(&model, map, CimEngineConfig::default()).unwrap();
+        // Likelihood at a kernel centre beats a far-away point.
+        let near = engine.log_likelihood(&[-0.5, 0.0, 0.2]);
+        let far = engine.log_likelihood(&[1.0, -1.0, 1.0]);
+        assert!(near > far, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn engine_tracks_model_ordering() {
+        // CIM log-likelihood ordering should agree with the mathematical
+        // HMGM model on clearly separated queries.
+        let map = test_map();
+        let model = test_model(&map);
+        let config = CimEngineConfig {
+            variation_severity: 0.0,
+            dac_bits: 8,
+            adc_bits: 12,
+            ..CimEngineConfig::default()
+        };
+        let mut engine = HmgmCimEngine::build(&model, map, config).unwrap();
+        let queries: Vec<Vec<f64>> = vec![
+            vec![-0.5, 0.0, 0.2],
+            vec![-0.3, 0.1, 0.1],
+            vec![0.6, 0.3, -0.4],
+            vec![0.9, 0.9, 0.9],
+        ];
+        let cim: Vec<f64> = queries.iter().map(|q| engine.log_likelihood(q)).collect();
+        let math: Vec<f64> = queries.iter().map(|q| model.log_likelihood(q)).collect();
+        let r = navicim_math::stats::spearman(&cim, &math).unwrap();
+        assert!(r > 0.99, "rank correlation {r}");
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let map = test_map();
+        let model = test_model(&map);
+        let mut engine =
+            HmgmCimEngine::build(&model, map, CimEngineConfig::default()).unwrap();
+        let _ = engine.log_likelihood(&[0.0, 0.0, 0.0]);
+        let _ = engine.scan_log_likelihood(&[vec![0.1, 0.0, 0.0], vec![0.2, 0.0, 0.0]]);
+        let s = engine.stats();
+        assert_eq!(s.evaluations, 3);
+        assert_eq!(s.adc_conversions, 3);
+        assert_eq!(s.dac_conversions, 9);
+        engine.reset_stats();
+        assert_eq!(engine.stats().evaluations, 0);
+    }
+
+    #[test]
+    fn replica_counts_encode_weights() {
+        let map = test_map();
+        let model = test_model(&map); // weights 1.0 and 0.5
+        let engine = HmgmCimEngine::build(&model, map, CimEngineConfig::default()).unwrap();
+        let reps: Vec<u32> = engine
+            .array()
+            .columns()
+            .iter()
+            .map(|c| c.replicas())
+            .collect();
+        assert_eq!(reps, vec![5, 3]); // 5·(1.0/1.0)=5, round(5·0.5)=3 (ties-away)
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let map = test_map();
+        let bad = HmgmModel::new(
+            vec![1.0],
+            vec![HmgKernel::new(vec![0.0], vec![0.1], 1.0).unwrap()],
+        )
+        .unwrap();
+        assert!(HmgmCimEngine::build(&bad, map, CimEngineConfig::default()).is_err());
+    }
+
+    #[test]
+    fn unrealizable_sigma_rejected() {
+        let map = test_map();
+        let too_narrow = HmgmModel::new(
+            vec![1.0],
+            vec![HmgKernel::new(vec![0.0, 0.0, 0.0], vec![1e-6; 3], 1.0).unwrap()],
+        )
+        .unwrap();
+        assert!(matches!(
+            HmgmCimEngine::build(&too_narrow, map, CimEngineConfig::default()),
+            Err(AnalogError::Unrealizable(_))
+        ));
+    }
+
+    #[test]
+    fn fitted_model_compiles_end_to_end() {
+        // Fit an HMGM on synthetic data with device-derived sigma bounds,
+        // then compile and query — the full Section II flow.
+        let mut rng = Pcg32::seed_from_u64(11);
+        let mut pts = Vec::new();
+        for _ in 0..300 {
+            pts.push(vec![
+                rng.sample_normal(0.0, 0.3),
+                rng.sample_normal(0.5, 0.25),
+                rng.sample_normal(-0.5, 0.3),
+            ]);
+            pts.push(vec![
+                rng.sample_normal(2.0, 0.3),
+                rng.sample_normal(-1.0, 0.25),
+                rng.sample_normal(0.5, 0.3),
+            ]);
+        }
+        let map = SpaceMap::fit_to_points(&pts, 0.15, 0.85, 0.15).unwrap();
+        let tech = TechParams::cmos_45nm();
+        let (floor, ceil) = HmgmCimEngine::recommended_sigma_bounds(&tech, &map);
+        let config = HmgmFitConfig {
+            sigma_floor: floor,
+            sigma_ceiling: Some(ceil),
+            ..HmgmFitConfig::default()
+        };
+        let mut rng2 = Pcg32::seed_from_u64(12);
+        let model = fit_hmgm(&pts, 4, &config, &mut rng2).unwrap();
+        let mut engine =
+            HmgmCimEngine::build(&model, map, CimEngineConfig::default()).unwrap();
+        let on_data = engine.log_likelihood(&[0.0, 0.5, -0.5]);
+        let off_data = engine.log_likelihood(&[1.0, 2.0, 2.0]);
+        assert!(on_data > off_data);
+    }
+}

@@ -1,0 +1,77 @@
+//! Timing: map-likelihood evaluation — digital GMM vs math HMGM vs the
+//! device-backed CIM engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use navicim_analog::engine::{CimEngineConfig, HmgmCimEngine};
+use navicim_analog::mapping::SpaceMap;
+use navicim_gmm::fit::{fit_diag_gmm, FitConfig};
+use navicim_gmm::hmg::{fit_hmgm, HmgmFitConfig};
+use navicim_math::rng::{Pcg32, SampleExt};
+
+fn blob_points(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            vec![
+                rng.sample_normal(0.0, 0.5),
+                rng.sample_normal(0.0, 0.5),
+                rng.sample_normal(0.5, 0.3),
+            ]
+        })
+        .collect()
+}
+
+fn bench_likelihood(c: &mut Criterion) {
+    let points = blob_points(600, 1);
+    let mut group = c.benchmark_group("likelihood_eval");
+    group.sample_size(20);
+
+    for &k in &[8usize, 32] {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let gmm = fit_diag_gmm(&points, k, &FitConfig::default(), &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("digital_gmm", k), &k, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % points.len();
+                std::hint::black_box(gmm.log_pdf(&points[i]))
+            })
+        });
+
+        let space = SpaceMap::fit_to_points(&points, 0.15, 0.85, 0.1).unwrap();
+        let tech = navicim_device::params::TechParams::cmos_45nm();
+        let (floor, ceil) = HmgmCimEngine::recommended_sigma_bounds(&tech, &space);
+        let mut rng2 = Pcg32::seed_from_u64(3);
+        let model = fit_hmgm(
+            &points,
+            k,
+            &HmgmFitConfig {
+                sigma_floor: floor,
+                sigma_ceiling: Some(ceil),
+                ..HmgmFitConfig::default()
+            },
+            &mut rng2,
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("math_hmgm", k), &k, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % points.len();
+                std::hint::black_box(model.log_likelihood(&points[i]))
+            })
+        });
+
+        let mut engine =
+            HmgmCimEngine::build(&model, space, CimEngineConfig::default()).unwrap();
+        group.bench_with_input(BenchmarkId::new("cim_engine", k), &k, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % points.len();
+                std::hint::black_box(engine.log_likelihood(&points[i]))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_likelihood);
+criterion_main!(benches);

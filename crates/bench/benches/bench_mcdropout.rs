@@ -1,0 +1,47 @@
+//! Timing: one MC-Dropout prediction (T = 30) on the SRAM macro, with and
+//! without compute reuse, against the exact software backend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use navicim_bench::{calibration_inputs, small_vo_dataset, small_vo_network};
+use navicim_core::vo::{BayesianVo, VoPipelineConfig};
+use navicim_math::rng::Pcg32;
+use navicim_nn::quant::{ExactBackend, QuantizedMlp};
+
+fn bench_mcdropout(c: &mut Criterion) {
+    let dataset = small_vo_dataset(1);
+    let net = small_vo_network(&dataset);
+    let calib = calibration_inputs(&dataset, 8);
+    let features = dataset.samples[0].features.clone();
+
+    let mut group = c.benchmark_group("mc_dropout_predict_t30");
+    group.sample_size(10);
+
+    for &reuse in &[true, false] {
+        let label = if reuse { "macro_reuse" } else { "macro_full" };
+        group.bench_with_input(BenchmarkId::new(label, 4), &reuse, |b, &reuse| {
+            let mut vo = BayesianVo::build(
+                &net,
+                &calib,
+                VoPipelineConfig {
+                    reuse,
+                    order_samples: reuse,
+                    mc_iterations: 30,
+                    ..VoPipelineConfig::default()
+                },
+            )
+            .unwrap();
+            b.iter(|| std::hint::black_box(vo.predict(&features)))
+        });
+    }
+
+    group.bench_function("exact_software_backend", |b| {
+        let qnet = QuantizedMlp::from_mlp(&net, 4, 4, &calib).unwrap();
+        let mut backend = ExactBackend::new();
+        let mut rng = Pcg32::seed_from_u64(7);
+        b.iter(|| std::hint::black_box(qnet.mc_predict(&mut backend, &features, 30, &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mcdropout);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Timing: network forward passes — float, quantized-exact and
+//! quantized-on-macro.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use navicim_bench::{calibration_inputs, small_vo_dataset, small_vo_network};
+use navicim_core::vo::CimQuantBackend;
+use navicim_math::rng::Pcg32;
+use navicim_nn::quant::{ExactBackend, QuantBackend, QuantizedMlp};
+use navicim_nn::Mode;
+use navicim_sram::cim_macro::{MacroConfig, SramCimMacro};
+
+fn bench_nn(c: &mut Criterion) {
+    let dataset = small_vo_dataset(1);
+    let mut net = small_vo_network(&dataset);
+    let calib = calibration_inputs(&dataset, 8);
+    let features = dataset.samples[0].features.clone();
+
+    let mut group = c.benchmark_group("forward_pass");
+    group.sample_size(30);
+
+    group.bench_function("float64", |b| {
+        let mut rng = Pcg32::seed_from_u64(1);
+        b.iter(|| {
+            std::hint::black_box(net.forward(&features, Mode::Deterministic, &mut rng))
+        })
+    });
+
+    group.bench_function("quant4_exact_backend", |b| {
+        let qnet = QuantizedMlp::from_mlp(&net, 4, 4, &calib).unwrap();
+        let mut backend = ExactBackend::new();
+        b.iter(|| std::hint::black_box(qnet.forward_with_masks(&mut backend, &features, &[])))
+    });
+
+    group.bench_function("quant4_sram_macro", |b| {
+        let qnet = QuantizedMlp::from_mlp(&net, 4, 4, &calib).unwrap();
+        let mut backend = CimQuantBackend::new(SramCimMacro::new(MacroConfig::default()));
+        b.iter(|| {
+            backend.reset();
+            std::hint::black_box(qnet.forward_with_masks(&mut backend, &features, &[]))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Timing: one particle-filter predict/update step vs particle count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use navicim_filter::filter::{FilterConfig, Measurement, ParticleFilter};
+use navicim_filter::motion::OdometryMotion;
+use navicim_filter::particle::ParticleSet;
+use navicim_math::geom::{Pose, Vec3};
+use navicim_math::rng::{Pcg32, SampleExt};
+use navicim_math::stats::diag_mvn_logpdf;
+
+/// Cheap synthetic position sensor so the bench isolates filter overhead.
+struct PositionSensor;
+
+impl Measurement<Pose, Vec3> for PositionSensor {
+    fn log_likelihood(&mut self, state: &Pose, obs: &Vec3) -> f64 {
+        diag_mvn_logpdf(
+            &state.translation.to_array(),
+            &obs.to_array(),
+            &[0.2, 0.2, 0.2],
+        )
+    }
+}
+
+fn bench_pf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("particle_filter_step");
+    group.sample_size(20);
+    for &n in &[100usize, 500, 2000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = Pcg32::seed_from_u64(1);
+            let states: Vec<Pose> = (0..n)
+                .map(|_| {
+                    Pose::from_position_euler(
+                        Vec3::new(
+                            rng.sample_normal(0.0, 0.3),
+                            rng.sample_normal(0.0, 0.3),
+                            rng.sample_normal(1.0, 0.2),
+                        ),
+                        0.0,
+                        0.0,
+                        rng.sample_normal(0.0, 0.1),
+                    )
+                })
+                .collect();
+            let mut pf = ParticleFilter::new(
+                ParticleSet::from_states(states).unwrap(),
+                FilterConfig::default(),
+            );
+            let motion = OdometryMotion::indoor();
+            let control = Pose::from_position_euler(Vec3::new(0.05, 0.0, 0.0), 0.0, 0.0, 0.01);
+            let obs = Vec3::new(0.05, 0.0, 1.0);
+            let mut sensor = PositionSensor;
+            b.iter(|| {
+                pf.step(&control, &obs, &motion, &mut sensor, &mut rng)
+                    .expect("step succeeds");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pf);
+criterion_main!(benches);

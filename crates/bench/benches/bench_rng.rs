@@ -1,0 +1,51 @@
+//! Timing: dropout-bitstream generation — modeled CCI RNG vs PCG software
+//! generator, raw and whitened.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use navicim_math::rng::{Pcg32, Rng64};
+use navicim_sram::rng::{CciRng, CciRngConfig};
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dropout_bits_1k");
+    group.sample_size(20);
+
+    group.bench_function("cci_raw", |b| {
+        let mut fab = Pcg32::seed_from_u64(1);
+        let mut rng = CciRng::fabricate(&CciRngConfig::default(), &mut fab).unwrap();
+        rng.calibrate(1000);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..1024 {
+                acc += rng.next_bit() as u32;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    group.bench_function("cci_whitened", |b| {
+        let mut fab = Pcg32::seed_from_u64(2);
+        let mut rng = CciRng::fabricate(&CciRngConfig::default(), &mut fab).unwrap();
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..1024 {
+                acc += rng.next_bit_whitened() as u32;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    group.bench_function("pcg32_reference", |b| {
+        let mut rng = Pcg32::seed_from_u64(3);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..16 {
+                acc ^= rng.next_u64().count_ones();
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rng);
+criterion_main!(benches);

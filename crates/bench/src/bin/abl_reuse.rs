@@ -1,0 +1,101 @@
+//! Ablation: compute reuse and sample ordering (Sec. III-C design
+//! choices).
+//!
+//! Measures executed MACs per MC-Dropout prediction across dropout
+//! probabilities and iteration counts for four execution policies:
+//! full recompute, row gating only, gating + reuse, gating + reuse +
+//! greedy sample ordering.
+//!
+//! Run: `cargo run --release -p navicim-bench --bin abl_reuse`
+
+use navicim_bench::{calibration_inputs, small_vo_dataset, small_vo_network};
+use navicim_core::reportfmt::Table;
+use navicim_core::vo::{train_vo_network, BayesianVo, VoPipelineConfig, VoTrainConfig};
+
+fn main() {
+    println!("# Ablation — compute reuse and sample ordering\n");
+    let dataset = small_vo_dataset(41);
+
+    println!("## executed-MAC fraction vs dropout probability (T = 30)");
+    let mut table = Table::new(vec![
+        "dropout p",
+        "reuse off",
+        "reuse on",
+        "reuse + ordering",
+        "saving vs off",
+    ]);
+    for &p in &[0.3, 0.5, 0.7] {
+        // Retrain with the requested dropout probability so masks match.
+        let net = train_vo_network(
+            &dataset.samples,
+            dataset.feature_dim(),
+            &VoTrainConfig {
+                hidden1: 24,
+                hidden2: 12,
+                epochs: 40,
+                dropout_p: p,
+                ..VoTrainConfig::default()
+            },
+        )
+        .expect("network trains");
+        let calib = calibration_inputs(&dataset, 8);
+        let frac = |reuse: bool, order: bool| {
+            let mut vo = BayesianVo::build(
+                &net,
+                &calib,
+                VoPipelineConfig {
+                    reuse,
+                    order_samples: order,
+                    mc_iterations: 30,
+                    ..VoPipelineConfig::default()
+                },
+            )
+            .expect("pipeline builds");
+            for s in dataset.samples.iter().take(5) {
+                let _ = vo.predict(&s.features);
+            }
+            vo.macro_stats().workload_fraction()
+        };
+        let off = frac(false, false);
+        let on = frac(true, false);
+        let ordered = frac(true, true);
+        table.row(vec![
+            format!("{p:.1}"),
+            format!("{off:.3}"),
+            format!("{on:.3}"),
+            format!("{ordered:.3}"),
+            format!("{:.1}%", (1.0 - ordered / off) * 100.0),
+        ]);
+    }
+    println!("{table}");
+
+    println!("## executed-MAC fraction vs MC iteration count (p = 0.5, reuse + ordering)");
+    let net = small_vo_network(&dataset);
+    let calib = calibration_inputs(&dataset, 8);
+    let mut t_table = Table::new(vec!["iterations T", "workload fraction", "amortization"]);
+    for &t in &[5usize, 10, 30, 60] {
+        let mut vo = BayesianVo::build(
+            &net,
+            &calib,
+            VoPipelineConfig {
+                mc_iterations: t,
+                ..VoPipelineConfig::default()
+            },
+        )
+        .expect("pipeline builds");
+        for s in dataset.samples.iter().take(5) {
+            let _ = vo.predict(&s.features);
+        }
+        let frac = vo.macro_stats().workload_fraction();
+        t_table.row(vec![
+            format!("{t}"),
+            format!("{frac:.3}"),
+            format!("{:.1}% saved", (1.0 - frac) * 100.0),
+        ]);
+    }
+    println!("{t_table}");
+    println!(
+        "paper shape check: reuse + ordering substantially reduce the MC-Dropout \
+         workload, with savings growing as iterations amortize the first full pass."
+    );
+}

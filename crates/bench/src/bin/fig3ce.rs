@@ -1,0 +1,135 @@
+//! Fig. 3(c–e): VO trajectories in X-Y / Y-Z / X-Z — MC-Dropout on the CIM
+//! macro versus deterministic inference, across precisions.
+//!
+//! Trains the pose regressor once, then evaluates: full-precision
+//! deterministic, quantized deterministic (4/6/8 bits) and quantized
+//! MC-Dropout (4/6/8 bits, 30 iterations). Prints per-configuration ATE
+//! and the trajectory coordinate series for plotting.
+//!
+//! Run: `cargo run --release -p navicim-bench --bin fig3ce`
+
+use navicim_bench::{calibration_inputs, standard_vo_dataset, trained_vo_network};
+use navicim_core::reportfmt::Table;
+use navicim_core::vo::{run_fp_trajectory, BayesianVo, VoPipelineConfig, VoRun};
+
+fn main() {
+    println!("# Fig. 3(c-e) — uncertainty-expressive VO trajectories\n");
+    let dataset = standard_vo_dataset();
+    println!(
+        "workload: {} frames, feature dim {}\n",
+        dataset.frames.len(),
+        dataset.feature_dim()
+    );
+    eprintln!("training the pose regressor...");
+    let mut net = trained_vo_network(&dataset);
+    let calib = calibration_inputs(&dataset, 16);
+
+    let fp = run_fp_trajectory(&mut net, &dataset);
+
+    let mut runs: Vec<(String, VoRun)> = vec![("fp64 deterministic".into(), fp)];
+    for &bits in &[4u32, 6, 8] {
+        let mut det = BayesianVo::build(
+            &net,
+            &calib,
+            VoPipelineConfig {
+                weight_bits: bits,
+                act_bits: bits,
+                mc_iterations: 30,
+                ..VoPipelineConfig::default()
+            },
+        )
+        .expect("pipeline builds");
+        let det_run = det
+            .run_trajectory_deterministic(&dataset)
+            .expect("deterministic run completes");
+        runs.push((format!("{bits}-bit deterministic (CIM)"), det_run));
+
+        let mut mc = BayesianVo::build(
+            &net,
+            &calib,
+            VoPipelineConfig {
+                weight_bits: bits,
+                act_bits: bits,
+                mc_iterations: 30,
+                ..VoPipelineConfig::default()
+            },
+        )
+        .expect("pipeline builds");
+        let mc_run = mc.run_trajectory(&dataset).expect("mc run completes");
+        runs.push((format!("{bits}-bit MC-Dropout x30 (CIM)"), mc_run));
+    }
+
+    println!("## trajectory accuracy (ATE over the full flight)");
+    let mut table = Table::new(vec![
+        "configuration",
+        "ATE RMSE (m)",
+        "ATE mean (m)",
+        "final drift (m)",
+        "mean step error (m)",
+    ]);
+    for (name, run) in &runs {
+        table.row(vec![
+            name.clone(),
+            format!("{:.4}", run.trajectory.ate_rmse),
+            format!("{:.4}", run.trajectory.ate_mean),
+            format!("{:.4}", run.trajectory.final_drift),
+            format!(
+                "{:.4}",
+                navicim_math::stats::mean(&run.per_step_error)
+            ),
+        ]);
+    }
+    println!("{table}");
+
+    // Trajectory coordinate series for the paper's three panels.
+    let planes = [("X-Y", 0usize, 1usize), ("Y-Z", 1, 2), ("X-Z", 0, 2)];
+    let pick = |name: &str| {
+        runs.iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| r)
+            .expect("configuration exists")
+    };
+    let mc4 = pick("4-bit MC-Dropout x30 (CIM)");
+    for (plane, i, j) in planes {
+        println!("## trajectory series, {plane} plane (ground truth vs 4-bit MC-Dropout)");
+        let mut t = Table::new(vec![
+            "frame",
+            &format!("truth {}", &plane[0..1]),
+            &format!("truth {}", &plane[2..3]),
+            &format!("est {}", &plane[0..1]),
+            &format!("est {}", &plane[2..3]),
+        ]);
+        for (k, (truth, est)) in mc4.truths.iter().zip(&mc4.estimates).enumerate() {
+            if k % 4 != 0 {
+                continue; // subsample rows for readability
+            }
+            let tr = truth.translation.to_array();
+            let es = est.translation.to_array();
+            t.row(vec![
+                format!("{k}"),
+                format!("{:.3}", tr[i]),
+                format!("{:.3}", tr[j]),
+                format!("{:.3}", es[i]),
+                format!("{:.3}", es[j]),
+            ]);
+        }
+        println!("{t}");
+    }
+
+    let fp_ate = runs[0].1.trajectory.ate_rmse;
+    let mc4_ate = mc4.trajectory.ate_rmse;
+    let det4_ate = pick("4-bit deterministic (CIM)").trajectory.ate_rmse;
+    println!(
+        "paper shape check: 'even with very low precision, probabilistic inference \
+         can accurately track the ground truth' -> 4-bit MC ATE {:.4} m vs fp {:.4} m \
+         vs 4-bit deterministic {:.4} m ({})",
+        mc4_ate,
+        fp_ate,
+        det4_ate,
+        if mc4_ate <= det4_ate * 1.05 {
+            "REPRODUCED (MC at least matches deterministic at 4 bits)"
+        } else {
+            "PARTIAL (see table)"
+        }
+    );
+}

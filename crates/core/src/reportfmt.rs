@@ -1,0 +1,109 @@
+//! Markdown table rendering for the experiment binaries.
+
+use std::fmt;
+
+/// A simple markdown table.
+///
+/// ```
+/// use navicim_core::reportfmt::Table;
+/// let mut t = Table::new(vec!["k", "value"]);
+/// t.row(vec!["a".into(), format!("{:.2}", 1.5)]);
+/// assert!(t.to_string().contains("| a | 1.50 |"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (cells are padded/truncated to the header count).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "| {} |", self.headers.join(" | "))?;
+        writeln!(
+            f,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "| {} |", row.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with engineering-style precision for tables.
+pub fn fmt_sig(x: f64) -> String {
+    if x == 0.0 {
+        return "0".into();
+    }
+    let a = x.abs();
+    if a >= 100.0 {
+        format!("{x:.1}")
+    } else if a >= 1.0 {
+        format!("{x:.3}")
+    } else if a >= 1e-3 {
+        format!("{x:.5}")
+    } else {
+        format!("{x:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_separator_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.to_string();
+        assert!(s.starts_with("| a | b |\n|---|---|\n"));
+        assert!(s.contains("| 1 | 2 |"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["x".into()]);
+        assert!(t.to_string().contains("| x |  |  |"));
+    }
+
+    #[test]
+    fn fmt_sig_ranges() {
+        assert_eq!(fmt_sig(0.0), "0");
+        assert_eq!(fmt_sig(123.456), "123.5");
+        assert_eq!(fmt_sig(1.23456), "1.235");
+        assert_eq!(fmt_sig(0.012345), "0.01235");
+        assert!(fmt_sig(1.5e-7).contains('e'));
+    }
+}

@@ -1,0 +1,133 @@
+//! Uncertainty-calibration diagnostics shared by both pipelines.
+//!
+//! The paper's Fig. 3(f) argues that predictive variance correlates with
+//! pose error, so high variance can *signal* likely mispredictions. These
+//! utilities quantify that relationship.
+
+use crate::{CoreError, Result};
+use navicim_math::stats;
+
+/// Summary of the error-uncertainty relationship.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationSummary {
+    /// Pearson correlation between uncertainty and |error|.
+    pub pearson: f64,
+    /// Spearman rank correlation between uncertainty and |error|.
+    pub spearman: f64,
+    /// Mean |error| within each uncertainty quantile bin (ascending).
+    pub binned_errors: Vec<f64>,
+    /// Mean uncertainty within each bin (ascending).
+    pub binned_uncertainty: Vec<f64>,
+}
+
+impl CalibrationSummary {
+    /// Returns `true` when binned errors increase from the lowest to the
+    /// highest uncertainty bin — the qualitative shape of Fig. 3(f).
+    pub fn monotone_trend(&self) -> bool {
+        match (self.binned_errors.first(), self.binned_errors.last()) {
+            (Some(first), Some(last)) => last > first,
+            _ => false,
+        }
+    }
+}
+
+/// Computes correlation and a quantile-binned calibration curve between
+/// per-sample uncertainties and absolute errors.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] for mismatched/short inputs or a
+/// zero bin count, and propagates correlation failures (constant inputs).
+pub fn calibration_summary(
+    uncertainties: &[f64],
+    errors: &[f64],
+    bins: usize,
+) -> Result<CalibrationSummary> {
+    if uncertainties.len() != errors.len() || uncertainties.len() < 4 {
+        return Err(CoreError::InvalidArgument(
+            "calibration requires >= 4 matched samples".into(),
+        ));
+    }
+    if bins == 0 || bins > uncertainties.len() {
+        return Err(CoreError::InvalidArgument(
+            "bin count must be in [1, n]".into(),
+        ));
+    }
+    let abs_err: Vec<f64> = errors.iter().map(|e| e.abs()).collect();
+    let pearson = stats::pearson(uncertainties, &abs_err)
+        .map_err(|e| CoreError::InvalidArgument(e.to_string()))?;
+    let spearman = stats::spearman(uncertainties, &abs_err)
+        .map_err(|e| CoreError::InvalidArgument(e.to_string()))?;
+
+    // Quantile binning by uncertainty.
+    let mut idx: Vec<usize> = (0..uncertainties.len()).collect();
+    idx.sort_by(|&a, &b| {
+        uncertainties[a]
+            .partial_cmp(&uncertainties[b])
+            .expect("uncertainties must be comparable")
+    });
+    let mut binned_errors = Vec::with_capacity(bins);
+    let mut binned_uncertainty = Vec::with_capacity(bins);
+    for b in 0..bins {
+        let lo = b * idx.len() / bins;
+        let hi = ((b + 1) * idx.len() / bins).max(lo + 1).min(idx.len());
+        let members = &idx[lo..hi];
+        binned_errors.push(stats::mean(
+            &members.iter().map(|&i| abs_err[i]).collect::<Vec<_>>(),
+        ));
+        binned_uncertainty.push(stats::mean(
+            &members.iter().map(|&i| uncertainties[i]).collect::<Vec<_>>(),
+        ));
+    }
+    Ok(CalibrationSummary {
+        pearson,
+        spearman,
+        binned_errors,
+        binned_uncertainty,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navicim_math::rng::{Pcg32, SampleExt};
+
+    #[test]
+    fn correlated_data_detected() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let unc: Vec<f64> = (0..500).map(|_| rng.sample_uniform(0.0, 1.0)).collect();
+        let err: Vec<f64> = unc
+            .iter()
+            .map(|&u| u * 2.0 + rng.sample_normal(0.0, 0.2))
+            .collect();
+        let s = calibration_summary(&unc, &err, 5).unwrap();
+        assert!(s.pearson > 0.8, "pearson {}", s.pearson);
+        assert!(s.spearman > 0.8, "spearman {}", s.spearman);
+        assert!(s.monotone_trend());
+        assert_eq!(s.binned_errors.len(), 5);
+        // Bins ordered by uncertainty.
+        for w in s.binned_uncertainty.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn uncorrelated_data_near_zero() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let unc: Vec<f64> = (0..500).map(|_| rng.sample_uniform(0.0, 1.0)).collect();
+        let err: Vec<f64> = (0..500).map(|_| rng.sample_uniform(0.0, 1.0)).collect();
+        let s = calibration_summary(&unc, &err, 4).unwrap();
+        assert!(s.pearson.abs() < 0.15, "pearson {}", s.pearson);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(calibration_summary(&[1.0, 2.0], &[1.0], 2).is_err());
+        assert!(calibration_summary(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0], 2).is_err());
+        let four = [1.0, 2.0, 3.0, 4.0];
+        assert!(calibration_summary(&four, &four, 0).is_err());
+        assert!(calibration_summary(&four, &four, 9).is_err());
+        // Constant uncertainty: correlation undefined.
+        assert!(calibration_summary(&[1.0; 4], &four, 2).is_err());
+    }
+}

@@ -1,0 +1,648 @@
+//! Pipeline B — CIM MC-Dropout Bayesian visual odometry (Section III).
+//!
+//! A small pose regressor is trained on frame-pair features, exported to
+//! the quantized representation and executed on the modeled SRAM CIM
+//! macro. MC-Dropout inference draws dropout masks from either a software
+//! PRNG or the modeled SRAM-embedded CCI RNG, optionally reorders the
+//! iterations for compute reuse (the paper's sample ordering) and returns
+//! predictive mean *and* variance per frame — the uncertainty signal of
+//! Fig. 3(f).
+
+use crate::{CoreError, Result};
+use navicim_math::geom::Pose;
+use navicim_math::metrics::{trajectory_error, TrajectoryError};
+use navicim_math::rng::{Pcg32, Rng64};
+use navicim_nn::loss::Mse;
+use navicim_nn::mc::McPrediction;
+use navicim_nn::mlp::Mlp;
+use navicim_nn::optim::Adam;
+use navicim_nn::quant::{QuantBackend, QuantMatrix, QuantizedMlp};
+use navicim_nn::train::{train, Example, TrainConfig};
+use navicim_nn::Mode;
+use navicim_scene::dataset::{integrate_deltas, VoDataset, VoSample};
+use navicim_sram::cim_macro::{MacroConfig, MacroStats, SramCimMacro};
+use navicim_sram::reuse::{flatten_iteration, greedy_order};
+use navicim_sram::rng::{CciRng, CciRngConfig};
+
+/// [`QuantBackend`] adapter over the modeled SRAM macro: programs weight
+/// arrays lazily on first use and delegates every matrix-vector product.
+#[derive(Debug, Clone)]
+pub struct CimQuantBackend {
+    cim: SramCimMacro,
+}
+
+impl CimQuantBackend {
+    /// Wraps a macro.
+    pub fn new(cim: SramCimMacro) -> Self {
+        Self { cim }
+    }
+
+    /// The underlying macro (stats, configuration).
+    pub fn cim(&self) -> &SramCimMacro {
+        &self.cim
+    }
+
+    /// Mutable macro access.
+    pub fn cim_mut(&mut self) -> &mut SramCimMacro {
+        &mut self.cim
+    }
+}
+
+impl QuantBackend for CimQuantBackend {
+    fn matvec(
+        &mut self,
+        layer_id: usize,
+        matrix: &QuantMatrix,
+        input: &[i64],
+        out_mask: &[bool],
+    ) -> Vec<i64> {
+        if !self.cim.has_layer(layer_id) {
+            self.cim
+                .program_layer(layer_id, matrix.codes(), matrix.rows(), matrix.cols())
+                .expect("matrix shape is self-consistent");
+        }
+        self.cim
+            .matvec(layer_id, input, out_mask)
+            .expect("shapes validated by QuantizedMlp")
+    }
+
+    fn reset(&mut self) {
+        self.cim.reset_reuse();
+    }
+}
+
+/// Scale applied to the rotation components of the training targets
+/// (PoseNet-style beta weighting). Values above 1 improve full-precision
+/// yaw accuracy but widen the output-layer weight range, which hurts
+/// 4-bit quantization; the default keeps the low-precision story of
+/// Fig. 3(c-e) intact.
+pub const ROT_TARGET_SCALE: f64 = 1.0;
+
+/// Training configuration for the VO regressor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoTrainConfig {
+    /// First hidden-layer width.
+    pub hidden1: usize,
+    /// Second hidden-layer width.
+    pub hidden2: usize,
+    /// Dropout probability (the paper uses 0.5).
+    pub dropout_p: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Seed for initialization, shuffling and dropout.
+    pub seed: u64,
+}
+
+impl Default for VoTrainConfig {
+    fn default() -> Self {
+        Self {
+            hidden1: 128,
+            hidden2: 64,
+            dropout_p: 0.5,
+            epochs: 400,
+            learning_rate: 2e-3,
+            batch_size: 16,
+            seed: 0x0d0,
+        }
+    }
+}
+
+/// Trains the 6-DoF pose regressor on a VO dataset's samples.
+///
+/// # Errors
+///
+/// Propagates network construction/training errors.
+pub fn train_vo_network(samples: &[VoSample], in_dim: usize, config: &VoTrainConfig) -> Result<Mlp> {
+    let mut rng = Pcg32::seed_from_u64(config.seed);
+    let mut net = Mlp::builder(in_dim)
+        .dense(config.hidden1)
+        .relu()
+        .dropout(config.dropout_p)
+        .dense(config.hidden2)
+        .relu()
+        .dropout(config.dropout_p)
+        .dense(6)
+        .build(&mut rng)?;
+    let examples: Vec<Example> = samples
+        .iter()
+        .map(|s| {
+            let mut target = s.target.to_vec();
+            for r in &mut target[3..6] {
+                *r *= ROT_TARGET_SCALE;
+            }
+            Example {
+                input: s.features.clone(),
+                target,
+            }
+        })
+        .collect();
+    let mut opt = Adam::new(config.learning_rate)?;
+    train(
+        &mut net,
+        &examples,
+        &Mse,
+        &mut opt,
+        &TrainConfig {
+            epochs: config.epochs,
+            batch_size: config.batch_size,
+            shuffle: true,
+        },
+        &mut rng,
+    )?;
+    Ok(net)
+}
+
+/// Where dropout bits come from.
+#[derive(Debug, Clone)]
+pub enum MaskSource {
+    /// Software PRNG (ideal bits).
+    Pseudorandom(Pcg32),
+    /// The modeled SRAM-embedded CCI RNG (calibrated at construction).
+    SramRng(Box<CciRng>),
+}
+
+impl MaskSource {
+    fn rng_mut(&mut self) -> &mut dyn Rng64 {
+        match self {
+            MaskSource::Pseudorandom(r) => r,
+            MaskSource::SramRng(r) => r.as_mut(),
+        }
+    }
+
+    /// Bits drawn so far from the silicon RNG (`None` for the PRNG).
+    pub fn silicon_bits(&self) -> Option<u64> {
+        match self {
+            MaskSource::Pseudorandom(_) => None,
+            MaskSource::SramRng(r) => Some(r.bits_generated()),
+        }
+    }
+}
+
+/// Configuration of the Bayesian VO engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoPipelineConfig {
+    /// Weight precision in bits (paper: 4 or 6).
+    pub weight_bits: u32,
+    /// Activation precision in bits.
+    pub act_bits: u32,
+    /// Partial-sum ADC resolution of the macro.
+    pub adc_bits: u32,
+    /// MC-Dropout iterations per frame (paper: 30).
+    pub mc_iterations: usize,
+    /// Enable the compute-reuse scheme in the macro.
+    pub reuse: bool,
+    /// Enable greedy sample ordering.
+    pub order_samples: bool,
+    /// Draw dropout bits from the modeled CCI RNG instead of a PRNG.
+    pub silicon_rng: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for VoPipelineConfig {
+    fn default() -> Self {
+        Self {
+            weight_bits: 4,
+            act_bits: 4,
+            adc_bits: 12,
+            mc_iterations: 30,
+            reuse: true,
+            order_samples: true,
+            silicon_rng: false,
+            seed: 0xb0b,
+        }
+    }
+}
+
+/// Outcome of a trajectory run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoRun {
+    /// Estimated absolute trajectory (length = samples + 1).
+    pub estimates: Vec<Pose>,
+    /// Ground-truth trajectory.
+    pub truths: Vec<Pose>,
+    /// Per-step translation error of the predicted delta, in metres.
+    pub per_step_error: Vec<f64>,
+    /// Per-step total predictive variance (uncertainty signal).
+    pub per_step_variance: Vec<f64>,
+    /// Trajectory error summary.
+    pub trajectory: TrajectoryError,
+    /// Macro operation counters accumulated over the run.
+    pub macro_stats: MacroStats,
+    /// Dropout bits drawn from the silicon RNG, when used.
+    pub silicon_bits: Option<u64>,
+}
+
+/// The Section III pipeline: quantized MC-Dropout VO on the SRAM macro.
+#[derive(Debug, Clone)]
+pub struct BayesianVo {
+    qnet: QuantizedMlp,
+    backend: CimQuantBackend,
+    masks: MaskSource,
+    config: VoPipelineConfig,
+}
+
+impl BayesianVo {
+    /// Quantizes a trained network and prepares the macro and mask source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization and RNG-fabrication errors; requires a
+    /// non-empty calibration set.
+    pub fn build(net: &Mlp, calibration: &[Vec<f64>], config: VoPipelineConfig) -> Result<Self> {
+        let qnet = QuantizedMlp::from_mlp(net, config.weight_bits, config.act_bits, calibration)?;
+        let backend = CimQuantBackend::new(SramCimMacro::new(MacroConfig {
+            adc_bits: config.adc_bits,
+            reuse: config.reuse,
+            ..MacroConfig::default()
+        }));
+        let mut seed_rng = Pcg32::seed_from_u64(config.seed);
+        let masks = if config.silicon_rng {
+            let mut rng = CciRng::fabricate(&CciRngConfig::default(), &mut seed_rng)?;
+            rng.calibrate(2000);
+            MaskSource::SramRng(Box::new(rng))
+        } else {
+            MaskSource::Pseudorandom(seed_rng)
+        };
+        Ok(Self {
+            qnet,
+            backend,
+            masks,
+            config,
+        })
+    }
+
+    /// The quantized network.
+    pub fn qnet(&self) -> &QuantizedMlp {
+        &self.qnet
+    }
+
+    /// Macro operation counters.
+    pub fn macro_stats(&self) -> MacroStats {
+        self.backend.cim().stats()
+    }
+
+    /// Clears macro counters.
+    pub fn reset_macro_stats(&mut self) {
+        self.backend.cim_mut().reset_stats();
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &VoPipelineConfig {
+        &self.config
+    }
+
+    /// One MC-Dropout prediction: `mc_iterations` stochastic passes on the
+    /// frame features, with optional greedy iteration ordering.
+    pub fn predict(&mut self, features: &[f64]) -> McPrediction {
+        let t = self.config.mc_iterations;
+        let mask_sets: Vec<Vec<Vec<bool>>> = (0..t)
+            .map(|_| self.qnet.sample_masks(self.masks.rng_mut()))
+            .collect();
+        let order: Vec<usize> = if self.config.order_samples {
+            let flat: Vec<Vec<bool>> = mask_sets.iter().map(|m| flatten_iteration(m)).collect();
+            greedy_order(&flat).expect("mask sets are non-empty and uniform")
+        } else {
+            (0..t).collect()
+        };
+        self.backend.reset();
+        let samples: Vec<Vec<f64>> = order
+            .iter()
+            .map(|&i| {
+                self.qnet
+                    .forward_with_masks(&mut self.backend, features, &mask_sets[i])
+            })
+            .collect();
+        let n = samples.len() as f64;
+        let out_dim = self.qnet.out_dim();
+        let mut mean = vec![0.0; out_dim];
+        for s in &samples {
+            for (m, &v) in mean.iter_mut().zip(s) {
+                *m += v / n;
+            }
+        }
+        let mut variance = vec![0.0; out_dim];
+        for s in &samples {
+            for ((var, &v), &m) in variance.iter_mut().zip(s).zip(&mean) {
+                *var += (v - m) * (v - m) / (n - 1.0);
+            }
+        }
+        McPrediction {
+            mean,
+            variance,
+            samples,
+        }
+    }
+
+    /// Deterministic quantized prediction (no dropout at inference).
+    pub fn predict_deterministic(&mut self, features: &[f64]) -> Vec<f64> {
+        self.backend.reset();
+        self.qnet.forward_with_masks(&mut self.backend, features, &[])
+    }
+
+    /// Runs MC-Dropout VO over a dataset, integrating the predicted mean
+    /// deltas into an absolute trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] for datasets without samples.
+    pub fn run_trajectory(&mut self, dataset: &VoDataset) -> Result<VoRun> {
+        if dataset.samples.is_empty() {
+            return Err(CoreError::InvalidArgument(
+                "vo dataset has no frame pairs".into(),
+            ));
+        }
+        let mut deltas = Vec::with_capacity(dataset.samples.len());
+        let mut per_step_error = Vec::with_capacity(dataset.samples.len());
+        let mut per_step_variance = Vec::with_capacity(dataset.samples.len());
+        for sample in &dataset.samples {
+            let pred = self.predict(&sample.features);
+            let mut d = [0.0; 6];
+            d.copy_from_slice(&pred.mean);
+            for r in &mut d[3..6] {
+                *r /= ROT_TARGET_SCALE;
+            }
+            let err = ((d[0] - sample.target[0]).powi(2)
+                + (d[1] - sample.target[1]).powi(2)
+                + (d[2] - sample.target[2]).powi(2))
+            .sqrt();
+            per_step_error.push(err);
+            per_step_variance.push(pred.total_variance());
+            deltas.push(d);
+        }
+        let estimates = integrate_deltas(dataset.frames[0].pose, &deltas);
+        let truths: Vec<Pose> = dataset.frames.iter().map(|f| f.pose).collect();
+        let trajectory = trajectory_error(&estimates, &truths);
+        Ok(VoRun {
+            estimates,
+            truths,
+            per_step_error,
+            per_step_variance,
+            trajectory,
+            macro_stats: self.macro_stats(),
+            silicon_bits: self.masks.silicon_bits(),
+        })
+    }
+
+    /// Runs deterministic quantized VO (the point-estimate baseline of
+    /// Fig. 3(c–e)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] for datasets without samples.
+    pub fn run_trajectory_deterministic(&mut self, dataset: &VoDataset) -> Result<VoRun> {
+        if dataset.samples.is_empty() {
+            return Err(CoreError::InvalidArgument(
+                "vo dataset has no frame pairs".into(),
+            ));
+        }
+        let mut deltas = Vec::with_capacity(dataset.samples.len());
+        let mut per_step_error = Vec::with_capacity(dataset.samples.len());
+        for sample in &dataset.samples {
+            let y = self.predict_deterministic(&sample.features);
+            let mut d = [0.0; 6];
+            d.copy_from_slice(&y);
+            for r in &mut d[3..6] {
+                *r /= ROT_TARGET_SCALE;
+            }
+            per_step_error.push(
+                ((d[0] - sample.target[0]).powi(2)
+                    + (d[1] - sample.target[1]).powi(2)
+                    + (d[2] - sample.target[2]).powi(2))
+                .sqrt(),
+            );
+            deltas.push(d);
+        }
+        let estimates = integrate_deltas(dataset.frames[0].pose, &deltas);
+        let truths: Vec<Pose> = dataset.frames.iter().map(|f| f.pose).collect();
+        let trajectory = trajectory_error(&estimates, &truths);
+        Ok(VoRun {
+            estimates,
+            truths,
+            per_step_error,
+            per_step_variance: Vec::new(),
+            trajectory,
+            macro_stats: self.macro_stats(),
+            silicon_bits: self.masks.silicon_bits(),
+        })
+    }
+}
+
+/// Runs the full-precision deterministic reference trajectory (Fig. 3's
+/// "deterministic network" line).
+pub fn run_fp_trajectory(net: &mut Mlp, dataset: &VoDataset) -> VoRun {
+    let mut rng = Pcg32::seed_from_u64(0);
+    let mut deltas = Vec::with_capacity(dataset.samples.len());
+    let mut per_step_error = Vec::with_capacity(dataset.samples.len());
+    for sample in &dataset.samples {
+        let y = net.forward(&sample.features, Mode::Deterministic, &mut rng);
+        let mut d = [0.0; 6];
+        d.copy_from_slice(&y);
+        for r in &mut d[3..6] {
+            *r /= ROT_TARGET_SCALE;
+        }
+        per_step_error.push(
+            ((d[0] - sample.target[0]).powi(2)
+                + (d[1] - sample.target[1]).powi(2)
+                + (d[2] - sample.target[2]).powi(2))
+            .sqrt(),
+        );
+        deltas.push(d);
+    }
+    let estimates = integrate_deltas(dataset.frames[0].pose, &deltas);
+    let truths: Vec<Pose> = dataset.frames.iter().map(|f| f.pose).collect();
+    let trajectory = trajectory_error(&estimates, &truths);
+    VoRun {
+        estimates,
+        truths,
+        per_step_error,
+        per_step_variance: Vec::new(),
+        trajectory,
+        macro_stats: MacroStats::default(),
+        silicon_bits: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navicim_scene::dataset::{VoConfig, VoTrajectory};
+    use navicim_scene::noise::DepthNoise;
+
+    fn tiny_dataset(seed: u64) -> VoDataset {
+        VoDataset::generate(
+            &VoConfig {
+                image_width: 24,
+                image_height: 18,
+                grid_width: 4,
+                grid_height: 3,
+                frames: 30,
+                trajectory: VoTrajectory::Waypoints(4),
+                noise: DepthNoise::none(),
+                ..VoConfig::default()
+            },
+            seed,
+        )
+        .unwrap()
+    }
+
+    fn tiny_train_config() -> VoTrainConfig {
+        VoTrainConfig {
+            hidden1: 24,
+            hidden2: 12,
+            epochs: 60,
+            ..VoTrainConfig::default()
+        }
+    }
+
+    fn calibration(ds: &VoDataset) -> Vec<Vec<f64>> {
+        ds.samples.iter().take(8).map(|s| s.features.clone()).collect()
+    }
+
+    #[test]
+    fn training_reduces_loss_and_pipeline_runs() {
+        let ds = tiny_dataset(1);
+        let net = train_vo_network(&ds.samples, ds.feature_dim(), &tiny_train_config()).unwrap();
+        let mut vo = BayesianVo::build(
+            &net,
+            &calibration(&ds),
+            VoPipelineConfig {
+                weight_bits: 8,
+                act_bits: 8,
+                mc_iterations: 10,
+                ..VoPipelineConfig::default()
+            },
+        )
+        .unwrap();
+        let run = vo.run_trajectory(&ds).unwrap();
+        assert_eq!(run.estimates.len(), ds.frames.len());
+        assert_eq!(run.per_step_variance.len(), ds.samples.len());
+        assert!(run.per_step_variance.iter().all(|&v| v >= 0.0));
+        assert!(run.trajectory.ate_rmse.is_finite());
+        assert!(run.macro_stats.macs_executed > 0);
+        // MC-dropout variance is non-degenerate.
+        assert!(run.per_step_variance.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn reuse_cuts_executed_macs() {
+        let ds = tiny_dataset(2);
+        let net = train_vo_network(&ds.samples, ds.feature_dim(), &tiny_train_config()).unwrap();
+        let run_with = |reuse: bool| {
+            let mut vo = BayesianVo::build(
+                &net,
+                &calibration(&ds),
+                VoPipelineConfig {
+                    reuse,
+                    order_samples: false,
+                    mc_iterations: 12,
+                    ..VoPipelineConfig::default()
+                },
+            )
+            .unwrap();
+            let _ = vo.predict(&ds.samples[0].features);
+            vo.macro_stats()
+        };
+        let with = run_with(true);
+        let without = run_with(false);
+        assert_eq!(with.macs_full_equivalent, without.macs_full_equivalent);
+        assert!(
+            with.macs_executed < without.macs_executed,
+            "reuse {} vs full {}",
+            with.macs_executed,
+            without.macs_executed
+        );
+    }
+
+    #[test]
+    fn ordering_does_not_hurt_and_usually_helps() {
+        let ds = tiny_dataset(3);
+        let net = train_vo_network(&ds.samples, ds.feature_dim(), &tiny_train_config()).unwrap();
+        let macs = |order: bool| {
+            let mut vo = BayesianVo::build(
+                &net,
+                &calibration(&ds),
+                VoPipelineConfig {
+                    order_samples: order,
+                    mc_iterations: 16,
+                    ..VoPipelineConfig::default()
+                },
+            )
+            .unwrap();
+            let _ = vo.predict(&ds.samples[0].features);
+            vo.macro_stats().macs_executed
+        };
+        let ordered = macs(true);
+        let unordered = macs(false);
+        assert!(
+            ordered <= unordered + unordered / 20,
+            "ordered {ordered} vs unordered {unordered}"
+        );
+    }
+
+    #[test]
+    fn deterministic_paths_agree_at_high_precision() {
+        let ds = tiny_dataset(4);
+        let mut net =
+            train_vo_network(&ds.samples, ds.feature_dim(), &tiny_train_config()).unwrap();
+        let fp = run_fp_trajectory(&mut net, &ds);
+        let mut vo = BayesianVo::build(
+            &net,
+            &calibration(&ds),
+            VoPipelineConfig {
+                weight_bits: 12,
+                act_bits: 12,
+                adc_bits: 0,
+                ..VoPipelineConfig::default()
+            },
+        )
+        .unwrap();
+        let q = vo.run_trajectory_deterministic(&ds).unwrap();
+        assert!(
+            (q.trajectory.ate_rmse - fp.trajectory.ate_rmse).abs()
+                < 0.1 * (1.0 + fp.trajectory.ate_rmse),
+            "fp {} vs quant {}",
+            fp.trajectory.ate_rmse,
+            q.trajectory.ate_rmse
+        );
+    }
+
+    #[test]
+    fn silicon_rng_source_works() {
+        let ds = tiny_dataset(5);
+        let net = train_vo_network(&ds.samples, ds.feature_dim(), &tiny_train_config()).unwrap();
+        let mut vo = BayesianVo::build(
+            &net,
+            &calibration(&ds),
+            VoPipelineConfig {
+                silicon_rng: true,
+                mc_iterations: 8,
+                ..VoPipelineConfig::default()
+            },
+        )
+        .unwrap();
+        let pred = vo.predict(&ds.samples[0].features);
+        assert!(pred.total_variance() > 0.0);
+        let bits = vo.masks.silicon_bits().unwrap();
+        assert!(bits > 0, "silicon rng consumed {bits} bits");
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let ds = tiny_dataset(6);
+        let net = train_vo_network(&ds.samples, ds.feature_dim(), &tiny_train_config()).unwrap();
+        let mut vo =
+            BayesianVo::build(&net, &calibration(&ds), VoPipelineConfig::default()).unwrap();
+        let empty = VoDataset {
+            frames: ds.frames.clone(),
+            samples: vec![],
+            grid: ds.grid,
+            camera: ds.camera,
+        };
+        assert!(vo.run_trajectory(&empty).is_err());
+    }
+}

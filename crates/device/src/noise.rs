@@ -1,0 +1,125 @@
+//! Electronic noise-current models.
+//!
+//! Two consumers in the workspace need physically grounded noise:
+//!
+//! - the analog likelihood engine (Section II), where noise perturbs the
+//!   summed column current before ADC conversion, and
+//! - the SRAM-embedded RNG (Section III), which *harvests* per-port noise
+//!   currents as its entropy source.
+//!
+//! The model covers thermal (Johnson–Nyquist channel) noise `4kT·γ·g_m·Δf`
+//! and shot noise `2q·I·Δf`, both white over the evaluation bandwidth.
+
+use crate::params::{BOLTZMANN, ELECTRON_CHARGE};
+use navicim_math::rng::{Rng64, SampleExt};
+
+/// White-noise model for a device biased at a given operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Absolute temperature in kelvin.
+    pub temperature: f64,
+    /// Excess-noise factor γ (≈ 2/3 long channel, ≈ 1–2 short channel).
+    pub gamma: f64,
+    /// Evaluation bandwidth in hertz (sets the integrated noise power).
+    pub bandwidth: f64,
+}
+
+impl NoiseModel {
+    /// Room-temperature model with short-channel excess noise and the given
+    /// bandwidth.
+    pub fn room_temperature(bandwidth: f64) -> Self {
+        Self {
+            temperature: 300.0,
+            gamma: 1.5,
+            bandwidth,
+        }
+    }
+
+    /// RMS thermal noise current for a device with transconductance `gm`.
+    pub fn thermal_rms(&self, gm: f64) -> f64 {
+        (4.0 * BOLTZMANN * self.temperature * self.gamma * gm * self.bandwidth).sqrt()
+    }
+
+    /// RMS shot noise current for a bias current `i_bias`.
+    pub fn shot_rms(&self, i_bias: f64) -> f64 {
+        (2.0 * ELECTRON_CHARGE * i_bias.abs() * self.bandwidth).sqrt()
+    }
+
+    /// Combined RMS noise current (thermal ⊕ shot, uncorrelated).
+    pub fn total_rms(&self, gm: f64, i_bias: f64) -> f64 {
+        let t = self.thermal_rms(gm);
+        let s = self.shot_rms(i_bias);
+        (t * t + s * s).sqrt()
+    }
+
+    /// Draws one integrated noise-current sample for the operating point.
+    pub fn sample<R: Rng64 + ?Sized>(&self, gm: f64, i_bias: f64, rng: &mut R) -> f64 {
+        rng.sample_normal(0.0, self.total_rms(gm, i_bias))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navicim_math::rng::Pcg32;
+    use navicim_math::stats;
+
+    #[test]
+    fn thermal_noise_scales_with_sqrt_gm() {
+        let m = NoiseModel::room_temperature(1e9);
+        let a = m.thermal_rms(1e-4);
+        let b = m.thermal_rms(4e-4);
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shot_noise_scales_with_sqrt_current() {
+        let m = NoiseModel::room_temperature(1e9);
+        let a = m.shot_rms(1e-6);
+        let b = m.shot_rms(4e-6);
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_magnitudes_are_physical() {
+        // A 100 µA/V device at 1 GHz bandwidth: thermal noise should land in
+        // the nA–µA range, far below the µA-scale signal currents.
+        let m = NoiseModel::room_temperature(1e9);
+        let rms = m.thermal_rms(1e-4);
+        assert!(rms > 1e-9 && rms < 1e-5, "rms = {rms}");
+    }
+
+    #[test]
+    fn samples_match_requested_rms() {
+        let m = NoiseModel::room_temperature(1e8);
+        let mut rng = Pcg32::seed_from_u64(1);
+        let rms = m.total_rms(1e-4, 1e-6);
+        let xs: Vec<f64> = (0..20_000).map(|_| m.sample(1e-4, 1e-6, &mut rng)).collect();
+        assert!((stats::std_dev(&xs) / rms - 1.0).abs() < 0.05);
+        assert!(stats::mean(&xs).abs() < rms * 0.05);
+    }
+
+    #[test]
+    fn total_combines_quadratically() {
+        let m = NoiseModel::room_temperature(1e9);
+        let t = m.thermal_rms(1e-4);
+        let s = m.shot_rms(1e-5);
+        let tot = m.total_rms(1e-4, 1e-5);
+        assert!((tot * tot - (t * t + s * s)).abs() < 1e-24);
+    }
+
+    #[test]
+    fn higher_temperature_more_thermal_noise() {
+        let cold = NoiseModel {
+            temperature: 250.0,
+            gamma: 1.5,
+            bandwidth: 1e9,
+        };
+        let hot = NoiseModel {
+            temperature: 400.0,
+            gamma: 1.5,
+            bandwidth: 1e9,
+        };
+        assert!(hot.thermal_rms(1e-4) > cold.thermal_rms(1e-4));
+    }
+}

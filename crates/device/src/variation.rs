@@ -1,0 +1,143 @@
+//! Process-variation sampling.
+//!
+//! Fabricated devices deviate from their nominal parameters: threshold
+//! voltages scatter with a Pelgrom-style σ and transconductance factors
+//! carry a relative error. The paper (Fig. 1) lists such non-idealities as
+//! one of the uncertainty sources that its Bayesian frameworks must absorb,
+//! and Section III's RNG actively *exploits* the mismatch statistics. This
+//! module centralizes the sampling of those deviations.
+
+use crate::inverter::GaussianLikeCell;
+use crate::params::TechParams;
+use navicim_math::rng::{Rng64, SampleExt};
+
+/// Per-device mismatch sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeviceMismatch {
+    /// Threshold-voltage deviation in volts.
+    pub dvth: f64,
+    /// Relative transconductance deviation (unitless).
+    pub dbeta: f64,
+}
+
+/// Process-variation model: draws correlated per-device mismatches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessVariation {
+    sigma_vth: f64,
+    sigma_beta: f64,
+    /// Scale factor applied to both sigmas (1.0 = nominal process).
+    severity: f64,
+}
+
+impl ProcessVariation {
+    /// Creates a variation model from the technology's mismatch parameters.
+    pub fn from_tech(tech: &TechParams) -> Self {
+        Self {
+            sigma_vth: tech.sigma_vth,
+            sigma_beta: tech.sigma_beta,
+            severity: 1.0,
+        }
+    }
+
+    /// Creates a variation model with explicit sigmas.
+    pub fn new(sigma_vth: f64, sigma_beta: f64) -> Self {
+        Self {
+            sigma_vth,
+            sigma_beta,
+            severity: 1.0,
+        }
+    }
+
+    /// Returns a copy with both sigmas scaled by `severity`
+    /// (0 = ideal process, 1 = nominal, >1 = worst-case corners).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds for negative severity.
+    pub fn with_severity(mut self, severity: f64) -> Self {
+        debug_assert!(severity >= 0.0, "severity must be non-negative");
+        self.severity = severity;
+        self
+    }
+
+    /// Effective threshold-mismatch σ in volts.
+    pub fn sigma_vth(&self) -> f64 {
+        self.sigma_vth * self.severity
+    }
+
+    /// Effective relative transconductance-mismatch σ.
+    pub fn sigma_beta(&self) -> f64 {
+        self.sigma_beta * self.severity
+    }
+
+    /// Draws one device's mismatch.
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> DeviceMismatch {
+        DeviceMismatch {
+            dvth: rng.sample_normal(0.0, self.sigma_vth()),
+            dbeta: rng.sample_normal(0.0, self.sigma_beta()),
+        }
+    }
+
+    /// Applies independent mismatches to both halves of a Gaussian-like
+    /// cell, returning the perturbed cell.
+    pub fn perturb_cell<R: Rng64 + ?Sized>(
+        &self,
+        cell: GaussianLikeCell,
+        rng: &mut R,
+    ) -> GaussianLikeCell {
+        let n = self.sample(rng);
+        let p = self.sample(rng);
+        cell.with_mismatch(n.dvth, p.dvth, n.dbeta, p.dbeta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navicim_math::rng::Pcg32;
+    use navicim_math::stats;
+
+    #[test]
+    fn sample_statistics_match_sigmas() {
+        let pv = ProcessVariation::new(0.02, 0.05);
+        let mut rng = Pcg32::seed_from_u64(1);
+        let samples: Vec<DeviceMismatch> = (0..20_000).map(|_| pv.sample(&mut rng)).collect();
+        let dvths: Vec<f64> = samples.iter().map(|s| s.dvth).collect();
+        let dbetas: Vec<f64> = samples.iter().map(|s| s.dbeta).collect();
+        assert!((stats::std_dev(&dvths) - 0.02).abs() < 0.001);
+        assert!((stats::std_dev(&dbetas) - 0.05).abs() < 0.003);
+        assert!(stats::mean(&dvths).abs() < 0.001);
+    }
+
+    #[test]
+    fn zero_severity_is_ideal() {
+        let pv = ProcessVariation::new(0.02, 0.05).with_severity(0.0);
+        let mut rng = Pcg32::seed_from_u64(2);
+        let s = pv.sample(&mut rng);
+        assert_eq!(s.dvth, 0.0);
+        assert_eq!(s.dbeta, 0.0);
+    }
+
+    #[test]
+    fn perturbed_cell_center_scatters() {
+        let tech = TechParams::cmos_45nm();
+        let pv = ProcessVariation::from_tech(&tech);
+        let mut rng = Pcg32::seed_from_u64(3);
+        let nominal = GaussianLikeCell::with_center(&tech, 0.5);
+        let centers: Vec<f64> = (0..2000)
+            .map(|_| pv.perturb_cell(nominal, &mut rng).center())
+            .collect();
+        let sd = stats::std_dev(&centers);
+        // Centre shift is (dvth_n − dvth_p)/2, so σ_center = σ_vth/√2.
+        let expect = tech.sigma_vth / 2f64.sqrt();
+        assert!((sd / expect - 1.0).abs() < 0.1, "sd {sd} expect {expect}");
+    }
+
+    #[test]
+    fn from_tech_matches_tech_values() {
+        let tech = TechParams::cmos_45nm();
+        let pv = ProcessVariation::from_tech(&tech);
+        assert_eq!(pv.sigma_vth(), tech.sigma_vth);
+        assert_eq!(pv.sigma_beta(), tech.sigma_beta);
+    }
+}

@@ -1,0 +1,93 @@
+//! Itemized energy reports with markdown rendering.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An itemized energy breakdown (all values in picojoules).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    label: String,
+    items: Vec<(String, f64)>,
+}
+
+impl EnergyReport {
+    /// Creates an empty report.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            items: Vec::new(),
+        }
+    }
+
+    /// Report label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Appends one line item (energy in pJ).
+    pub fn push(&mut self, item: impl Into<String>, energy_pj: f64) {
+        self.items.push((item.into(), energy_pj));
+    }
+
+    /// Line items.
+    pub fn items(&self) -> &[(String, f64)] {
+        &self.items
+    }
+
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.items.iter().map(|(_, e)| e).sum()
+    }
+
+    /// Total energy in femtojoules (convenience for sub-pJ results).
+    pub fn total_fj(&self) -> f64 {
+        self.total_pj() * 1e3
+    }
+}
+
+impl fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {}", self.label)?;
+        writeln!(f, "| component | energy (pJ) | share |")?;
+        writeln!(f, "|---|---:|---:|")?;
+        let total = self.total_pj().max(1e-300);
+        for (name, e) in &self.items {
+            writeln!(f, "| {name} | {e:.6} | {:.1}% |", e / total * 100.0)?;
+        }
+        writeln!(f, "| **total** | **{:.6}** | 100% |", self.total_pj())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_units() {
+        let mut r = EnergyReport::new("test");
+        r.push("a", 1.5);
+        r.push("b", 0.5);
+        assert_eq!(r.total_pj(), 2.0);
+        assert_eq!(r.total_fj(), 2000.0);
+        assert_eq!(r.items().len(), 2);
+    }
+
+    #[test]
+    fn display_renders_markdown_table() {
+        let mut r = EnergyReport::new("breakdown");
+        r.push("array", 0.1);
+        let s = r.to_string();
+        assert!(s.contains("### breakdown"));
+        assert!(s.contains("| array |"));
+        assert!(s.contains("**total**"));
+    }
+
+    #[test]
+    fn clone_preserves_report() {
+        let mut r = EnergyReport::new("x");
+        r.push("y", 3.25);
+        let copy = r.clone();
+        assert_eq!(copy, r);
+        assert_eq!(copy.label(), "x");
+    }
+}

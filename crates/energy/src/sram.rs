@@ -1,0 +1,177 @@
+//! Energy costs of the SRAM MC-Dropout macro (Section III-D).
+
+use crate::report::EnergyReport;
+use crate::{tops_per_watt, EnergyError, Result};
+
+/// Cost profile of the SRAM CIM inference path at the paper's 16 nm,
+/// 0.85 V, 1 GHz operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramCimProfile {
+    /// CALIBRATED energy of one executed CIM MAC at 4-bit precision, in pJ
+    /// (fitted to the 3.04 TOPS/W anchor; includes wordline/bitline
+    /// switching and digital accumulation periphery).
+    pub mac4_pj: f64,
+    /// Exponent of the MAC-energy precision scaling `(bits/4)^γ`.
+    pub mac_bits_exponent: f64,
+    /// Partial-sum ADC Walden FoM, in femtojoules per step.
+    pub adc_fom_fj_per_step: f64,
+    /// Energy per generated dropout bit (CCI RNG), in femtojoules.
+    pub rng_bit_fj: f64,
+}
+
+impl SramCimProfile {
+    /// The paper's 16 nm operating point.
+    ///
+    /// `mac4_pj` is CALIBRATED so the *measured* MC-Dropout pipeline (30
+    /// iterations, p = 0.5, reuse + ordering, which executes ≈4% of the
+    /// full-equivalent workload) reproduces the 3.04 TOPS/W anchor; the
+    /// value therefore absorbs wordline/bitline streaming and digital
+    /// periphery, not just the analog MAC.
+    pub fn paper_16nm() -> Self {
+        Self {
+            mac4_pj: 12.9, // CALIBRATED (3.04 TOPS/W anchor, measured reuse)
+            mac_bits_exponent: 0.9,
+            adc_fom_fj_per_step: 100.0,
+            rng_bit_fj: 5.0,
+        }
+    }
+
+    /// Energy of one executed MAC at the given precision, in pJ.
+    pub fn mac_pj(&self, bits: u32) -> f64 {
+        self.mac4_pj * (bits as f64 / 4.0).powf(self.mac_bits_exponent)
+    }
+
+    /// Energy of one partial-sum ADC conversion at the given resolution,
+    /// in pJ.
+    pub fn adc_pj(&self, bits: u32) -> f64 {
+        self.adc_fom_fj_per_step * (1u64 << bits) as f64 * 1e-3
+    }
+
+    /// Full inference-energy breakdown from operation counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyError::InvalidArgument`] for zero precision.
+    pub fn inference_report(
+        &self,
+        macs_executed: u64,
+        adc_conversions: u64,
+        adc_bits: u32,
+        rng_bits: u64,
+        precision_bits: u32,
+    ) -> Result<EnergyReport> {
+        if precision_bits == 0 {
+            return Err(EnergyError::InvalidArgument(
+                "precision must be non-zero".into(),
+            ));
+        }
+        let mut report = EnergyReport::new("sram CIM MC-Dropout inference");
+        report.push(
+            "CIM MAC array",
+            macs_executed as f64 * self.mac_pj(precision_bits),
+        );
+        report.push(
+            "partial-sum ADCs",
+            adc_conversions as f64 * self.adc_pj(adc_bits),
+        );
+        report.push("dropout RNG", rng_bits as f64 * self.rng_bit_fj * 1e-3);
+        Ok(report)
+    }
+
+    /// Effective TOPS/W: delivered operations (2 × full-equivalent MACs,
+    /// i.e. the workload *as if* no reuse had been applied — the standard
+    /// way effective efficiency is reported for reuse schemes) over the
+    /// energy actually spent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::inference_report`] validation.
+    pub fn effective_tops_per_watt(
+        &self,
+        macs_full_equivalent: u64,
+        macs_executed: u64,
+        adc_conversions: u64,
+        adc_bits: u32,
+        rng_bits: u64,
+        precision_bits: u32,
+    ) -> Result<f64> {
+        let report = self.inference_report(
+            macs_executed,
+            adc_conversions,
+            adc_bits,
+            rng_bits,
+            precision_bits,
+        )?;
+        Ok(tops_per_watt(
+            2 * macs_full_equivalent,
+            report.total_pj(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Operating point measured from the simulated pipeline: 30 MC
+    /// iterations, p = 0.5 dropout, reuse + ordering (≈4% of the full
+    /// workload executed), 8-bit partial-sum ADCs.
+    fn paper_like_counts() -> (u64, u64, u64, u64) {
+        let full = 16_204_800u64;
+        let executed = 700_000u64;
+        let adc_conversions = 61_000u64;
+        let rng_bits = 90_000u64;
+        (full, executed, adc_conversions, rng_bits)
+    }
+
+    #[test]
+    fn four_bit_anchor() {
+        let p = SramCimProfile::paper_16nm();
+        let (full, exec, adc, rng) = paper_like_counts();
+        let tops = p
+            .effective_tops_per_watt(full, exec, adc, 8, rng, 4)
+            .unwrap();
+        assert!(
+            (2.6..3.6).contains(&tops),
+            "4-bit effective TOPS/W {tops}, paper anchor 3.04"
+        );
+    }
+
+    #[test]
+    fn six_bit_anchor() {
+        let p = SramCimProfile::paper_16nm();
+        let (full, exec, adc, rng) = paper_like_counts();
+        let tops = p
+            .effective_tops_per_watt(full, exec, adc, 8, rng, 6)
+            .unwrap();
+        assert!(
+            (1.5..2.6).contains(&tops),
+            "6-bit effective TOPS/W {tops}, paper anchor ≈2"
+        );
+    }
+
+    #[test]
+    fn reuse_improves_effective_efficiency() {
+        let p = SramCimProfile::paper_16nm();
+        let with_reuse = p
+            .effective_tops_per_watt(1_000_000, 100_000, 20_000, 8, 6000, 4)
+            .unwrap();
+        let without = p
+            .effective_tops_per_watt(1_000_000, 1_000_000, 20_000, 8, 6000, 4)
+            .unwrap();
+        assert!(with_reuse > without * 1.5);
+    }
+
+    #[test]
+    fn mac_scaling_monotone() {
+        let p = SramCimProfile::paper_16nm();
+        assert!(p.mac_pj(6) > p.mac_pj(4));
+        assert!(p.mac_pj(8) > p.mac_pj(6));
+    }
+
+    #[test]
+    fn validation() {
+        let p = SramCimProfile::paper_16nm();
+        assert!(p.inference_report(10, 1, 4, 1, 0).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Point estimates and spread measures over pose particle sets.
+
+use crate::particle::ParticleSet;
+use navicim_math::geom::{Pose, Quat, Vec3};
+
+/// Weighted mean pose of a particle set.
+///
+/// The translation is the weighted arithmetic mean. The rotation is the
+/// weighted chordal mean: quaternions are sign-aligned to the
+/// highest-weight particle, averaged componentwise and renormalized — the
+/// standard first-order approximation valid when particles agree to within
+/// a hemisphere.
+pub fn mean_pose(particles: &ParticleSet<Pose>) -> Pose {
+    let translation = Vec3::new(
+        particles.weighted_mean(|p| p.translation.x),
+        particles.weighted_mean(|p| p.translation.y),
+        particles.weighted_mean(|p| p.translation.z),
+    );
+    let (_, reference) = particles.map_estimate();
+    let ref_q = reference.rotation;
+    let mut acc = [0.0f64; 4];
+    for (pose, &w) in particles.states().iter().zip(particles.weights()) {
+        let mut q = pose.rotation.normalized();
+        let dot = q.w * ref_q.w + q.x * ref_q.x + q.y * ref_q.y + q.z * ref_q.z;
+        if dot < 0.0 {
+            q = Quat::new(-q.w, -q.x, -q.y, -q.z);
+        }
+        acc[0] += w * q.w;
+        acc[1] += w * q.x;
+        acc[2] += w * q.y;
+        acc[3] += w * q.z;
+    }
+    let rotation = Quat::new(acc[0], acc[1], acc[2], acc[3]);
+    let rotation = if rotation.norm() < 1e-12 {
+        ref_q
+    } else {
+        rotation.normalized()
+    };
+    Pose::new(rotation, translation)
+}
+
+/// Weighted positional spread: the root of the summed per-axis weighted
+/// variances (a scalar "1σ radius" of the particle cloud).
+pub fn position_spread(particles: &ParticleSet<Pose>) -> f64 {
+    let vx = particles.weighted_variance(|p| p.translation.x);
+    let vy = particles.weighted_variance(|p| p.translation.y);
+    let vz = particles.weighted_variance(|p| p.translation.z);
+    (vx + vy + vz).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navicim_math::rng::{Pcg32, SampleExt};
+
+    fn cloud(center: Vec3, yaw: f64, spread: f64, n: usize, seed: u64) -> ParticleSet<Pose> {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let states: Vec<Pose> = (0..n)
+            .map(|_| {
+                Pose::from_position_euler(
+                    center
+                        + Vec3::new(
+                            rng.sample_normal(0.0, spread),
+                            rng.sample_normal(0.0, spread),
+                            rng.sample_normal(0.0, spread),
+                        ),
+                    0.0,
+                    0.0,
+                    yaw + rng.sample_normal(0.0, 0.05),
+                )
+            })
+            .collect();
+        ParticleSet::from_states(states).unwrap()
+    }
+
+    #[test]
+    fn mean_pose_recovers_cloud_center() {
+        let center = Vec3::new(1.0, -2.0, 0.5);
+        let set = cloud(center, 0.8, 0.1, 2000, 1);
+        let est = mean_pose(&set);
+        assert!(est.translation.distance(center) < 0.01);
+        let (_, _, yaw) = est.rotation.to_euler();
+        assert!((yaw - 0.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn mean_pose_handles_quaternion_double_cover() {
+        // Two identical orientations with opposite quaternion signs must
+        // average to the same orientation, not cancel out.
+        let q = Quat::from_euler(0.0, 0.0, 1.0);
+        let neg_q = Quat::new(-q.w, -q.x, -q.y, -q.z);
+        let set = ParticleSet::from_states(vec![
+            Pose::new(q, Vec3::ZERO),
+            Pose::new(neg_q, Vec3::ZERO),
+        ])
+        .unwrap();
+        let est = mean_pose(&set);
+        assert!(est.rotation.angle_to(q) < 1e-9);
+    }
+
+    #[test]
+    fn spread_tracks_cloud_size() {
+        let tight = cloud(Vec3::ZERO, 0.0, 0.05, 1000, 2);
+        let wide = cloud(Vec3::ZERO, 0.0, 0.5, 1000, 3);
+        let s_tight = position_spread(&tight);
+        let s_wide = position_spread(&wide);
+        assert!(s_wide > 5.0 * s_tight);
+        // For isotropic σ per axis, spread ≈ σ√3.
+        assert!((s_tight / (0.05 * 3f64.sqrt()) - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn single_particle_is_its_own_mean() {
+        let pose = Pose::from_position_euler(Vec3::new(3.0, 1.0, 2.0), 0.1, 0.2, 0.3);
+        let set = ParticleSet::from_states(vec![pose]).unwrap();
+        let est = mean_pose(&set);
+        assert!(est.translation_distance(pose) < 1e-12);
+        assert!(est.rotation_distance(pose) < 1e-9);
+        assert_eq!(position_spread(&set), 0.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! The generic predict/weight/resample particle-filter loop.
+
+use crate::particle::ParticleSet;
+use crate::Result;
+use navicim_math::rng::Rng64;
+use navicim_math::sample::ResampleScheme;
+
+/// A stochastic motion model `p(x_t | u_t, x_{t-1})` (paper Eq. 1a).
+pub trait Motion<S, U> {
+    /// Samples a successor state given the previous state and control.
+    fn sample(&self, state: &S, control: &U, rng: &mut dyn Rng64) -> S;
+}
+
+/// A measurement model `p(z_t | x_t)` (paper Eq. 1b), in log space.
+///
+/// Takes `&mut self` because hardware-backed implementations (the CIM
+/// engine) consume noise-source state per evaluation.
+pub trait Measurement<S, Z> {
+    /// Log-likelihood of observation `obs` under state hypothesis `state`.
+    fn log_likelihood(&mut self, state: &S, obs: &Z) -> f64;
+}
+
+impl<S, U, F> Motion<S, U> for F
+where
+    F: Fn(&S, &U, &mut dyn Rng64) -> S,
+{
+    fn sample(&self, state: &S, control: &U, rng: &mut dyn Rng64) -> S {
+        self(state, control, rng)
+    }
+}
+
+/// Configuration of the particle-filter loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterConfig {
+    /// Resampling scheme.
+    pub scheme: ResampleScheme,
+    /// Resample when `ESS < ess_fraction · N` (1.0 = always resample).
+    pub ess_fraction: f64,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        Self {
+            scheme: ResampleScheme::Systematic,
+            ess_fraction: 0.5,
+        }
+    }
+}
+
+/// The sequential Monte-Carlo filter over a [`ParticleSet`].
+#[derive(Debug, Clone)]
+pub struct ParticleFilter<S> {
+    particles: ParticleSet<S>,
+    config: FilterConfig,
+    resample_count: u64,
+    step_count: u64,
+}
+
+impl<S: Clone> ParticleFilter<S> {
+    /// Creates a filter from an initial particle set.
+    pub fn new(particles: ParticleSet<S>, config: FilterConfig) -> Self {
+        Self {
+            particles,
+            config,
+            resample_count: 0,
+            step_count: 0,
+        }
+    }
+
+    /// The current particle set.
+    pub fn particles(&self) -> &ParticleSet<S> {
+        &self.particles
+    }
+
+    /// Mutable access (e.g. for reinitialization).
+    pub fn particles_mut(&mut self) -> &mut ParticleSet<S> {
+        &mut self.particles
+    }
+
+    /// Number of predict/update steps performed.
+    pub fn steps(&self) -> u64 {
+        self.step_count
+    }
+
+    /// Number of resampling events triggered.
+    pub fn resamples(&self) -> u64 {
+        self.resample_count
+    }
+
+    /// Prediction step: propagates every particle through the motion model.
+    pub fn predict<U, M, R>(&mut self, control: &U, motion: &M, rng: &mut R)
+    where
+        M: Motion<S, U>,
+        R: Rng64,
+    {
+        for s in self.particles.states_mut() {
+            *s = motion.sample(s, control, rng);
+        }
+    }
+
+    /// Measurement update: reweights by the observation likelihood and
+    /// resamples if the effective sample size dropped below the threshold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::FilterError::Degenerate`] when all weights
+    /// vanish.
+    pub fn update<Z, M, R>(&mut self, obs: &Z, sensor: &mut M, rng: &mut R) -> Result<()>
+    where
+        M: Measurement<S, Z>,
+        R: Rng64,
+    {
+        let lls: Vec<f64> = self
+            .particles
+            .states()
+            .iter()
+            .map(|s| sensor.log_likelihood(s, obs))
+            .collect();
+        // Borrow juggling: reweight needs &mut particles while lls is owned.
+        self.particles.reweight_log(&lls)?;
+        self.step_count += 1;
+        let n = self.particles.len() as f64;
+        if self.particles.ess() < self.config.ess_fraction * n {
+            self.particles.resample(self.config.scheme, rng);
+            self.resample_count += 1;
+        }
+        Ok(())
+    }
+
+    /// Combined predict + update step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates measurement-update errors.
+    pub fn step<U, Z, MM, MS, R>(
+        &mut self,
+        control: &U,
+        obs: &Z,
+        motion: &MM,
+        sensor: &mut MS,
+        rng: &mut R,
+    ) -> Result<()>
+    where
+        MM: Motion<S, U>,
+        MS: Measurement<S, Z>,
+        R: Rng64,
+    {
+        self.predict(control, motion, rng);
+        self.update(obs, sensor, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navicim_math::rng::{Pcg32, SampleExt};
+    use navicim_math::stats::normal_logpdf;
+
+    /// 1-D random-walk localization: state is a scalar position, control is
+    /// the commanded step, observation is a noisy position measurement.
+    struct GaussianSensor {
+        sigma: f64,
+    }
+
+    impl Measurement<f64, f64> for GaussianSensor {
+        fn log_likelihood(&mut self, state: &f64, obs: &f64) -> f64 {
+            normal_logpdf(*obs, *state, self.sigma)
+        }
+    }
+
+    fn walk_motion() -> impl Motion<f64, f64> {
+        |state: &f64, control: &f64, rng: &mut dyn Rng64| state + control + rng.sample_normal(0.0, 0.05)
+    }
+
+    #[test]
+    fn tracks_a_moving_target() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let init: Vec<f64> = (0..500).map(|_| rng.sample_uniform(-10.0, 10.0)).collect();
+        let mut pf = ParticleFilter::new(
+            ParticleSet::from_states(init).unwrap(),
+            FilterConfig::default(),
+        );
+        let mut sensor = GaussianSensor { sigma: 0.3 };
+        let motion = walk_motion();
+        let mut truth = 0.0;
+        for step in 0..30 {
+            let control = 0.2;
+            truth += control;
+            let obs = truth + rng.sample_normal(0.0, 0.3);
+            pf.step(&control, &obs, &motion, &mut sensor, &mut rng).unwrap();
+            if step > 5 {
+                let est = pf.particles().weighted_mean(|s| *s);
+                assert!((est - truth).abs() < 0.5, "step {step}: est {est} truth {truth}");
+            }
+        }
+        assert!(pf.steps() == 30);
+    }
+
+    #[test]
+    fn uncertainty_shrinks_with_measurements() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let init: Vec<f64> = (0..1000).map(|_| rng.sample_uniform(-10.0, 10.0)).collect();
+        let mut pf = ParticleFilter::new(
+            ParticleSet::from_states(init).unwrap(),
+            FilterConfig::default(),
+        );
+        let mut sensor = GaussianSensor { sigma: 0.5 };
+        let motion = walk_motion();
+        let var_before = pf.particles().weighted_variance(|s| *s);
+        for _ in 0..10 {
+            pf.step(&0.0, &3.0, &motion, &mut sensor, &mut rng).unwrap();
+        }
+        let var_after = pf.particles().weighted_variance(|s| *s);
+        assert!(var_after < var_before * 0.05, "{var_before} -> {var_after}");
+        let est = pf.particles().weighted_mean(|s| *s);
+        assert!((est - 3.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn resampling_triggered_by_skewed_weights() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        let init: Vec<f64> = (0..200).map(|_| rng.sample_uniform(-10.0, 10.0)).collect();
+        let mut pf = ParticleFilter::new(
+            ParticleSet::from_states(init).unwrap(),
+            FilterConfig {
+                ess_fraction: 0.5,
+                ..FilterConfig::default()
+            },
+        );
+        let mut sensor = GaussianSensor { sigma: 0.1 }; // sharp likelihood
+        let motion = walk_motion();
+        pf.step(&0.0, &0.0, &motion, &mut sensor, &mut rng).unwrap();
+        assert!(pf.resamples() >= 1);
+    }
+
+    #[test]
+    fn no_resampling_when_threshold_zero() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        let init: Vec<f64> = (0..100).map(|_| rng.sample_uniform(-5.0, 5.0)).collect();
+        let mut pf = ParticleFilter::new(
+            ParticleSet::from_states(init).unwrap(),
+            FilterConfig {
+                ess_fraction: 0.0,
+                ..FilterConfig::default()
+            },
+        );
+        let mut sensor = GaussianSensor { sigma: 0.1 };
+        let motion = walk_motion();
+        for _ in 0..5 {
+            pf.step(&0.0, &1.0, &motion, &mut sensor, &mut rng).unwrap();
+        }
+        assert_eq!(pf.resamples(), 0);
+    }
+
+    #[test]
+    fn degenerate_measurement_propagates_error() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let init = vec![0.0f64; 10];
+        let mut pf = ParticleFilter::new(
+            ParticleSet::from_states(init).unwrap(),
+            FilterConfig::default(),
+        );
+        struct Killer;
+        impl Measurement<f64, f64> for Killer {
+            fn log_likelihood(&mut self, _: &f64, _: &f64) -> f64 {
+                f64::NEG_INFINITY
+            }
+        }
+        let motion = walk_motion();
+        assert!(pf.step(&0.0, &0.0, &motion, &mut Killer, &mut rng).is_err());
+    }
+}

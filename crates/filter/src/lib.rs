@@ -1,0 +1,52 @@
+//! Bayesian filtering: the particle filter behind Monte-Carlo
+//! localization (paper Section II).
+//!
+//! The recursive Bayes update of the paper (Eq. 1a/1b) is implemented as a
+//! sequential Monte-Carlo filter:
+//!
+//! - [`particle::ParticleSet`] — weighted hypotheses with normalization,
+//!   effective-sample-size tracking and pluggable resampling,
+//! - [`filter::ParticleFilter`] — the predict/weight/resample loop over
+//!   user-supplied [`filter::Motion`] and [`filter::Measurement`] models,
+//! - [`motion::OdometryMotion`] — the noisy odometry motion model for
+//!   [`navicim_math::geom::Pose`] states,
+//! - [`estimate`] — weighted pose-mean extraction.
+//!
+//! The measurement model is deliberately generic: the digital GMM baseline
+//! and the analog HMGM-CIM engine both plug in through
+//! [`filter::Measurement`], which is how the paper's co-design comparison
+//! (Fig. 2(e–h)) is staged in `navicim-core`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod estimate;
+pub mod filter;
+pub mod motion;
+pub mod particle;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for filter construction and updates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterError {
+    /// An argument was outside its valid domain.
+    InvalidArgument(String),
+    /// All particle weights collapsed to zero (filter divergence).
+    Degenerate,
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            FilterError::Degenerate => write!(f, "all particle weights collapsed to zero"),
+        }
+    }
+}
+
+impl Error for FilterError {}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, FilterError>;

@@ -1,0 +1,157 @@
+//! Noisy odometry motion model for pose particles.
+
+use crate::filter::Motion;
+use navicim_math::geom::{Pose, Quat, Vec3};
+use navicim_math::rng::{Rng64, SampleExt};
+
+/// Odometry-driven motion with additive Gaussian noise.
+///
+/// The control input is the *commanded/measured* relative pose between two
+/// time steps (as delivered by an IMU/odometry pipeline); each particle
+/// composes that delta perturbed by translation noise (a fixed floor plus a
+/// magnitude-proportional term) and rotation noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OdometryMotion {
+    /// Translation noise floor per step, in metres.
+    pub trans_floor: f64,
+    /// Translation noise proportional to the step length (unitless).
+    pub trans_scale: f64,
+    /// Rotation noise per step, in radians (about random axes).
+    pub rot_sigma: f64,
+}
+
+impl OdometryMotion {
+    /// A model suited to short indoor steps (mm-level floor, 5% scale).
+    pub fn indoor() -> Self {
+        Self {
+            trans_floor: 0.005,
+            trans_scale: 0.05,
+            rot_sigma: 0.01,
+        }
+    }
+
+    /// A noiseless model (for ablations and unit tests).
+    pub fn exact() -> Self {
+        Self {
+            trans_floor: 0.0,
+            trans_scale: 0.0,
+            rot_sigma: 0.0,
+        }
+    }
+}
+
+impl Default for OdometryMotion {
+    fn default() -> Self {
+        Self::indoor()
+    }
+}
+
+impl Motion<Pose, Pose> for OdometryMotion {
+    fn sample(&self, state: &Pose, control: &Pose, rng: &mut dyn Rng64) -> Pose {
+        let step_len = control.translation.norm();
+        let sigma_t = self.trans_floor + self.trans_scale * step_len;
+        let noisy_translation = control.translation
+            + Vec3::new(
+                rng.sample_normal(0.0, sigma_t),
+                rng.sample_normal(0.0, sigma_t),
+                rng.sample_normal(0.0, sigma_t),
+            );
+        let noisy_rotation = if self.rot_sigma > 0.0 {
+            let axis = Vec3::new(
+                rng.sample_standard_normal(),
+                rng.sample_standard_normal(),
+                rng.sample_standard_normal(),
+            );
+            let axis = if axis.norm() < 1e-12 { Vec3::Z } else { axis };
+            control
+                .rotation
+                .mul_quat(Quat::from_axis_angle(
+                    axis,
+                    rng.sample_normal(0.0, self.rot_sigma),
+                ))
+                .normalized()
+        } else {
+            control.rotation
+        };
+        state.compose(Pose::new(noisy_rotation, noisy_translation))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navicim_math::rng::Pcg32;
+    use navicim_math::stats;
+
+    #[test]
+    fn exact_model_composes_exactly() {
+        let m = OdometryMotion::exact();
+        let mut rng = Pcg32::seed_from_u64(1);
+        let start = Pose::from_position_euler(Vec3::new(1.0, 0.0, 0.0), 0.0, 0.0, 0.3);
+        let delta = Pose::from_position_euler(Vec3::new(0.1, 0.0, 0.0), 0.0, 0.0, 0.1);
+        let next = m.sample(&start, &delta, &mut rng);
+        let expect = start.compose(delta);
+        assert!(next.translation_distance(expect) < 1e-12);
+        assert!(next.rotation_distance(expect) < 1e-9);
+    }
+
+    #[test]
+    fn noise_statistics_match_model() {
+        let m = OdometryMotion {
+            trans_floor: 0.01,
+            trans_scale: 0.1,
+            rot_sigma: 0.0,
+        };
+        let mut rng = Pcg32::seed_from_u64(2);
+        let start = Pose::IDENTITY;
+        let delta = Pose::from_position_euler(Vec3::new(1.0, 0.0, 0.0), 0.0, 0.0, 0.0);
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| m.sample(&start, &delta, &mut rng).translation.x - 1.0)
+            .collect();
+        // σ = floor + scale·|step| = 0.11.
+        let sd = stats::std_dev(&xs);
+        assert!((sd - 0.11).abs() < 0.005, "sd {sd}");
+        assert!(stats::mean(&xs).abs() < 0.005);
+    }
+
+    #[test]
+    fn rotation_noise_perturbs_orientation() {
+        let m = OdometryMotion {
+            trans_floor: 0.0,
+            trans_scale: 0.0,
+            rot_sigma: 0.05,
+        };
+        let mut rng = Pcg32::seed_from_u64(3);
+        let start = Pose::IDENTITY;
+        let delta = Pose::IDENTITY;
+        let angles: Vec<f64> = (0..5000)
+            .map(|_| {
+                m.sample(&start, &delta, &mut rng)
+                    .rotation_distance(Pose::IDENTITY)
+            })
+            .collect();
+        // Mean absolute rotation angle ≈ σ·√(2/π) for half-normal.
+        let mean_angle = stats::mean(&angles);
+        let expect = 0.05 * (2.0 / std::f64::consts::PI).sqrt();
+        assert!((mean_angle / expect - 1.0).abs() < 0.1, "mean {mean_angle}");
+    }
+
+    #[test]
+    fn zero_step_only_floor_noise() {
+        let m = OdometryMotion {
+            trans_floor: 0.02,
+            trans_scale: 0.5,
+            rot_sigma: 0.0,
+        };
+        let mut rng = Pcg32::seed_from_u64(4);
+        let xs: Vec<f64> = (0..10_000)
+            .map(|_| {
+                m.sample(&Pose::IDENTITY, &Pose::IDENTITY, &mut rng)
+                    .translation
+                    .x
+            })
+            .collect();
+        let sd = stats::std_dev(&xs);
+        assert!((sd - 0.02).abs() < 0.002, "sd {sd}");
+    }
+}

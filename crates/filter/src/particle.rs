@@ -1,0 +1,214 @@
+//! Weighted particle sets.
+
+use crate::{FilterError, Result};
+use navicim_math::rng::Rng64;
+use navicim_math::sample::{effective_sample_size, ResampleScheme};
+use navicim_math::stats::log_sum_exp;
+
+/// A set of weighted hypotheses over states of type `S`.
+///
+/// Weights are kept normalized (summing to 1) after every mutation through
+/// the public API.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParticleSet<S> {
+    states: Vec<S>,
+    weights: Vec<f64>,
+}
+
+impl<S: Clone> ParticleSet<S> {
+    /// Creates a uniformly weighted set from states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterError::InvalidArgument`] for an empty state list.
+    pub fn from_states(states: Vec<S>) -> Result<Self> {
+        if states.is_empty() {
+            return Err(FilterError::InvalidArgument(
+                "particle set requires at least one state".into(),
+            ));
+        }
+        let n = states.len();
+        Ok(Self {
+            states,
+            weights: vec![1.0 / n as f64; n],
+        })
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` for an empty set (never constructible through the
+    /// public API; kept for the `len`/`is_empty` convention).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The particle states.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Mutable access to the particle states (weights are untouched).
+    pub fn states_mut(&mut self) -> &mut [S] {
+        &mut self.states
+    }
+
+    /// The normalized weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Effective sample size of the current weights.
+    pub fn ess(&self) -> f64 {
+        effective_sample_size(&self.weights)
+    }
+
+    /// Index and state of the highest-weight particle.
+    pub fn map_estimate(&self) -> (usize, &S) {
+        let (idx, _) = self
+            .weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights are finite"))
+            .expect("set is non-empty");
+        (idx, &self.states[idx])
+    }
+
+    /// Reweights particles by per-particle *log*-likelihoods, using a
+    /// log-sum-exp normalization for numerical stability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterError::Degenerate`] if every log-likelihood is
+    /// `-inf`, and [`FilterError::InvalidArgument`] on length mismatch.
+    pub fn reweight_log(&mut self, log_likelihoods: &[f64]) -> Result<()> {
+        if log_likelihoods.len() != self.len() {
+            return Err(FilterError::InvalidArgument(format!(
+                "expected {} log-likelihoods, got {}",
+                self.len(),
+                log_likelihoods.len()
+            )));
+        }
+        let combined: Vec<f64> = self
+            .weights
+            .iter()
+            .zip(log_likelihoods)
+            .map(|(w, ll)| w.max(1e-300).ln() + ll)
+            .collect();
+        let lse = log_sum_exp(&combined);
+        if lse == f64::NEG_INFINITY || lse.is_nan() {
+            return Err(FilterError::Degenerate);
+        }
+        for (w, c) in self.weights.iter_mut().zip(&combined) {
+            *w = (c - lse).exp();
+        }
+        Ok(())
+    }
+
+    /// Resamples the set with the given scheme; weights become uniform.
+    pub fn resample<R: Rng64 + ?Sized>(&mut self, scheme: ResampleScheme, rng: &mut R) {
+        let indices = scheme.resample(&self.weights, rng);
+        self.states = indices.iter().map(|&i| self.states[i].clone()).collect();
+        let n = self.states.len();
+        self.weights = vec![1.0 / n as f64; n];
+    }
+
+    /// Weighted mean of a scalar function of the state.
+    pub fn weighted_mean<F: Fn(&S) -> f64>(&self, f: F) -> f64 {
+        self.states
+            .iter()
+            .zip(&self.weights)
+            .map(|(s, w)| w * f(s))
+            .sum()
+    }
+
+    /// Weighted variance of a scalar function of the state.
+    pub fn weighted_variance<F: Fn(&S) -> f64>(&self, f: F) -> f64 {
+        let mean = self.weighted_mean(&f);
+        self.states
+            .iter()
+            .zip(&self.weights)
+            .map(|(s, w)| {
+                let d = f(s) - mean;
+                w * d * d
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navicim_math::approx_eq;
+    use navicim_math::rng::Pcg32;
+
+    #[test]
+    fn construction_uniform_weights() {
+        let set = ParticleSet::from_states(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(set.len(), 4);
+        for &w in set.weights() {
+            assert!(approx_eq(w, 0.25, 1e-12));
+        }
+        assert!(approx_eq(set.ess(), 4.0, 1e-9));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(ParticleSet::<f64>::from_states(vec![]).is_err());
+    }
+
+    #[test]
+    fn reweight_log_normalizes() {
+        let mut set = ParticleSet::from_states(vec![0.0, 1.0, 2.0]).unwrap();
+        set.reweight_log(&[-1000.0, -1000.0, -999.0]).unwrap();
+        let total: f64 = set.weights().iter().sum();
+        assert!(approx_eq(total, 1.0, 1e-12));
+        // The better particle carries e^1 ≈ 2.72 times the weight.
+        assert!(set.weights()[2] > set.weights()[0] * 2.5);
+        assert_eq!(set.map_estimate().0, 2);
+    }
+
+    #[test]
+    fn reweight_degenerate_detected() {
+        let mut set = ParticleSet::from_states(vec![0.0, 1.0]).unwrap();
+        assert_eq!(
+            set.reweight_log(&[f64::NEG_INFINITY, f64::NEG_INFINITY]),
+            Err(FilterError::Degenerate)
+        );
+    }
+
+    #[test]
+    fn reweight_length_mismatch() {
+        let mut set = ParticleSet::from_states(vec![0.0, 1.0]).unwrap();
+        assert!(set.reweight_log(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn ess_drops_after_skewed_reweight() {
+        let mut set = ParticleSet::from_states((0..100).collect::<Vec<_>>()).unwrap();
+        let lls: Vec<f64> = (0..100).map(|i| if i == 0 { 0.0 } else { -50.0 }).collect();
+        set.reweight_log(&lls).unwrap();
+        assert!(set.ess() < 1.5);
+    }
+
+    #[test]
+    fn resample_concentrates_on_heavy_particle() {
+        let mut set = ParticleSet::from_states(vec![10, 20, 30]).unwrap();
+        set.reweight_log(&[-100.0, 0.0, -100.0]).unwrap();
+        let mut rng = Pcg32::seed_from_u64(1);
+        set.resample(ResampleScheme::Systematic, &mut rng);
+        assert!(set.states().iter().all(|&s| s == 20));
+        // Weights reset to uniform.
+        assert!(approx_eq(set.ess(), 3.0, 1e-9));
+    }
+
+    #[test]
+    fn weighted_moments() {
+        let mut set = ParticleSet::from_states(vec![0.0, 10.0]).unwrap();
+        set.reweight_log(&[0.0, 0.0]).unwrap();
+        assert!(approx_eq(set.weighted_mean(|&s| s), 5.0, 1e-12));
+        assert!(approx_eq(set.weighted_variance(|&s| s), 25.0, 1e-12));
+    }
+}

@@ -1,0 +1,322 @@
+//! Gaussian mixture models (diagonal and full covariance).
+//!
+//! This is the *conventional* map representation of the paper's Section II:
+//! a point cloud fitted with a GMM whose density is evaluated per projected
+//! depth pixel on a digital datapath. The CIM co-design replaces it with
+//! the [`crate::hmg`] family.
+
+use crate::{GmmError, Result};
+use navicim_math::linalg::Matrix;
+use navicim_math::rng::{Rng64, SampleExt};
+use navicim_math::stats::{diag_mvn_logpdf, log_sum_exp, mvn_logpdf};
+
+/// Covariance parameterization of a [`Gmm`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Covariance {
+    /// Per-component per-axis variances (axis-aligned ellipsoids).
+    Diagonal(Vec<Vec<f64>>),
+    /// Per-component full covariance matrices.
+    Full(Vec<Matrix>),
+}
+
+/// A Gaussian mixture model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gmm {
+    weights: Vec<f64>,
+    means: Vec<Vec<f64>>,
+    covariance: Covariance,
+}
+
+impl Gmm {
+    /// Assembles a GMM from parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GmmError::InvalidArgument`] when the component counts or
+    /// dimensions disagree, or weights are not a probability vector.
+    pub fn new(weights: Vec<f64>, means: Vec<Vec<f64>>, covariance: Covariance) -> Result<Self> {
+        let k = weights.len();
+        if k == 0 || means.len() != k {
+            return Err(GmmError::InvalidArgument(
+                "weights and means must have the same non-zero length".into(),
+            ));
+        }
+        let dim = means[0].len();
+        if means.iter().any(|m| m.len() != dim) {
+            return Err(GmmError::InconsistentDimensions);
+        }
+        let wsum: f64 = weights.iter().sum();
+        if weights.iter().any(|&w| w < 0.0) || (wsum - 1.0).abs() > 1e-6 {
+            return Err(GmmError::InvalidArgument(
+                "weights must be non-negative and sum to 1".into(),
+            ));
+        }
+        match &covariance {
+            Covariance::Diagonal(vars) => {
+                if vars.len() != k || vars.iter().any(|v| v.len() != dim) {
+                    return Err(GmmError::InconsistentDimensions);
+                }
+                if vars.iter().flatten().any(|&v| v <= 0.0) {
+                    return Err(GmmError::InvalidArgument(
+                        "variances must be positive".into(),
+                    ));
+                }
+            }
+            Covariance::Full(covs) => {
+                if covs.len() != k || covs.iter().any(|c| c.rows() != dim || c.cols() != dim) {
+                    return Err(GmmError::InconsistentDimensions);
+                }
+            }
+        }
+        Ok(Self {
+            weights,
+            means,
+            covariance,
+        })
+    }
+
+    /// Number of mixture components.
+    pub fn num_components(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Data dimensionality.
+    pub fn dim(&self) -> usize {
+        self.means[0].len()
+    }
+
+    /// Mixture weights (sum to 1).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Component means.
+    pub fn means(&self) -> &[Vec<f64>] {
+        &self.means
+    }
+
+    /// Covariance parameterization.
+    pub fn covariance(&self) -> &Covariance {
+        &self.covariance
+    }
+
+    /// Per-component standard deviations for diagonal models.
+    ///
+    /// Returns `None` for full-covariance models.
+    pub fn diag_std_devs(&self) -> Option<Vec<Vec<f64>>> {
+        match &self.covariance {
+            Covariance::Diagonal(vars) => Some(
+                vars.iter()
+                    .map(|v| v.iter().map(|x| x.sqrt()).collect())
+                    .collect(),
+            ),
+            Covariance::Full(_) => None,
+        }
+    }
+
+    /// Log-density of the mixture at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the model dimension (programming
+    /// error at the call site).
+    pub fn log_pdf(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim(), "query dimension mismatch");
+        let mut terms = Vec::with_capacity(self.num_components());
+        for k in 0..self.num_components() {
+            let lw = self.weights[k].max(1e-300).ln();
+            let lp = match &self.covariance {
+                Covariance::Diagonal(vars) => {
+                    let sds: Vec<f64> = vars[k].iter().map(|v| v.sqrt()).collect();
+                    diag_mvn_logpdf(x, &self.means[k], &sds)
+                }
+                Covariance::Full(covs) => {
+                    mvn_logpdf(x, &self.means[k], &covs[k]).unwrap_or(f64::NEG_INFINITY)
+                }
+            };
+            terms.push(lw + lp);
+        }
+        log_sum_exp(&terms)
+    }
+
+    /// Density of the mixture at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the model dimension.
+    pub fn pdf(&self, x: &[f64]) -> f64 {
+        self.log_pdf(x).exp()
+    }
+
+    /// Draws one sample from the mixture.
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let k = rng.sample_weighted(&self.weights);
+        match &self.covariance {
+            Covariance::Diagonal(vars) => self.means[k]
+                .iter()
+                .zip(&vars[k])
+                .map(|(&m, &v)| rng.sample_normal(m, v.sqrt()))
+                .collect(),
+            Covariance::Full(covs) => {
+                let chol = covs[k]
+                    .cholesky()
+                    .expect("covariances validated at construction");
+                let z: Vec<f64> = (0..self.dim())
+                    .map(|_| rng.sample_standard_normal())
+                    .collect();
+                let l = chol.lower();
+                (0..self.dim())
+                    .map(|i| {
+                        self.means[k][i]
+                            + (0..=i).map(|j| l[(i, j)] * z[j]).sum::<f64>()
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Bayesian information criterion for this model on a data set
+    /// (lower is better).
+    pub fn bic(&self, points: &[Vec<f64>]) -> f64 {
+        let n = points.len().max(1) as f64;
+        let loglik: f64 = points.iter().map(|p| self.log_pdf(p)).sum();
+        let d = self.dim() as f64;
+        let k = self.num_components() as f64;
+        let params = match &self.covariance {
+            Covariance::Diagonal(_) => k * (2.0 * d) + (k - 1.0),
+            Covariance::Full(_) => k * (d + d * (d + 1.0) / 2.0) + (k - 1.0),
+        };
+        params * n.ln() - 2.0 * loglik
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navicim_math::approx_eq;
+    use navicim_math::rng::Pcg32;
+    use navicim_math::stats;
+
+    fn simple_diag() -> Gmm {
+        Gmm::new(
+            vec![0.4, 0.6],
+            vec![vec![0.0, 0.0], vec![4.0, 4.0]],
+            Covariance::Diagonal(vec![vec![1.0, 1.0], vec![0.25, 0.25]]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Gmm::new(vec![], vec![], Covariance::Diagonal(vec![])).is_err());
+        assert!(Gmm::new(
+            vec![0.5, 0.6],
+            vec![vec![0.0], vec![1.0]],
+            Covariance::Diagonal(vec![vec![1.0], vec![1.0]])
+        )
+        .is_err());
+        assert!(Gmm::new(
+            vec![1.0],
+            vec![vec![0.0]],
+            Covariance::Diagonal(vec![vec![-1.0]])
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn pdf_integrates_to_one_1d() {
+        let gmm = Gmm::new(
+            vec![0.3, 0.7],
+            vec![vec![-1.0], vec![2.0]],
+            Covariance::Diagonal(vec![vec![0.5], vec![1.5]]),
+        )
+        .unwrap();
+        // Trapezoid integration over a wide interval.
+        let mut integral = 0.0;
+        let (lo, hi, n) = (-10.0, 12.0, 4000);
+        let h = (hi - lo) / n as f64;
+        for i in 0..=n {
+            let x = lo + i as f64 * h;
+            let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+            integral += w * gmm.pdf(&[x]) * h;
+        }
+        assert!(approx_eq(integral, 1.0, 1e-4), "integral = {integral}");
+    }
+
+    #[test]
+    fn log_pdf_peaks_at_heavy_component() {
+        let gmm = simple_diag();
+        assert!(gmm.log_pdf(&[4.0, 4.0]) > gmm.log_pdf(&[0.0, 0.0]));
+        assert!(gmm.log_pdf(&[0.0, 0.0]) > gmm.log_pdf(&[10.0, -10.0]));
+    }
+
+    #[test]
+    fn full_covariance_matches_diagonal_when_diag() {
+        let diag = simple_diag();
+        let full = Gmm::new(
+            diag.weights().to_vec(),
+            diag.means().to_vec(),
+            Covariance::Full(vec![
+                Matrix::diag(&[1.0, 1.0]),
+                Matrix::diag(&[0.25, 0.25]),
+            ]),
+        )
+        .unwrap();
+        for p in [[0.0, 0.0], [1.0, 2.0], [4.0, 3.5]] {
+            assert!(approx_eq(diag.log_pdf(&p), full.log_pdf(&p), 1e-9));
+        }
+    }
+
+    #[test]
+    fn sampling_statistics() {
+        let gmm = simple_diag();
+        let mut rng = Pcg32::seed_from_u64(1);
+        let samples: Vec<Vec<f64>> = (0..20_000).map(|_| gmm.sample(&mut rng)).collect();
+        // Fraction near the second blob should approach its weight.
+        let near_second = samples.iter().filter(|s| s[0] > 2.0).count() as f64
+            / samples.len() as f64;
+        assert!((near_second - 0.6).abs() < 0.02, "{near_second}");
+        let xs: Vec<f64> = samples.iter().map(|s| s[0]).collect();
+        let expect_mean = 0.4 * 0.0 + 0.6 * 4.0;
+        assert!((stats::mean(&xs) - expect_mean).abs() < 0.05);
+    }
+
+    #[test]
+    fn full_covariance_sampling_respects_correlation() {
+        let cov = Matrix::from_rows(&[&[1.0, 0.8], &[0.8, 1.0]]).unwrap();
+        let gmm = Gmm::new(
+            vec![1.0],
+            vec![vec![0.0, 0.0]],
+            Covariance::Full(vec![cov]),
+        )
+        .unwrap();
+        let mut rng = Pcg32::seed_from_u64(2);
+        let samples: Vec<Vec<f64>> = (0..20_000).map(|_| gmm.sample(&mut rng)).collect();
+        let xs: Vec<f64> = samples.iter().map(|s| s[0]).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s[1]).collect();
+        let r = stats::pearson(&xs, &ys).unwrap();
+        assert!((r - 0.8).abs() < 0.03, "correlation = {r}");
+    }
+
+    #[test]
+    fn bic_prefers_true_component_count() {
+        // Data from 2 blobs: BIC(2) should beat BIC(1) built by merging.
+        let gmm2 = simple_diag();
+        let mut rng = Pcg32::seed_from_u64(3);
+        let data: Vec<Vec<f64>> = (0..500).map(|_| gmm2.sample(&mut rng)).collect();
+        let gmm1 = Gmm::new(
+            vec![1.0],
+            vec![vec![2.4, 2.4]],
+            Covariance::Diagonal(vec![vec![4.8, 4.8]]),
+        )
+        .unwrap();
+        assert!(gmm2.bic(&data) < gmm1.bic(&data));
+    }
+
+    #[test]
+    fn diag_std_devs_accessor() {
+        let gmm = simple_diag();
+        let sds = gmm.diag_std_devs().unwrap();
+        assert_eq!(sds[1], vec![0.5, 0.5]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Mixture-model map representations for CIM localization.
+//!
+//! The paper's Section II represents the drone's 3-D flying domain as a
+//! mixture model fitted to point-cloud data:
+//!
+//! - the *conventional* representation is a Gaussian mixture model
+//!   ([`gaussian::Gmm`], fitted with EM in [`fit`]),
+//! - the *co-designed* representation is a mixture of
+//!   Harmonic-Mean-of-Gaussian kernels ([`hmg::HmgmModel`]) — the function
+//!   family that floating-gate inverter arrays evaluate natively.
+//!
+//! [`kmeans`] provides the k-means++ initialization shared by both fitters.
+//!
+//! # Example
+//!
+//! ```
+//! use navicim_gmm::fit::{fit_diag_gmm, FitConfig};
+//! use navicim_math::rng::{Pcg32, SampleExt};
+//!
+//! // Two well-separated blobs.
+//! let mut rng = Pcg32::seed_from_u64(1);
+//! let mut points = Vec::new();
+//! for _ in 0..200 {
+//!     points.push(vec![rng.sample_normal(0.0, 0.1)]);
+//!     points.push(vec![rng.sample_normal(5.0, 0.1)]);
+//! }
+//! let gmm = fit_diag_gmm(&points, 2, &FitConfig::default(), &mut rng).unwrap();
+//! assert_eq!(gmm.num_components(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fit;
+pub mod gaussian;
+pub mod hmg;
+pub mod kmeans;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for mixture-model fitting and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GmmError {
+    /// Not enough data points for the requested component count.
+    TooFewPoints {
+        /// Number of points provided.
+        points: usize,
+        /// Number of components requested.
+        components: usize,
+    },
+    /// Data points have inconsistent dimensionality.
+    InconsistentDimensions,
+    /// An argument was outside its valid domain.
+    InvalidArgument(String),
+    /// EM failed to produce a usable model (e.g. all responsibilities
+    /// collapsed).
+    DegenerateFit(String),
+}
+
+impl fmt::Display for GmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GmmError::TooFewPoints { points, components } => write!(
+                f,
+                "too few points ({points}) for {components} mixture components"
+            ),
+            GmmError::InconsistentDimensions => {
+                write!(f, "data points have inconsistent dimensions")
+            }
+            GmmError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            GmmError::DegenerateFit(msg) => write!(f, "degenerate fit: {msg}"),
+        }
+    }
+}
+
+impl Error for GmmError {}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, GmmError>;
+
+/// Validates that all points share the same non-zero dimension, returning it.
+pub(crate) fn check_dims(points: &[Vec<f64>]) -> Result<usize> {
+    let dim = points
+        .first()
+        .ok_or(GmmError::TooFewPoints {
+            points: 0,
+            components: 1,
+        })?
+        .len();
+    if dim == 0 || points.iter().any(|p| p.len() != dim) {
+        return Err(GmmError::InconsistentDimensions);
+    }
+    Ok(dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages() {
+        let e = GmmError::TooFewPoints {
+            points: 3,
+            components: 5,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn check_dims_rules() {
+        assert_eq!(check_dims(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap(), 2);
+        assert!(check_dims(&[]).is_err());
+        assert!(check_dims(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(check_dims(&[vec![]]).is_err());
+    }
+}

@@ -1,0 +1,291 @@
+//! Fixed-point quantization used to model low-precision CIM datapaths.
+//!
+//! The paper evaluates its CIM macros at 4-, 6- and 8-bit precision. This
+//! module provides a symmetric uniform [`Quantizer`] (signed two's-complement
+//! codes), bit-plane decomposition for bit-serial CIM MACs, and saturating
+//! integer helpers.
+
+use crate::{MathError, Result};
+
+/// Symmetric uniform quantizer mapping `f64` values to signed integer codes
+/// of a configurable bit-width.
+///
+/// Codes span `[-(2^(bits-1) - 1), 2^(bits-1) - 1]`; the most negative code
+/// is unused so the grid is symmetric around zero (standard practice for
+/// weight quantization).
+///
+/// ```
+/// use navicim_math::quant::Quantizer;
+/// let q = Quantizer::new(4, 1.0).unwrap();
+/// assert_eq!(q.quantize(1.0), 7);
+/// assert_eq!(q.quantize(-1.0), -7);
+/// assert_eq!(q.quantize(0.0), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    bits: u32,
+    scale: f64,
+    max_code: i64,
+}
+
+impl Quantizer {
+    /// Creates a quantizer with the given bit-width covering `[-range, range]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] unless `2 <= bits <= 31` and
+    /// `range > 0`.
+    pub fn new(bits: u32, range: f64) -> Result<Self> {
+        if !(2..=31).contains(&bits) {
+            return Err(MathError::InvalidArgument(format!(
+                "quantizer bits must be in [2, 31], got {bits}"
+            )));
+        }
+        if !(range > 0.0 && range.is_finite()) {
+            return Err(MathError::InvalidArgument(format!(
+                "quantizer range must be positive and finite, got {range}"
+            )));
+        }
+        let max_code = (1i64 << (bits - 1)) - 1;
+        Ok(Self {
+            bits,
+            scale: range / max_code as f64,
+            max_code,
+        })
+    }
+
+    /// Creates a quantizer whose range covers the maximum absolute value of
+    /// `data` (falling back to 1.0 for all-zero data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] for an unsupported bit-width.
+    pub fn fit(bits: u32, data: &[f64]) -> Result<Self> {
+        let max_abs = data.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+        Self::new(bits, if max_abs > 0.0 { max_abs } else { 1.0 })
+    }
+
+    /// Bit-width of the codes.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Quantization step size (LSB) in input units.
+    pub fn step(&self) -> f64 {
+        self.scale
+    }
+
+    /// Largest representable code magnitude.
+    pub fn max_code(&self) -> i64 {
+        self.max_code
+    }
+
+    /// Quantizes one value to its integer code (round-to-nearest, saturate).
+    pub fn quantize(&self, x: f64) -> i64 {
+        let code = (x / self.scale).round() as i64;
+        code.clamp(-self.max_code, self.max_code)
+    }
+
+    /// Reconstructs the real value of a code.
+    pub fn dequantize(&self, code: i64) -> f64 {
+        code as f64 * self.scale
+    }
+
+    /// Quantize-dequantize round trip ("fake quantization").
+    pub fn fake_quantize(&self, x: f64) -> f64 {
+        self.dequantize(self.quantize(x))
+    }
+
+    /// Quantizes a slice into codes.
+    pub fn quantize_all(&self, xs: &[f64]) -> Vec<i64> {
+        xs.iter().map(|&x| self.quantize(x)).collect()
+    }
+
+    /// Applies fake quantization to a slice.
+    pub fn fake_quantize_all(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.fake_quantize(x)).collect()
+    }
+
+    /// Worst-case quantization error (half a step, before saturation).
+    pub fn max_round_error(&self) -> f64 {
+        self.scale * 0.5
+    }
+}
+
+/// Decomposes a non-negative code into `bits` binary planes, LSB first.
+///
+/// Bit-serial CIM macros stream input bits plane by plane; this is the
+/// software model of that decomposition.
+///
+/// # Panics
+///
+/// Panics if `code` is negative or does not fit in `bits` bits.
+pub fn to_bit_planes(code: u64, bits: u32) -> Vec<bool> {
+    assert!(
+        bits == 64 || code < (1u64 << bits),
+        "code {code} does not fit in {bits} bits"
+    );
+    (0..bits).map(|b| (code >> b) & 1 == 1).collect()
+}
+
+/// Recomposes a code from LSB-first bit planes.
+pub fn from_bit_planes(planes: &[bool]) -> u64 {
+    planes
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+}
+
+/// Splits a signed code into `(sign, magnitude)` for sign-magnitude CIM
+/// arrays.
+pub fn to_sign_magnitude(code: i64) -> (i64, u64) {
+    (code.signum(), code.unsigned_abs())
+}
+
+/// Saturating signed accumulation to a given accumulator bit-width, modeling
+/// limited-precision partial-sum registers.
+///
+/// # Panics
+///
+/// Panics if `acc_bits` is zero or greater than 63.
+pub fn saturating_acc(acc: i64, add: i64, acc_bits: u32) -> i64 {
+    assert!((1..=63).contains(&acc_bits), "acc_bits must be in [1, 63]");
+    let max = (1i64 << (acc_bits - 1)) - 1;
+    (acc.saturating_add(add)).clamp(-max, max)
+}
+
+/// Mean squared quantization error of a quantizer over a data set.
+pub fn quantization_mse(q: &Quantizer, data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter()
+        .map(|&x| {
+            let e = x - q.fake_quantize(x);
+            e * e
+        })
+        .sum::<f64>()
+        / data.len() as f64
+}
+
+/// Signal-to-quantization-noise ratio in dB over a data set.
+///
+/// Returns `f64::INFINITY` when the quantization error is exactly zero.
+pub fn sqnr_db(q: &Quantizer, data: &[f64]) -> f64 {
+    let signal: f64 = data.iter().map(|x| x * x).sum();
+    let noise: f64 = data
+        .iter()
+        .map(|&x| {
+            let e = x - q.fake_quantize(x);
+            e * e
+        })
+        .sum();
+    if noise == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (signal / noise).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Pcg32, SampleExt};
+
+    #[test]
+    fn quantizer_rejects_bad_args() {
+        assert!(Quantizer::new(1, 1.0).is_err());
+        assert!(Quantizer::new(32, 1.0).is_err());
+        assert!(Quantizer::new(8, 0.0).is_err());
+        assert!(Quantizer::new(8, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn four_bit_codes() {
+        let q = Quantizer::new(4, 1.0).unwrap();
+        assert_eq!(q.max_code(), 7);
+        assert_eq!(q.quantize(1.0), 7);
+        assert_eq!(q.quantize(-1.0), -7);
+        assert_eq!(q.quantize(2.0), 7); // saturation
+        assert_eq!(q.quantize(0.07), 0); // below half step (step = 1/7)
+        assert_eq!(q.quantize(0.08), 1);
+    }
+
+    #[test]
+    fn dequantize_roundtrip_on_grid() {
+        let q = Quantizer::new(6, 2.0).unwrap();
+        for code in -q.max_code()..=q.max_code() {
+            let x = q.dequantize(code);
+            assert_eq!(q.quantize(x), code);
+        }
+    }
+
+    #[test]
+    fn fit_covers_data() {
+        let data = [0.5, -3.0, 1.0];
+        let q = Quantizer::fit(8, &data).unwrap();
+        assert_eq!(q.quantize(-3.0), -q.max_code());
+        // In-range values stay unsaturated.
+        assert!(q.quantize(1.0).abs() < q.max_code());
+    }
+
+    #[test]
+    fn fit_all_zero_data() {
+        let q = Quantizer::fit(8, &[0.0, 0.0]).unwrap();
+        assert_eq!(q.quantize(0.0), 0);
+    }
+
+    #[test]
+    fn error_bounded_by_half_step() {
+        let q = Quantizer::new(5, 1.5).unwrap();
+        let mut rng = Pcg32::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.sample_uniform(-1.5, 1.5);
+            assert!((x - q.fake_quantize(x)).abs() <= q.max_round_error() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn bit_planes_roundtrip() {
+        for code in 0u64..64 {
+            let planes = to_bit_planes(code, 6);
+            assert_eq!(planes.len(), 6);
+            assert_eq!(from_bit_planes(&planes), code);
+        }
+    }
+
+    #[test]
+    fn sign_magnitude() {
+        assert_eq!(to_sign_magnitude(-5), (-1, 5));
+        assert_eq!(to_sign_magnitude(0), (0, 0));
+        assert_eq!(to_sign_magnitude(9), (1, 9));
+    }
+
+    #[test]
+    fn saturating_acc_clamps() {
+        let max = (1i64 << 7) - 1;
+        assert_eq!(saturating_acc(120, 100, 8), max);
+        assert_eq!(saturating_acc(-120, -100, 8), -max);
+        assert_eq!(saturating_acc(5, 3, 8), 8);
+    }
+
+    #[test]
+    fn sqnr_improves_with_bits() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let data: Vec<f64> = (0..2000).map(|_| rng.sample_uniform(-1.0, 1.0)).collect();
+        let q4 = Quantizer::new(4, 1.0).unwrap();
+        let q8 = Quantizer::new(8, 1.0).unwrap();
+        let s4 = sqnr_db(&q4, &data);
+        let s8 = sqnr_db(&q8, &data);
+        // ~6 dB per bit: expect roughly 24 dB improvement.
+        assert!(s8 - s4 > 18.0, "s4={s4}, s8={s8}");
+    }
+
+    #[test]
+    fn mse_decreases_with_bits() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 / 50.0) - 1.0).collect();
+        let q4 = Quantizer::new(4, 1.0).unwrap();
+        let q6 = Quantizer::new(6, 1.0).unwrap();
+        assert!(quantization_mse(&q6, &data) < quantization_mse(&q4, &data));
+    }
+}

@@ -1,0 +1,260 @@
+//! Fully connected layer with manual backpropagation.
+
+use crate::{NnError, Result};
+use navicim_math::rng::{Rng64, SampleExt};
+
+/// A dense (fully connected) layer: `y = W x + b`.
+///
+/// Weights are stored row-major (`out_dim × in_dim`). The layer caches its
+/// last input during training forward passes and accumulates gradients
+/// until [`Dense::zero_grad`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    w: Vec<f64>,
+    b: Vec<f64>,
+    grad_w: Vec<f64>,
+    grad_b: Vec<f64>,
+    input_cache: Vec<f64>,
+}
+
+impl Dense {
+    /// Creates a layer with Kaiming-uniform initialized weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidArgument`] for zero dimensions.
+    pub fn new<R: Rng64 + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Result<Self> {
+        if in_dim == 0 || out_dim == 0 {
+            return Err(NnError::InvalidArgument(
+                "dense dimensions must be positive".into(),
+            ));
+        }
+        let bound = (6.0 / in_dim as f64).sqrt();
+        let w = (0..in_dim * out_dim)
+            .map(|_| rng.sample_uniform(-bound, bound))
+            .collect();
+        Ok(Self {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+            grad_w: vec![0.0; in_dim * out_dim],
+            grad_b: vec![0.0; out_dim],
+            input_cache: Vec::new(),
+        })
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Row-major weights (`out_dim × in_dim`).
+    pub fn weights(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Biases.
+    pub fn biases(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// Forward pass; caches the input when `train` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input dimension.
+    pub fn forward(&mut self, x: &[f64], train: bool) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim, "dense input dimension mismatch");
+        if train {
+            self.input_cache = x.to_vec();
+        }
+        let mut y = self.b.clone();
+        for (o, yo) in y.iter_mut().enumerate() {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            *yo += row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>();
+        }
+        y
+    }
+
+    /// Backward pass: accumulates weight/bias gradients from the cached
+    /// input and returns the gradient with respect to the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass with `train = true` preceded this call or
+    /// the gradient dimension is wrong.
+    pub fn backward(&mut self, grad_out: &[f64]) -> Vec<f64> {
+        assert_eq!(grad_out.len(), self.out_dim, "dense gradient dimension mismatch");
+        assert_eq!(
+            self.input_cache.len(),
+            self.in_dim,
+            "backward requires a cached training forward pass"
+        );
+        let mut grad_in = vec![0.0; self.in_dim];
+        for (o, &g) in grad_out.iter().enumerate() {
+            self.grad_b[o] += g;
+            let row_start = o * self.in_dim;
+            for i in 0..self.in_dim {
+                self.grad_w[row_start + i] += g * self.input_cache[i];
+                grad_in[i] += g * self.w[row_start + i];
+            }
+        }
+        grad_in
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_w.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_b.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Visits `(parameter, gradient)` pairs in a stable order.
+    pub fn visit_params<F: FnMut(&mut f64, &mut f64)>(&mut self, mut f: F) {
+        for (w, g) in self.w.iter_mut().zip(self.grad_w.iter_mut()) {
+            f(w, g);
+        }
+        for (b, g) in self.b.iter_mut().zip(self.grad_b.iter_mut()) {
+            f(b, g);
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navicim_math::rng::Pcg32;
+
+    #[test]
+    fn forward_known_values() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let mut layer = Dense::new(2, 2, &mut rng).unwrap();
+        // Overwrite weights deterministically: W = [[1, 2], [3, 4]], b = [0.5, -0.5].
+        let mut idx = 0;
+        layer.visit_params(|p, _| {
+            *p = match idx {
+                0 => 1.0,
+                1 => 2.0,
+                2 => 3.0,
+                3 => 4.0,
+                4 => 0.5,
+                _ => -0.5,
+            };
+            idx += 1;
+        });
+        let y = layer.forward(&[1.0, 1.0], false);
+        assert_eq!(y, vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn gradient_check_finite_difference() {
+        // Compare backprop gradients against central differences on a
+        // scalar loss L = Σ y².
+        let mut rng = Pcg32::seed_from_u64(2);
+        let mut layer = Dense::new(3, 2, &mut rng).unwrap();
+        let x = [0.3, -0.7, 1.1];
+
+        // Analytic gradients.
+        let y = layer.forward(&x, true);
+        let grad_out: Vec<f64> = y.iter().map(|&v| 2.0 * v).collect();
+        let grad_in = layer.backward(&grad_out);
+
+        // Finite-difference wrt each parameter.
+        let eps = 1e-6;
+        let mut param_idx = 0;
+        let mut analytic = Vec::new();
+        layer.visit_params(|_, g| analytic.push(*g));
+        let n_params = analytic.len();
+        for k in 0..n_params {
+            let probe = |delta: f64, layer: &mut Dense| -> f64 {
+                let mut idx = 0;
+                layer.visit_params(|p, _| {
+                    if idx == k {
+                        *p += delta;
+                    }
+                    idx += 1;
+                });
+                let y = layer.forward(&x, false);
+                let loss: f64 = y.iter().map(|v| v * v).sum();
+                let mut idx2 = 0;
+                layer.visit_params(|p, _| {
+                    if idx2 == k {
+                        *p -= delta;
+                    }
+                    idx2 += 1;
+                });
+                loss
+            };
+            let num = (probe(eps, &mut layer) - probe(-eps, &mut layer)) / (2.0 * eps);
+            assert!(
+                (num - analytic[k]).abs() < 1e-6,
+                "param {k}: numeric {num} analytic {}",
+                analytic[k]
+            );
+            param_idx += 1;
+        }
+        assert_eq!(param_idx, n_params);
+
+        // Finite-difference wrt the input.
+        for i in 0..3 {
+            let mut xp = x;
+            xp[i] += eps;
+            let yp: f64 = layer.forward(&xp, false).iter().map(|v| v * v).sum();
+            let mut xm = x;
+            xm[i] -= eps;
+            let ym: f64 = layer.forward(&xm, false).iter().map(|v| v * v).sum();
+            let num = (yp - ym) / (2.0 * eps);
+            assert!(
+                (num - grad_in[i]).abs() < 1e-6,
+                "input {i}: numeric {num} analytic {}",
+                grad_in[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        let mut layer = Dense::new(2, 1, &mut rng).unwrap();
+        let x = [1.0, 2.0];
+        layer.forward(&x, true);
+        layer.backward(&[1.0]);
+        let mut first = Vec::new();
+        layer.visit_params(|_, g| first.push(*g));
+        layer.forward(&x, true);
+        layer.backward(&[1.0]);
+        let mut second = Vec::new();
+        layer.visit_params(|_, g| second.push(*g));
+        for (a, b) in first.iter().zip(&second) {
+            assert!((b - 2.0 * a).abs() < 1e-12);
+        }
+        layer.zero_grad();
+        layer.visit_params(|_, g| assert_eq!(*g, 0.0));
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        assert!(Dense::new(0, 2, &mut rng).is_err());
+        assert!(Dense::new(2, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let layer = Dense::new(10, 4, &mut rng).unwrap();
+        assert_eq!(layer.param_count(), 44);
+    }
+}

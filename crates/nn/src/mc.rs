@@ -1,0 +1,160 @@
+//! MC-Dropout inference: predictive mean and variance from repeated
+//! stochastic forward passes (Gal & Ghahramani 2016; paper Section III-C).
+
+use crate::mlp::Mlp;
+use crate::{Mode, NnError, Result};
+use navicim_math::rng::Rng64;
+
+/// The outcome of an MC-Dropout prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McPrediction {
+    /// Predictive mean per output.
+    pub mean: Vec<f64>,
+    /// Predictive variance per output (the paper's uncertainty signal).
+    pub variance: Vec<f64>,
+    /// All raw samples (`iterations × out_dim`).
+    pub samples: Vec<Vec<f64>>,
+}
+
+impl McPrediction {
+    /// Total predictive uncertainty: the summed per-output variance.
+    pub fn total_variance(&self) -> f64 {
+        self.variance.iter().sum()
+    }
+
+    /// Per-output standard deviations.
+    pub fn std_devs(&self) -> Vec<f64> {
+        self.variance.iter().map(|v| v.sqrt()).collect()
+    }
+}
+
+/// MC-Dropout inference engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McDropout {
+    iterations: usize,
+}
+
+impl McDropout {
+    /// Creates an engine drawing the given number of stochastic samples
+    /// (the paper uses 30).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidArgument`] for fewer than 2 iterations.
+    pub fn new(iterations: usize) -> Result<Self> {
+        if iterations < 2 {
+            return Err(NnError::InvalidArgument(
+                "mc-dropout requires at least 2 iterations".into(),
+            ));
+        }
+        Ok(Self { iterations })
+    }
+
+    /// Number of samples per prediction.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Runs the Monte-Carlo prediction.
+    pub fn predict<R: Rng64>(&self, net: &mut Mlp, input: &[f64], rng: &mut R) -> McPrediction {
+        let samples: Vec<Vec<f64>> = (0..self.iterations)
+            .map(|_| net.forward(input, Mode::McSample, rng))
+            .collect();
+        let out_dim = samples[0].len();
+        let n = samples.len() as f64;
+        let mut mean = vec![0.0; out_dim];
+        for s in &samples {
+            for (m, &v) in mean.iter_mut().zip(s) {
+                *m += v / n;
+            }
+        }
+        let mut variance = vec![0.0; out_dim];
+        for s in &samples {
+            for ((var, &v), &m) in variance.iter_mut().zip(s).zip(&mean) {
+                *var += (v - m) * (v - m) / (n - 1.0);
+            }
+        }
+        McPrediction {
+            mean,
+            variance,
+            samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navicim_math::rng::Pcg32;
+
+    fn dropout_net(seed: u64) -> Mlp {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        Mlp::builder(2)
+            .dense(16)
+            .relu()
+            .dropout(0.5)
+            .dense(8)
+            .relu()
+            .dropout(0.5)
+            .dense(1)
+            .build(&mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(McDropout::new(1).is_err());
+        assert!(McDropout::new(2).is_ok());
+    }
+
+    #[test]
+    fn prediction_shapes() {
+        let mut net = dropout_net(1);
+        let mc = McDropout::new(20).unwrap();
+        let mut rng = Pcg32::seed_from_u64(2);
+        let pred = mc.predict(&mut net, &[0.5, -0.5], &mut rng);
+        assert_eq!(pred.mean.len(), 1);
+        assert_eq!(pred.variance.len(), 1);
+        assert_eq!(pred.samples.len(), 20);
+        assert!(pred.variance[0] >= 0.0);
+        assert_eq!(pred.std_devs().len(), 1);
+    }
+
+    #[test]
+    fn dropout_produces_nonzero_variance() {
+        let mut net = dropout_net(3);
+        let mc = McDropout::new(30).unwrap();
+        let mut rng = Pcg32::seed_from_u64(4);
+        let pred = mc.predict(&mut net, &[1.0, 1.0], &mut rng);
+        assert!(pred.total_variance() > 0.0);
+    }
+
+    #[test]
+    fn no_dropout_means_zero_variance() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let mut net = Mlp::builder(2).dense(4).tanh().dense(1).build(&mut rng).unwrap();
+        let mc = McDropout::new(10).unwrap();
+        let pred = mc.predict(&mut net, &[0.3, 0.7], &mut rng);
+        assert_eq!(pred.total_variance(), 0.0);
+    }
+
+    #[test]
+    fn mean_converges_with_more_samples() {
+        // The spread of the MC mean estimate shrinks as iterations grow.
+        let mut net = dropout_net(6);
+        let mut rng = Pcg32::seed_from_u64(7);
+        let estimate_spread = |iters: usize, net: &mut Mlp, rng: &mut Pcg32| {
+            let mc = McDropout::new(iters).unwrap();
+            let means: Vec<f64> = (0..20)
+                .map(|_| mc.predict(net, &[0.5, 0.5], rng).mean[0])
+                .collect();
+            navicim_math::stats::std_dev(&means)
+        };
+        let spread_small = estimate_spread(5, &mut net, &mut rng);
+        let spread_large = estimate_spread(100, &mut net, &mut rng);
+        assert!(
+            spread_large < spread_small * 0.6,
+            "{spread_small} -> {spread_large}"
+        );
+    }
+}

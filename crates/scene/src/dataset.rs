@@ -1,0 +1,462 @@
+//! Bundled synthetic datasets for the two experiment pipelines.
+//!
+//! - [`LocalizationDataset`]: a scene, its surface point cloud (the "map
+//!   scan"), and a trajectory of noisy depth frames with ground-truth
+//!   poses — the Section II workload.
+//! - [`VoDataset`]: consecutive-frame feature/target pairs for training and
+//!   evaluating the visual-odometry regressor — the Section III workload.
+
+use crate::camera::{DepthCamera, DepthImage};
+use crate::noise::DepthNoise;
+use crate::scene::{tabletop_scene, Scene, TabletopParams};
+use crate::trajectory::{orbit, random_waypoints};
+use crate::{Result, SceneError};
+use navicim_math::geom::{Pose, Vec3};
+use navicim_math::rng::Pcg32;
+
+/// One observation: ground-truth pose plus the (noisy) depth image
+/// captured there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Ground-truth camera pose (body-to-world).
+    pub pose: Pose,
+    /// Captured depth image.
+    pub depth: DepthImage,
+}
+
+/// Configuration for [`LocalizationDataset::generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalizationConfig {
+    /// Scene generator parameters.
+    pub tabletop: TabletopParams,
+    /// Depth image width.
+    pub image_width: usize,
+    /// Depth image height.
+    pub image_height: usize,
+    /// Number of map point-cloud samples.
+    pub map_points: usize,
+    /// Number of trajectory frames.
+    pub frames: usize,
+    /// Orbit radius for the capture trajectory.
+    pub orbit_radius: f64,
+    /// Orbit height above the scene centre.
+    pub orbit_height: f64,
+    /// Sensor noise model.
+    pub noise: DepthNoise,
+}
+
+impl Default for LocalizationConfig {
+    fn default() -> Self {
+        Self {
+            tabletop: TabletopParams::default(),
+            image_width: 48,
+            image_height: 36,
+            map_points: 3000,
+            frames: 40,
+            orbit_radius: 1.8,
+            orbit_height: 0.6,
+            noise: DepthNoise::kinect_like(),
+        }
+    }
+}
+
+/// The Section II workload: scene, map cloud and a captured trajectory.
+#[derive(Debug, Clone)]
+pub struct LocalizationDataset {
+    /// The underlying scene.
+    pub scene: Scene,
+    /// Surface point cloud used to fit map mixture models.
+    pub map_points: Vec<Vec3>,
+    /// Captured frames along the trajectory.
+    pub frames: Vec<Frame>,
+    /// The camera that captured the frames.
+    pub camera: DepthCamera,
+}
+
+impl LocalizationDataset {
+    /// Generates a dataset deterministically from a seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scene/trajectory/rendering errors.
+    pub fn generate(config: &LocalizationConfig, seed: u64) -> Result<Self> {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let scene = tabletop_scene(&config.tabletop, &mut rng)?;
+        let map_points = scene.sample_surface_points(config.map_points, &mut rng)?;
+        let camera = DepthCamera::kinect_like(config.image_width, config.image_height);
+        let gaze = Vec3::new(0.0, 0.0, config.tabletop.table_height);
+        let poses = orbit(
+            gaze,
+            config.orbit_radius,
+            config.orbit_height,
+            1.0,
+            config.frames,
+        )?;
+        let mut frames = Vec::with_capacity(poses.len());
+        for pose in poses {
+            let mut depth = camera.render(&scene, pose)?;
+            config.noise.apply(&mut depth, &mut rng);
+            frames.push(Frame { pose, depth });
+        }
+        Ok(Self {
+            scene,
+            map_points,
+            frames,
+        camera,
+        })
+    }
+
+    /// Map point cloud as `Vec<f64>` rows (for the mixture fitters).
+    pub fn map_points_as_rows(&self) -> Vec<Vec<f64>> {
+        self.map_points
+            .iter()
+            .map(|p| vec![p.x, p.y, p.z])
+            .collect()
+    }
+}
+
+/// One supervised VO sample: features from a frame pair, 6-DoF delta
+/// target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoSample {
+    /// Concatenated grid features: previous frame, current frame and
+    /// their difference (the motion cue).
+    pub features: Vec<f64>,
+    /// Relative pose `[dx, dy, dz, droll, dpitch, dyaw]` in the previous
+    /// body frame.
+    pub target: [f64; 6],
+}
+
+/// Trajectory family for VO capture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VoTrajectory {
+    /// Constant-rate orbit (smooth, nearly constant frame deltas).
+    Orbit,
+    /// Smooth random-waypoint flight (varied frame deltas) through a box
+    /// around the scene; the parameter is the number of waypoints.
+    Waypoints(usize),
+}
+
+/// Configuration for [`VoDataset::generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoConfig {
+    /// Scene generator parameters.
+    pub tabletop: TabletopParams,
+    /// Depth image width.
+    pub image_width: usize,
+    /// Depth image height.
+    pub image_height: usize,
+    /// Feature grid width.
+    pub grid_width: usize,
+    /// Feature grid height.
+    pub grid_height: usize,
+    /// Number of trajectory frames.
+    pub frames: usize,
+    /// Orbit radius.
+    pub orbit_radius: f64,
+    /// Orbit height.
+    pub orbit_height: f64,
+    /// Number of orbit turns across the trajectory.
+    pub turns: f64,
+    /// Trajectory family.
+    pub trajectory: VoTrajectory,
+    /// Sensor noise model.
+    pub noise: DepthNoise,
+}
+
+impl Default for VoConfig {
+    fn default() -> Self {
+        Self {
+            tabletop: TabletopParams::default(),
+            image_width: 48,
+            image_height: 36,
+            grid_width: 8,
+            grid_height: 6,
+            frames: 120,
+            orbit_radius: 1.8,
+            orbit_height: 0.6,
+            turns: 1.0,
+            trajectory: VoTrajectory::Waypoints(8),
+            noise: DepthNoise::kinect_like(),
+        }
+    }
+}
+
+/// The Section III workload: frames plus supervised frame-pair samples.
+#[derive(Debug, Clone)]
+pub struct VoDataset {
+    /// Captured frames (ground truth included).
+    pub frames: Vec<Frame>,
+    /// Per-consecutive-pair supervised samples (`frames.len() - 1`).
+    pub samples: Vec<VoSample>,
+    /// Feature grid dimensions `(width, height)`.
+    pub grid: (usize, usize),
+    /// The capturing camera.
+    pub camera: DepthCamera,
+}
+
+impl VoDataset {
+    /// Generates a dataset deterministically from a seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scene/trajectory/rendering errors and rejects fewer than
+    /// two frames.
+    pub fn generate(config: &VoConfig, seed: u64) -> Result<Self> {
+        if config.frames < 2 {
+            return Err(SceneError::InvalidArgument(
+                "vo dataset requires at least 2 frames".into(),
+            ));
+        }
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let scene = tabletop_scene(&config.tabletop, &mut rng)?;
+        let camera = DepthCamera::kinect_like(config.image_width, config.image_height);
+        let gaze = Vec3::new(0.0, 0.0, config.tabletop.table_height);
+        let poses = match config.trajectory {
+            VoTrajectory::Orbit => orbit(
+                gaze,
+                config.orbit_radius,
+                config.orbit_height,
+                config.turns,
+                config.frames,
+            )?,
+            VoTrajectory::Waypoints(n) => {
+                let r = config.orbit_radius;
+                let lo = Vec3::new(-r, -r, config.orbit_height * 0.6 + gaze.z);
+                let hi = Vec3::new(r, r, config.orbit_height * 1.4 + gaze.z);
+                // Keep roughly the requested frame count.
+                let per_segment = (config.frames / n.max(2).saturating_sub(1)).max(1);
+                let mut poses = random_waypoints(lo, hi, n.max(2), per_segment, gaze, &mut rng)?;
+                poses.truncate(config.frames.max(2));
+                poses
+            }
+        };
+        let mut frames = Vec::with_capacity(poses.len());
+        for pose in poses {
+            let mut depth = camera.render(&scene, pose)?;
+            config.noise.apply(&mut depth, &mut rng);
+            frames.push(Frame { pose, depth });
+        }
+        let samples = make_samples(&frames, &camera, config.grid_width, config.grid_height);
+        Ok(Self {
+            frames,
+            samples,
+            grid: (config.grid_width, config.grid_height),
+            camera,
+        })
+    }
+
+    /// Feature dimensionality of each sample.
+    pub fn feature_dim(&self) -> usize {
+        3 * self.grid.0 * self.grid.1
+    }
+
+    /// Splits the samples into `(train, test)` at the given fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < train_frac < 1`.
+    pub fn split(&self, train_frac: f64) -> (Vec<VoSample>, Vec<VoSample>) {
+        assert!(
+            train_frac > 0.0 && train_frac < 1.0,
+            "train fraction must be in (0, 1)"
+        );
+        let n_train = ((self.samples.len() as f64) * train_frac).round() as usize;
+        let n_train = n_train.clamp(1, self.samples.len().saturating_sub(1));
+        (
+            self.samples[..n_train].to_vec(),
+            self.samples[n_train..].to_vec(),
+        )
+    }
+}
+
+/// Builds the grid-feature/relative-pose samples for consecutive frames.
+pub fn make_samples(
+    frames: &[Frame],
+    camera: &DepthCamera,
+    grid_w: usize,
+    grid_h: usize,
+) -> Vec<VoSample> {
+    let normalize = |g: Vec<f64>| -> Vec<f64> {
+        g.into_iter().map(|d| d / camera.max_range).collect()
+    };
+    frames
+        .windows(2)
+        .map(|w| {
+            let prev_grid = normalize(w[0].depth.grid_means(grid_w, grid_h));
+            let curr_grid = normalize(w[1].depth.grid_means(grid_w, grid_h));
+            let diff: Vec<f64> = curr_grid
+                .iter()
+                .zip(&prev_grid)
+                .map(|(c, p)| c - p)
+                .collect();
+            let mut features = prev_grid;
+            features.extend(curr_grid);
+            features.extend(diff);
+            let delta = w[0].pose.delta_to(w[1].pose);
+            let (roll, pitch, yaw) = delta.rotation.to_euler();
+            VoSample {
+                features,
+                target: [
+                    delta.translation.x,
+                    delta.translation.y,
+                    delta.translation.z,
+                    roll,
+                    pitch,
+                    yaw,
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Integrates predicted 6-DoF deltas from `start`, returning the absolute
+/// trajectory (length `deltas.len() + 1`).
+pub fn integrate_deltas(start: Pose, deltas: &[[f64; 6]]) -> Vec<Pose> {
+    let mut poses = Vec::with_capacity(deltas.len() + 1);
+    poses.push(start);
+    let mut current = start;
+    for d in deltas {
+        let delta = Pose::from_position_euler(Vec3::new(d[0], d[1], d[2]), d[3], d[4], d[5]);
+        current = current.compose(delta);
+        poses.push(current);
+    }
+    poses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navicim_math::metrics::trajectory_error;
+
+    fn small_loc_config() -> LocalizationConfig {
+        LocalizationConfig {
+            image_width: 24,
+            image_height: 18,
+            map_points: 500,
+            frames: 8,
+            ..LocalizationConfig::default()
+        }
+    }
+
+    fn small_vo_config() -> VoConfig {
+        VoConfig {
+            image_width: 24,
+            image_height: 18,
+            grid_width: 4,
+            grid_height: 3,
+            frames: 10,
+            turns: 0.2,
+            trajectory: VoTrajectory::Orbit,
+            ..VoConfig::default()
+        }
+    }
+
+    #[test]
+    fn localization_dataset_shapes() {
+        let ds = LocalizationDataset::generate(&small_loc_config(), 1).unwrap();
+        assert_eq!(ds.map_points.len(), 500);
+        assert_eq!(ds.frames.len(), 8);
+        // Frames see the scene.
+        for f in &ds.frames {
+            assert!(f.depth.valid_count() > 20, "frame sees too little");
+        }
+        assert_eq!(ds.map_points_as_rows()[0].len(), 3);
+    }
+
+    #[test]
+    fn localization_dataset_deterministic() {
+        let a = LocalizationDataset::generate(&small_loc_config(), 42).unwrap();
+        let b = LocalizationDataset::generate(&small_loc_config(), 42).unwrap();
+        assert_eq!(a.map_points, b.map_points);
+        assert_eq!(a.frames[3], b.frames[3]);
+        let c = LocalizationDataset::generate(&small_loc_config(), 43).unwrap();
+        assert_ne!(a.map_points, c.map_points);
+    }
+
+    #[test]
+    fn vo_dataset_shapes() {
+        let ds = VoDataset::generate(&small_vo_config(), 2).unwrap();
+        assert_eq!(ds.frames.len(), 10);
+        assert_eq!(ds.samples.len(), 9);
+        assert_eq!(ds.feature_dim(), 36);
+        for s in &ds.samples {
+            assert_eq!(s.features.len(), 36);
+            // Normalized features stay in [-1, ~1] (differences can dip
+            // below zero).
+            assert!(s.features.iter().all(|&f| (-1.5..=1.5).contains(&f)));
+        }
+    }
+
+    #[test]
+    fn vo_targets_integrate_back_to_ground_truth() {
+        let ds = VoDataset::generate(
+            &VoConfig {
+                noise: DepthNoise::none(),
+                ..small_vo_config()
+            },
+            3,
+        )
+        .unwrap();
+        let deltas: Vec<[f64; 6]> = ds.samples.iter().map(|s| s.target).collect();
+        let recon = integrate_deltas(ds.frames[0].pose, &deltas);
+        let truth: Vec<Pose> = ds.frames.iter().map(|f| f.pose).collect();
+        let err = trajectory_error(&recon, &truth);
+        assert!(err.ate_rmse < 1e-9, "integration drift {}", err.ate_rmse);
+    }
+
+    #[test]
+    fn split_fractions() {
+        let ds = VoDataset::generate(&small_vo_config(), 4).unwrap();
+        let (train, test) = ds.split(0.7);
+        assert_eq!(train.len() + test.len(), ds.samples.len());
+        assert!(!train.is_empty() && !test.is_empty());
+    }
+
+    #[test]
+    fn too_few_frames_rejected() {
+        let bad = VoConfig {
+            frames: 1,
+            ..small_vo_config()
+        };
+        assert!(VoDataset::generate(&bad, 5).is_err());
+    }
+
+    #[test]
+    fn waypoint_trajectory_varies_deltas() {
+        let config = VoConfig {
+            trajectory: VoTrajectory::Waypoints(5),
+            frames: 40,
+            ..small_vo_config()
+        };
+        let ds = VoDataset::generate(&config, 11).unwrap();
+        assert!(ds.frames.len() >= 2);
+        // Frame deltas are NOT constant (unlike a steady orbit).
+        let mags: Vec<f64> = ds
+            .samples
+            .iter()
+            .map(|s| (s.target[0].powi(2) + s.target[1].powi(2) + s.target[2].powi(2)).sqrt())
+            .collect();
+        let spread = navicim_math::stats::std_dev(&mags);
+        assert!(spread > 1e-4, "delta spread {spread}");
+        // Integration still reproduces ground truth exactly.
+        let noiseless = VoConfig {
+            noise: DepthNoise::none(),
+            ..config
+        };
+        let ds = VoDataset::generate(&noiseless, 12).unwrap();
+        let deltas: Vec<[f64; 6]> = ds.samples.iter().map(|s| s.target).collect();
+        let recon = integrate_deltas(ds.frames[0].pose, &deltas);
+        let truth: Vec<Pose> = ds.frames.iter().map(|f| f.pose).collect();
+        assert!(trajectory_error(&recon, &truth).ate_rmse < 1e-9);
+    }
+
+    #[test]
+    fn deltas_are_small_between_consecutive_frames() {
+        let ds = VoDataset::generate(&small_vo_config(), 6).unwrap();
+        for s in &ds.samples {
+            let t = (s.target[0].powi(2) + s.target[1].powi(2) + s.target[2].powi(2)).sqrt();
+            assert!(t < 0.5, "translation step {t}");
+        }
+    }
+}

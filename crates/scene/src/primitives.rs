@@ -1,0 +1,339 @@
+//! Analytic shape primitives with ray intersection and surface sampling.
+
+use navicim_math::geom::{Aabb, Ray, Vec3};
+use navicim_math::rng::{Rng64, SampleExt};
+
+/// A solid shape in the scene.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Shape {
+    /// Axis-aligned cuboid.
+    Cuboid(Aabb),
+    /// Sphere.
+    Sphere {
+        /// Centre.
+        center: Vec3,
+        /// Radius.
+        radius: f64,
+    },
+    /// Vertical (Z-axis-aligned) cylinder.
+    Cylinder {
+        /// Centre of the bottom cap.
+        base: Vec3,
+        /// Radius.
+        radius: f64,
+        /// Height along +Z.
+        height: f64,
+    },
+}
+
+impl Shape {
+    /// First intersection distance of `ray` with the shape, if any.
+    ///
+    /// Distances at or below `1e-9` are rejected so rays starting on a
+    /// surface do not self-intersect.
+    pub fn intersect(&self, ray: Ray) -> Option<f64> {
+        match *self {
+            Shape::Cuboid(aabb) => aabb.intersect_ray(ray).filter(|&t| t > 1e-9),
+            Shape::Sphere { center, radius } => {
+                let oc = ray.origin - center;
+                let b = oc.dot(ray.dir);
+                let c = oc.norm_sq() - radius * radius;
+                let disc = b * b - c;
+                if disc < 0.0 {
+                    return None;
+                }
+                let sqrt_d = disc.sqrt();
+                let t1 = -b - sqrt_d;
+                let t2 = -b + sqrt_d;
+                if t1 > 1e-9 {
+                    Some(t1)
+                } else if t2 > 1e-9 {
+                    Some(t2)
+                } else {
+                    None
+                }
+            }
+            Shape::Cylinder {
+                base,
+                radius,
+                height,
+            } => intersect_cylinder(ray, base, radius, height),
+        }
+    }
+
+    /// Draws a point uniformly distributed on the shape's surface.
+    pub fn sample_surface<R: Rng64 + ?Sized>(&self, rng: &mut R) -> Vec3 {
+        match *self {
+            Shape::Cuboid(aabb) => sample_cuboid_surface(aabb, rng),
+            Shape::Sphere { center, radius } => {
+                // Uniform direction via normalized Gaussian triple.
+                let v = Vec3::new(
+                    rng.sample_standard_normal(),
+                    rng.sample_standard_normal(),
+                    rng.sample_standard_normal(),
+                );
+                let v = if v.norm() < 1e-12 { Vec3::Z } else { v.normalized() };
+                center + v * radius
+            }
+            Shape::Cylinder {
+                base,
+                radius,
+                height,
+            } => sample_cylinder_surface(base, radius, height, rng),
+        }
+    }
+
+    /// Total surface area.
+    pub fn surface_area(&self) -> f64 {
+        match *self {
+            Shape::Cuboid(aabb) => {
+                let s = aabb.size();
+                2.0 * (s.x * s.y + s.y * s.z + s.x * s.z)
+            }
+            Shape::Sphere { radius, .. } => 4.0 * std::f64::consts::PI * radius * radius,
+            Shape::Cylinder { radius, height, .. } => {
+                2.0 * std::f64::consts::PI * radius * (radius + height)
+            }
+        }
+    }
+
+    /// Axis-aligned bounding box of the shape.
+    pub fn bounding_box(&self) -> Aabb {
+        match *self {
+            Shape::Cuboid(aabb) => aabb,
+            Shape::Sphere { center, radius } => {
+                Aabb::new(center - Vec3::splat(radius), center + Vec3::splat(radius))
+            }
+            Shape::Cylinder {
+                base,
+                radius,
+                height,
+            } => Aabb::new(
+                base - Vec3::new(radius, radius, 0.0),
+                base + Vec3::new(radius, radius, height),
+            ),
+        }
+    }
+}
+
+fn intersect_cylinder(ray: Ray, base: Vec3, radius: f64, height: f64) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    let mut consider = |t: f64| {
+        if t > 1e-9 && best.map(|b| t < b).unwrap_or(true) {
+            best = Some(t);
+        }
+    };
+    // Lateral surface: project to XY.
+    let ox = ray.origin.x - base.x;
+    let oy = ray.origin.y - base.y;
+    let (dx, dy) = (ray.dir.x, ray.dir.y);
+    let a = dx * dx + dy * dy;
+    if a > 1e-18 {
+        let b = ox * dx + oy * dy;
+        let c = ox * ox + oy * oy - radius * radius;
+        let disc = b * b - a * c;
+        if disc >= 0.0 {
+            let sqrt_d = disc.sqrt();
+            for t in [(-b - sqrt_d) / a, (-b + sqrt_d) / a] {
+                let z = ray.origin.z + t * ray.dir.z;
+                if z >= base.z && z <= base.z + height {
+                    consider(t);
+                }
+            }
+        }
+    }
+    // Caps.
+    if ray.dir.z.abs() > 1e-12 {
+        for cap_z in [base.z, base.z + height] {
+            let t = (cap_z - ray.origin.z) / ray.dir.z;
+            let x = ray.origin.x + t * ray.dir.x - base.x;
+            let y = ray.origin.y + t * ray.dir.y - base.y;
+            if x * x + y * y <= radius * radius {
+                consider(t);
+            }
+        }
+    }
+    best
+}
+
+fn sample_cuboid_surface<R: Rng64 + ?Sized>(aabb: Aabb, rng: &mut R) -> Vec3 {
+    let s = aabb.size();
+    let areas = [
+        s.y * s.z, // x faces (each)
+        s.y * s.z,
+        s.x * s.z, // y faces
+        s.x * s.z,
+        s.x * s.y, // z faces
+        s.x * s.y,
+    ];
+    let face = rng.sample_weighted(&areas);
+    let u = rng.next_f64();
+    let v = rng.next_f64();
+    match face {
+        0 => Vec3::new(aabb.min.x, aabb.min.y + u * s.y, aabb.min.z + v * s.z),
+        1 => Vec3::new(aabb.max.x, aabb.min.y + u * s.y, aabb.min.z + v * s.z),
+        2 => Vec3::new(aabb.min.x + u * s.x, aabb.min.y, aabb.min.z + v * s.z),
+        3 => Vec3::new(aabb.min.x + u * s.x, aabb.max.y, aabb.min.z + v * s.z),
+        4 => Vec3::new(aabb.min.x + u * s.x, aabb.min.y + v * s.y, aabb.min.z),
+        _ => Vec3::new(aabb.min.x + u * s.x, aabb.min.y + v * s.y, aabb.max.z),
+    }
+}
+
+fn sample_cylinder_surface<R: Rng64 + ?Sized>(
+    base: Vec3,
+    radius: f64,
+    height: f64,
+    rng: &mut R,
+) -> Vec3 {
+    let lateral = 2.0 * std::f64::consts::PI * radius * height;
+    let cap = std::f64::consts::PI * radius * radius;
+    let which = rng.sample_weighted(&[lateral, cap, cap]);
+    let theta = rng.sample_uniform(0.0, 2.0 * std::f64::consts::PI);
+    match which {
+        0 => Vec3::new(
+            base.x + radius * theta.cos(),
+            base.y + radius * theta.sin(),
+            base.z + rng.next_f64() * height,
+        ),
+        w => {
+            let r = radius * rng.next_f64().sqrt();
+            let z = if w == 1 { base.z } else { base.z + height };
+            Vec3::new(base.x + r * theta.cos(), base.y + r * theta.sin(), z)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navicim_math::rng::Pcg32;
+
+    #[test]
+    fn sphere_intersection_head_on() {
+        let s = Shape::Sphere {
+            center: Vec3::new(0.0, 0.0, 5.0),
+            radius: 1.0,
+        };
+        let r = Ray::new(Vec3::ZERO, Vec3::Z);
+        let t = s.intersect(r).unwrap();
+        assert!((t - 4.0).abs() < 1e-12);
+        // From inside: exits through the far wall.
+        let r_in = Ray::new(Vec3::new(0.0, 0.0, 5.0), Vec3::Z);
+        assert!((s.intersect(r_in).unwrap() - 1.0).abs() < 1e-12);
+        // Miss.
+        let r_miss = Ray::new(Vec3::new(3.0, 0.0, 0.0), Vec3::Z);
+        assert!(s.intersect(r_miss).is_none());
+    }
+
+    #[test]
+    fn cuboid_intersection() {
+        let c = Shape::Cuboid(Aabb::new(Vec3::new(-1.0, -1.0, 2.0), Vec3::new(1.0, 1.0, 4.0)));
+        let t = c.intersect(Ray::new(Vec3::ZERO, Vec3::Z)).unwrap();
+        assert!((t - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cylinder_lateral_and_cap() {
+        let cyl = Shape::Cylinder {
+            base: Vec3::new(0.0, 0.0, 0.0),
+            radius: 1.0,
+            height: 2.0,
+        };
+        // Horizontal ray hits the lateral wall.
+        let t = cyl
+            .intersect(Ray::new(Vec3::new(-5.0, 0.0, 1.0), Vec3::X))
+            .unwrap();
+        assert!((t - 4.0).abs() < 1e-12);
+        // Vertical ray from above hits the top cap.
+        let t = cyl
+            .intersect(Ray::new(Vec3::new(0.3, 0.2, 5.0), -Vec3::Z))
+            .unwrap();
+        assert!((t - 3.0).abs() < 1e-12);
+        // Ray above the cylinder, horizontal: miss.
+        assert!(cyl
+            .intersect(Ray::new(Vec3::new(-5.0, 0.0, 3.0), Vec3::X))
+            .is_none());
+    }
+
+    #[test]
+    fn surface_samples_lie_on_surface() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let sphere = Shape::Sphere {
+            center: Vec3::new(1.0, 2.0, 3.0),
+            radius: 0.7,
+        };
+        for _ in 0..200 {
+            let p = sphere.sample_surface(&mut rng);
+            assert!((p.distance(Vec3::new(1.0, 2.0, 3.0)) - 0.7).abs() < 1e-9);
+        }
+        let aabb = Aabb::new(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0));
+        let cuboid = Shape::Cuboid(aabb);
+        for _ in 0..200 {
+            let p = cuboid.sample_surface(&mut rng);
+            assert!(aabb.contains(p));
+            let on_face = p.x.abs() < 1e-12
+                || (p.x - 1.0).abs() < 1e-12
+                || p.y.abs() < 1e-12
+                || (p.y - 2.0).abs() < 1e-12
+                || p.z.abs() < 1e-12
+                || (p.z - 3.0).abs() < 1e-12;
+            assert!(on_face, "{p:?} not on a face");
+        }
+        let cyl = Shape::Cylinder {
+            base: Vec3::ZERO,
+            radius: 1.0,
+            height: 2.0,
+        };
+        for _ in 0..200 {
+            let p = cyl.sample_surface(&mut rng);
+            let r = (p.x * p.x + p.y * p.y).sqrt();
+            let on_lateral = (r - 1.0).abs() < 1e-9 && p.z >= 0.0 && p.z <= 2.0;
+            let on_cap = r <= 1.0 + 1e-9 && (p.z.abs() < 1e-12 || (p.z - 2.0).abs() < 1e-12);
+            assert!(on_lateral || on_cap, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn surface_areas() {
+        let unit_box = Shape::Cuboid(Aabb::new(Vec3::ZERO, Vec3::splat(1.0)));
+        assert!((unit_box.surface_area() - 6.0).abs() < 1e-12);
+        let sphere = Shape::Sphere {
+            center: Vec3::ZERO,
+            radius: 1.0,
+        };
+        assert!((sphere.surface_area() - 4.0 * std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounding_boxes_contain_samples() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        for shape in [
+            Shape::Sphere {
+                center: Vec3::new(0.5, -0.5, 2.0),
+                radius: 0.4,
+            },
+            Shape::Cylinder {
+                base: Vec3::new(1.0, 1.0, 0.0),
+                radius: 0.3,
+                height: 1.5,
+            },
+        ] {
+            let bb = shape.bounding_box();
+            for _ in 0..100 {
+                let p = shape.sample_surface(&mut rng);
+                assert!(bb.contains(p + Vec3::splat(0.0)), "{p:?} outside {bb:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_intersection_from_surface() {
+        let s = Shape::Sphere {
+            center: Vec3::ZERO,
+            radius: 1.0,
+        };
+        // Ray starting exactly on the surface pointing outward: no hit.
+        let r = Ray::new(Vec3::new(1.0, 0.0, 0.0), Vec3::X);
+        assert!(s.intersect(r).is_none());
+    }
+}

@@ -1,0 +1,62 @@
+//! SRAM compute-in-memory macro for MC-Dropout (paper Section III).
+//!
+//! Models the three hardware pieces the paper's Bayesian-inference macro
+//! adds on top of a conventional 8T-SRAM CIM array:
+//!
+//! - [`cell`] — per-port leakage (with threshold-voltage mismatch) and
+//!   per-cycle noise statistics of the write ports, the physical entropy
+//!   source,
+//! - [`rng`] — the cross-coupled-inverter random number generator fed by
+//!   column leakage/noise currents, with its trim-DAC bias calibration
+//!   (Fig. 3(b)); implements [`navicim_math::rng::Rng64`] so dropout
+//!   masks can be drawn straight from the modeled silicon,
+//! - [`cim_macro`] — the weight-stationary macro executing quantized
+//!   matrix-vector products with partial-sum ADC quantization, row gating
+//!   and the `P_i = P_{i-1} + W·I_A − W·I_D` compute-reuse scheme,
+//! - [`reuse`] — dropout-mask ordering (greedy min-Hamming tour) that
+//!   minimizes switched inputs between consecutive MC iterations, the
+//!   paper's "optimal sample ordering".
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cell;
+pub mod cim_macro;
+pub mod reuse;
+pub mod rng;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for SRAM-macro construction and programming.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SramError {
+    /// An argument was outside its valid domain.
+    InvalidArgument(String),
+    /// A layer id was used before being programmed.
+    UnknownLayer(usize),
+    /// Programmed and queried shapes disagree.
+    ShapeMismatch {
+        /// Expected size.
+        expected: usize,
+        /// Found size.
+        found: usize,
+    },
+}
+
+impl fmt::Display for SramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SramError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            SramError::UnknownLayer(id) => write!(f, "layer {id} has not been programmed"),
+            SramError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl Error for SramError {}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, SramError>;

@@ -1,0 +1,135 @@
+//! Quickstart: a five-minute tour of the navicim workspace.
+//!
+//! Builds each layer of the stack bottom-up — device, kernel, map, filter,
+//! SRAM macro — and prints what it produces, ending with one step of each
+//! of the paper's two pipelines.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use navicim::analog::engine::CimEngineConfig;
+use navicim::core::localization::{BackendKind, CimLocalizer, LocalizerConfig};
+use navicim::core::vo::{train_vo_network, BayesianVo, VoPipelineConfig, VoTrainConfig};
+use navicim::device::inverter::GaussianLikeCell;
+use navicim::device::params::TechParams;
+use navicim::gmm::hmg::HmgKernel;
+use navicim::math::rng::Pcg32;
+use navicim::scene::dataset::{
+    LocalizationConfig, LocalizationDataset, VoConfig, VoDataset, VoTrajectory,
+};
+use navicim::sram::rng::{CciRng, CciRngConfig};
+
+fn main() {
+    println!("navicim quickstart\n==================\n");
+
+    // 1. A floating-gate inverter cell: programmable Gaussian-like bell.
+    let tech = TechParams::cmos_45nm();
+    let cell = GaussianLikeCell::with_center(&tech, 0.55);
+    println!(
+        "1. device: inverter cell programmed to 0.55 V; peak current {:.2} uA, \
+         effective sigma {:.0} mV",
+        cell.peak_current() * 1e6,
+        cell.effective_sigma() * 1e3
+    );
+
+    // 2. The kernel family that cell evaluates natively.
+    let kernel = HmgKernel::new(vec![0.0, 0.0, 0.75], vec![0.3, 0.3, 0.2], 1.0)
+        .expect("kernel parameters are valid");
+    println!(
+        "2. kernel: HMG value at its mean {:.3}, at 0.5 m offset {:.3}",
+        kernel.eval(&[0.0, 0.0, 0.75]),
+        kernel.eval(&[0.5, 0.0, 0.75])
+    );
+
+    // 3. Pipeline A: localize a drone in a synthetic tabletop scene.
+    println!("\n3. localization pipeline (Section II):");
+    let dataset = LocalizationDataset::generate(
+        &LocalizationConfig {
+            image_width: 32,
+            image_height: 24,
+            map_points: 1200,
+            frames: 12,
+            ..LocalizationConfig::default()
+        },
+        7,
+    )
+    .expect("dataset generates");
+    let mut localizer = CimLocalizer::build(
+        &dataset,
+        LocalizerConfig {
+            num_particles: 250,
+            components: 10,
+            backend: BackendKind::CimHmgm(CimEngineConfig::default()),
+            ..LocalizerConfig::default()
+        },
+    )
+    .expect("localizer builds");
+    let run = localizer.run(&dataset).expect("localization runs");
+    println!(
+        "   tracked {} frames on the analog CIM backend; steady-state error \
+         {:.3} m, {} analog likelihood evaluations",
+        run.errors.len(),
+        run.steady_state_error(),
+        run.point_evaluations
+    );
+
+    // 4. The SRAM-embedded RNG that feeds dropout bits.
+    let mut fab = Pcg32::seed_from_u64(1);
+    let mut rng = CciRng::fabricate(&CciRngConfig::default(), &mut fab).expect("rng fabricates");
+    let report = rng.calibrate(2000);
+    println!(
+        "\n4. sram rng: bias {:.3} -> {:.3} after trim calibration ({} bits spent)",
+        report.bias_before, report.bias_after, report.bits_used
+    );
+
+    // 5. Pipeline B: Bayesian VO on the SRAM CIM macro.
+    println!("\n5. visual-odometry pipeline (Section III):");
+    let vo_data = VoDataset::generate(
+        &VoConfig {
+            image_width: 24,
+            image_height: 18,
+            grid_width: 4,
+            grid_height: 3,
+            frames: 30,
+            trajectory: VoTrajectory::Waypoints(4),
+            ..VoConfig::default()
+        },
+        9,
+    )
+    .expect("vo dataset generates");
+    let net = train_vo_network(
+        &vo_data.samples,
+        vo_data.feature_dim(),
+        &VoTrainConfig {
+            hidden1: 24,
+            hidden2: 12,
+            epochs: 60,
+            ..VoTrainConfig::default()
+        },
+    )
+    .expect("network trains");
+    let calib: Vec<Vec<f64>> = vo_data
+        .samples
+        .iter()
+        .take(8)
+        .map(|s| s.features.clone())
+        .collect();
+    let mut vo = BayesianVo::build(&net, &calib, VoPipelineConfig::default())
+        .expect("pipeline builds");
+    let pred = vo.predict(&vo_data.samples[0].features);
+    println!(
+        "   4-bit MC-Dropout x30 on the macro: delta mean [{:.3}, {:.3}, {:.3}] m, \
+         total predictive variance {:.5}",
+        pred.mean[0], pred.mean[1], pred.mean[2],
+        pred.total_variance()
+    );
+    let stats = vo.macro_stats();
+    println!(
+        "   macro executed {} of {} full-equivalent MACs ({:.0}% saved by reuse \
+         and gating)",
+        stats.macs_executed,
+        stats.macs_full_equivalent,
+        (1.0 - stats.workload_fraction()) * 100.0
+    );
+
+    println!("\nsee examples/drone_localization.rs and examples/uncertain_vo.rs for depth.");
+}

@@ -1,0 +1,127 @@
+//! Uncertainty-expressive visual odometry on the SRAM CIM macro.
+//!
+//! Trains the pose regressor, runs 4-bit MC-Dropout inference with dropout
+//! bits drawn from the *modeled silicon RNG*, and shows how predictive
+//! variance flags the frames with the largest pose errors — the
+//! risk-awareness the paper argues edge robots need.
+//!
+//! Run: `cargo run --release --example uncertain_vo`
+
+use navicim::core::reportfmt::Table;
+use navicim::core::uncertainty::calibration_summary;
+use navicim::core::vo::{train_vo_network, BayesianVo, VoPipelineConfig, VoTrainConfig};
+use navicim::scene::dataset::{VoConfig, VoDataset, VoTrajectory};
+
+fn main() {
+    println!("uncertainty-expressive VO on the SRAM CIM macro\n");
+
+    let dataset = VoDataset::generate(
+        &VoConfig {
+            image_width: 32,
+            image_height: 24,
+            grid_width: 6,
+            grid_height: 4,
+            frames: 60,
+            trajectory: VoTrajectory::Waypoints(6),
+            ..VoConfig::default()
+        },
+        7,
+    )
+    .expect("dataset generates");
+    println!(
+        "flight: {} frames, feature dim {}",
+        dataset.frames.len(),
+        dataset.feature_dim()
+    );
+
+    eprintln!("training...");
+    let net = train_vo_network(
+        &dataset.samples,
+        dataset.feature_dim(),
+        &VoTrainConfig {
+            hidden1: 64,
+            hidden2: 32,
+            epochs: 200,
+            ..VoTrainConfig::default()
+        },
+    )
+    .expect("network trains");
+    let calib: Vec<Vec<f64>> = dataset
+        .samples
+        .iter()
+        .take(12)
+        .map(|s| s.features.clone())
+        .collect();
+
+    // 4-bit MC-Dropout with silicon dropout bits, reuse and ordering on.
+    let mut vo = BayesianVo::build(
+        &net,
+        &calib,
+        VoPipelineConfig {
+            weight_bits: 4,
+            act_bits: 4,
+            mc_iterations: 30,
+            silicon_rng: true,
+            ..VoPipelineConfig::default()
+        },
+    )
+    .expect("pipeline builds");
+    let run = vo.run_trajectory(&dataset).expect("trajectory runs");
+
+    println!(
+        "\ntrajectory: ATE RMSE {:.3} m, final drift {:.3} m",
+        run.trajectory.ate_rmse, run.trajectory.final_drift
+    );
+    let stats = run.macro_stats;
+    println!(
+        "macro: executed {} / {} MACs ({:.1}% of the dense workload)",
+        stats.macs_executed,
+        stats.macs_full_equivalent,
+        stats.workload_fraction() * 100.0
+    );
+    if let Some(bits) = run.silicon_bits {
+        println!("silicon RNG supplied {bits} dropout bits");
+    }
+
+    // Rank frames by predictive variance: the most uncertain frames should
+    // carry the largest errors.
+    let mut ranked: Vec<(usize, f64, f64)> = run
+        .per_step_variance
+        .iter()
+        .zip(&run.per_step_error)
+        .enumerate()
+        .map(|(i, (&v, &e))| (i, v, e))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("variances are finite"));
+
+    println!("\nmost / least certain frames:");
+    let mut table = Table::new(vec!["rank", "frame", "variance", "step error (m)"]);
+    for (rank, &(i, v, e)) in ranked.iter().take(5).enumerate() {
+        table.row(vec![
+            format!("most-{}", rank + 1),
+            format!("{i}"),
+            format!("{v:.6}"),
+            format!("{e:.4}"),
+        ]);
+    }
+    for (rank, &(i, v, e)) in ranked.iter().rev().take(5).enumerate() {
+        table.row(vec![
+            format!("least-{}", rank + 1),
+            format!("{i}"),
+            format!("{v:.6}"),
+            format!("{e:.4}"),
+        ]);
+    }
+    println!("{table}");
+
+    match calibration_summary(&run.per_step_variance, &run.per_step_error, 4) {
+        Ok(summary) => println!(
+            "uncertainty-error correlation: pearson {:.3}, spearman {:.3}, \
+             monotone trend {}",
+            summary.pearson,
+            summary.spearman,
+            summary.monotone_trend()
+        ),
+        Err(e) => println!("calibration summary unavailable: {e}"),
+    }
+}

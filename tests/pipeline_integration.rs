@@ -1,0 +1,259 @@
+//! Cross-crate integration tests: the two paper pipelines exercised
+//! through the public umbrella API, plus exactness and determinism
+//! guarantees that span crate boundaries.
+
+use navicim::analog::engine::CimEngineConfig;
+use navicim::core::localization::{BackendKind, CimLocalizer, LocalizerConfig};
+use navicim::core::uncertainty::calibration_summary;
+use navicim::core::vo::{
+    train_vo_network, BayesianVo, CimQuantBackend, VoPipelineConfig, VoTrainConfig,
+};
+use navicim::math::rng::Pcg32;
+use navicim::nn::quant::{ExactBackend, QuantizedMlp};
+use navicim::scene::dataset::{
+    LocalizationConfig, LocalizationDataset, VoConfig, VoDataset, VoTrajectory,
+};
+use navicim::scene::noise::DepthNoise;
+use navicim::sram::cim_macro::{MacroConfig, SramCimMacro};
+
+fn loc_dataset(seed: u64) -> LocalizationDataset {
+    // Enough map points/frames that the constrained HMGM fit is stable
+    // across seeds (600-point clouds give high seed-to-seed variance).
+    LocalizationDataset::generate(
+        &LocalizationConfig {
+            image_width: 32,
+            image_height: 24,
+            map_points: 1200,
+            frames: 12,
+            ..LocalizationConfig::default()
+        },
+        seed,
+    )
+    .expect("dataset generates")
+}
+
+fn vo_dataset(seed: u64) -> VoDataset {
+    VoDataset::generate(
+        &VoConfig {
+            image_width: 24,
+            image_height: 18,
+            grid_width: 4,
+            grid_height: 3,
+            frames: 24,
+            trajectory: VoTrajectory::Waypoints(4),
+            noise: DepthNoise::none(),
+            ..VoConfig::default()
+        },
+        seed,
+    )
+    .expect("dataset generates")
+}
+
+fn small_train() -> VoTrainConfig {
+    VoTrainConfig {
+        hidden1: 24,
+        hidden2: 12,
+        epochs: 50,
+        ..VoTrainConfig::default()
+    }
+}
+
+#[test]
+fn localization_pipeline_both_backends_converge() {
+    let dataset = loc_dataset(101);
+    let config = |backend| LocalizerConfig {
+        num_particles: 300,
+        components: 12,
+        pixel_stride: 9,
+        backend,
+        seed: 5,
+        ..LocalizerConfig::default()
+    };
+    let digital = CimLocalizer::build(&dataset, config(BackendKind::DigitalGmm))
+        .expect("digital builds")
+        .run(&dataset)
+        .expect("digital runs");
+    let cim = CimLocalizer::build(
+        &dataset,
+        config(BackendKind::CimHmgm(CimEngineConfig::default())),
+    )
+    .expect("cim builds")
+    .run(&dataset)
+    .expect("cim runs");
+    assert!(digital.steady_state_error() < 0.25, "digital {:?}", digital.errors);
+    assert!(cim.steady_state_error() < 0.35, "cim {:?}", cim.errors);
+    // Both backends evaluated the same measurement workload.
+    assert_eq!(digital.point_evaluations, cim.point_evaluations);
+}
+
+#[test]
+fn vo_pipeline_produces_calibrated_uncertainty() {
+    let dataset = vo_dataset(102);
+    let net = train_vo_network(&dataset.samples, dataset.feature_dim(), &small_train())
+        .expect("trains");
+    let calib: Vec<Vec<f64>> = dataset
+        .samples
+        .iter()
+        .take(8)
+        .map(|s| s.features.clone())
+        .collect();
+    let mut vo = BayesianVo::build(
+        &net,
+        &calib,
+        VoPipelineConfig {
+            mc_iterations: 12,
+            ..VoPipelineConfig::default()
+        },
+    )
+    .expect("builds");
+    let run = vo.run_trajectory(&dataset).expect("runs");
+    assert_eq!(run.estimates.len(), dataset.frames.len());
+    assert!(run.per_step_variance.iter().all(|&v| v.is_finite() && v >= 0.0));
+    assert!(run.trajectory.ate_rmse.is_finite());
+    // The calibration summary computes on real pipeline output.
+    let summary = calibration_summary(&run.per_step_variance, &run.per_step_error, 4)
+        .expect("summary computes");
+    assert!(summary.pearson.is_finite());
+}
+
+#[test]
+fn macro_without_adc_matches_exact_backend_bit_for_bit() {
+    // The SRAM macro with the ADC disabled and reuse enabled must produce
+    // exactly the same integer accumulators as the reference backend —
+    // reuse is a mathematical identity, not an approximation.
+    let dataset = vo_dataset(103);
+    let net = train_vo_network(&dataset.samples, dataset.feature_dim(), &small_train())
+        .expect("trains");
+    let calib: Vec<Vec<f64>> = dataset
+        .samples
+        .iter()
+        .take(6)
+        .map(|s| s.features.clone())
+        .collect();
+    let qnet = QuantizedMlp::from_mlp(&net, 6, 6, &calib).expect("quantizes");
+    let mut exact = ExactBackend::new();
+    let mut cim = CimQuantBackend::new(SramCimMacro::new(MacroConfig {
+        adc_bits: 0,
+        reuse: true,
+        ..MacroConfig::default()
+    }));
+    let mut rng = Pcg32::seed_from_u64(9);
+    for sample in dataset.samples.iter().take(6) {
+        // Same masks on both paths.
+        let masks = qnet.sample_masks(&mut rng);
+        let a = qnet.forward_with_masks(&mut exact, &sample.features, &masks);
+        let b = qnet.forward_with_masks(&mut cim, &sample.features, &masks);
+        assert_eq!(a, b, "macro and exact backend diverged");
+    }
+    // And the macro did measurably less work.
+    let stats = cim.cim().stats();
+    assert!(stats.macs_executed < stats.macs_full_equivalent);
+}
+
+#[test]
+fn pipelines_are_deterministic_given_seeds() {
+    let dataset = vo_dataset(104);
+    let net = train_vo_network(&dataset.samples, dataset.feature_dim(), &small_train())
+        .expect("trains");
+    let calib: Vec<Vec<f64>> = dataset
+        .samples
+        .iter()
+        .take(6)
+        .map(|s| s.features.clone())
+        .collect();
+    let run = |seed: u64| {
+        let mut vo = BayesianVo::build(
+            &net,
+            &calib,
+            VoPipelineConfig {
+                mc_iterations: 8,
+                seed,
+                ..VoPipelineConfig::default()
+            },
+        )
+        .expect("builds");
+        vo.run_trajectory(&dataset).expect("runs").per_step_variance
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8));
+}
+
+#[test]
+fn silicon_rng_end_to_end() {
+    let dataset = vo_dataset(105);
+    let net = train_vo_network(&dataset.samples, dataset.feature_dim(), &small_train())
+        .expect("trains");
+    let calib: Vec<Vec<f64>> = dataset
+        .samples
+        .iter()
+        .take(6)
+        .map(|s| s.features.clone())
+        .collect();
+    let mut vo = BayesianVo::build(
+        &net,
+        &calib,
+        VoPipelineConfig {
+            mc_iterations: 8,
+            silicon_rng: true,
+            ..VoPipelineConfig::default()
+        },
+    )
+    .expect("builds");
+    let run = vo.run_trajectory(&dataset).expect("runs");
+    let bits = run.silicon_bits.expect("silicon rng used");
+    // Every mask bit came from the modeled SRAM RNG (8 iterations x
+    // (24 + 12) dropout units x samples, plus calibration bits).
+    assert!(bits > 8 * 36 * dataset.samples.len() as u64 / 2);
+}
+
+#[test]
+fn energy_models_price_measured_runs() {
+    use navicim::energy::analog::AnalogCimProfile;
+    use navicim::energy::sram::SramCimProfile;
+
+    // Localization energy from a real CIM run.
+    let dataset = loc_dataset(106);
+    let mut loc = CimLocalizer::build(
+        &dataset,
+        LocalizerConfig {
+            num_particles: 100,
+            components: 8,
+            pixel_stride: 9,
+            backend: BackendKind::CimHmgm(CimEngineConfig::default()),
+            ..LocalizerConfig::default()
+        },
+    )
+    .expect("builds");
+    let run = loc.run(&dataset).expect("runs");
+    let stats = run.cim_stats.expect("cim stats");
+    let report = AnalogCimProfile::paper_45nm()
+        .likelihood_eval_report(stats.avg_current(), 3, 4, 4)
+        .expect("prices");
+    // Per-evaluation energy in the paper's few-hundred-fJ regime.
+    assert!(report.total_fj() > 20.0 && report.total_fj() < 5000.0);
+
+    // VO energy from a real macro run.
+    let vo_data = vo_dataset(107);
+    let net = train_vo_network(&vo_data.samples, vo_data.feature_dim(), &small_train())
+        .expect("trains");
+    let calib: Vec<Vec<f64>> = vo_data
+        .samples
+        .iter()
+        .take(6)
+        .map(|s| s.features.clone())
+        .collect();
+    let mut vo = BayesianVo::build(&net, &calib, VoPipelineConfig::default()).expect("builds");
+    let _ = vo.predict(&vo_data.samples[0].features);
+    let mstats = vo.macro_stats();
+    let tops = SramCimProfile::paper_16nm()
+        .effective_tops_per_watt(
+            mstats.macs_full_equivalent,
+            mstats.macs_executed,
+            mstats.adc_conversions,
+            8,
+            3000,
+            4,
+        )
+        .expect("prices");
+    assert!(tops > 0.5 && tops < 30.0, "tops {tops}");
+}

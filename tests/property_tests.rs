@@ -1,0 +1,173 @@
+//! Workspace-level property-based tests on the core invariants that the
+//! paper's co-design relies on.
+
+use navicim::device::inverter::GaussianLikeCell;
+use navicim::device::params::TechParams;
+use navicim::gmm::hmg::HmgKernel;
+use navicim::math::geom::{Pose, Quat, Vec3};
+use navicim::math::quant::Quantizer;
+use navicim::math::rng::Pcg32;
+use navicim::math::sample::{effective_sample_size, ResampleScheme};
+use navicim::nn::quant::QuantMatrix;
+use navicim::sram::cim_macro::{MacroConfig, SramCimMacro};
+use navicim::sram::reuse::{greedy_order, hamming, path_cost};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The inverter bell peaks at its programmed centre for any on-rail
+    /// centre and realizable width.
+    #[test]
+    fn inverter_peak_at_center(
+        center in 0.2f64..0.8,
+        overlap in 0.1f64..0.6,
+        offset in 0.05f64..0.2,
+    ) {
+        let tech = TechParams::cmos_45nm();
+        let cell = GaussianLikeCell::with_center_width(&tech, center, overlap)
+            .expect("valid overlap");
+        let peak = cell.current(center);
+        prop_assert!(peak > cell.current(center - offset));
+        prop_assert!(peak > cell.current(center + offset));
+    }
+
+    /// HMG kernels never exceed their amplitude and are maximal at the
+    /// mean.
+    #[test]
+    fn hmg_bounded_by_amplitude(
+        mx in -2.0f64..2.0,
+        my in -2.0f64..2.0,
+        sx in 0.05f64..1.0,
+        sy in 0.05f64..1.0,
+        amp in 0.1f64..10.0,
+        qx in -3.0f64..3.0,
+        qy in -3.0f64..3.0,
+    ) {
+        let k = HmgKernel::new(vec![mx, my], vec![sx, sy], amp).expect("valid kernel");
+        let v = k.eval(&[qx, qy]);
+        prop_assert!(v > 0.0);
+        prop_assert!(v <= amp * (1.0 + 1e-12));
+        prop_assert!(k.eval(&[mx, my]) >= v);
+        // Harmonic mean dominates the product everywhere.
+        prop_assert!(v >= k.eval_product(&[qx, qy]) - 1e-15);
+    }
+
+    /// Pose composition with the inverse is the identity for arbitrary
+    /// poses.
+    #[test]
+    fn pose_inverse_roundtrip(
+        x in -10.0f64..10.0,
+        y in -10.0f64..10.0,
+        z in -10.0f64..10.0,
+        roll in -3.0f64..3.0,
+        pitch in -1.4f64..1.4,
+        yaw in -3.0f64..3.0,
+    ) {
+        let pose = Pose::from_position_euler(Vec3::new(x, y, z), roll, pitch, yaw);
+        let ident = pose.compose(pose.inverse());
+        prop_assert!(ident.translation.norm() < 1e-9);
+        prop_assert!(ident.rotation.angle_to(Quat::IDENTITY) < 1e-9);
+    }
+
+    /// Quantize/dequantize stays within half a step inside the range.
+    #[test]
+    fn quantizer_error_bound(
+        bits in 2u32..12,
+        range in 0.1f64..100.0,
+        frac in -1.0f64..1.0,
+    ) {
+        let q = Quantizer::new(bits, range).expect("valid quantizer");
+        let x = frac * range;
+        prop_assert!((x - q.fake_quantize(x)).abs() <= q.max_round_error() + 1e-12);
+    }
+
+    /// Resampling preserves particle count and only selects valid indices,
+    /// and ESS never exceeds the population size.
+    #[test]
+    fn resampling_invariants(
+        seed in 0u64..1000,
+        n in 2usize..100,
+        scheme_idx in 0usize..4,
+    ) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        use navicim::math::rng::{Rng64, SampleExt};
+        let weights: Vec<f64> = (0..n).map(|_| rng.next_f64() + 1e-9).collect();
+        prop_assert!(effective_sample_size(&weights) <= n as f64 + 1e-9);
+        let scheme = ResampleScheme::ALL[scheme_idx];
+        let idx = scheme.resample(&weights, &mut rng);
+        prop_assert_eq!(idx.len(), n);
+        prop_assert!(idx.iter().all(|&i| i < n));
+        let _ = rng.sample_index(n);
+    }
+
+    /// The macro's compute reuse is exact for arbitrary code sequences.
+    #[test]
+    fn macro_reuse_exactness(
+        seed in 0u64..500,
+        rows in 1usize..8,
+        cols in 1usize..8,
+        steps in 1usize..6,
+    ) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        use navicim::math::rng::SampleExt;
+        let codes: Vec<i64> = (0..rows * cols)
+            .map(|_| rng.sample_index(15) as i64 - 7)
+            .collect();
+        let config = MacroConfig { adc_bits: 0, reuse: true, ..MacroConfig::default() };
+        let mut with = SramCimMacro::new(config);
+        with.program_layer(0, &codes, rows, cols).expect("programs");
+        let mut without = SramCimMacro::new(MacroConfig {
+            adc_bits: 0,
+            reuse: false,
+            ..MacroConfig::default()
+        });
+        without.program_layer(0, &codes, rows, cols).expect("programs");
+        let mask = vec![true; rows];
+        for _ in 0..steps {
+            let input: Vec<i64> = (0..cols)
+                .map(|_| rng.sample_index(15) as i64 - 7)
+                .collect();
+            let a = with.matvec(0, &input, &mask).expect("matvec");
+            let b = without.matvec(0, &input, &mask).expect("matvec");
+            prop_assert_eq!(a, b);
+        }
+        prop_assert!(with.stats().macs_executed <= without.stats().macs_executed);
+    }
+
+    /// Greedy mask ordering is a permutation and never costs more than
+    /// twice the identity order's switching (sanity bound; in practice it
+    /// is below it).
+    #[test]
+    fn ordering_invariants(seed in 0u64..500, t in 2usize..20, len in 4usize..64) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        use navicim::math::rng::SampleExt;
+        let masks: Vec<Vec<bool>> = (0..t)
+            .map(|_| (0..len).map(|_| rng.sample_bool(0.5)).collect())
+            .collect();
+        let order = greedy_order(&masks).expect("orders");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..t).collect::<Vec<_>>());
+        let identity: Vec<usize> = (0..t).collect();
+        prop_assert!(path_cost(&masks, &order) <= 2 * path_cost(&masks, &identity).max(1));
+        prop_assert!(hamming(&masks[0], &masks[0]) == 0);
+    }
+
+    /// Weight quantization reconstruction error is bounded by the step.
+    #[test]
+    fn quant_matrix_reconstruction(
+        seed in 0u64..500,
+        rows in 1usize..6,
+        cols in 1usize..6,
+        bits in 3u32..10,
+    ) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        use navicim::math::rng::SampleExt;
+        let w: Vec<f64> = (0..rows * cols).map(|_| rng.sample_uniform(-2.0, 2.0)).collect();
+        let m = QuantMatrix::from_weights(&w, rows, cols, bits).expect("quantizes");
+        for (code, &orig) in m.codes().iter().zip(&w) {
+            prop_assert!((*code as f64 * m.step() - orig).abs() <= m.step() * 0.5 + 1e-12);
+        }
+    }
+}
