@@ -223,7 +223,10 @@ mod tests {
             let got = GaussianLikeCell::with_center_width(&t, 0.5, overlap)
                 .unwrap()
                 .effective_sigma();
-            assert!((got / target - 1.0).abs() < 0.02, "target {target} got {got}");
+            assert!(
+                (got / target - 1.0).abs() < 0.02,
+                "target {target} got {got}"
+            );
         }
     }
 
@@ -289,10 +292,7 @@ mod tests {
         let t = tech();
         let a = MultiInputInverter::from_centers(&t, &[0.5], 0.3).unwrap();
         let b = MultiInputInverter::from_centers(&t, &[0.5, 0.5], 0.3).unwrap();
-        let cols = vec![
-            CimColumn::new(a, 1).unwrap(),
-            CimColumn::new(b, 1).unwrap(),
-        ];
+        let cols = vec![CimColumn::new(a, 1).unwrap(), CimColumn::new(b, 1).unwrap()];
         assert!(CimArray::new(cols).is_err());
         assert!(CimArray::new(vec![]).is_err());
     }

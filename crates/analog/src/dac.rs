@@ -133,7 +133,7 @@ mod tests {
         let d4 = Dac::new(4, 0.0, 1.0).unwrap();
         let d8 = Dac::new(8, 0.0, 1.0).unwrap();
         assert!(d8.lsb() < d4.lsb());
-        assert!((d4.lsb() / d8.lsb() - 17.0) .abs() < 1.0); // (2^8-1)/(2^4-1) = 17
+        assert!((d4.lsb() / d8.lsb() - 17.0).abs() < 1.0); // (2^8-1)/(2^4-1) = 17
     }
 
     #[test]

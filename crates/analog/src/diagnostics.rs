@@ -79,7 +79,11 @@ pub fn fit_gaussian_1d(xs: &[f64], ys: &[f64]) -> Result<GaussianFit> {
         ss_res += (y - pred) * (y - pred);
         ss_tot += (y - mean_y) * (y - mean_y);
     }
-    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 0.0 };
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        0.0
+    };
     Ok(GaussianFit {
         mean,
         sigma,
@@ -127,9 +131,8 @@ pub fn rectilinearity<F>(f: F, center: (f64, f64), level: f64, max_r: f64) -> Re
 where
     F: Fn(f64, f64) -> f64,
 {
-    let axis = contour_crossing(&f, center, (1.0, 0.0), level, max_r).ok_or_else(|| {
-        AnalogError::InvalidArgument("axis contour crossing not found".into())
-    })?;
+    let axis = contour_crossing(&f, center, (1.0, 0.0), level, max_r)
+        .ok_or_else(|| AnalogError::InvalidArgument("axis contour crossing not found".into()))?;
     let diag = contour_crossing(&f, center, (1.0, 1.0), level, max_r).ok_or_else(|| {
         AnalogError::InvalidArgument("diagonal contour crossing not found".into())
     })?;
@@ -187,7 +190,10 @@ mod tests {
         assert!(fit_gaussian_1d(&[0.0, 1.0, 2.0, 3.0], &[1.0, -1.0, 1.0, 1.0]).is_err());
         // Upward curvature (valley) is not a bell.
         let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
-        let ys: Vec<f64> = xs.iter().map(|&x| f64::exp((x - 2.0) * (x - 2.0))).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| f64::exp((x - 2.0) * (x - 2.0)))
+            .collect();
         assert!(fit_gaussian_1d(&xs, &ys).is_err());
     }
 
@@ -240,7 +246,7 @@ mod tests {
         let b = GaussianLikeCell::with_center(&tech, 0.5);
         let dev = move |x: f64, y: f64| 1.0 / (1.0 / a.current(x) + 1.0 / b.current(y));
         let level = dev(0.5 + 0.25, 0.5);
-        let ratio = rectilinearity(&dev, (0.5, 0.5), level, 0.5).unwrap();
+        let ratio = rectilinearity(dev, (0.5, 0.5), level, 0.5).unwrap();
         assert!(ratio > 1.15, "device ratio {ratio}");
     }
 

@@ -9,12 +9,13 @@ use crate::array::{calibrate_overlap, device_sigma_range, CimArray, CimColumn};
 use crate::dac::Dac;
 use crate::mapping::SpaceMap;
 use crate::{AnalogError, Result};
+use navicim_backend::{check_batch_shape, LikelihoodBackend, PointBatch};
 use navicim_device::inverter::{GaussianLikeCell, MultiInputInverter};
 use navicim_device::noise::NoiseModel;
 use navicim_device::params::TechParams;
 use navicim_device::variation::ProcessVariation;
 use navicim_gmm::hmg::HmgmModel;
-use navicim_math::rng::Pcg32;
+use navicim_math::rng::{Pcg32, SampleExt};
 
 /// Configuration of a CIM likelihood engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,6 +86,10 @@ pub struct HmgmCimEngine {
     tech: TechParams,
     rng: Pcg32,
     stats: EngineStats,
+    /// Reused DAC output buffer (one slot per axis).
+    voltages: Vec<f64>,
+    /// Reused bulk standard-normal buffer (one slot per batched query).
+    noise_z: Vec<f64>,
 }
 
 impl HmgmCimEngine {
@@ -135,8 +140,7 @@ impl HmgmCimEngine {
 
         // Fabrication: draw the process-variation corner once.
         if config.variation_severity > 0.0 {
-            let pv =
-                ProcessVariation::from_tech(&tech).with_severity(config.variation_severity);
+            let pv = ProcessVariation::from_tech(&tech).with_severity(config.variation_severity);
             array.apply_variation(&pv, &mut rng);
         }
 
@@ -162,6 +166,8 @@ impl HmgmCimEngine {
             tech,
             rng,
             stats: EngineStats::default(),
+            voltages: Vec::new(),
+            noise_z: Vec::new(),
         })
     }
 
@@ -208,32 +214,80 @@ impl HmgmCimEngine {
     /// proportional (up to an additive constant) to the map log-likelihood,
     /// which is all a particle filter needs.
     ///
+    /// Scalar adapter over [`Self::log_likelihood_into`]: a single-point
+    /// batch consumes exactly the same noise-RNG stream, so mixing scalar
+    /// and batch queries is bit-reproducible.
+    ///
     /// # Panics
     ///
     /// Panics if `point.len()` differs from the engine dimension.
     pub fn log_likelihood(&mut self, point: &[f64]) -> f64 {
-        assert_eq!(point.len(), self.map.dim(), "query dimension mismatch");
-        let targets = self.map.to_voltages(point);
-        let voltages: Vec<f64> = targets
-            .iter()
-            .zip(&self.dacs)
-            .map(|(&v, d)| d.convert(v))
-            .collect();
-        let i_total = self.array.total_current(&voltages);
-        // Subthreshold-style transconductance estimate for the noise draw.
-        let gm = i_total / (self.tech.slope_n * self.tech.u_t);
-        let i_noisy =
-            (i_total + self.noise.sample(gm, i_total, &mut self.rng)).max(self.tech.i_leak * 0.01);
-        self.stats.evaluations += 1;
-        self.stats.dac_conversions += self.dacs.len() as u64;
-        self.stats.adc_conversions += 1;
-        self.stats.current_sum += i_total;
-        self.adc.convert(i_noisy)
+        let mut batch = PointBatch::new(self.map.dim());
+        batch.push(point);
+        let mut out = [0.0];
+        self.log_likelihood_into(&batch, &mut out);
+        out[0]
     }
 
-    /// Sum of per-point log-likelihoods for a scan.
+    /// Serves a whole batch of log-likelihood queries.
+    ///
+    /// The batch path amortizes the per-query bookkeeping of the scalar
+    /// path across the frame:
+    ///
+    /// - the DAC conversion pipeline writes into one reused voltage
+    ///   buffer instead of allocating two vectors per query,
+    /// - the per-evaluation noise draws are harvested from the RNG in one
+    ///   bulk pass (the standard-normal stream does not depend on the
+    ///   query, so the sequence is *bit-identical* to sequential scalar
+    ///   calls),
+    /// - [`EngineStats`] counters are accumulated locally and committed
+    ///   once, while remaining exact per evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or if `out.len() != batch.len()`.
+    pub fn log_likelihood_into(&mut self, batch: &PointBatch, out: &mut [f64]) {
+        check_batch_shape(self.map.dim(), batch, out);
+        let n = batch.len();
+        // Bulk RNG harvest: one standard-normal per evaluation, drawn in
+        // the same order the scalar path would draw them.
+        self.noise_z.clear();
+        self.noise_z
+            .extend((0..n).map(|_| self.rng.sample_standard_normal()));
+        self.voltages.resize(self.dacs.len(), 0.0);
+        let mut voltages = std::mem::take(&mut self.voltages);
+        let i_floor = self.tech.i_leak * 0.01;
+        let gm_denom = self.tech.slope_n * self.tech.u_t;
+        for (i, point) in batch.iter().enumerate() {
+            for ((v, &x), (axis, dac)) in voltages
+                .iter_mut()
+                .zip(point)
+                .zip(self.map.axes().iter().zip(&self.dacs))
+            {
+                *v = dac.convert(axis.to_voltage(x));
+            }
+            let i_total = self.array.total_current(&voltages);
+            // Subthreshold-style transconductance estimate for the noise
+            // scale; the pre-drawn z keeps the stream order intact.
+            let gm = i_total / gm_denom;
+            let noise = self.noise.sample_with_z(gm, i_total, self.noise_z[i]);
+            let i_noisy = (i_total + noise).max(i_floor);
+            // Accumulated per evaluation (not batched into a local) so the
+            // floating-point association matches scalar-call history.
+            self.stats.current_sum += i_total;
+            out[i] = self.adc.convert(i_noisy);
+        }
+        self.voltages = voltages;
+        self.stats.evaluations += n as u64;
+        self.stats.dac_conversions += (n * self.dacs.len()) as u64;
+        self.stats.adc_conversions += n as u64;
+    }
+
+    /// Sum of per-point log-likelihoods for a scan (batch-evaluated; an
+    /// empty scan sums to zero).
     pub fn scan_log_likelihood(&mut self, points: &[Vec<f64>]) -> f64 {
-        points.iter().map(|p| self.log_likelihood(p)).sum()
+        let batch = PointBatch::from_rows(self.map.dim(), points);
+        self.log_likelihood_batch(&batch).iter().sum()
     }
 
     /// Query dimensionality.
@@ -263,6 +317,16 @@ impl HmgmCimEngine {
     }
 }
 
+impl LikelihoodBackend for HmgmCimEngine {
+    fn dim(&self) -> usize {
+        HmgmCimEngine::dim(self)
+    }
+
+    fn log_likelihood_into(&mut self, batch: &PointBatch, out: &mut [f64]) {
+        HmgmCimEngine::log_likelihood_into(self, batch, out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,8 +351,7 @@ mod tests {
     fn build_and_query() {
         let map = test_map();
         let model = test_model(&map);
-        let mut engine =
-            HmgmCimEngine::build(&model, map, CimEngineConfig::default()).unwrap();
+        let mut engine = HmgmCimEngine::build(&model, map, CimEngineConfig::default()).unwrap();
         // Likelihood at a kernel centre beats a far-away point.
         let near = engine.log_likelihood(&[-0.5, 0.0, 0.2]);
         let far = engine.log_likelihood(&[1.0, -1.0, 1.0]);
@@ -324,8 +387,7 @@ mod tests {
     fn stats_count_operations() {
         let map = test_map();
         let model = test_model(&map);
-        let mut engine =
-            HmgmCimEngine::build(&model, map, CimEngineConfig::default()).unwrap();
+        let mut engine = HmgmCimEngine::build(&model, map, CimEngineConfig::default()).unwrap();
         let _ = engine.log_likelihood(&[0.0, 0.0, 0.0]);
         let _ = engine.scan_log_likelihood(&[vec![0.1, 0.0, 0.0], vec![0.2, 0.0, 0.0]]);
         let s = engine.stats();
@@ -376,6 +438,35 @@ mod tests {
     }
 
     #[test]
+    fn batch_matches_sequential_scalar_bit_for_bit() {
+        // The batch path must consume the identical noise-RNG stream and
+        // arithmetic as one-by-one scalar queries.
+        let map = test_map();
+        let model = test_model(&map);
+        let config = CimEngineConfig::default();
+        let mut scalar_engine = HmgmCimEngine::build(&model, map.clone(), config).unwrap();
+        let mut batch_engine = HmgmCimEngine::build(&model, map, config).unwrap();
+        let mut rng = Pcg32::seed_from_u64(99);
+        let mut batch = PointBatch::new(3);
+        for _ in 0..64 {
+            batch.push(&[
+                rng.sample_uniform(-1.0, 1.0),
+                rng.sample_uniform(-1.0, 1.0),
+                rng.sample_uniform(-1.0, 1.0),
+            ]);
+        }
+        let scalar: Vec<f64> = batch
+            .iter()
+            .map(|p| scalar_engine.log_likelihood(p))
+            .collect();
+        let batched = batch_engine.log_likelihood_batch(&batch);
+        assert_eq!(scalar, batched);
+        assert_eq!(scalar_engine.stats(), batch_engine.stats());
+        assert_eq!(batch_engine.stats().evaluations, 64);
+        assert_eq!(batch_engine.stats().dac_conversions, 64 * 3);
+    }
+
+    #[test]
     fn fitted_model_compiles_end_to_end() {
         // Fit an HMGM on synthetic data with device-derived sigma bounds,
         // then compile and query — the full Section II flow.
@@ -403,8 +494,7 @@ mod tests {
         };
         let mut rng2 = Pcg32::seed_from_u64(12);
         let model = fit_hmgm(&pts, 4, &config, &mut rng2).unwrap();
-        let mut engine =
-            HmgmCimEngine::build(&model, map, CimEngineConfig::default()).unwrap();
+        let mut engine = HmgmCimEngine::build(&model, map, CimEngineConfig::default()).unwrap();
         let on_data = engine.log_likelihood(&[0.0, 0.5, -0.5]);
         let off_data = engine.log_likelihood(&[1.0, 2.0, 2.0]);
         assert!(on_data > off_data);

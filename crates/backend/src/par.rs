@@ -1,0 +1,81 @@
+//! Chunked batch execution, optionally spread across threads.
+//!
+//! Pure (stateless) backends evaluate each point independently, so a batch
+//! can be split into contiguous chunks and processed on worker threads.
+//! The splitting is *result-transparent*: every chunk writes a disjoint
+//! region of the output buffer with the same per-point math, so chunked,
+//! threaded and sequential execution produce bit-identical results.
+//!
+//! With the `parallel` feature disabled (the default), [`for_each_chunk`]
+//! degrades to a plain sequential loop with zero overhead. With it
+//! enabled, chunks are dispatched over [`std::thread::scope`] workers when
+//! the host has more than one core and the batch is large enough to
+//! amortize thread startup.
+
+/// Minimum number of points per chunk before threading is worthwhile.
+pub const MIN_CHUNK: usize = 256;
+
+/// Number of worker threads the host can usefully run.
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `work(start, out_chunk)` over contiguous chunks of `out`, where
+/// `start` is the index of the chunk's first element in the full buffer.
+///
+/// The closure must compute elements purely from the chunk bounds (no
+/// hidden sequential state) — that is what makes threaded and sequential
+/// execution bit-identical.
+#[cfg(feature = "parallel")]
+pub fn for_each_chunk<F>(out: &mut [f64], work: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    let n = out.len();
+    let workers = worker_count().min(n.div_ceil(MIN_CHUNK)).max(1);
+    if workers == 1 {
+        work(0, out);
+        return;
+    }
+    let chunk_len = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (i, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            let work = &work;
+            scope.spawn(move || work(i * chunk_len, chunk));
+        }
+    });
+}
+
+/// Sequential fallback used when the `parallel` feature is disabled.
+#[cfg(not(feature = "parallel"))]
+pub fn for_each_chunk<F>(out: &mut [f64], work: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    work(0, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_element_exactly_once() {
+        for n in [0usize, 1, 7, MIN_CHUNK, 4 * MIN_CHUNK + 3] {
+            let mut out = vec![0.0; n];
+            for_each_chunk(&mut out, |start, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v += (start + i) as f64;
+                }
+            });
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i as f64, "element {i} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_count_positive() {
+        assert!(worker_count() >= 1);
+    }
+}

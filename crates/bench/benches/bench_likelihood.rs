@@ -1,12 +1,16 @@
 //! Timing: map-likelihood evaluation — digital GMM vs math HMGM vs the
-//! device-backed CIM engine.
+//! device-backed CIM engine — on both the scalar and the batched path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use navicim_analog::engine::{CimEngineConfig, HmgmCimEngine};
 use navicim_analog::mapping::SpaceMap;
+use navicim_backend::{LikelihoodBackend, PointBatch};
 use navicim_gmm::fit::{fit_diag_gmm, FitConfig};
 use navicim_gmm::hmg::{fit_hmgm, HmgmFitConfig};
 use navicim_math::rng::{Pcg32, SampleExt};
+
+/// Batch sizes tracked in the perf trajectory.
+const BATCH_SIZES: [usize; 3] = [64, 256, 1024];
 
 fn blob_points(n: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut rng = Pcg32::seed_from_u64(seed);
@@ -60,8 +64,7 @@ fn bench_likelihood(c: &mut Criterion) {
             })
         });
 
-        let mut engine =
-            HmgmCimEngine::build(&model, space, CimEngineConfig::default()).unwrap();
+        let mut engine = HmgmCimEngine::build(&model, space, CimEngineConfig::default()).unwrap();
         group.bench_with_input(BenchmarkId::new("cim_engine", k), &k, |b, _| {
             let mut i = 0usize;
             b.iter(|| {
@@ -69,6 +72,51 @@ fn bench_likelihood(c: &mut Criterion) {
                 std::hint::black_box(engine.log_likelihood(&points[i]))
             })
         });
+
+        // Batched variants: one backend call per batch; reported time is
+        // per whole batch (divide by the batch size for per-point cost).
+        for &batch_size in &BATCH_SIZES {
+            let mut batch = PointBatch::with_capacity(3, batch_size);
+            for i in 0..batch_size {
+                batch.push(&points[i % points.len()]);
+            }
+            let mut out = vec![0.0; batch_size];
+
+            let mut gmm_b = gmm.clone();
+            group.bench_with_input(
+                BenchmarkId::new(format!("digital_gmm_batch{batch_size}"), k),
+                &k,
+                |b, _| {
+                    b.iter(|| {
+                        gmm_b.log_likelihood_into(&batch, &mut out);
+                        std::hint::black_box(out[0])
+                    })
+                },
+            );
+
+            let mut model_b = model.clone();
+            group.bench_with_input(
+                BenchmarkId::new(format!("math_hmgm_batch{batch_size}"), k),
+                &k,
+                |b, _| {
+                    b.iter(|| {
+                        model_b.log_likelihood_into(&batch, &mut out);
+                        std::hint::black_box(out[0])
+                    })
+                },
+            );
+
+            group.bench_with_input(
+                BenchmarkId::new(format!("cim_engine_batch{batch_size}"), k),
+                &k,
+                |b, _| {
+                    b.iter(|| {
+                        engine.log_likelihood_into(&batch, &mut out);
+                        std::hint::black_box(out[0])
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

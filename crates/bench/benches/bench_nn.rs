@@ -20,9 +20,7 @@ fn bench_nn(c: &mut Criterion) {
 
     group.bench_function("float64", |b| {
         let mut rng = Pcg32::seed_from_u64(1);
-        b.iter(|| {
-            std::hint::black_box(net.forward(&features, Mode::Deterministic, &mut rng))
-        })
+        b.iter(|| std::hint::black_box(net.forward(&features, Mode::Deterministic, &mut rng)))
     });
 
     group.bench_function("quant4_exact_backend", |b| {

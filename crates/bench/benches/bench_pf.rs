@@ -1,9 +1,13 @@
-//! Timing: one particle-filter predict/update step vs particle count.
+//! Timing: one particle-filter predict/update step vs particle count,
+//! plus the scalar-vs-batched comparison of the map-backed weight step.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use navicim_backend::{LikelihoodBackend, PointBatch};
 use navicim_filter::filter::{FilterConfig, Measurement, ParticleFilter};
 use navicim_filter::motion::OdometryMotion;
 use navicim_filter::particle::ParticleSet;
+use navicim_gmm::fit::{fit_diag_gmm, FitConfig};
+use navicim_gmm::gaussian::Gmm;
 use navicim_math::geom::{Pose, Vec3};
 use navicim_math::rng::{Pcg32, SampleExt};
 use navicim_math::stats::diag_mvn_logpdf;
@@ -19,6 +23,98 @@ impl Measurement<Pose, Vec3> for PositionSensor {
             &[0.2, 0.2, 0.2],
         )
     }
+}
+
+/// A GMM map sensor scoring particle positions, switchable between the
+/// legacy per-particle scalar path and the per-frame batch path — the
+/// digital weight step of the localization pipeline in isolation.
+struct GmmMapSensor {
+    gmm: Gmm,
+    batched: bool,
+    batch: PointBatch,
+}
+
+impl Measurement<Pose, Vec3> for GmmMapSensor {
+    fn log_likelihood(&mut self, state: &Pose, _obs: &Vec3) -> f64 {
+        self.gmm.log_pdf(&state.translation.to_array())
+    }
+
+    fn log_likelihood_batch(&mut self, states: &[Pose], obs: &Vec3, out: &mut [f64]) {
+        if !self.batched {
+            for (o, s) in out.iter_mut().zip(states) {
+                *o = self.log_likelihood(s, obs);
+            }
+            return;
+        }
+        self.batch.clear();
+        for s in states {
+            let t = s.translation;
+            self.batch.push_xyz(t.x, t.y, t.z);
+        }
+        self.gmm.log_likelihood_into(&self.batch, out);
+    }
+}
+
+fn particle_cloud(n: usize, rng: &mut Pcg32) -> Vec<Pose> {
+    (0..n)
+        .map(|_| {
+            Pose::from_position_euler(
+                Vec3::new(
+                    rng.sample_normal(0.0, 0.3),
+                    rng.sample_normal(0.0, 0.3),
+                    rng.sample_normal(1.0, 0.2),
+                ),
+                0.0,
+                0.0,
+                rng.sample_normal(0.0, 0.1),
+            )
+        })
+        .collect()
+}
+
+/// Scalar vs batched digital weight step at 64/256/1024 particles: the
+/// headline speedup of the batched backend layer.
+fn bench_weight_step(c: &mut Criterion) {
+    let mut rng = Pcg32::seed_from_u64(7);
+    let points: Vec<Vec<f64>> = (0..600)
+        .map(|_| {
+            vec![
+                rng.sample_normal(0.0, 0.5),
+                rng.sample_normal(0.0, 0.5),
+                rng.sample_normal(1.0, 0.3),
+            ]
+        })
+        .collect();
+    let gmm = fit_diag_gmm(&points, 16, &FitConfig::default(), &mut rng).unwrap();
+    let mut group = c.benchmark_group("pf_weight_step_digital");
+    group.sample_size(20);
+    for &n in &[64usize, 256, 1024] {
+        for (label, batched) in [("scalar", false), ("batched", true)] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                let mut cloud_rng = Pcg32::seed_from_u64(1);
+                let states = particle_cloud(n, &mut cloud_rng);
+                let mut pf = ParticleFilter::new(
+                    ParticleSet::from_states(states).unwrap(),
+                    FilterConfig {
+                        // Isolate the weight step: never resample.
+                        ess_fraction: 0.0,
+                        ..FilterConfig::default()
+                    },
+                );
+                let mut sensor = GmmMapSensor {
+                    gmm: gmm.clone(),
+                    batched,
+                    batch: PointBatch::with_capacity(3, n),
+                };
+                let obs = Vec3::new(0.0, 0.0, 1.0);
+                b.iter(|| {
+                    pf.update(&obs, &mut sensor, &mut cloud_rng)
+                        .expect("update succeeds");
+                })
+            });
+        }
+    }
+    group.finish();
 }
 
 fn bench_pf(c: &mut Criterion) {
@@ -58,5 +154,5 @@ fn bench_pf(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pf);
+criterion_group!(benches, bench_pf, bench_weight_step);
 criterion_main!(benches);

@@ -67,6 +67,10 @@ fn main() {
     );
     println!(
         "paper shape check: bell centred at the programmed voltage with high R^2 -> {}",
-        if fit.r_squared > 0.95 { "REPRODUCED" } else { "MISMATCH" }
+        if fit.r_squared > 0.95 {
+            "REPRODUCED"
+        } else {
+            "MISMATCH"
+        }
     );
 }

@@ -24,9 +24,8 @@ fn main() {
         let g2 = f64::exp(-0.5 * ((y - 0.5) / 0.08).powi(2)).max(1e-300);
         2.0 / (1.0 / g1 + 1.0 / g2)
     };
-    let gauss = |x: f64, y: f64| {
-        f64::exp(-0.5 * (((x - 0.5) / 0.08).powi(2) + ((y - 0.5) / 0.08).powi(2)))
-    };
+    let gauss =
+        |x: f64, y: f64| f64::exp(-0.5 * (((x - 0.5) / 0.08).powi(2) + ((y - 0.5) / 0.08).powi(2)));
 
     // Surface grid (device current, µA) for plotting Fig. 2(d).
     println!("## device current surface (uA), 13x13 grid over [0.2, 0.8]^2");
@@ -64,7 +63,7 @@ fn main() {
     for (name, f, peak) in &cases {
         for &frac in &[1e-2, 1e-3, 1e-4] {
             let level = peak * frac;
-            match rectilinearity(|x, y| f(x, y), (0.5, 0.5), level, 0.6) {
+            match rectilinearity(f, (0.5, 0.5), level, 0.6) {
                 Ok(ratio) => {
                     let p = superellipse_exponent(ratio).unwrap_or(f64::INFINITY);
                     let class = if p > 3.0 {

@@ -34,8 +34,8 @@ fn main() {
     };
     let vdd = cim_config.tech.vdd;
     let mut rng = Pcg32::seed_from_u64(21);
-    let space = SpaceMap::fit_to_points(&points, vdd * 0.15, vdd * 0.85, 0.1)
-        .expect("space map fits");
+    let space =
+        SpaceMap::fit_to_points(&points, vdd * 0.15, vdd * 0.85, 0.1).expect("space map fits");
     let (floor, ceil) = HmgmCimEngine::recommended_sigma_bounds(&cim_config.tech, &space);
     let model = fit_hmgm(
         &points,
@@ -48,8 +48,7 @@ fn main() {
         &mut rng,
     )
     .expect("hmgm fits");
-    let mut engine =
-        HmgmCimEngine::build(&model, space, cim_config).expect("engine compiles");
+    let mut engine = HmgmCimEngine::build(&model, space, cim_config).expect("engine compiles");
     println!(
         "array: {} components on {} physical inverter columns (paper: 100 on 500)\n",
         engine.array().num_columns(),
@@ -60,7 +59,10 @@ fn main() {
     let queries = 2000;
     for _ in 0..queries {
         let p = &points[rng.sample_index(points.len())];
-        let jitter: Vec<f64> = p.iter().map(|&x| x + rng.sample_normal(0.0, 0.05)).collect();
+        let jitter: Vec<f64> = p
+            .iter()
+            .map(|&x| x + rng.sample_normal(0.0, 0.05))
+            .collect();
         let _ = engine.log_likelihood(&jitter);
     }
     let stats = engine.stats();

@@ -33,13 +33,25 @@ fn main() {
     let mut table = Table::new(vec!["metric", "pre-calibration", "post-calibration"]);
     table.row(vec![
         "mean |bias - 0.5|".into(),
-        format!("{:.4}", stats::mean(&pre.iter().map(|b| (b - 0.5).abs()).collect::<Vec<_>>())),
-        format!("{:.4}", stats::mean(&post.iter().map(|b| (b - 0.5).abs()).collect::<Vec<_>>())),
+        format!(
+            "{:.4}",
+            stats::mean(&pre.iter().map(|b| (b - 0.5).abs()).collect::<Vec<_>>())
+        ),
+        format!(
+            "{:.4}",
+            stats::mean(&post.iter().map(|b| (b - 0.5).abs()).collect::<Vec<_>>())
+        ),
     ]);
     table.row(vec![
         "worst |bias - 0.5|".into(),
-        format!("{:.4}", pre.iter().map(|b| (b - 0.5).abs()).fold(0.0f64, f64::max)),
-        format!("{:.4}", post.iter().map(|b| (b - 0.5).abs()).fold(0.0f64, f64::max)),
+        format!(
+            "{:.4}",
+            pre.iter().map(|b| (b - 0.5).abs()).fold(0.0f64, f64::max)
+        ),
+        format!(
+            "{:.4}",
+            post.iter().map(|b| (b - 0.5).abs()).fold(0.0f64, f64::max)
+        ),
     ]);
     println!("{table}");
     println!(
@@ -85,7 +97,11 @@ fn main() {
             outcome.name.into(),
             format!("{:.3}", outcome.statistic),
             format!("{:.4}", outcome.p_value),
-            if outcome.pass { "yes".into() } else { "NO".into() },
+            if outcome.pass {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     println!("{battery}");

@@ -73,10 +73,7 @@ fn main() {
             format!("{:.4}", run.trajectory.ate_rmse),
             format!("{:.4}", run.trajectory.ate_mean),
             format!("{:.4}", run.trajectory.final_drift),
-            format!(
-                "{:.4}",
-                navicim_math::stats::mean(&run.per_step_error)
-            ),
+            format!("{:.4}", navicim_math::stats::mean(&run.per_step_error)),
         ]);
     }
     println!("{table}");

@@ -41,11 +41,7 @@ fn main() {
         .enumerate()
     {
         if i % 3 == 0 {
-            scatter.row(vec![
-                format!("{i}"),
-                format!("{v:.6}"),
-                format!("{e:.4}"),
-            ]);
+            scatter.row(vec![format!("{i}"), format!("{v:.6}"), format!("{e:.4}")]);
         }
     }
     println!("{scatter}");

@@ -61,10 +61,8 @@ fn main() {
                     bits,
                 )
                 .expect("energy prices");
-            let tops = navicim_energy::tops_per_watt(
-                2 * stats.macs_full_equivalent,
-                report.total_pj(),
-            );
+            let tops =
+                navicim_energy::tops_per_watt(2 * stats.macs_full_equivalent, report.total_pj());
             table.row(vec![
                 format!("{bits}-bit"),
                 if reuse { "on".into() } else { "off".into() },

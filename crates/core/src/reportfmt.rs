@@ -50,7 +50,11 @@ impl fmt::Display for Table {
         writeln!(
             f,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         )?;
         for row in &self.rows {
             writeln!(f, "| {} |", row.join(" | "))?;

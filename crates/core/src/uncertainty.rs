@@ -76,7 +76,10 @@ pub fn calibration_summary(
             &members.iter().map(|&i| abs_err[i]).collect::<Vec<_>>(),
         ));
         binned_uncertainty.push(stats::mean(
-            &members.iter().map(|&i| uncertainties[i]).collect::<Vec<_>>(),
+            &members
+                .iter()
+                .map(|&i| uncertainties[i])
+                .collect::<Vec<_>>(),
         ));
     }
     Ok(CalibrationSummary {

@@ -13,7 +13,7 @@ use navicim_math::geom::Pose;
 use navicim_math::metrics::{trajectory_error, TrajectoryError};
 use navicim_math::rng::{Pcg32, Rng64};
 use navicim_nn::loss::Mse;
-use navicim_nn::mc::McPrediction;
+use navicim_nn::mc::{mc_moments, McPrediction};
 use navicim_nn::mlp::Mlp;
 use navicim_nn::optim::Adam;
 use navicim_nn::quant::{QuantBackend, QuantMatrix, QuantizedMlp};
@@ -116,7 +116,11 @@ impl Default for VoTrainConfig {
 /// # Errors
 ///
 /// Propagates network construction/training errors.
-pub fn train_vo_network(samples: &[VoSample], in_dim: usize, config: &VoTrainConfig) -> Result<Mlp> {
+pub fn train_vo_network(
+    samples: &[VoSample],
+    in_dim: usize,
+    config: &VoTrainConfig,
+) -> Result<Mlp> {
     let mut rng = Pcg32::seed_from_u64(config.seed);
     let mut net = Mlp::builder(in_dim)
         .dense(config.hidden1)
@@ -317,31 +321,30 @@ impl BayesianVo {
                     .forward_with_masks(&mut self.backend, features, &mask_sets[i])
             })
             .collect();
-        let n = samples.len() as f64;
-        let out_dim = self.qnet.out_dim();
-        let mut mean = vec![0.0; out_dim];
-        for s in &samples {
-            for (m, &v) in mean.iter_mut().zip(s) {
-                *m += v / n;
-            }
-        }
-        let mut variance = vec![0.0; out_dim];
-        for s in &samples {
-            for ((var, &v), &m) in variance.iter_mut().zip(s).zip(&mean) {
-                *var += (v - m) * (v - m) / (n - 1.0);
-            }
-        }
-        McPrediction {
-            mean,
-            variance,
-            samples,
-        }
+        mc_moments(samples)
+    }
+
+    /// MC-Dropout predictions for a whole sequence of frames, in order.
+    ///
+    /// The per-frame unit of batching in this pipeline is the
+    /// `mc_iterations` stochastic passes (amortized on the macro by
+    /// compute reuse); this entry point is the frame-sweep API the
+    /// trajectory runners weight whole datasets through.
+    pub fn predict_batch<'a>(
+        &mut self,
+        features_batch: impl IntoIterator<Item = &'a [f64]>,
+    ) -> Vec<McPrediction> {
+        features_batch
+            .into_iter()
+            .map(|features| self.predict(features))
+            .collect()
     }
 
     /// Deterministic quantized prediction (no dropout at inference).
     pub fn predict_deterministic(&mut self, features: &[f64]) -> Vec<f64> {
         self.backend.reset();
-        self.qnet.forward_with_masks(&mut self.backend, features, &[])
+        self.qnet
+            .forward_with_masks(&mut self.backend, features, &[])
     }
 
     /// Runs MC-Dropout VO over a dataset, integrating the predicted mean
@@ -356,11 +359,11 @@ impl BayesianVo {
                 "vo dataset has no frame pairs".into(),
             ));
         }
+        let predictions = self.predict_batch(dataset.samples.iter().map(|s| s.features.as_slice()));
         let mut deltas = Vec::with_capacity(dataset.samples.len());
         let mut per_step_error = Vec::with_capacity(dataset.samples.len());
         let mut per_step_variance = Vec::with_capacity(dataset.samples.len());
-        for sample in &dataset.samples {
-            let pred = self.predict(&sample.features);
+        for (sample, pred) in dataset.samples.iter().zip(predictions) {
             let mut d = [0.0; 6];
             d.copy_from_slice(&pred.mean);
             for r in &mut d[3..6] {
@@ -500,7 +503,11 @@ mod tests {
     }
 
     fn calibration(ds: &VoDataset) -> Vec<Vec<f64>> {
-        ds.samples.iter().take(8).map(|s| s.features.clone()).collect()
+        ds.samples
+            .iter()
+            .take(8)
+            .map(|s| s.features.clone())
+            .collect()
     }
 
     #[test]

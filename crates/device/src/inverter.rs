@@ -139,13 +139,7 @@ impl GaussianLikeCell {
 
     /// Applies per-device mismatch: threshold shifts (volts) and relative
     /// transconductance errors for the NMOS/PMOS halves.
-    pub fn with_mismatch(
-        mut self,
-        dvth_n: f64,
-        dvth_p: f64,
-        dbeta_n: f64,
-        dbeta_p: f64,
-    ) -> Self {
+    pub fn with_mismatch(mut self, dvth_n: f64, dvth_p: f64, dbeta_n: f64, dbeta_p: f64) -> Self {
         self.nmos = self
             .nmos
             .with_vth_shift(dvth_n)
@@ -249,10 +243,7 @@ mod tests {
             let cell = GaussianLikeCell::with_center(&t, c);
             let peak = cell.current(c);
             for &v in &[c - 0.2, c - 0.1, c + 0.1, c + 0.2] {
-                assert!(
-                    cell.current(v) < peak,
-                    "center {c}: I({v}) >= I({c})"
-                );
+                assert!(cell.current(v) < peak, "center {c}: I({v}) >= I({c})");
             }
         }
     }
@@ -314,12 +305,7 @@ mod tests {
             sx2y += x * x * y;
         }
         use navicim_math::linalg::Matrix;
-        let a = Matrix::from_rows(&[
-            &[n, sx, sx2],
-            &[sx, sx2, sx3],
-            &[sx2, sx3, sx4],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[n, sx, sx2], &[sx, sx2, sx3], &[sx2, sx3, sx4]]).unwrap();
         let coef = a.solve(&[sy, sxy, sx2y]).unwrap();
         let mean_y = sy / n;
         let mut ss_res = 0.0;

@@ -108,11 +108,7 @@ impl Mosfet {
     pub fn saturation_current(&self, v_gate_drive: f64) -> f64 {
         let x = (v_gate_drive - self.vth) / (2.0 * self.slope_n * self.u_t);
         // ln(1+e^x) computed stably for large |x|.
-        let softplus = if x > 30.0 {
-            x
-        } else {
-            x.exp().ln_1p()
-        };
+        let softplus = if x > 30.0 { x } else { x.exp().ln_1p() };
         let i_f = 2.0 * self.slope_n * self.beta * self.u_t * self.u_t * softplus * softplus;
         i_f + self.i_leak
     }

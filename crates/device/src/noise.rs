@@ -54,7 +54,18 @@ impl NoiseModel {
 
     /// Draws one integrated noise-current sample for the operating point.
     pub fn sample<R: Rng64 + ?Sized>(&self, gm: f64, i_bias: f64, rng: &mut R) -> f64 {
-        rng.sample_normal(0.0, self.total_rms(gm, i_bias))
+        self.sample_with_z(gm, i_bias, rng.sample_standard_normal())
+    }
+
+    /// Noise-current sample from a pre-drawn standard-normal `z`.
+    ///
+    /// Batch evaluators harvest their standard normals in bulk and scale
+    /// them per operating point through this method, so the noise formula
+    /// lives here in the device model rather than being re-derived by
+    /// each caller. `sample` delegates here, keeping the two paths
+    /// identical.
+    pub fn sample_with_z(&self, gm: f64, i_bias: f64, z: f64) -> f64 {
+        self.total_rms(gm, i_bias) * z
     }
 }
 
@@ -94,7 +105,9 @@ mod tests {
         let m = NoiseModel::room_temperature(1e8);
         let mut rng = Pcg32::seed_from_u64(1);
         let rms = m.total_rms(1e-4, 1e-6);
-        let xs: Vec<f64> = (0..20_000).map(|_| m.sample(1e-4, 1e-6, &mut rng)).collect();
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| m.sample(1e-4, 1e-6, &mut rng))
+            .collect();
         assert!((stats::std_dev(&xs) / rms - 1.0).abs() < 0.05);
         assert!(stats::mean(&xs).abs() < rms * 0.05);
     }

@@ -1,10 +1,9 @@
 //! Itemized energy reports with markdown rendering.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An itemized energy breakdown (all values in picojoules).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyReport {
     label: String,
     items: Vec<(String, f64)>,

@@ -102,10 +102,7 @@ impl SramCimProfile {
             rng_bits,
             precision_bits,
         )?;
-        Ok(tops_per_watt(
-            2 * macs_full_equivalent,
-            report.total_pj(),
-        ))
+        Ok(tops_per_watt(2 * macs_full_equivalent, report.total_pj()))
     }
 }
 

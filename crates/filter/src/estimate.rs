@@ -89,11 +89,9 @@ mod tests {
         // average to the same orientation, not cancel out.
         let q = Quat::from_euler(0.0, 0.0, 1.0);
         let neg_q = Quat::new(-q.w, -q.x, -q.y, -q.z);
-        let set = ParticleSet::from_states(vec![
-            Pose::new(q, Vec3::ZERO),
-            Pose::new(neg_q, Vec3::ZERO),
-        ])
-        .unwrap();
+        let set =
+            ParticleSet::from_states(vec![Pose::new(q, Vec3::ZERO), Pose::new(neg_q, Vec3::ZERO)])
+                .unwrap();
         let est = mean_pose(&set);
         assert!(est.rotation.angle_to(q) < 1e-9);
     }

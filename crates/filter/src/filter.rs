@@ -15,9 +15,37 @@ pub trait Motion<S, U> {
 ///
 /// Takes `&mut self` because hardware-backed implementations (the CIM
 /// engine) consume noise-source state per evaluation.
+///
+/// The filter weighs whole particle sets through
+/// [`Measurement::log_likelihood_batch`]; the provided implementation
+/// loops over scalar calls, so existing scalar models keep working
+/// unchanged, while batch-capable sensors (the map backends in
+/// `navicim-core`) override it to amortize per-evaluation overhead across
+/// the frame.
 pub trait Measurement<S, Z> {
     /// Log-likelihood of observation `obs` under state hypothesis `state`.
     fn log_likelihood(&mut self, state: &S, obs: &Z) -> f64;
+
+    /// Log-likelihood of `obs` under every hypothesis in `states`,
+    /// written to `out` in order.
+    ///
+    /// Implementations must be bit-identical to evaluating the states
+    /// one by one with [`Measurement::log_likelihood`] (the provided
+    /// implementation trivially is).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != states.len()`.
+    fn log_likelihood_batch(&mut self, states: &[S], obs: &Z, out: &mut [f64]) {
+        assert_eq!(
+            states.len(),
+            out.len(),
+            "output buffer must hold one log-likelihood per state"
+        );
+        for (o, s) in out.iter_mut().zip(states) {
+            *o = self.log_likelihood(s, obs);
+        }
+    }
 }
 
 impl<S, U, F> Motion<S, U> for F
@@ -26,6 +54,18 @@ where
 {
     fn sample(&self, state: &S, control: &U, rng: &mut dyn Rng64) -> S {
         self(state, control, rng)
+    }
+}
+
+/// Closure measurement models: any `FnMut(&S, &Z) -> f64` is a
+/// [`Measurement`], mirroring the closure [`Motion`] impl, so tests and
+/// examples can plug in ad-hoc sensors without a wrapper type.
+impl<S, Z, F> Measurement<S, Z> for F
+where
+    F: FnMut(&S, &Z) -> f64,
+{
+    fn log_likelihood(&mut self, state: &S, obs: &Z) -> f64 {
+        self(state, obs)
     }
 }
 
@@ -54,6 +94,8 @@ pub struct ParticleFilter<S> {
     config: FilterConfig,
     resample_count: u64,
     step_count: u64,
+    /// Reused per-update log-likelihood buffer (one slot per particle).
+    ll_scratch: Vec<f64>,
 }
 
 impl<S: Clone> ParticleFilter<S> {
@@ -64,6 +106,7 @@ impl<S: Clone> ParticleFilter<S> {
             config,
             resample_count: 0,
             step_count: 0,
+            ll_scratch: Vec::new(),
         }
     }
 
@@ -98,8 +141,9 @@ impl<S: Clone> ParticleFilter<S> {
         }
     }
 
-    /// Measurement update: reweights by the observation likelihood and
-    /// resamples if the effective sample size dropped below the threshold.
+    /// Measurement update: weighs the whole particle set through the
+    /// sensor's batch API, then resamples if the effective sample size
+    /// dropped below the threshold.
     ///
     /// # Errors
     ///
@@ -110,14 +154,14 @@ impl<S: Clone> ParticleFilter<S> {
         M: Measurement<S, Z>,
         R: Rng64,
     {
-        let lls: Vec<f64> = self
-            .particles
-            .states()
-            .iter()
-            .map(|s| sensor.log_likelihood(s, obs))
-            .collect();
-        // Borrow juggling: reweight needs &mut particles while lls is owned.
-        self.particles.reweight_log(&lls)?;
+        // Borrow juggling: reweight needs &mut particles while the
+        // scratch buffer is detached, so take it out for the call.
+        let mut lls = std::mem::take(&mut self.ll_scratch);
+        lls.resize(self.particles.len(), 0.0);
+        sensor.log_likelihood_batch(self.particles.states(), obs, &mut lls);
+        let reweighted = self.particles.reweight_log(&lls);
+        self.ll_scratch = lls;
+        reweighted?;
         self.step_count += 1;
         let n = self.particles.len() as f64;
         if self.particles.ess() < self.config.ess_fraction * n {
@@ -169,7 +213,9 @@ mod tests {
     }
 
     fn walk_motion() -> impl Motion<f64, f64> {
-        |state: &f64, control: &f64, rng: &mut dyn Rng64| state + control + rng.sample_normal(0.0, 0.05)
+        |state: &f64, control: &f64, rng: &mut dyn Rng64| {
+            state + control + rng.sample_normal(0.0, 0.05)
+        }
     }
 
     #[test]
@@ -187,10 +233,14 @@ mod tests {
             let control = 0.2;
             truth += control;
             let obs = truth + rng.sample_normal(0.0, 0.3);
-            pf.step(&control, &obs, &motion, &mut sensor, &mut rng).unwrap();
+            pf.step(&control, &obs, &motion, &mut sensor, &mut rng)
+                .unwrap();
             if step > 5 {
                 let est = pf.particles().weighted_mean(|s| *s);
-                assert!((est - truth).abs() < 0.5, "step {step}: est {est} truth {truth}");
+                assert!(
+                    (est - truth).abs() < 0.5,
+                    "step {step}: est {est} truth {truth}"
+                );
             }
         }
         assert!(pf.steps() == 30);
@@ -250,6 +300,38 @@ mod tests {
             pf.step(&0.0, &1.0, &motion, &mut sensor, &mut rng).unwrap();
         }
         assert_eq!(pf.resamples(), 0);
+    }
+
+    #[test]
+    fn closure_measurement_model_works() {
+        // Mirrors `walk_motion`: both models supplied as plain closures.
+        let mut rng = Pcg32::seed_from_u64(6);
+        let init: Vec<f64> = (0..300).map(|_| rng.sample_uniform(-10.0, 10.0)).collect();
+        let mut pf = ParticleFilter::new(
+            ParticleSet::from_states(init).unwrap(),
+            FilterConfig::default(),
+        );
+        let motion = walk_motion();
+        let mut sensor = |state: &f64, obs: &f64| normal_logpdf(*obs, *state, 0.4);
+        for _ in 0..10 {
+            pf.step(&0.0, &2.0, &motion, &mut sensor, &mut rng).unwrap();
+        }
+        let est = pf.particles().weighted_mean(|s| *s);
+        assert!((est - 2.0).abs() < 0.3, "estimate {est}");
+    }
+
+    #[test]
+    fn default_batch_adapter_matches_scalar_loop() {
+        let states: Vec<f64> = vec![-1.0, 0.0, 0.5, 2.0];
+        let mut sensor = GaussianSensor { sigma: 0.7 };
+        let obs = 0.25;
+        let scalar: Vec<f64> = states
+            .iter()
+            .map(|s| sensor.log_likelihood(s, &obs))
+            .collect();
+        let mut batched = vec![0.0; states.len()];
+        sensor.log_likelihood_batch(&states, &obs, &mut batched);
+        assert_eq!(scalar, batched);
     }
 
     #[test]

@@ -4,8 +4,8 @@ use crate::gaussian::{Covariance, Gmm};
 use crate::kmeans::kmeans;
 use crate::{check_dims, GmmError, Result};
 use navicim_math::linalg::Matrix;
-use navicim_math::stats::{diag_mvn_logpdf, log_sum_exp, mvn_logpdf};
 use navicim_math::rng::Rng64;
+use navicim_math::stats::{diag_mvn_logpdf, log_sum_exp, mvn_logpdf};
 
 /// Configuration of an EM run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,12 +84,7 @@ pub fn fit_diag_gmm<R: Rng64 + ?Sized>(
             }
             weights[j] = nk / n as f64;
             for d in 0..dim {
-                let mu: f64 = points
-                    .iter()
-                    .zip(&resp)
-                    .map(|(p, r)| r * p[d])
-                    .sum::<f64>()
-                    / nk;
+                let mu: f64 = points.iter().zip(&resp).map(|(p, r)| r * p[d]).sum::<f64>() / nk;
                 means[j][d] = mu;
                 let var: f64 = points
                     .iter()
@@ -161,12 +156,7 @@ pub fn fit_full_gmm<R: Rng64 + ?Sized>(
             }
             weights[j] = nk / n as f64;
             for d in 0..dim {
-                means[j][d] = points
-                    .iter()
-                    .zip(&resp)
-                    .map(|(p, r)| r * p[d])
-                    .sum::<f64>()
-                    / nk;
+                means[j][d] = points.iter().zip(&resp).map(|(p, r)| r * p[d]).sum::<f64>() / nk;
             }
             let mut cov = Matrix::zeros(dim, dim);
             for (p, r) in points.iter().zip(&resp) {
@@ -376,8 +366,7 @@ mod tests {
     fn select_components_finds_two() {
         let pts = blob_data(9, 300);
         let mut rng = Pcg32::seed_from_u64(10);
-        let (k, _) =
-            select_components(&pts, &[1, 2, 4], &FitConfig::default(), &mut rng).unwrap();
+        let (k, _) = select_components(&pts, &[1, 2, 4], &FitConfig::default(), &mut rng).unwrap();
         assert_eq!(k, 2);
     }
 }

@@ -6,9 +6,10 @@
 //! the [`crate::hmg`] family.
 
 use crate::{GmmError, Result};
+use navicim_backend::{check_batch_shape, par, LikelihoodBackend, PointBatch};
 use navicim_math::linalg::Matrix;
 use navicim_math::rng::{Rng64, SampleExt};
-use navicim_math::stats::{diag_mvn_logpdf, log_sum_exp, mvn_logpdf};
+use navicim_math::stats::{log_sum_exp, mvn_logpdf, LN_2PI};
 
 /// Covariance parameterization of a [`Gmm`].
 #[derive(Debug, Clone, PartialEq)]
@@ -116,27 +117,55 @@ impl Gmm {
 
     /// Log-density of the mixture at `x`.
     ///
+    /// Scalar adapter over the batch path: builds the per-component
+    /// evaluation plan and scores a single point with it, so scalar and
+    /// batch evaluation are bit-identical by construction.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len()` differs from the model dimension (programming
     /// error at the call site).
     pub fn log_pdf(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.dim(), "query dimension mismatch");
+        let plan = self.eval_plan();
         let mut terms = Vec::with_capacity(self.num_components());
-        for k in 0..self.num_components() {
-            let lw = self.weights[k].max(1e-300).ln();
-            let lp = match &self.covariance {
-                Covariance::Diagonal(vars) => {
-                    let sds: Vec<f64> = vars[k].iter().map(|v| v.sqrt()).collect();
-                    diag_mvn_logpdf(x, &self.means[k], &sds)
+        plan.log_pdf(x, &mut terms)
+    }
+
+    /// Builds the reusable evaluation plan for this mixture.
+    ///
+    /// The plan hoists everything that does not depend on the query point
+    /// — per-component log-weights, normalization constants and inverse
+    /// variances — so a batch of N points pays for it once instead of N
+    /// times. [`Gmm::log_pdf`] and the [`LikelihoodBackend`] impl share
+    /// it, which is what makes them bit-identical.
+    pub fn eval_plan(&self) -> GmmEvalPlan<'_> {
+        match &self.covariance {
+            Covariance::Diagonal(vars) => {
+                let dim = self.dim();
+                let mut consts = Vec::with_capacity(self.num_components());
+                let mut neg_half_inv_vars = Vec::with_capacity(self.num_components() * dim);
+                for (k, vk) in vars.iter().enumerate() {
+                    let mut c = self.weights[k].max(1e-300).ln() - 0.5 * dim as f64 * LN_2PI;
+                    for &v in vk {
+                        c -= 0.5 * v.ln();
+                        neg_half_inv_vars.push(-0.5 / v);
+                    }
+                    consts.push(c);
                 }
-                Covariance::Full(covs) => {
-                    mvn_logpdf(x, &self.means[k], &covs[k]).unwrap_or(f64::NEG_INFINITY)
+                GmmEvalPlan {
+                    gmm: self,
+                    diag: Some(DiagPlan {
+                        consts,
+                        neg_half_inv_vars,
+                    }),
                 }
-            };
-            terms.push(lw + lp);
+            }
+            Covariance::Full(_) => GmmEvalPlan {
+                gmm: self,
+                diag: None,
+            },
         }
-        log_sum_exp(&terms)
     }
 
     /// Density of the mixture at `x`.
@@ -166,10 +195,7 @@ impl Gmm {
                     .collect();
                 let l = chol.lower();
                 (0..self.dim())
-                    .map(|i| {
-                        self.means[k][i]
-                            + (0..=i).map(|j| l[(i, j)] * z[j]).sum::<f64>()
-                    })
+                    .map(|i| self.means[k][i] + (0..=i).map(|j| l[(i, j)] * z[j]).sum::<f64>())
                     .collect()
             }
         }
@@ -187,6 +213,82 @@ impl Gmm {
             Covariance::Full(_) => k * (d + d * (d + 1.0) / 2.0) + (k - 1.0),
         };
         params * n.ln() - 2.0 * loglik
+    }
+}
+
+/// Hoisted per-component constants for diagonal mixtures.
+#[derive(Debug, Clone)]
+struct DiagPlan {
+    /// Per component: `ln w_k − Σᵢ ln σ_{k,i} − d/2 · ln 2π`.
+    consts: Vec<f64>,
+    /// Per component × axis: `−1/(2σ²)`, flattened row-major.
+    neg_half_inv_vars: Vec<f64>,
+}
+
+/// A reusable, query-independent evaluation plan for a [`Gmm`].
+///
+/// Built once per batch (or per scalar call) by [`Gmm::eval_plan`]. For
+/// diagonal mixtures the plan carries hoisted constants; full-covariance
+/// mixtures fall back to the per-point Cholesky path.
+#[derive(Debug, Clone)]
+pub struct GmmEvalPlan<'a> {
+    gmm: &'a Gmm,
+    diag: Option<DiagPlan>,
+}
+
+impl GmmEvalPlan<'_> {
+    /// Log-density of one point, using `terms` as component scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the model dimension.
+    pub fn log_pdf(&self, x: &[f64], terms: &mut Vec<f64>) -> f64 {
+        let gmm = self.gmm;
+        let dim = gmm.dim();
+        assert_eq!(x.len(), dim, "query dimension mismatch");
+        terms.clear();
+        match &self.diag {
+            Some(plan) => {
+                for (k, &c) in plan.consts.iter().enumerate() {
+                    let nhiv = &plan.neg_half_inv_vars[k * dim..(k + 1) * dim];
+                    let mean = &gmm.means[k];
+                    let mut quad = 0.0;
+                    for i in 0..dim {
+                        let d = x[i] - mean[i];
+                        quad += nhiv[i] * d * d;
+                    }
+                    terms.push(c + quad);
+                }
+            }
+            None => {
+                let Covariance::Full(covs) = &gmm.covariance else {
+                    unreachable!("plan without diag data implies full covariance")
+                };
+                for k in 0..gmm.num_components() {
+                    let lw = gmm.weights[k].max(1e-300).ln();
+                    let lp = mvn_logpdf(x, &gmm.means[k], &covs[k]).unwrap_or(f64::NEG_INFINITY);
+                    terms.push(lw + lp);
+                }
+            }
+        }
+        log_sum_exp(terms)
+    }
+}
+
+impl LikelihoodBackend for Gmm {
+    fn dim(&self) -> usize {
+        Gmm::dim(self)
+    }
+
+    fn log_likelihood_into(&mut self, batch: &PointBatch, out: &mut [f64]) {
+        check_batch_shape(Gmm::dim(self), batch, out);
+        let plan = self.eval_plan();
+        par::for_each_chunk(out, |start, chunk| {
+            let mut terms = Vec::with_capacity(plan.gmm.num_components());
+            for (offset, o) in chunk.iter_mut().enumerate() {
+                *o = plan.log_pdf(batch.point(start + offset), &mut terms);
+            }
+        });
     }
 }
 
@@ -256,10 +358,7 @@ mod tests {
         let full = Gmm::new(
             diag.weights().to_vec(),
             diag.means().to_vec(),
-            Covariance::Full(vec![
-                Matrix::diag(&[1.0, 1.0]),
-                Matrix::diag(&[0.25, 0.25]),
-            ]),
+            Covariance::Full(vec![Matrix::diag(&[1.0, 1.0]), Matrix::diag(&[0.25, 0.25])]),
         )
         .unwrap();
         for p in [[0.0, 0.0], [1.0, 2.0], [4.0, 3.5]] {
@@ -273,8 +372,8 @@ mod tests {
         let mut rng = Pcg32::seed_from_u64(1);
         let samples: Vec<Vec<f64>> = (0..20_000).map(|_| gmm.sample(&mut rng)).collect();
         // Fraction near the second blob should approach its weight.
-        let near_second = samples.iter().filter(|s| s[0] > 2.0).count() as f64
-            / samples.len() as f64;
+        let near_second =
+            samples.iter().filter(|s| s[0] > 2.0).count() as f64 / samples.len() as f64;
         assert!((near_second - 0.6).abs() < 0.02, "{near_second}");
         let xs: Vec<f64> = samples.iter().map(|s| s[0]).collect();
         let expect_mean = 0.4 * 0.0 + 0.6 * 4.0;
@@ -284,12 +383,7 @@ mod tests {
     #[test]
     fn full_covariance_sampling_respects_correlation() {
         let cov = Matrix::from_rows(&[&[1.0, 0.8], &[0.8, 1.0]]).unwrap();
-        let gmm = Gmm::new(
-            vec![1.0],
-            vec![vec![0.0, 0.0]],
-            Covariance::Full(vec![cov]),
-        )
-        .unwrap();
+        let gmm = Gmm::new(vec![1.0], vec![vec![0.0, 0.0]], Covariance::Full(vec![cov])).unwrap();
         let mut rng = Pcg32::seed_from_u64(2);
         let samples: Vec<Vec<f64>> = (0..20_000).map(|_| gmm.sample(&mut rng)).collect();
         let xs: Vec<f64> = samples.iter().map(|s| s[0]).collect();

@@ -13,6 +13,7 @@
 
 use crate::fit::{fit_diag_gmm, FitConfig};
 use crate::{check_dims, GmmError, Result};
+use navicim_backend::{check_batch_shape, par, LikelihoodBackend, PointBatch};
 use navicim_math::rng::Rng64;
 
 /// One Harmonic-Mean-of-Gaussian kernel.
@@ -194,6 +195,22 @@ impl HmgmModel {
     /// Natural log of [`Self::likelihood`], floored to stay finite.
     pub fn log_likelihood(&self, x: &[f64]) -> f64 {
         self.likelihood(x).max(1e-300).ln()
+    }
+}
+
+impl LikelihoodBackend for HmgmModel {
+    fn dim(&self) -> usize {
+        HmgmModel::dim(self)
+    }
+
+    fn log_likelihood_into(&mut self, batch: &PointBatch, out: &mut [f64]) {
+        check_batch_shape(HmgmModel::dim(self), batch, out);
+        let model = &*self;
+        par::for_each_chunk(out, |start, chunk| {
+            for (offset, o) in chunk.iter_mut().enumerate() {
+                *o = model.log_likelihood(batch.point(start + offset));
+            }
+        });
     }
 }
 
@@ -412,7 +429,7 @@ mod tests {
         // This is the paper's Fig. 2(c,d) "rectilinear tails" observation.
         let k = kernel2d();
         let level = k.eval(&[3.0, 0.0]); // contour through (3, 0)
-        // Find the diagonal crossing of the same level.
+                                         // Find the diagonal crossing of the same level.
         let mut r = 0.0;
         while k.eval(&[r / 2f64.sqrt(), r / 2f64.sqrt()]) > level {
             r += 0.01;

@@ -96,17 +96,10 @@ pub fn kmeans<R: Rng64 + ?Sized>(
 /// k-means++ seeding: the first centroid is uniform, each subsequent one is
 /// drawn with probability proportional to its squared distance from the
 /// nearest existing centroid.
-fn plus_plus_seeds<R: Rng64 + ?Sized>(
-    points: &[Vec<f64>],
-    k: usize,
-    rng: &mut R,
-) -> Vec<Vec<f64>> {
+fn plus_plus_seeds<R: Rng64 + ?Sized>(points: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
     let mut centroids = Vec::with_capacity(k);
     centroids.push(points[rng.sample_index(points.len())].clone());
-    let mut d2: Vec<f64> = points
-        .iter()
-        .map(|p| dist_sq(p, &centroids[0]))
-        .collect();
+    let mut d2: Vec<f64> = points.iter().map(|p| dist_sq(p, &centroids[0])).collect();
     while centroids.len() < k {
         let total: f64 = d2.iter().sum();
         let idx = if total <= 0.0 {

@@ -471,7 +471,9 @@ impl Quat {
     pub fn angle_to(self, other: Quat) -> f64 {
         let a = self.normalized();
         let b = other.normalized();
-        let dot = (a.w * b.w + a.x * b.x + a.y * b.y + a.z * b.z).abs().min(1.0);
+        let dot = (a.w * b.w + a.x * b.x + a.y * b.y + a.z * b.z)
+            .abs()
+            .min(1.0);
         2.0 * dot.acos()
     }
 }

@@ -377,8 +377,7 @@ impl Matrix {
                 }
             }
             if off.sqrt() < 1e-12 {
-                let mut pairs: Vec<(f64, usize)> =
-                    (0..n).map(|i| (a[(i, i)], i)).collect();
+                let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (a[(i, i)], i)).collect();
                 pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("eigenvalues are finite"));
                 let vals: Vec<f64> = pairs.iter().map(|p| p.0).collect();
                 let mut vecs = Matrix::zeros(n, n);

@@ -188,7 +188,12 @@ mod tests {
         // consecutive deltas unchanged.
         let truths: Vec<Pose> = (0..6)
             .map(|i| {
-                Pose::from_position_euler(Vec3::new(i as f64, (i * i) as f64 * 0.1, 0.0), 0.0, 0.0, 0.0)
+                Pose::from_position_euler(
+                    Vec3::new(i as f64, (i * i) as f64 * 0.1, 0.0),
+                    0.0,
+                    0.0,
+                    0.0,
+                )
             })
             .collect();
         let estimates: Vec<Pose> = truths

@@ -112,7 +112,10 @@ pub fn serial_pairs(bits: &[bool]) -> TestOutcome {
         counts[idx] += 1.0;
     }
     let expected = n / 4.0;
-    let chi2: f64 = counts.iter().map(|c| (c - expected) * (c - expected) / expected).sum();
+    let chi2: f64 = counts
+        .iter()
+        .map(|c| (c - expected) * (c - expected) / expected)
+        .sum();
     // Wilson–Hilferty cube-root normal approximation for χ²(k=3).
     let k = 3.0;
     let z = ((chi2 / k).powf(1.0 / 3.0) - (1.0 - 2.0 / (9.0 * k))) / (2.0 / (9.0 * k)).sqrt();

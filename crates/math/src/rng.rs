@@ -203,7 +203,10 @@ pub trait SampleExt: Rng64 {
     fn sample_weighted(&mut self, weights: &[f64]) -> usize {
         assert!(!weights.is_empty(), "sample_weighted requires weights");
         let total: f64 = weights.iter().sum();
-        assert!(total > 0.0, "sample_weighted requires positive total weight");
+        assert!(
+            total > 0.0,
+            "sample_weighted requires positive total weight"
+        );
         let mut target = self.next_f64() * total;
         for (i, &w) in weights.iter().enumerate() {
             target -= w;

@@ -65,7 +65,10 @@ pub fn median(xs: &[f64]) -> f64 {
 /// Panics if `xs` is empty or `p` is outside `[0, 100]`.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile requires data");
-    assert!((0.0..=100.0).contains(&p), "percentile requires 0 <= p <= 100");
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile requires 0 <= p <= 100"
+    );
     let mut v = xs.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("percentile requires non-NaN data"));
     let rank = p / 100.0 * (v.len() - 1) as f64;
@@ -122,7 +125,11 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64> {
 /// mean rank of their run.
 pub fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("ranks require non-NaN data"));
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .expect("ranks require non-NaN data")
+    });
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -321,8 +328,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();

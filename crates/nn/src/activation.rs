@@ -77,6 +77,13 @@ impl ActivationLayer {
         self.kind.apply_all(x)
     }
 
+    /// Allocation-free inference forward pass into a reused buffer;
+    /// bit-identical to [`ActivationLayer::forward`] without caching.
+    pub fn forward_into(&self, x: &[f64], y: &mut Vec<f64>) {
+        y.clear();
+        y.extend(x.iter().map(|&v| self.kind.apply(v)));
+    }
+
     /// Backward pass through the cached pre-activations.
     ///
     /// # Panics

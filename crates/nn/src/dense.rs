@@ -72,16 +72,31 @@ impl Dense {
     ///
     /// Panics if `x.len()` differs from the input dimension.
     pub fn forward(&mut self, x: &[f64], train: bool) -> Vec<f64> {
-        assert_eq!(x.len(), self.in_dim, "dense input dimension mismatch");
         if train {
             self.input_cache = x.to_vec();
         }
-        let mut y = self.b.clone();
+        let mut y = Vec::new();
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    /// Allocation-free inference forward pass into a reused buffer.
+    ///
+    /// Bit-identical to [`Dense::forward`] (which delegates here); used by
+    /// the batched inference path, which pays for output buffers once per
+    /// batch instead of once per pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input dimension.
+    pub fn forward_into(&self, x: &[f64], y: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.in_dim, "dense input dimension mismatch");
+        y.clear();
+        y.extend_from_slice(&self.b);
         for (o, yo) in y.iter_mut().enumerate() {
             let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
             *yo += row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>();
         }
-        y
     }
 
     /// Backward pass: accumulates weight/bias gradients from the cached
@@ -92,7 +107,11 @@ impl Dense {
     /// Panics if no forward pass with `train = true` preceded this call or
     /// the gradient dimension is wrong.
     pub fn backward(&mut self, grad_out: &[f64]) -> Vec<f64> {
-        assert_eq!(grad_out.len(), self.out_dim, "dense gradient dimension mismatch");
+        assert_eq!(
+            grad_out.len(),
+            self.out_dim,
+            "dense gradient dimension mismatch"
+        );
         assert_eq!(
             self.input_cache.len(),
             self.in_dim,

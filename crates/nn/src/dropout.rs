@@ -73,6 +73,36 @@ impl Dropout {
         x.to_vec()
     }
 
+    /// Allocation-free sampled forward pass into a reused buffer.
+    ///
+    /// Draws the mask element-by-element from `rng` in the same order as
+    /// [`Dropout::sample_mask`], so the output (and the RNG stream) is
+    /// bit-identical to [`Dropout::forward`]. Skips the backward-pass mask
+    /// cache — inference only.
+    pub fn forward_sampled_into<R: Rng64 + ?Sized>(
+        &self,
+        x: &[f64],
+        rng: &mut R,
+        y: &mut Vec<f64>,
+    ) {
+        let scale = 1.0 / (1.0 - self.p);
+        y.clear();
+        y.extend(x.iter().map(|&v| {
+            let keep = !rng.sample_bool(self.p);
+            if keep {
+                v * scale
+            } else {
+                0.0
+            }
+        }));
+    }
+
+    /// Allocation-free identity forward pass (deterministic inference).
+    pub fn forward_identity_into(&self, x: &[f64], y: &mut Vec<f64>) {
+        y.clear();
+        y.extend_from_slice(x);
+    }
+
     /// Backward pass through the cached mask.
     ///
     /// # Panics

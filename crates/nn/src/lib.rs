@@ -92,7 +92,10 @@ impl fmt::Display for NnError {
         match self {
             NnError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             NnError::ShapeMismatch { expected, found } => {
-                write!(f, "shape mismatch: expected dimension {expected}, found {found}")
+                write!(
+                    f,
+                    "shape mismatch: expected dimension {expected}, found {found}"
+                )
             }
             NnError::EmptyNetwork => write!(f, "network has no layers"),
         }

@@ -130,7 +130,11 @@ mod tests {
                 p[i] -= 2.0 * eps;
                 let dn = loss.value(&p, &target);
                 let num = (up - dn) / (2.0 * eps);
-                assert!((num - g[i]).abs() < 1e-6, "component {i}: {num} vs {}", g[i]);
+                assert!(
+                    (num - g[i]).abs() < 1e-6,
+                    "component {i}: {num} vs {}",
+                    g[i]
+                );
             }
         }
     }

@@ -1,8 +1,9 @@
 //! MC-Dropout inference: predictive mean and variance from repeated
 //! stochastic forward passes (Gal & Ghahramani 2016; paper Section III-C).
 
-use crate::mlp::Mlp;
+use crate::mlp::{ForwardScratch, Mlp};
 use crate::{Mode, NnError, Result};
+use navicim_backend::PointBatch;
 use navicim_math::rng::Rng64;
 
 /// The outcome of an MC-Dropout prediction.
@@ -55,30 +56,79 @@ impl McDropout {
         self.iterations
     }
 
-    /// Runs the Monte-Carlo prediction.
+    /// Runs the Monte-Carlo prediction for one input.
+    ///
+    /// Scalar adapter over [`McDropout::predict_batch`] (a batch of one),
+    /// so scalar and batched prediction consume the identical dropout-RNG
+    /// stream and arithmetic.
     pub fn predict<R: Rng64>(&self, net: &mut Mlp, input: &[f64], rng: &mut R) -> McPrediction {
-        let samples: Vec<Vec<f64>> = (0..self.iterations)
-            .map(|_| net.forward(input, Mode::McSample, rng))
-            .collect();
-        let out_dim = samples[0].len();
-        let n = samples.len() as f64;
-        let mut mean = vec![0.0; out_dim];
-        for s in &samples {
-            for (m, &v) in mean.iter_mut().zip(s) {
-                *m += v / n;
+        let mut batch = PointBatch::new(input.len());
+        batch.push(input);
+        self.predict_batch(net, &batch, rng)
+            .pop()
+            .expect("batch of one yields one prediction")
+    }
+
+    /// Runs Monte-Carlo predictions for a whole batch of inputs.
+    ///
+    /// All `iterations × batch` stochastic passes share one set of
+    /// ping-pong activation buffers ([`Mlp::forward_into`]), so the heap
+    /// traffic of the scalar path (one vector per layer per pass) is paid
+    /// once per batch. Inputs are processed in order and, per input,
+    /// iterations in order — the dropout masks drawn from `rng` are
+    /// bit-identical to sequential [`McDropout::predict`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch dimension differs from the network input
+    /// dimension.
+    pub fn predict_batch<R: Rng64>(
+        &self,
+        net: &Mlp,
+        inputs: &PointBatch,
+        rng: &mut R,
+    ) -> Vec<McPrediction> {
+        assert_eq!(
+            inputs.dim(),
+            net.in_dim(),
+            "batch dimension must match network input dimension"
+        );
+        let mut scratch = ForwardScratch::default();
+        let mut sample = Vec::with_capacity(net.out_dim());
+        let mut predictions = Vec::with_capacity(inputs.len());
+        for input in inputs.iter() {
+            let mut samples = Vec::with_capacity(self.iterations);
+            for _ in 0..self.iterations {
+                net.forward_into(input, Mode::McSample, rng, &mut scratch, &mut sample);
+                samples.push(sample.clone());
             }
+            predictions.push(mc_moments(samples));
         }
-        let mut variance = vec![0.0; out_dim];
-        for s in &samples {
-            for ((var, &v), &m) in variance.iter_mut().zip(s).zip(&mean) {
-                *var += (v - m) * (v - m) / (n - 1.0);
-            }
+        predictions
+    }
+}
+
+/// Predictive mean/variance from raw MC samples (shared by the scalar and
+/// batched paths and by the VO pipeline).
+pub fn mc_moments(samples: Vec<Vec<f64>>) -> McPrediction {
+    let out_dim = samples[0].len();
+    let n = samples.len() as f64;
+    let mut mean = vec![0.0; out_dim];
+    for s in &samples {
+        for (m, &v) in mean.iter_mut().zip(s) {
+            *m += v / n;
         }
-        McPrediction {
-            mean,
-            variance,
-            samples,
+    }
+    let mut variance = vec![0.0; out_dim];
+    for s in &samples {
+        for ((var, &v), &m) in variance.iter_mut().zip(s).zip(&mean) {
+            *var += (v - m) * (v - m) / (n - 1.0);
         }
+    }
+    McPrediction {
+        mean,
+        variance,
+        samples,
     }
 }
 
@@ -132,10 +182,38 @@ mod tests {
     #[test]
     fn no_dropout_means_zero_variance() {
         let mut rng = Pcg32::seed_from_u64(5);
-        let mut net = Mlp::builder(2).dense(4).tanh().dense(1).build(&mut rng).unwrap();
+        let mut net = Mlp::builder(2)
+            .dense(4)
+            .tanh()
+            .dense(1)
+            .build(&mut rng)
+            .unwrap();
         let mc = McDropout::new(10).unwrap();
         let pred = mc.predict(&mut net, &[0.3, 0.7], &mut rng);
         assert_eq!(pred.total_variance(), 0.0);
+    }
+
+    #[test]
+    fn batch_matches_sequential_scalar_bit_for_bit() {
+        let mut net = dropout_net(11);
+        let mc = McDropout::new(12).unwrap();
+        let inputs: Vec<Vec<f64>> = vec![
+            vec![0.5, -0.5],
+            vec![1.0, 1.0],
+            vec![-0.3, 0.7],
+            vec![0.0, 0.0],
+        ];
+        let mut rng_scalar = Pcg32::seed_from_u64(21);
+        let scalar: Vec<McPrediction> = inputs
+            .iter()
+            .map(|x| mc.predict(&mut net, x, &mut rng_scalar))
+            .collect();
+        let mut rng_batch = Pcg32::seed_from_u64(21);
+        let batch = navicim_backend::PointBatch::from_rows(2, &inputs);
+        let batched = mc.predict_batch(&net, &batch, &mut rng_batch);
+        assert_eq!(scalar, batched);
+        // The RNG streams advanced identically, too.
+        assert_eq!(rng_scalar, rng_batch);
     }
 
     #[test]

@@ -68,27 +68,74 @@ impl Mlp {
 
     /// Forward pass in the given mode.
     ///
+    /// Inference modes delegate to the allocation-free batched path
+    /// ([`Mlp::forward_into`]), so scalar and batched inference are
+    /// bit-identical; `Mode::Train` walks the caching layer path needed by
+    /// backprop.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len()` differs from the input dimension.
     pub fn forward<R: Rng64 + ?Sized>(&mut self, x: &[f64], mode: Mode, rng: &mut R) -> Vec<f64> {
         assert_eq!(x.len(), self.in_dim, "network input dimension mismatch");
-        let train = mode == Mode::Train;
+        if mode != Mode::Train {
+            let mut scratch = ForwardScratch::default();
+            let mut out = Vec::with_capacity(self.out_dim);
+            self.forward_into(x, mode, rng, &mut scratch, &mut out);
+            return out;
+        }
         let mut h = x.to_vec();
         for layer in &mut self.layers {
             h = match layer {
-                Layer::Dense(d) => d.forward(&h, train),
-                Layer::Activation(a) => a.forward(&h, train),
-                Layer::Dropout(d) => {
-                    if mode.dropout_active() {
-                        d.forward(&h, rng)
-                    } else {
-                        d.forward_identity(&h)
-                    }
-                }
+                Layer::Dense(d) => d.forward(&h, true),
+                Layer::Activation(a) => a.forward(&h, true),
+                Layer::Dropout(d) => d.forward(&h, rng),
             };
         }
         h
+    }
+
+    /// Allocation-free inference forward pass.
+    ///
+    /// Activations ping-pong between the two `scratch` buffers and the
+    /// result lands in `out`; across a batch of passes every buffer is
+    /// reused, so the per-pass heap traffic of [`Mlp::forward`] (one fresh
+    /// vector per layer) disappears. The arithmetic and the dropout-RNG
+    /// stream are bit-identical to scalar forwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input dimension or if called
+    /// with `Mode::Train` (training needs the caching path).
+    pub fn forward_into<R: Rng64 + ?Sized>(
+        &self,
+        x: &[f64],
+        mode: Mode,
+        rng: &mut R,
+        scratch: &mut ForwardScratch,
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(x.len(), self.in_dim, "network input dimension mismatch");
+        assert_ne!(mode, Mode::Train, "forward_into is inference-only");
+        let ForwardScratch { cur, next } = scratch;
+        cur.clear();
+        cur.extend_from_slice(x);
+        for layer in &self.layers {
+            match layer {
+                Layer::Dense(d) => d.forward_into(cur, next),
+                Layer::Activation(a) => a.forward_into(cur, next),
+                Layer::Dropout(d) => {
+                    if mode.dropout_active() {
+                        d.forward_sampled_into(cur, rng, next)
+                    } else {
+                        d.forward_identity_into(cur, next)
+                    }
+                }
+            }
+            std::mem::swap(cur, next);
+        }
+        out.clear();
+        out.extend_from_slice(cur);
     }
 
     /// Backward pass: propagates `grad_out` (dL/dy) through the stack,
@@ -126,6 +173,13 @@ impl Mlp {
             }
         }
     }
+}
+
+/// Reusable ping-pong activation buffers for [`Mlp::forward_into`].
+#[derive(Debug, Clone, Default)]
+pub struct ForwardScratch {
+    cur: Vec<f64>,
+    next: Vec<f64>,
 }
 
 enum LayerSpec {
@@ -241,7 +295,11 @@ mod tests {
             Err(NnError::EmptyNetwork)
         ));
         assert!(Mlp::builder(0).dense(2).build(&mut rng).is_err());
-        assert!(Mlp::builder(3).dense(2).dropout(1.5).build(&mut rng).is_err());
+        assert!(Mlp::builder(3)
+            .dense(2)
+            .dropout(1.5)
+            .build(&mut rng)
+            .is_err());
     }
 
     #[test]
@@ -265,6 +323,38 @@ mod tests {
             .filter(|o| o.as_slice() != outs[0].as_slice())
             .count();
         assert!(distinct > 0, "MC samples should vary");
+    }
+
+    #[test]
+    fn forward_into_matches_forward_bit_for_bit() {
+        let mut net = small_net(20);
+        for mode in [Mode::Deterministic, Mode::McSample] {
+            let mut rng_a = Pcg32::seed_from_u64(30);
+            let mut rng_b = Pcg32::seed_from_u64(30);
+            let x = [0.4, -0.8, 1.2];
+            let expected = net.forward(&x, mode, &mut rng_a);
+            let mut scratch = ForwardScratch::default();
+            let mut out = Vec::new();
+            net.forward_into(&x, mode, &mut rng_b, &mut scratch, &mut out);
+            assert_eq!(expected, out, "{mode:?}");
+            assert_eq!(rng_a, rng_b, "{mode:?} rng stream diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inference-only")]
+    fn forward_into_rejects_train_mode() {
+        let net = small_net(21);
+        let mut rng = Pcg32::seed_from_u64(1);
+        let mut scratch = ForwardScratch::default();
+        let mut out = Vec::new();
+        net.forward_into(
+            &[0.0, 0.0, 0.0],
+            Mode::Train,
+            &mut rng,
+            &mut scratch,
+            &mut out,
+        );
     }
 
     #[test]

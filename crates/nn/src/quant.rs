@@ -54,8 +54,8 @@ impl QuantMatrix {
                 weights.len()
             )));
         }
-        let q = Quantizer::fit(bits, weights)
-            .map_err(|e| NnError::InvalidArgument(e.to_string()))?;
+        let q =
+            Quantizer::fit(bits, weights).map_err(|e| NnError::InvalidArgument(e.to_string()))?;
         Ok(Self {
             rows,
             cols,
@@ -152,12 +152,7 @@ impl QuantBackend for ExactBackend {
                     return 0;
                 }
                 self.macs += matrix.cols() as u64;
-                matrix
-                    .row(o)
-                    .iter()
-                    .zip(input)
-                    .map(|(&w, &x)| w * x)
-                    .sum()
+                matrix.row(o).iter().zip(input).map(|(&w, &x)| w * x).sum()
             })
             .collect()
     }
@@ -265,9 +260,7 @@ impl QuantizedMlp {
                     dense_idx += 1;
                 }
                 Layer::Activation(a) => layers.push(QuantLayer::Activation(a.kind())),
-                Layer::Dropout(d) => layers.push(QuantLayer::Dropout {
-                    p: d.probability(),
-                }),
+                Layer::Dropout(d) => layers.push(QuantLayer::Dropout { p: d.probability() }),
             }
         }
         Ok(Self {

@@ -59,7 +59,9 @@ where
         return Err(NnError::InvalidArgument("no training examples".into()));
     }
     if config.batch_size == 0 {
-        return Err(NnError::InvalidArgument("batch size must be positive".into()));
+        return Err(NnError::InvalidArgument(
+            "batch size must be positive".into(),
+        ));
     }
     for (i, ex) in examples.iter().enumerate() {
         if ex.input.len() != net.in_dim() {
@@ -181,11 +183,20 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        assert!(history.last().unwrap() < &0.01, "final loss {:?}", history.last());
+        assert!(
+            history.last().unwrap() < &0.01,
+            "final loss {:?}",
+            history.last()
+        );
         // Predictions round to the right class.
         for ex in xor_examples() {
             let y = net.forward(&ex.input, Mode::Deterministic, &mut rng);
-            assert!((y[0] - ex.target[0]).abs() < 0.2, "{:?} -> {:?}", ex.input, y);
+            assert!(
+                (y[0] - ex.target[0]).abs() < 0.2,
+                "{:?} -> {:?}",
+                ex.input,
+                y
+            );
         }
     }
 
@@ -231,15 +242,38 @@ mod tests {
             target: vec![0.0],
         }];
         assert!(matches!(
-            train(&mut net, &bad_input, &Mse, &mut opt, &TrainConfig::default(), &mut rng),
+            train(
+                &mut net,
+                &bad_input,
+                &Mse,
+                &mut opt,
+                &TrainConfig::default(),
+                &mut rng
+            ),
             Err(NnError::ShapeMismatch { .. })
         ));
         let bad_target = vec![Example {
             input: vec![1.0, 2.0],
             target: vec![0.0, 1.0],
         }];
-        assert!(train(&mut net, &bad_target, &Mse, &mut opt, &TrainConfig::default(), &mut rng).is_err());
-        assert!(train(&mut net, &[], &Mse, &mut opt, &TrainConfig::default(), &mut rng).is_err());
+        assert!(train(
+            &mut net,
+            &bad_target,
+            &Mse,
+            &mut opt,
+            &TrainConfig::default(),
+            &mut rng
+        )
+        .is_err());
+        assert!(train(
+            &mut net,
+            &[],
+            &Mse,
+            &mut opt,
+            &TrainConfig::default(),
+            &mut rng
+        )
+        .is_err());
     }
 
     #[test]

@@ -102,7 +102,7 @@ impl LocalizationDataset {
             scene,
             map_points,
             frames,
-        camera,
+            camera,
         })
     }
 
@@ -277,9 +277,8 @@ pub fn make_samples(
     grid_w: usize,
     grid_h: usize,
 ) -> Vec<VoSample> {
-    let normalize = |g: Vec<f64>| -> Vec<f64> {
-        g.into_iter().map(|d| d / camera.max_range).collect()
-    };
+    let normalize =
+        |g: Vec<f64>| -> Vec<f64> { g.into_iter().map(|d| d / camera.max_range).collect() };
     frames
         .windows(2)
         .map(|w| {

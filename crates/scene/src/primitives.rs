@@ -72,7 +72,11 @@ impl Shape {
                     rng.sample_standard_normal(),
                     rng.sample_standard_normal(),
                 );
-                let v = if v.norm() < 1e-12 { Vec3::Z } else { v.normalized() };
+                let v = if v.norm() < 1e-12 {
+                    Vec3::Z
+                } else {
+                    v.normalized()
+                };
                 center + v * radius
             }
             Shape::Cylinder {
@@ -227,7 +231,10 @@ mod tests {
 
     #[test]
     fn cuboid_intersection() {
-        let c = Shape::Cuboid(Aabb::new(Vec3::new(-1.0, -1.0, 2.0), Vec3::new(1.0, 1.0, 4.0)));
+        let c = Shape::Cuboid(Aabb::new(
+            Vec3::new(-1.0, -1.0, 2.0),
+            Vec3::new(1.0, 1.0, 4.0),
+        ));
         let t = c.intersect(Ray::new(Vec3::ZERO, Vec3::Z)).unwrap();
         assert!((t - 2.0).abs() < 1e-12);
     }

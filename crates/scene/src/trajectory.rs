@@ -149,9 +149,8 @@ mod tests {
         let poses = orbit(center, 2.0, 1.0, 1.0, 60).unwrap();
         assert_eq!(poses.len(), 60);
         for p in &poses {
-            let dxy = ((p.translation.x - center.x).powi(2)
-                + (p.translation.y - center.y).powi(2))
-            .sqrt();
+            let dxy = ((p.translation.x - center.x).powi(2) + (p.translation.y - center.y).powi(2))
+                .sqrt();
             assert!((dxy - 2.0).abs() < 1e-9);
             // Gaze: center on the optical axis.
             let cam = p.inverse_transform_point(center);
@@ -181,8 +180,7 @@ mod tests {
         let mut rng = Pcg32::seed_from_u64(1);
         let lo = Vec3::new(-1.0, -1.0, 0.5);
         let hi = Vec3::new(1.0, 1.0, 1.5);
-        let poses =
-            random_waypoints(lo, hi, 5, 10, Vec3::ZERO, &mut rng).unwrap();
+        let poses = random_waypoints(lo, hi, 5, 10, Vec3::ZERO, &mut rng).unwrap();
         assert_eq!(poses.len(), 41);
         // Catmull-Rom can overshoot slightly; allow a margin.
         for p in &poses {
@@ -217,14 +215,6 @@ mod tests {
         assert!(orbit(Vec3::ZERO, 0.0, 1.0, 1.0, 10).is_err());
         assert!(orbit(Vec3::ZERO, 1.0, 1.0, 1.0, 1).is_err());
         assert!(lawnmower(1.0, 0.5, 1, 5, Vec3::ZERO).is_err());
-        assert!(random_waypoints(
-            Vec3::ZERO,
-            Vec3::ZERO,
-            3,
-            5,
-            Vec3::ZERO,
-            &mut rng
-        )
-        .is_err());
+        assert!(random_waypoints(Vec3::ZERO, Vec3::ZERO, 3, 5, Vec3::ZERO, &mut rng).is_err());
     }
 }

@@ -323,9 +323,9 @@ mod tests {
         // sequence of masked inputs.
         let seqs: Vec<Vec<i64>> = vec![
             vec![3, 0, -2],
-            vec![3, 1, -2],  // one change
-            vec![3, 1, -2],  // no change
-            vec![0, 1, 5],   // all change
+            vec![3, 1, -2], // one change
+            vec![3, 1, -2], // no change
+            vec![0, 1, 5],  // all change
         ];
         let mut with = programmed(exact_config());
         let mut without = programmed(MacroConfig {
@@ -351,7 +351,7 @@ mod tests {
         m.matvec(0, &[1, 1, 1], &[true, true]).unwrap();
         let before = m.stats().macs_executed;
         assert_eq!(before, 6); // first call: full 2x3
-        // One changed input: 1 column × 2 rows = 2 MACs.
+                               // One changed input: 1 column × 2 rows = 2 MACs.
         m.matvec(0, &[1, 2, 1], &[true, true]).unwrap();
         assert_eq!(m.stats().macs_executed - before, 2);
         // Unchanged input: zero MACs.

@@ -123,8 +123,7 @@ impl CciRng {
     /// The residual static offset after trimming, as a z-score against the
     /// cycle noise (0 = perfectly unbiased).
     pub fn offset_z(&self) -> f64 {
-        (self.leak_imbalance + self.comparator_offset
-            - self.trim_code as f64 * self.trim_step)
+        (self.leak_imbalance + self.comparator_offset - self.trim_code as f64 * self.trim_step)
             / self.noise_rms
     }
 
@@ -153,8 +152,7 @@ impl CciRng {
         use navicim_math::rng::SampleExt;
         self.bits_generated += 1;
         let noise = self.noise_rng.sample_normal(0.0, self.noise_rms);
-        (self.leak_imbalance + self.comparator_offset
-            - self.trim_code as f64 * self.trim_step)
+        (self.leak_imbalance + self.comparator_offset - self.trim_code as f64 * self.trim_step)
             + noise
             > 0.0
     }

@@ -11,8 +11,11 @@ use navicim::core::localization::{BackendKind, CimLocalizer, LocalizerConfig};
 use navicim::core::vo::{train_vo_network, BayesianVo, VoPipelineConfig, VoTrainConfig};
 use navicim::device::inverter::GaussianLikeCell;
 use navicim::device::params::TechParams;
+use navicim::filter::filter::{FilterConfig, ParticleFilter};
+use navicim::filter::particle::ParticleSet;
 use navicim::gmm::hmg::HmgKernel;
-use navicim::math::rng::Pcg32;
+use navicim::math::rng::{Pcg32, Rng64, SampleExt};
+use navicim::math::stats::normal_logpdf;
 use navicim::scene::dataset::{
     LocalizationConfig, LocalizationDataset, VoConfig, VoDataset, VoTrajectory,
 };
@@ -72,6 +75,26 @@ fn main() {
         run.point_evaluations
     );
 
+    // 3b. Ad-hoc filtering: both the motion and the measurement model can
+    //     be plain closures — no wrapper types needed.
+    let mut rng = Pcg32::seed_from_u64(3);
+    let init: Vec<f64> = (0..400).map(|_| rng.sample_uniform(-5.0, 5.0)).collect();
+    let mut pf = ParticleFilter::new(
+        ParticleSet::from_states(init).expect("non-empty cloud"),
+        FilterConfig::default(),
+    );
+    let motion = |s: &f64, u: &f64, rng: &mut dyn Rng64| s + u + rng.sample_normal(0.0, 0.05);
+    let mut sensor = |s: &f64, z: &f64| normal_logpdf(*z, *s, 0.3);
+    for step in 0..15 {
+        let truth = 0.2 * step as f64;
+        pf.step(&0.2, &truth, &motion, &mut sensor, &mut rng)
+            .expect("filter step");
+    }
+    println!(
+        "\n3b. closure models: 1-D tracker estimate {:.2} (truth 2.80) after 15 steps",
+        pf.particles().weighted_mean(|s| *s)
+    );
+
     // 4. The SRAM-embedded RNG that feeds dropout bits.
     let mut fab = Pcg32::seed_from_u64(1);
     let mut rng = CciRng::fabricate(&CciRngConfig::default(), &mut fab).expect("rng fabricates");
@@ -113,13 +136,15 @@ fn main() {
         .take(8)
         .map(|s| s.features.clone())
         .collect();
-    let mut vo = BayesianVo::build(&net, &calib, VoPipelineConfig::default())
-        .expect("pipeline builds");
+    let mut vo =
+        BayesianVo::build(&net, &calib, VoPipelineConfig::default()).expect("pipeline builds");
     let pred = vo.predict(&vo_data.samples[0].features);
     println!(
         "   4-bit MC-Dropout x30 on the macro: delta mean [{:.3}, {:.3}, {:.3}] m, \
          total predictive variance {:.5}",
-        pred.mean[0], pred.mean[1], pred.mean[2],
+        pred.mean[0],
+        pred.mean[1],
+        pred.mean[2],
         pred.total_variance()
     );
     let stats = vo.macro_stats();

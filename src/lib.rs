@@ -16,7 +16,10 @@
 //! - a procedural RGB-D scene simulator standing in for the paper's Kinect
 //!   datasets ([`scene`]),
 //! - parametric energy models reproducing the paper's efficiency claims
-//!   ([`energy`]).
+//!   ([`energy`]),
+//! - a batched likelihood backend layer ([`backend`]) through which every
+//!   map/sensor backend serves whole particle sets per frame instead of
+//!   scalar queries — the scaling substrate for the stack.
 //!
 //! # Quickstart
 //!
@@ -25,6 +28,7 @@
 //! [`core::vo::BayesianVo`].
 
 pub use navicim_analog as analog;
+pub use navicim_backend as backend;
 pub use navicim_core as core;
 pub use navicim_device as device;
 pub use navicim_energy as energy;

@@ -3,7 +3,7 @@
 //! guarantees that span crate boundaries.
 
 use navicim::analog::engine::CimEngineConfig;
-use navicim::core::localization::{BackendKind, CimLocalizer, LocalizerConfig};
+use navicim::core::localization::{BackendKind, CimLocalizer, LocalizerConfig, WeightPath};
 use navicim::core::uncertainty::calibration_summary;
 use navicim::core::vo::{
     train_vo_network, BayesianVo, CimQuantBackend, VoPipelineConfig, VoTrainConfig,
@@ -80,17 +80,65 @@ fn localization_pipeline_both_backends_converge() {
     .expect("cim builds")
     .run(&dataset)
     .expect("cim runs");
-    assert!(digital.steady_state_error() < 0.25, "digital {:?}", digital.errors);
+    assert!(
+        digital.steady_state_error() < 0.25,
+        "digital {:?}",
+        digital.errors
+    );
     assert!(cim.steady_state_error() < 0.35, "cim {:?}", cim.errors);
     // Both backends evaluated the same measurement workload.
     assert_eq!(digital.point_evaluations, cim.point_evaluations);
 }
 
 #[test]
+fn batched_weight_step_runs_both_backends_end_to_end() {
+    // The refactored per-frame batch weight step (the default) must drive
+    // the full localization pipeline on both backends and agree
+    // bit-for-bit with the legacy scalar path.
+    let dataset = loc_dataset(108);
+    let config = |backend, path| LocalizerConfig {
+        num_particles: 300,
+        components: 12,
+        pixel_stride: 9,
+        backend,
+        weight_path: path,
+        seed: 5,
+        ..LocalizerConfig::default()
+    };
+    assert_eq!(LocalizerConfig::default().weight_path, WeightPath::Batched);
+    for backend in [
+        BackendKind::DigitalGmm,
+        BackendKind::CimHmgm(CimEngineConfig::default()),
+    ] {
+        let batched = CimLocalizer::build(&dataset, config(backend.clone(), WeightPath::Batched))
+            .expect("batched builds")
+            .run(&dataset)
+            .expect("batched runs");
+        let scalar = CimLocalizer::build(&dataset, config(backend.clone(), WeightPath::Scalar))
+            .expect("scalar builds")
+            .run(&dataset)
+            .expect("scalar runs");
+        assert_eq!(batched.errors, scalar.errors, "{backend:?}");
+        assert_eq!(batched.estimates, scalar.estimates, "{backend:?}");
+        assert_eq!(
+            batched.point_evaluations, scalar.point_evaluations,
+            "{backend:?}"
+        );
+        assert!(batched.point_evaluations > 0, "{backend:?}");
+        // And the pipeline still converges through the batch path.
+        assert!(
+            batched.steady_state_error() < 0.4,
+            "{backend:?}: {:?}",
+            batched.errors
+        );
+    }
+}
+
+#[test]
 fn vo_pipeline_produces_calibrated_uncertainty() {
     let dataset = vo_dataset(102);
-    let net = train_vo_network(&dataset.samples, dataset.feature_dim(), &small_train())
-        .expect("trains");
+    let net =
+        train_vo_network(&dataset.samples, dataset.feature_dim(), &small_train()).expect("trains");
     let calib: Vec<Vec<f64>> = dataset
         .samples
         .iter()
@@ -108,7 +156,10 @@ fn vo_pipeline_produces_calibrated_uncertainty() {
     .expect("builds");
     let run = vo.run_trajectory(&dataset).expect("runs");
     assert_eq!(run.estimates.len(), dataset.frames.len());
-    assert!(run.per_step_variance.iter().all(|&v| v.is_finite() && v >= 0.0));
+    assert!(run
+        .per_step_variance
+        .iter()
+        .all(|&v| v.is_finite() && v >= 0.0));
     assert!(run.trajectory.ate_rmse.is_finite());
     // The calibration summary computes on real pipeline output.
     let summary = calibration_summary(&run.per_step_variance, &run.per_step_error, 4)
@@ -122,8 +173,8 @@ fn macro_without_adc_matches_exact_backend_bit_for_bit() {
     // exactly the same integer accumulators as the reference backend —
     // reuse is a mathematical identity, not an approximation.
     let dataset = vo_dataset(103);
-    let net = train_vo_network(&dataset.samples, dataset.feature_dim(), &small_train())
-        .expect("trains");
+    let net =
+        train_vo_network(&dataset.samples, dataset.feature_dim(), &small_train()).expect("trains");
     let calib: Vec<Vec<f64>> = dataset
         .samples
         .iter()
@@ -153,8 +204,8 @@ fn macro_without_adc_matches_exact_backend_bit_for_bit() {
 #[test]
 fn pipelines_are_deterministic_given_seeds() {
     let dataset = vo_dataset(104);
-    let net = train_vo_network(&dataset.samples, dataset.feature_dim(), &small_train())
-        .expect("trains");
+    let net =
+        train_vo_network(&dataset.samples, dataset.feature_dim(), &small_train()).expect("trains");
     let calib: Vec<Vec<f64>> = dataset
         .samples
         .iter()
@@ -181,8 +232,8 @@ fn pipelines_are_deterministic_given_seeds() {
 #[test]
 fn silicon_rng_end_to_end() {
     let dataset = vo_dataset(105);
-    let net = train_vo_network(&dataset.samples, dataset.feature_dim(), &small_train())
-        .expect("trains");
+    let net =
+        train_vo_network(&dataset.samples, dataset.feature_dim(), &small_train()).expect("trains");
     let calib: Vec<Vec<f64>> = dataset
         .samples
         .iter()
@@ -234,8 +285,8 @@ fn energy_models_price_measured_runs() {
 
     // VO energy from a real macro run.
     let vo_data = vo_dataset(107);
-    let net = train_vo_network(&vo_data.samples, vo_data.feature_dim(), &small_train())
-        .expect("trains");
+    let net =
+        train_vo_network(&vo_data.samples, vo_data.feature_dim(), &small_train()).expect("trains");
     let calib: Vec<Vec<f64>> = vo_data
         .samples
         .iter()

@@ -1,9 +1,13 @@
 //! Workspace-level property-based tests on the core invariants that the
 //! paper's co-design relies on.
 
+use navicim::analog::engine::{CimEngineConfig, HmgmCimEngine};
+use navicim::analog::mapping::SpaceMap;
+use navicim::backend::{LikelihoodBackend, PointBatch};
 use navicim::device::inverter::GaussianLikeCell;
 use navicim::device::params::TechParams;
-use navicim::gmm::hmg::HmgKernel;
+use navicim::gmm::gaussian::{Covariance, Gmm};
+use navicim::gmm::hmg::{HmgKernel, HmgmModel};
 use navicim::math::geom::{Pose, Quat, Vec3};
 use navicim::math::quant::Quantizer;
 use navicim::math::rng::Pcg32;
@@ -152,6 +156,147 @@ proptest! {
         let identity: Vec<usize> = (0..t).collect();
         prop_assert!(path_cost(&masks, &order) <= 2 * path_cost(&masks, &identity).max(1));
         prop_assert!(hamming(&masks[0], &masks[0]) == 0);
+    }
+
+    /// The digital GMM batch path is bit-identical to sequential scalar
+    /// evaluation for random diagonal mixtures and random query batches.
+    #[test]
+    fn gmm_batch_equals_scalar(
+        seed in 0u64..500,
+        k in 1usize..8,
+        n in 1usize..64,
+    ) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        use navicim::math::rng::SampleExt;
+        let dim = 3;
+        let mut weights: Vec<f64> = (0..k).map(|_| rng.sample_uniform(0.1, 1.0)).collect();
+        let total: f64 = weights.iter().sum();
+        weights.iter_mut().for_each(|w| *w /= total);
+        // Renormalize exactly enough for the constructor's tolerance.
+        let means: Vec<Vec<f64>> = (0..k)
+            .map(|_| (0..dim).map(|_| rng.sample_uniform(-3.0, 3.0)).collect())
+            .collect();
+        let vars: Vec<Vec<f64>> = (0..k)
+            .map(|_| (0..dim).map(|_| rng.sample_uniform(0.05, 2.0)).collect())
+            .collect();
+        let mut gmm = Gmm::new(weights, means, Covariance::Diagonal(vars)).expect("valid gmm");
+        let mut batch = PointBatch::new(dim);
+        for _ in 0..n {
+            let p: Vec<f64> = (0..dim).map(|_| rng.sample_uniform(-4.0, 4.0)).collect();
+            batch.push(&p);
+        }
+        let scalar: Vec<f64> = batch.iter().map(|p| gmm.log_pdf(p)).collect();
+        let batched = gmm.log_likelihood_batch(&batch);
+        prop_assert_eq!(scalar, batched);
+    }
+
+    /// The HMGM batch path is bit-identical to sequential scalar calls.
+    #[test]
+    fn hmgm_batch_equals_scalar(
+        seed in 0u64..500,
+        k in 1usize..6,
+        n in 1usize..64,
+    ) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        use navicim::math::rng::SampleExt;
+        let kernels: Vec<HmgKernel> = (0..k)
+            .map(|_| {
+                HmgKernel::new(
+                    (0..3).map(|_| rng.sample_uniform(-2.0, 2.0)).collect(),
+                    (0..3).map(|_| rng.sample_uniform(0.1, 1.5)).collect(),
+                    rng.sample_uniform(0.5, 2.0),
+                )
+                .expect("valid kernel")
+            })
+            .collect();
+        let weights: Vec<f64> = (0..k).map(|_| rng.sample_uniform(0.1, 2.0)).collect();
+        let mut model = HmgmModel::new(weights, kernels).expect("valid model");
+        let mut batch = PointBatch::new(3);
+        for _ in 0..n {
+            let p: Vec<f64> = (0..3).map(|_| rng.sample_uniform(-3.0, 3.0)).collect();
+            batch.push(&p);
+        }
+        let scalar: Vec<f64> = batch.iter().map(|p| model.log_likelihood(p)).collect();
+        let batched = LikelihoodBackend::log_likelihood_batch(&mut model, &batch);
+        prop_assert_eq!(scalar, batched);
+    }
+
+    /// The analog CIM engine's batch path is bit-identical to sequential
+    /// scalar queries — including the noise-RNG stream and the
+    /// EngineStats counters — for arbitrary batch sizes.
+    #[test]
+    fn cim_engine_batch_equals_scalar(seed in 0u64..100, n in 1usize..48) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        use navicim::math::rng::SampleExt;
+        let pts = vec![vec![-1.0, -1.0, -1.0], vec![1.0, 1.0, 1.0]];
+        let space = SpaceMap::fit_to_points(&pts, 0.15, 0.85, 0.2).expect("map fits");
+        let tech = TechParams::cmos_45nm();
+        let (floor, ceil) = HmgmCimEngine::recommended_sigma_bounds(&tech, &space);
+        let sigma = (floor * 2.0).min(ceil);
+        let model = HmgmModel::new(
+            vec![1.0, 0.5],
+            vec![
+                HmgKernel::new(vec![-0.5, 0.0, 0.2], vec![sigma; 3], 1.0).expect("kernel"),
+                HmgKernel::new(vec![0.6, 0.3, -0.4], vec![sigma; 3], 1.0).expect("kernel"),
+            ],
+        )
+        .expect("model");
+        let config = CimEngineConfig { seed, ..CimEngineConfig::default() };
+        let mut scalar_engine =
+            HmgmCimEngine::build(&model, space.clone(), config).expect("engine builds");
+        let mut batch_engine = HmgmCimEngine::build(&model, space, config).expect("engine builds");
+        let mut batch = PointBatch::new(3);
+        for _ in 0..n {
+            batch.push(&[
+                rng.sample_uniform(-1.0, 1.0),
+                rng.sample_uniform(-1.0, 1.0),
+                rng.sample_uniform(-1.0, 1.0),
+            ]);
+        }
+        let scalar: Vec<f64> = batch.iter().map(|p| scalar_engine.log_likelihood(p)).collect();
+        let batched = LikelihoodBackend::log_likelihood_batch(&mut batch_engine, &batch);
+        prop_assert_eq!(scalar, batched);
+        prop_assert_eq!(scalar_engine.stats(), batch_engine.stats());
+    }
+
+    /// MC-Dropout batched prediction is bit-identical to sequential
+    /// scalar predictions, including the dropout-RNG stream.
+    #[test]
+    fn mc_dropout_batch_equals_scalar(
+        seed in 0u64..200,
+        iters in 2usize..12,
+        n in 1usize..8,
+    ) {
+        use navicim::math::rng::SampleExt;
+        use navicim::nn::mc::McDropout;
+        use navicim::nn::mlp::Mlp;
+        let mut init_rng = Pcg32::seed_from_u64(seed);
+        let mut net = Mlp::builder(3)
+            .dense(8)
+            .relu()
+            .dropout(0.5)
+            .dense(2)
+            .build(&mut init_rng)
+            .expect("net builds");
+        let mc = McDropout::new(iters).expect("valid iterations");
+        let mut batch = PointBatch::new(3);
+        let mut qrng = Pcg32::seed_from_u64(seed ^ 0xbeef);
+        for _ in 0..n {
+            batch.push(&[
+                qrng.sample_uniform(-1.0, 1.0),
+                qrng.sample_uniform(-1.0, 1.0),
+                qrng.sample_uniform(-1.0, 1.0),
+            ]);
+        }
+        let mut rng_scalar = Pcg32::seed_from_u64(seed ^ 0xf00d);
+        let scalar: Vec<_> = batch
+            .iter()
+            .map(|x| mc.predict(&mut net, x, &mut rng_scalar))
+            .collect();
+        let mut rng_batch = Pcg32::seed_from_u64(seed ^ 0xf00d);
+        let batched = mc.predict_batch(&net, &batch, &mut rng_batch);
+        prop_assert_eq!(scalar, batched);
+        prop_assert_eq!(rng_scalar, rng_batch);
     }
 
     /// Weight quantization reconstruction error is bounded by the step.

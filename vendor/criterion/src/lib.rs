@@ -1,0 +1,246 @@
+//! Minimal, offline drop-in replacement for the subset of the
+//! [criterion](https://docs.rs/criterion) API used by the navicim benches.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! just enough of the surface — `Criterion`, `BenchmarkGroup`,
+//! `BenchmarkId`, `Bencher`, `criterion_group!`/`criterion_main!` and
+//! `black_box` — for the `crates/bench` suite to compile and produce
+//! wall-clock timings. Timing methodology: a short calibration phase picks
+//! an iteration count per sample, then `sample_size` samples are measured
+//! and the median per-iteration time is reported.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\nbench group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// A group of related benchmarks sharing a sample budget.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.id);
+    }
+
+    /// Runs a benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&self.name, &id.id);
+    }
+
+    /// Ends the group (kept for API parity; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Measures a closure supplied by the benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    median_ns: Option<f64>,
+    iters_per_sample: u64,
+}
+
+/// Target wall-clock time for one measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self {
+            sample_size,
+            median_ns: None,
+            iters_per_sample: 0,
+        }
+    }
+
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: find an iteration count that fills SAMPLE_TARGET.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET || iters >= 1 << 24 {
+                break;
+            }
+            let grow = if elapsed.is_zero() {
+                8.0
+            } else {
+                (SAMPLE_TARGET.as_secs_f64() / elapsed.as_secs_f64()).clamp(1.5, 8.0)
+            };
+            iters = ((iters as f64 * grow).ceil() as u64).max(iters + 1);
+        }
+        // Measurement.
+        let mut samples_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        self.median_ns = Some(samples_ns[samples_ns.len() / 2]);
+        self.iters_per_sample = iters;
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        match self.median_ns {
+            Some(ns) => eprintln!(
+                "  {group}/{id}: {} /iter  ({} iters/sample, {} samples)",
+                format_ns(ns),
+                self.iters_per_sample,
+                self.sample_size
+            ),
+            None => eprintln!("  {group}/{id}: no measurement taken"),
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("id", 42), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter(100).id, "100");
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Minimal, offline drop-in replacement for the subset of the
+//! [proptest](https://docs.rs/proptest) API used by navicim's property
+//! tests.
+//!
+//! Supported surface: the `proptest!` macro (with an optional
+//! `#![proptest_config(...)]` header), numeric `Range` strategies
+//! (`a..b` for `f64`, `u32`, `u64`, `usize`), `prop_assert!` /
+//! `prop_assert_eq!`, and `ProptestConfig::with_cases`. Inputs are drawn
+//! from a deterministic SplitMix64 stream seeded per test function, so
+//! failures reproduce exactly across runs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases generated per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Deterministic SplitMix64 input stream for case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream (the `proptest!` macro derives the seed from the
+    /// test function name so distinct tests explore distinct inputs).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of random values for one macro-bound variable.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end - self.start) as u64;
+                    assert!(span > 0, "empty range strategy");
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(u32, u64, usize, i64);
+
+/// FNV-1a hash of a string, used to derive per-test seeds.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Proptest-style assertion: fails the current case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // Bind first so lints see a plain bool, not the user expression.
+        let condition: bool = $cond;
+        if !condition {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        let condition: bool = $cond;
+        if !condition {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Proptest-style equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            ));
+        }
+    }};
+}
+
+/// Proptest-style inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            ));
+        }
+    }};
+}
+
+/// Declares property tests over randomly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::seed_from_u64(
+                    $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+                );
+                for case in 0..config.cases {
+                    $( let $arg = $crate::Strategy::generate(&($strategy), &mut rng); )*
+                    let outcome = (|| -> ::std::result::Result<(), String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!(
+                            "proptest case {case} failed: {message}\n  inputs: {}",
+                            [$( format!("{} = {:?}", stringify!($arg), $arg) ),*].join(", "),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn config_cases() {
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+        assert_eq!(ProptestConfig::default().cases, 256);
+    }
+
+    #[test]
+    fn strategies_stay_in_range() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = Strategy::generate(&(-2.0f64..3.0), &mut rng);
+            assert!((-2.0..3.0).contains(&f));
+            let u = Strategy::generate(&(5usize..9), &mut rng);
+            assert!((5..9).contains(&u));
+            let w = Strategy::generate(&(0u64..17), &mut rng);
+            assert!(w < 17);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_name() {
+        assert_ne!(crate::seed_for("a"), crate::seed_for("b"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wires strategies, assertions and config together.
+        #[test]
+        fn macro_end_to_end(x in 0.0f64..1.0, n in 1usize..10) {
+            prop_assert!(x >= 0.0);
+            prop_assert!(x < 1.0, "x out of range: {x}");
+            prop_assert_eq!(n + 1, 1 + n);
+            prop_assert_ne!(n, n + 1);
+        }
+    }
+}
