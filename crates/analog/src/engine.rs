@@ -9,13 +9,13 @@ use crate::array::{calibrate_overlap, device_sigma_range, CimArray, CimColumn};
 use crate::dac::Dac;
 use crate::mapping::SpaceMap;
 use crate::{AnalogError, Result};
-use navicim_backend::{check_batch_shape, LikelihoodBackend, PointBatch};
+use navicim_backend::{check_batch_shape, par, LikelihoodBackend, PointBatch};
 use navicim_device::inverter::{GaussianLikeCell, MultiInputInverter};
-use navicim_device::noise::NoiseModel;
+use navicim_device::noise::{NoiseModel, NoiseStream};
 use navicim_device::params::TechParams;
 use navicim_device::variation::ProcessVariation;
 use navicim_gmm::hmg::HmgmModel;
-use navicim_math::rng::{Pcg32, SampleExt};
+use navicim_math::rng::Pcg32;
 
 /// Configuration of a CIM likelihood engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,6 +75,10 @@ impl EngineStats {
     }
 }
 
+/// Domain separator between the build-time variation RNG and the
+/// evaluation noise stream, both derived from [`CimEngineConfig::seed`].
+const NOISE_STREAM_SALT: u64 = 0xa0a1_0c1a_77ab_1e5e;
+
 /// An HMG mixture compiled onto an inverter array.
 #[derive(Debug, Clone)]
 pub struct HmgmCimEngine {
@@ -84,12 +88,17 @@ pub struct HmgmCimEngine {
     map: SpaceMap,
     noise: NoiseModel,
     tech: TechParams,
-    rng: Pcg32,
+    /// Counter-based evaluation noise: evaluation `i` (over the engine's
+    /// lifetime) is perturbed by `noise_stream.at(i)` regardless of how
+    /// queries are batched, chunked or threaded.
+    noise_stream: NoiseStream,
     stats: EngineStats,
-    /// Reused DAC output buffer (one slot per axis).
+    /// Reused per-evaluation array-current scratch (stats are merged from
+    /// it in index order after each batch).
+    currents: Vec<f64>,
+    /// Reused DAC output buffer for the sequential single-chunk path
+    /// (threaded chunks carry their own).
     voltages: Vec<f64>,
-    /// Reused bulk standard-normal buffer (one slot per batched query).
-    noise_z: Vec<f64>,
 }
 
 impl HmgmCimEngine {
@@ -164,10 +173,13 @@ impl HmgmCimEngine {
             map,
             noise: NoiseModel::room_temperature(config.noise_bandwidth),
             tech,
-            rng,
+            // Seeded from the config seed directly (not from `rng`), so
+            // the evaluation-noise sequence does not depend on how many
+            // draws fabrication-time variation consumed.
+            noise_stream: NoiseStream::new(config.seed ^ NOISE_STREAM_SALT),
             stats: EngineStats::default(),
+            currents: Vec::new(),
             voltages: Vec::new(),
-            noise_z: Vec::new(),
         })
     }
 
@@ -231,53 +243,109 @@ impl HmgmCimEngine {
 
     /// Serves a whole batch of log-likelihood queries.
     ///
-    /// The batch path amortizes the per-query bookkeeping of the scalar
-    /// path across the frame:
-    ///
-    /// - the DAC conversion pipeline writes into one reused voltage
-    ///   buffer instead of allocating two vectors per query,
-    /// - the per-evaluation noise draws are harvested from the RNG in one
-    ///   bulk pass (the standard-normal stream does not depend on the
-    ///   query, so the sequence is *bit-identical* to sequential scalar
-    ///   calls),
-    /// - [`EngineStats`] counters are accumulated locally and committed
-    ///   once, while remaining exact per evaluation.
+    /// Delegates to [`Self::log_likelihood_into_chunked`] with the auto
+    /// [`par::ChunkPolicy`], which spreads the batch across worker
+    /// threads when the `parallel` feature is enabled and the batch is
+    /// large enough to amortize them.
     ///
     /// # Panics
     ///
     /// Panics on dimension mismatch or if `out.len() != batch.len()`.
     pub fn log_likelihood_into(&mut self, batch: &PointBatch, out: &mut [f64]) {
+        self.log_likelihood_into_chunked(batch, out, par::ChunkPolicy::auto());
+    }
+
+    /// Serves a batch under an explicit chunking policy.
+    ///
+    /// The result — outputs *and* [`EngineStats`] — is bit-identical for
+    /// every `(chunk_len, workers)` pair, to each other and to one-by-one
+    /// scalar queries:
+    ///
+    /// - evaluation `i` of the batch claims absolute index `base + i` of
+    ///   the engine's counter-based [`NoiseStream`], so its noise value
+    ///   does not depend on which chunk or thread serves it (and matches
+    ///   the value the pre-batch sequential draw at the same evaluation
+    ///   count would deliver from this stream);
+    /// - each evaluation writes its pre-noise array current into a
+    ///   per-evaluation scratch slot, and the stats are folded from that
+    ///   scratch *in index order* after all chunks complete, so even the
+    ///   floating-point `current_sum` association is chunking-invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or if `out.len() != batch.len()`.
+    pub fn log_likelihood_into_chunked(
+        &mut self,
+        batch: &PointBatch,
+        out: &mut [f64],
+        policy: par::ChunkPolicy,
+    ) {
         check_batch_shape(self.map.dim(), batch, out);
         let n = batch.len();
-        // Bulk RNG harvest: one standard-normal per evaluation, drawn in
-        // the same order the scalar path would draw them.
-        self.noise_z.clear();
-        self.noise_z
-            .extend((0..n).map(|_| self.rng.sample_standard_normal()));
+        let base = self.noise_stream.cursor();
+        self.currents.resize(n, 0.0);
         self.voltages.resize(self.dacs.len(), 0.0);
-        let mut voltages = std::mem::take(&mut self.voltages);
-        let i_floor = self.tech.i_leak * 0.01;
-        let gm_denom = self.tech.slope_n * self.tech.u_t;
-        for (i, point) in batch.iter().enumerate() {
-            for ((v, &x), (axis, dac)) in voltages
-                .iter_mut()
-                .zip(point)
-                .zip(self.map.axes().iter().zip(&self.dacs))
-            {
-                *v = dac.convert(axis.to_voltage(x));
+        let mut currents = std::mem::take(&mut self.currents);
+        let mut own_voltages = std::mem::take(&mut self.voltages);
+        {
+            let array = &self.array;
+            let dacs = &self.dacs;
+            let adc = &self.adc;
+            let axes = self.map.axes();
+            let noise = &self.noise;
+            let stream = self.noise_stream;
+            let i_floor = self.tech.i_leak * 0.01;
+            let gm_denom = self.tech.slope_n * self.tech.u_t;
+            // One evaluation; pure in (index, DAC scratch), so chunks can
+            // run it anywhere.
+            let eval = |idx: usize, voltages: &mut [f64]| -> (f64, f64) {
+                for ((v, &x), (axis, dac)) in voltages
+                    .iter_mut()
+                    .zip(batch.point(idx))
+                    .zip(axes.iter().zip(dacs))
+                {
+                    *v = dac.convert(axis.to_voltage(x));
+                }
+                let i_total = array.total_current(voltages);
+                // Subthreshold-style transconductance estimate for the
+                // noise scale; the counter-based z keeps the draw tied
+                // to the absolute evaluation index.
+                let gm = i_total / gm_denom;
+                let z = stream.at(base + idx as u64);
+                let i_noisy = (i_total + noise.sample_with_z(gm, i_total, z)).max(i_floor);
+                (adc.convert(i_noisy), i_total)
+            };
+            if policy.is_single_chunk(n) {
+                // Sequential path: reuse the engine's own DAC scratch —
+                // zero allocation per batch.
+                for (idx, (o, cur)) in out.iter_mut().zip(currents.iter_mut()).enumerate() {
+                    (*o, *cur) = eval(idx, &mut own_voltages);
+                }
+            } else {
+                par::zip_chunks_policy(
+                    policy,
+                    out,
+                    &mut currents,
+                    |start, out_chunk, cur_chunk| {
+                        // Per-chunk DAC scratch (chunks may run concurrently).
+                        let mut voltages = vec![0.0; dacs.len()];
+                        for (k, (o, cur)) in
+                            out_chunk.iter_mut().zip(cur_chunk.iter_mut()).enumerate()
+                        {
+                            (*o, *cur) = eval(start + k, &mut voltages);
+                        }
+                    },
+                );
             }
-            let i_total = self.array.total_current(&voltages);
-            // Subthreshold-style transconductance estimate for the noise
-            // scale; the pre-drawn z keeps the stream order intact.
-            let gm = i_total / gm_denom;
-            let noise = self.noise.sample_with_z(gm, i_total, self.noise_z[i]);
-            let i_noisy = (i_total + noise).max(i_floor);
-            // Accumulated per evaluation (not batched into a local) so the
-            // floating-point association matches scalar-call history.
-            self.stats.current_sum += i_total;
-            out[i] = self.adc.convert(i_noisy);
         }
-        self.voltages = voltages;
+        self.voltages = own_voltages;
+        self.noise_stream.advance(n as u64);
+        // Index-order merge: the same left-to-right association scalar
+        // calls would produce, independent of how chunks were assigned.
+        for &i_total in currents.iter() {
+            self.stats.current_sum += i_total;
+        }
+        self.currents = currents;
         self.stats.evaluations += n as u64;
         self.stats.dac_conversions += (n * self.dacs.len()) as u64;
         self.stats.adc_conversions += n as u64;
@@ -464,6 +532,57 @@ mod tests {
         assert_eq!(scalar_engine.stats(), batch_engine.stats());
         assert_eq!(batch_engine.stats().evaluations, 64);
         assert_eq!(batch_engine.stats().dac_conversions, 64 * 3);
+    }
+
+    #[test]
+    fn chunked_evaluation_is_bit_identical() {
+        // Any (chunk_len, workers) policy — and any split of the batch
+        // into consecutive sub-batches — produces the same outputs and
+        // the same EngineStats as the auto policy.
+        let map = test_map();
+        let model = test_model(&map);
+        let config = CimEngineConfig::default();
+        let mut rng = Pcg32::seed_from_u64(5);
+        let mut batch = PointBatch::new(3);
+        for _ in 0..97 {
+            batch.push(&[
+                rng.sample_uniform(-1.0, 1.0),
+                rng.sample_uniform(-1.0, 1.0),
+                rng.sample_uniform(-1.0, 1.0),
+            ]);
+        }
+        let mut reference = HmgmCimEngine::build(&model, map.clone(), config).unwrap();
+        let mut expected = vec![0.0; batch.len()];
+        reference.log_likelihood_into(&batch, &mut expected);
+        for chunk_len in [1usize, 7, 64, batch.len()] {
+            for workers in [1usize, 2, 4] {
+                let mut engine = HmgmCimEngine::build(&model, map.clone(), config).unwrap();
+                let mut out = vec![0.0; batch.len()];
+                engine.log_likelihood_into_chunked(
+                    &batch,
+                    &mut out,
+                    par::ChunkPolicy::exact(chunk_len, workers),
+                );
+                assert_eq!(out, expected, "chunk {chunk_len}, workers {workers}");
+                assert_eq!(engine.stats(), reference.stats());
+            }
+        }
+        // Splitting into two consecutive batch calls consumes consecutive
+        // stream ranges, so the concatenation matches one big call.
+        let mut split_engine = HmgmCimEngine::build(&model, map, config).unwrap();
+        let mut first = PointBatch::new(3);
+        let mut second = PointBatch::new(3);
+        for (i, p) in batch.iter().enumerate() {
+            if i < 40 {
+                first.push(p);
+            } else {
+                second.push(p);
+            }
+        }
+        let mut out = split_engine.log_likelihood_batch(&first);
+        out.extend(split_engine.log_likelihood_batch(&second));
+        assert_eq!(out, expected);
+        assert_eq!(split_engine.stats(), reference.stats());
     }
 
     #[test]

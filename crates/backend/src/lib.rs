@@ -15,13 +15,16 @@
 //!   with a scalar adapter, implemented by `navicim_gmm::gaussian::Gmm`,
 //!   `navicim_gmm::hmg::HmgmModel` and
 //!   `navicim_analog::engine::HmgmCimEngine`,
-//! - [`par`] — chunked execution helpers used by pure (stateless)
-//!   backends to spread a batch across threads behind the `parallel`
-//!   feature.
+//! - [`par`] — chunked execution helpers that spread a batch across
+//!   threads behind the `parallel` feature.
 //!
-//! Backends whose evaluation consumes hidden state (the CIM engine's
-//! noise RNG) implement the trait sequentially so that batch and scalar
-//! evaluation stay *bit-identical*; pure backends are free to use [`par`].
+//! Pure backends use [`par::for_each_chunk`] directly. Backends whose
+//! evaluation consumes hidden state (the CIM engine's noise) stay
+//! *bit-identical* across batch sizes, chunk sizes and thread counts by
+//! making that state splittable: noise comes from a counter-based stream
+//! indexed by the absolute evaluation number, and per-evaluation
+//! statistics flow through [`par::zip_chunks`]'s second buffer so the
+//! caller can merge them in index order afterwards.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -1,9 +1,13 @@
 //! Timing: map-likelihood evaluation — digital GMM vs math HMGM vs the
-//! device-backed CIM engine — on both the scalar and the batched path.
+//! device-backed CIM engine — on both the scalar and the batched path,
+//! plus a worker-count sweep of the analog batch path (the `parallel`
+//! feature's multi-core speedup; without the feature the sweep rows
+//! coincide, which is itself worth seeing on the chart).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use navicim_analog::engine::{CimEngineConfig, HmgmCimEngine};
 use navicim_analog::mapping::SpaceMap;
+use navicim_backend::par::ChunkPolicy;
 use navicim_backend::{LikelihoodBackend, PointBatch};
 use navicim_gmm::fit::{fit_diag_gmm, FitConfig};
 use navicim_gmm::hmg::{fit_hmgm, HmgmFitConfig};
@@ -112,6 +116,32 @@ fn bench_likelihood(c: &mut Criterion) {
                 |b, _| {
                     b.iter(|| {
                         engine.log_likelihood_into(&batch, &mut out);
+                        std::hint::black_box(out[0])
+                    })
+                },
+            );
+        }
+
+        // Thread-count sweep of the analog batch path at 1024 points:
+        // the splittable noise stream makes each worker count produce
+        // bit-identical output, so the rows differ only in wall clock.
+        let threads_batch_size = 1024;
+        let mut batch = PointBatch::with_capacity(3, threads_batch_size);
+        for i in 0..threads_batch_size {
+            batch.push(&points[i % points.len()]);
+        }
+        let mut out = vec![0.0; threads_batch_size];
+        for workers in [1usize, 2, 4] {
+            let policy = ChunkPolicy {
+                chunk_len: Some(threads_batch_size.div_ceil(workers)),
+                workers: Some(workers),
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("cim_engine_batch1024_threads{workers}"), k),
+                &k,
+                |b, _| {
+                    b.iter(|| {
+                        engine.log_likelihood_into_chunked(&batch, &mut out, policy);
                         std::hint::black_box(out[0])
                     })
                 },

@@ -1,13 +1,20 @@
 //! Timing: one particle-filter predict/update step vs particle count,
-//! plus the scalar-vs-batched comparison of the map-backed weight step.
+//! the scalar-vs-batched comparison of the map-backed weight step, and a
+//! worker-count sweep (1/2/4) of the *analog* weight step at 1024
+//! particles — the multi-core CIM throughput the `parallel` feature
+//! unlocks (without the feature the sweep rows coincide).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use navicim_analog::engine::{CimEngineConfig, HmgmCimEngine};
+use navicim_analog::mapping::SpaceMap;
+use navicim_backend::par::ChunkPolicy;
 use navicim_backend::{LikelihoodBackend, PointBatch};
 use navicim_filter::filter::{FilterConfig, Measurement, ParticleFilter};
 use navicim_filter::motion::OdometryMotion;
 use navicim_filter::particle::ParticleSet;
 use navicim_gmm::fit::{fit_diag_gmm, FitConfig};
 use navicim_gmm::gaussian::Gmm;
+use navicim_gmm::hmg::{fit_hmgm, HmgmFitConfig};
 use navicim_math::geom::{Pose, Vec3};
 use navicim_math::rng::{Pcg32, SampleExt};
 use navicim_math::stats::diag_mvn_logpdf;
@@ -117,6 +124,94 @@ fn bench_weight_step(c: &mut Criterion) {
     group.finish();
 }
 
+/// A CIM-engine map sensor scoring particle positions through the
+/// chunked analog batch path with a fixed worker cap — the analog weight
+/// step of the localization pipeline in isolation.
+struct CimMapSensor {
+    engine: HmgmCimEngine,
+    policy: ChunkPolicy,
+    batch: PointBatch,
+}
+
+impl Measurement<Pose, Vec3> for CimMapSensor {
+    fn log_likelihood(&mut self, state: &Pose, _obs: &Vec3) -> f64 {
+        self.engine.log_likelihood(&state.translation.to_array())
+    }
+
+    fn log_likelihood_batch(&mut self, states: &[Pose], _obs: &Vec3, out: &mut [f64]) {
+        self.batch.clear();
+        for s in states {
+            let t = s.translation;
+            self.batch.push_xyz(t.x, t.y, t.z);
+        }
+        self.engine
+            .log_likelihood_into_chunked(&self.batch, out, self.policy);
+    }
+}
+
+/// Analog weight step at 1024 particles across 1/2/4 workers: tracks the
+/// `parallel` speedup of the CIM backend (bit-identical results at every
+/// worker count, thanks to the counter-based noise stream).
+fn bench_analog_weight_step_threads(c: &mut Criterion) {
+    let mut rng = Pcg32::seed_from_u64(7);
+    let points: Vec<Vec<f64>> = (0..600)
+        .map(|_| {
+            vec![
+                rng.sample_normal(0.0, 0.5),
+                rng.sample_normal(0.0, 0.5),
+                rng.sample_normal(1.0, 0.3),
+            ]
+        })
+        .collect();
+    let space = SpaceMap::fit_to_points(&points, 0.15, 0.85, 0.1).unwrap();
+    let tech = navicim_device::params::TechParams::cmos_45nm();
+    let (floor, ceil) = HmgmCimEngine::recommended_sigma_bounds(&tech, &space);
+    let model = fit_hmgm(
+        &points,
+        16,
+        &HmgmFitConfig {
+            sigma_floor: floor,
+            sigma_ceiling: Some(ceil),
+            ..HmgmFitConfig::default()
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let n = 1024usize;
+    let mut group = c.benchmark_group("pf_weight_step_analog_threads");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            let engine =
+                HmgmCimEngine::build(&model, space.clone(), CimEngineConfig::default()).unwrap();
+            let mut cloud_rng = Pcg32::seed_from_u64(1);
+            let states = particle_cloud(n, &mut cloud_rng);
+            let mut pf = ParticleFilter::new(
+                ParticleSet::from_states(states).unwrap(),
+                FilterConfig {
+                    // Isolate the weight step: never resample.
+                    ess_fraction: 0.0,
+                    ..FilterConfig::default()
+                },
+            );
+            let mut sensor = CimMapSensor {
+                engine,
+                policy: ChunkPolicy {
+                    chunk_len: Some(n.div_ceil(w)),
+                    workers: Some(w),
+                },
+                batch: PointBatch::with_capacity(3, n),
+            };
+            let obs = Vec3::new(0.0, 0.0, 1.0);
+            b.iter(|| {
+                pf.update(&obs, &mut sensor, &mut cloud_rng)
+                    .expect("update succeeds");
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_pf(c: &mut Criterion) {
     let mut group = c.benchmark_group("particle_filter_step");
     group.sample_size(20);
@@ -154,5 +249,10 @@ fn bench_pf(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pf, bench_weight_step);
+criterion_group!(
+    benches,
+    bench_pf,
+    bench_weight_step,
+    bench_analog_weight_step_threads
+);
 criterion_main!(benches);

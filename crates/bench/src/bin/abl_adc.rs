@@ -5,7 +5,8 @@
 
 use navicim_analog::engine::CimEngineConfig;
 use navicim_bench::small_localization_dataset;
-use navicim_core::localization::{BackendKind, CimLocalizer, LocalizerConfig};
+use navicim_core::localization::{CimLocalizer, LocalizerConfig};
+use navicim_core::registry::CIM_HMGM;
 use navicim_core::reportfmt::Table;
 
 fn main() {
@@ -23,10 +24,11 @@ fn main() {
     let mut adc_table = Table::new(vec!["adc bits", "steady-state error (m)"]);
     for &bits in &[2u32, 3, 4, 6, 8] {
         let config = LocalizerConfig {
-            backend: BackendKind::CimHmgm(CimEngineConfig {
+            backend: CIM_HMGM.into(),
+            cim: CimEngineConfig {
                 adc_bits: bits,
                 ..CimEngineConfig::default()
-            }),
+            },
             ..base.clone()
         };
         let mut loc = CimLocalizer::build(&dataset, config).expect("localizer builds");
@@ -45,10 +47,11 @@ fn main() {
     ]);
     for &sev in &[0.0, 0.5, 1.0, 2.0, 4.0] {
         let config = LocalizerConfig {
-            backend: BackendKind::CimHmgm(CimEngineConfig {
+            backend: CIM_HMGM.into(),
+            cim: CimEngineConfig {
                 variation_severity: sev,
                 ..CimEngineConfig::default()
-            }),
+            },
             ..base.clone()
         };
         let mut loc = CimLocalizer::build(&dataset, config).expect("localizer builds");

@@ -3,9 +3,9 @@
 //!
 //! Run: `cargo run --release -p navicim-bench --bin abl_pf_sweep`
 
-use navicim_analog::engine::CimEngineConfig;
 use navicim_bench::small_localization_dataset;
-use navicim_core::localization::{BackendKind, CimLocalizer, LocalizerConfig};
+use navicim_core::localization::{CimLocalizer, LocalizerConfig};
+use navicim_core::registry::{CIM_HMGM, DIGITAL_GMM};
 use navicim_core::reportfmt::Table;
 use navicim_energy::analog::AnalogCimProfile;
 use navicim_energy::digital::DigitalProfile;
@@ -28,13 +28,13 @@ fn main() {
             num_particles: particles,
             components: 16,
             pixel_stride: 11,
-            backend: BackendKind::CimHmgm(CimEngineConfig::default()),
+            backend: CIM_HMGM.into(),
             seed: 5,
             ..LocalizerConfig::default()
         };
         let mut loc = CimLocalizer::build(&dataset, config).expect("localizer builds");
         let run = loc.run(&dataset).expect("run completes");
-        let stats = run.cim_stats.expect("cim backend");
+        let stats = run.stats;
         let per_eval = analog
             .likelihood_eval_report(stats.avg_current(), 3, 4, 4)
             .expect("prices")
@@ -68,7 +68,7 @@ fn main() {
         let mut gmm_loc = CimLocalizer::build(
             &dataset,
             LocalizerConfig {
-                backend: BackendKind::DigitalGmm,
+                backend: DIGITAL_GMM.into(),
                 ..base.clone()
             },
         )
@@ -77,7 +77,7 @@ fn main() {
         let mut cim_loc = CimLocalizer::build(
             &dataset,
             LocalizerConfig {
-                backend: BackendKind::CimHmgm(CimEngineConfig::default()),
+                backend: CIM_HMGM.into(),
                 ..base
             },
         )

@@ -7,10 +7,11 @@
 //!
 //! Run: `cargo run --release -p navicim-bench --bin fig2eh`
 
-use navicim_analog::engine::{CimEngineConfig, HmgmCimEngine};
+use navicim_analog::engine::HmgmCimEngine;
 use navicim_analog::mapping::SpaceMap;
 use navicim_bench::standard_localization_dataset;
-use navicim_core::localization::{BackendKind, CimLocalizer, LocalizerConfig};
+use navicim_core::localization::{CimLocalizer, LocalizerConfig};
+use navicim_core::registry::{CIM_HMGM, DIGITAL_GMM};
 use navicim_core::reportfmt::Table;
 use navicim_device::params::TechParams;
 use navicim_gmm::fit::FitConfig;
@@ -26,17 +27,17 @@ fn main() {
         dataset.frames[0].depth.height(),
     );
 
-    let config = |backend| LocalizerConfig {
+    let config = |backend: &str| LocalizerConfig {
         num_particles: 400,
         components: 16,
         pixel_stride: 11,
-        backend,
+        backend: backend.into(),
         seed: 11,
         ..LocalizerConfig::default()
     };
 
-    let mut digital = CimLocalizer::build(&dataset, config(BackendKind::DigitalGmm))
-        .expect("digital localizer builds");
+    let mut digital =
+        CimLocalizer::build(&dataset, config(DIGITAL_GMM)).expect("digital localizer builds");
     let digital_run = digital.run(&dataset).expect("digital run completes");
 
     // Resolution-matched digital baseline: the GMM constrained to the same
@@ -60,15 +61,14 @@ fn main() {
                 var_floor: min_floor * min_floor,
                 ..FitConfig::default()
             },
-            ..config(BackendKind::DigitalGmm)
+            ..config(DIGITAL_GMM)
         },
     )
     .expect("matched localizer builds");
     let matched_run = matched.run(&dataset).expect("matched run completes");
 
-    let cim_config = CimEngineConfig::default(); // 4-bit DACs, variation on
-    let mut cim = CimLocalizer::build(&dataset, config(BackendKind::CimHmgm(cim_config)))
-        .expect("cim localizer builds");
+    // Default CimEngineConfig: 4-bit DACs, variation on.
+    let mut cim = CimLocalizer::build(&dataset, config(CIM_HMGM)).expect("cim localizer builds");
     let cim_run = cim.run(&dataset).expect("cim run completes");
 
     println!("## per-frame position error and particle spread (metres)");

@@ -9,6 +9,11 @@
 //!   the SRAM CIM macro, with dropout bits from the modeled CCI RNG,
 //!   compute reuse and sample ordering, and uncertainty-vs-error
 //!   diagnostics (Fig. 3(c–f)) plus TOPS/W accounting.
+//! - [`registry`] — the pluggable map-backend registry: named
+//!   `Box<dyn MapBackend>` factories (digital GMM, digital HMGM and the
+//!   analog CIM engine by default) through which [`localization`] selects
+//!   its backend, and through which downstream crates register custom
+//!   backends without touching this crate.
 //! - [`uncertainty`] — calibration utilities shared by both pipelines.
 //! - [`reportfmt`] — markdown table helpers used by the experiment
 //!   binaries in `navicim-bench`.
@@ -17,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub mod localization;
+pub mod registry;
 pub mod reportfmt;
 pub mod uncertainty;
 pub mod vo;

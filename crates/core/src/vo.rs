@@ -16,12 +16,12 @@ use navicim_nn::loss::Mse;
 use navicim_nn::mc::{mc_moments, McPrediction};
 use navicim_nn::mlp::Mlp;
 use navicim_nn::optim::Adam;
-use navicim_nn::quant::{QuantBackend, QuantMatrix, QuantizedMlp};
+use navicim_nn::quant::{ForwardWorkspace, QuantBackend, QuantMatrix, QuantizedMlp};
 use navicim_nn::train::{train, Example, TrainConfig};
 use navicim_nn::Mode;
 use navicim_scene::dataset::{integrate_deltas, VoDataset, VoSample};
 use navicim_sram::cim_macro::{MacroConfig, MacroStats, SramCimMacro};
-use navicim_sram::reuse::{flatten_iteration, greedy_order};
+use navicim_sram::reuse::{flatten_iteration_into, greedy_order};
 use navicim_sram::rng::{CciRng, CciRngConfig};
 
 /// [`QuantBackend`] adapter over the modeled SRAM macro: programs weight
@@ -49,20 +49,21 @@ impl CimQuantBackend {
 }
 
 impl QuantBackend for CimQuantBackend {
-    fn matvec(
+    fn matvec_into(
         &mut self,
         layer_id: usize,
         matrix: &QuantMatrix,
         input: &[i64],
         out_mask: &[bool],
-    ) -> Vec<i64> {
+        acc: &mut Vec<i64>,
+    ) {
         if !self.cim.has_layer(layer_id) {
             self.cim
                 .program_layer(layer_id, matrix.codes(), matrix.rows(), matrix.cols())
                 .expect("matrix shape is self-consistent");
         }
         self.cim
-            .matvec(layer_id, input, out_mask)
+            .matvec_into(layer_id, input, out_mask, acc)
             .expect("shapes validated by QuantizedMlp")
     }
 
@@ -248,6 +249,13 @@ pub struct BayesianVo {
     backend: CimQuantBackend,
     masks: MaskSource,
     config: VoPipelineConfig,
+    /// Persistent forward scratch — the per-frame prediction path
+    /// allocates only its returned samples after warmup.
+    ws: ForwardWorkspace,
+    /// Reused per-iteration mask sets (outer and inner buffers kept).
+    mask_sets: Vec<Vec<Vec<bool>>>,
+    /// Reused flattened masks for the greedy ordering.
+    flat_masks: Vec<Vec<bool>>,
 }
 
 impl BayesianVo {
@@ -277,6 +285,9 @@ impl BayesianVo {
             backend,
             masks,
             config,
+            ws: ForwardWorkspace::new(),
+            mask_sets: Vec::new(),
+            flat_masks: Vec::new(),
         })
     }
 
@@ -302,23 +313,39 @@ impl BayesianVo {
 
     /// One MC-Dropout prediction: `mc_iterations` stochastic passes on the
     /// frame features, with optional greedy iteration ordering.
+    ///
+    /// The mask sets, the flattened ordering inputs and the forward
+    /// scratch all live in reused buffers; after the first frame the
+    /// prediction allocates only its returned samples.
     pub fn predict(&mut self, features: &[f64]) -> McPrediction {
         let t = self.config.mc_iterations;
-        let mask_sets: Vec<Vec<Vec<bool>>> = (0..t)
-            .map(|_| self.qnet.sample_masks(self.masks.rng_mut()))
-            .collect();
+        self.mask_sets.resize_with(t, Vec::new);
+        for set in &mut self.mask_sets {
+            self.qnet.sample_masks_into(self.masks.rng_mut(), set);
+        }
         let order: Vec<usize> = if self.config.order_samples {
-            let flat: Vec<Vec<bool>> = mask_sets.iter().map(|m| flatten_iteration(m)).collect();
-            greedy_order(&flat).expect("mask sets are non-empty and uniform")
+            self.flat_masks.resize_with(t, Vec::new);
+            for (flat, set) in self.flat_masks.iter_mut().zip(&self.mask_sets) {
+                flatten_iteration_into(set, flat);
+            }
+            greedy_order(&self.flat_masks).expect("mask sets are non-empty and uniform")
         } else {
             (0..t).collect()
         };
         self.backend.reset();
+        let out_dim = self.qnet.out_dim();
         let samples: Vec<Vec<f64>> = order
             .iter()
             .map(|&i| {
-                self.qnet
-                    .forward_with_masks(&mut self.backend, features, &mask_sets[i])
+                let mut y = Vec::with_capacity(out_dim);
+                self.qnet.forward_with_masks_into(
+                    &mut self.backend,
+                    features,
+                    &self.mask_sets[i],
+                    &mut self.ws,
+                    &mut y,
+                );
+                y
             })
             .collect();
         mc_moments(samples)
@@ -343,8 +370,10 @@ impl BayesianVo {
     /// Deterministic quantized prediction (no dropout at inference).
     pub fn predict_deterministic(&mut self, features: &[f64]) -> Vec<f64> {
         self.backend.reset();
+        let mut y = Vec::with_capacity(self.qnet.out_dim());
         self.qnet
-            .forward_with_masks(&mut self.backend, features, &[])
+            .forward_with_masks_into(&mut self.backend, features, &[], &mut self.ws, &mut y);
+        y
     }
 
     /// Runs MC-Dropout VO over a dataset, integrating the predicted mean

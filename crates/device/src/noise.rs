@@ -1,4 +1,5 @@
-//! Electronic noise-current models.
+//! Electronic noise-current models and the splittable evaluation noise
+//! stream.
 //!
 //! Two consumers in the workspace need physically grounded noise:
 //!
@@ -9,6 +10,13 @@
 //!
 //! The model covers thermal (Johnson–Nyquist channel) noise `4kT·γ·g_m·Δf`
 //! and shot noise `2q·I·Δf`, both white over the evaluation bandwidth.
+//!
+//! [`NoiseStream`] supplies the per-evaluation standard normals the
+//! likelihood engine scales through [`NoiseModel::sample_with_z`]. It is
+//! *counter-based*: sample `i` is a pure function of `(seed, i)`, so any
+//! chunk of a batch can be evaluated on any thread, in any order, and
+//! still perturb evaluation `i` with exactly the value a sequential pass
+//! would have used.
 
 use crate::params::{BOLTZMANN, ELECTRON_CHARGE};
 use navicim_math::rng::{Rng64, SampleExt};
@@ -59,13 +67,100 @@ impl NoiseModel {
 
     /// Noise-current sample from a pre-drawn standard-normal `z`.
     ///
-    /// Batch evaluators harvest their standard normals in bulk and scale
-    /// them per operating point through this method, so the noise formula
-    /// lives here in the device model rather than being re-derived by
-    /// each caller. `sample` delegates here, keeping the two paths
-    /// identical.
+    /// Batch evaluators take their standard normals from a [`NoiseStream`]
+    /// and scale them per operating point through this method, so the
+    /// noise formula lives here in the device model rather than being
+    /// re-derived by each caller. `sample` delegates here, keeping the two
+    /// paths identical.
     pub fn sample_with_z(&self, gm: f64, i_bias: f64, z: f64) -> f64 {
         self.total_rms(gm, i_bias) * z
+    }
+}
+
+/// SplitMix64 increment (Steele, Lea, Flood 2014).
+const SM64_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The `k`-th output word of a SplitMix64 generator seeded with `seed`,
+/// computed directly from the counter (SplitMix64's state after `k + 1`
+/// steps is `seed + (k + 1)·γ`, so any word is random-access).
+fn splitmix_word(seed: u64, k: u64) -> u64 {
+    let mut z = seed.wrapping_add(SM64_GAMMA.wrapping_mul(k.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` from the high 53 bits of a word (the same mapping
+/// `Rng64::next_f64` uses).
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A counter-based, splittable stream of standard-normal samples.
+///
+/// [`NoiseStream::at`] is a pure function of `(seed, index)`: it consumes
+/// words `2·index` and `2·index + 1` of a SplitMix64 sequence and pushes
+/// them through the same Box–Muller transform as
+/// [`SampleExt::sample_standard_normal`]. Two consequences:
+///
+/// - **Chunk/thread invariance.** A batch evaluator that assigns each
+///   evaluation its absolute stream index produces bit-identical noise no
+///   matter how the batch is chunked or which thread serves which chunk —
+///   the property the `parallel` feature of `navicim-backend` relies on.
+/// - **Sequential equivalence.** Drawing indices `0, 1, 2, …` reproduces
+///   exactly the sequence a `SplitMix64`-backed
+///   [`SampleExt::sample_standard_normal`] sampler would emit.
+///
+/// The stream also carries a `cursor` so stateful consumers (the CIM
+/// engine) can hand out disjoint index ranges to successive batches:
+/// batch `k` covers `[cursor, cursor + len)` and then advances the
+/// cursor, which keeps scalar-call and batch-call histories aligned.
+///
+/// ```
+/// use navicim_device::noise::NoiseStream;
+/// let s = NoiseStream::new(42);
+/// let mut t = NoiseStream::new(42);
+/// // Random access agrees with sequential draws.
+/// let seq: Vec<f64> = (0..4).map(|_| t.next_z()).collect();
+/// let random: Vec<f64> = (0..4).map(|i| s.at(i)).collect();
+/// assert_eq!(seq, random);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoiseStream {
+    seed: u64,
+    cursor: u64,
+}
+
+impl NoiseStream {
+    /// Creates a stream from a 64-bit seed with the cursor at zero.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, cursor: 0 }
+    }
+
+    /// The standard-normal sample at absolute stream index `index`,
+    /// independent of the cursor and of any other draw.
+    pub fn at(&self, index: u64) -> f64 {
+        let u = 1.0 - unit_f64(splitmix_word(self.seed, 2 * index));
+        let v = unit_f64(splitmix_word(self.seed, 2 * index + 1));
+        (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos()
+    }
+
+    /// Draws the sample at the cursor and advances it by one.
+    pub fn next_z(&mut self) -> f64 {
+        let z = self.at(self.cursor);
+        self.cursor += 1;
+        z
+    }
+
+    /// The index the next sequential draw will consume.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Advances the cursor past `n` samples (a batch evaluator claims its
+    /// index range up front and commits it once the batch completes).
+    pub fn advance(&mut self, n: u64) {
+        self.cursor += n;
     }
 }
 
@@ -119,6 +214,54 @@ mod tests {
         let s = m.shot_rms(1e-5);
         let tot = m.total_rms(1e-4, 1e-5);
         assert!((tot * tot - (t * t + s * s)).abs() < 1e-24);
+    }
+
+    #[test]
+    fn stream_matches_sequential_splitmix_sampler() {
+        // NoiseStream::at is random access into the exact sequence a
+        // sequential SplitMix64-backed Box-Muller sampler produces.
+        use navicim_math::rng::SplitMix64;
+        let stream = NoiseStream::new(0xfeed);
+        let mut rng = SplitMix64::seed_from_u64(0xfeed);
+        for i in 0..64 {
+            assert_eq!(stream.at(i), rng.sample_standard_normal(), "index {i}");
+        }
+    }
+
+    #[test]
+    fn stream_order_independent() {
+        let s = NoiseStream::new(7);
+        let forward: Vec<f64> = (0..16).map(|i| s.at(i)).collect();
+        let backward: Vec<f64> = (0..16).rev().map(|i| s.at(i)).collect();
+        let reversed: Vec<f64> = backward.into_iter().rev().collect();
+        assert_eq!(forward, reversed);
+    }
+
+    #[test]
+    fn stream_cursor_tracks_draws() {
+        let mut s = NoiseStream::new(3);
+        assert_eq!(s.cursor(), 0);
+        let a = s.next_z();
+        assert_eq!(s.cursor(), 1);
+        s.advance(9);
+        assert_eq!(s.cursor(), 10);
+        assert_eq!(a, NoiseStream::new(3).at(0));
+    }
+
+    #[test]
+    fn stream_samples_are_standard_normal() {
+        let s = NoiseStream::new(11);
+        let xs: Vec<f64> = (0..20_000).map(|i| s.at(i)).collect();
+        assert!(stats::mean(&xs).abs() < 0.02);
+        assert!((stats::std_dev(&xs) - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_streams() {
+        let a = NoiseStream::new(1);
+        let b = NoiseStream::new(2);
+        let same = (0..64).filter(|&i| a.at(i) == b.at(i)).count();
+        assert_eq!(same, 0);
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub trait Motion<S, U> {
 /// The filter weighs whole particle sets through
 /// [`Measurement::log_likelihood_batch`]; the provided implementation
 /// loops over scalar calls, so existing scalar models keep working
-/// unchanged, while batch-capable sensors (the map backends in
+/// unchanged, while batch-capable sensors (the `dyn MapBackend` maps in
 /// `navicim-core`) override it to amortize per-evaluation overhead across
 /// the frame.
 pub trait Measurement<S, Z> {
@@ -31,7 +31,11 @@ pub trait Measurement<S, Z> {
     ///
     /// Implementations must be bit-identical to evaluating the states
     /// one by one with [`Measurement::log_likelihood`] (the provided
-    /// implementation trivially is).
+    /// implementation trivially is). The contract permits internal
+    /// threading: stateful backends satisfy it by deriving per-evaluation
+    /// randomness from a counter-based stream indexed by the absolute
+    /// evaluation number (see `navicim_backend::par`), so the weight step
+    /// scales across cores without perturbing a single particle weight.
     ///
     /// # Panics
     ///

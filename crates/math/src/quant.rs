@@ -101,6 +101,13 @@ impl Quantizer {
         xs.iter().map(|&x| self.quantize(x)).collect()
     }
 
+    /// Quantizes a slice into a reused code buffer (allocation-free once
+    /// the buffer has warmed up to the layer width).
+    pub fn quantize_all_into(&self, xs: &[f64], codes: &mut Vec<i64>) {
+        codes.clear();
+        codes.extend(xs.iter().map(|&x| self.quantize(x)));
+    }
+
     /// Applies fake quantization to a slice.
     pub fn fake_quantize_all(&self, xs: &[f64]) -> Vec<f64> {
         xs.iter().map(|&x| self.fake_quantize(x)).collect()

@@ -46,6 +46,14 @@ impl Activation {
     pub fn apply_all(self, xs: &[f64]) -> Vec<f64> {
         xs.iter().map(|&x| self.apply(x)).collect()
     }
+
+    /// Applies the activation elementwise in place (the allocation-free
+    /// twin of [`Activation::apply_all`]).
+    pub fn apply_in_place(self, xs: &mut [f64]) {
+        for x in xs {
+            *x = self.apply(*x);
+        }
+    }
 }
 
 /// An activation layer instance caching its pre-activation input.

@@ -11,7 +11,10 @@
 //!   [`ExactBackend`] is the ideal software reference,
 //! - [`QuantizedMlp`] — a trained [`Mlp`] exported to the quantized
 //!   representation (activation ranges calibrated on sample data), able to
-//!   run deterministic or MC-Dropout inference through any backend.
+//!   run deterministic or MC-Dropout inference through any backend,
+//! - [`ForwardWorkspace`] — caller-owned scratch making the per-frame
+//!   inference path allocation-free after warmup
+//!   ([`QuantizedMlp::forward_with_masks_into`]).
 //!
 //! Dropout masks are folded into the activation *codes* (dropped units
 //! quantize to zero). Because the inverted-dropout scale is constant, a
@@ -102,17 +105,37 @@ impl QuantMatrix {
 }
 
 /// Executes quantized matrix-vector products — the hardware boundary.
+///
+/// [`QuantBackend::matvec_into`] is the primitive: it writes into a
+/// caller-reused accumulator buffer, which is what lets the per-frame
+/// inference path run allocation-free. [`QuantBackend::matvec`] is the
+/// provided allocating convenience wrapper.
 pub trait QuantBackend {
     /// Computes `acc[o] = Σᵢ W[o,i]·x[i]` over integer codes for every row
-    /// with `out_mask[o]` set (masked rows return 0). `layer_id` identifies
-    /// the weight array so stateful backends can cache per-layer state.
+    /// with `out_mask[o]` set (masked rows yield 0), writing one value per
+    /// row into `acc` (cleared first). `layer_id` identifies the weight
+    /// array so stateful backends can cache per-layer state.
+    fn matvec_into(
+        &mut self,
+        layer_id: usize,
+        matrix: &QuantMatrix,
+        input: &[i64],
+        out_mask: &[bool],
+        acc: &mut Vec<i64>,
+    );
+
+    /// Allocating wrapper over [`QuantBackend::matvec_into`].
     fn matvec(
         &mut self,
         layer_id: usize,
         matrix: &QuantMatrix,
         input: &[i64],
         out_mask: &[bool],
-    ) -> Vec<i64>;
+    ) -> Vec<i64> {
+        let mut acc = Vec::with_capacity(matrix.rows());
+        self.matvec_into(layer_id, matrix, input, out_mask, &mut acc);
+        acc
+    }
 
     /// Marks the beginning of one MC-Dropout iteration.
     fn begin_pass(&mut self) {}
@@ -137,24 +160,57 @@ impl ExactBackend {
 }
 
 impl QuantBackend for ExactBackend {
-    fn matvec(
+    fn matvec_into(
         &mut self,
         _layer_id: usize,
         matrix: &QuantMatrix,
         input: &[i64],
         out_mask: &[bool],
-    ) -> Vec<i64> {
+        acc: &mut Vec<i64>,
+    ) {
         assert_eq!(input.len(), matrix.cols(), "input length mismatch");
         assert_eq!(out_mask.len(), matrix.rows(), "mask length mismatch");
-        (0..matrix.rows())
-            .map(|o| {
-                if !out_mask[o] {
-                    return 0;
-                }
-                self.macs += matrix.cols() as u64;
-                matrix.row(o).iter().zip(input).map(|(&w, &x)| w * x).sum()
-            })
-            .collect()
+        acc.clear();
+        acc.extend((0..matrix.rows()).map(|o| {
+            if !out_mask[o] {
+                return 0;
+            }
+            self.macs += matrix.cols() as u64;
+            matrix
+                .row(o)
+                .iter()
+                .zip(input)
+                .map(|(&w, &x)| w * x)
+                .sum::<i64>()
+        }));
+    }
+}
+
+/// Reusable per-inference scratch for [`QuantizedMlp`] forward passes.
+///
+/// Holds the activation ping-pong buffers, the quantized input codes, the
+/// backend accumulator and the row mask. After one pass has grown each
+/// buffer to its layer's width, subsequent passes through
+/// [`QuantizedMlp::forward_with_masks_into`] allocate nothing — the
+/// per-frame invariant `bench_mcdropout` tracks.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardWorkspace {
+    /// Current activations.
+    h: Vec<f64>,
+    /// Next-layer activations (swapped with `h` after each dense layer).
+    h_next: Vec<f64>,
+    /// Quantized input codes of the current dense layer.
+    codes: Vec<i64>,
+    /// Backend accumulator output.
+    acc: Vec<i64>,
+    /// Lookahead row mask of the current dense layer.
+    out_mask: Vec<bool>,
+}
+
+impl ForwardWorkspace {
+    /// An empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -321,21 +377,33 @@ impl QuantizedMlp {
 
     /// Samples one set of dropout masks (`true` = keep) for a pass.
     pub fn sample_masks<R: Rng64 + ?Sized>(&self, rng: &mut R) -> Vec<Vec<bool>> {
+        let mut masks = Vec::new();
+        self.sample_masks_into(rng, &mut masks);
+        masks
+    }
+
+    /// Samples one set of dropout masks into a reused buffer (outer and
+    /// inner allocations are kept across calls). The RNG consumption is
+    /// identical to [`Self::sample_masks`].
+    pub fn sample_masks_into<R: Rng64 + ?Sized>(&self, rng: &mut R, masks: &mut Vec<Vec<bool>>) {
+        masks.resize_with(self.num_dropout_layers(), Vec::new);
         let mut dims = self.dropout_dims().into_iter();
-        self.layers
-            .iter()
-            .filter_map(|l| match l {
-                QuantLayer::Dropout { p } => {
-                    let d = dims.next().expect("dims align with dropout layers");
-                    Some((0..d).map(|_| !rng.sample_bool(*p)).collect())
-                }
-                _ => None,
-            })
-            .collect()
+        let mut slot = masks.iter_mut();
+        for layer in &self.layers {
+            if let QuantLayer::Dropout { p } = layer {
+                let d = dims.next().expect("dims align with dropout layers");
+                let mask = slot.next().expect("buffer sized above");
+                mask.clear();
+                mask.extend((0..d).map(|_| !rng.sample_bool(*p)));
+            }
+        }
     }
 
     /// Runs one forward pass with explicit dropout masks (one per dropout
     /// layer; pass an empty slice for deterministic inference).
+    ///
+    /// Allocating wrapper over [`Self::forward_with_masks_into`]; hot
+    /// callers hold a [`ForwardWorkspace`] instead.
     ///
     /// # Panics
     ///
@@ -346,6 +414,33 @@ impl QuantizedMlp {
         x: &[f64],
         masks: &[Vec<bool>],
     ) -> Vec<f64> {
+        let mut ws = ForwardWorkspace::default();
+        let mut out = Vec::with_capacity(self.out_dim);
+        self.forward_with_masks_into(backend, x, masks, &mut ws, &mut out);
+        out
+    }
+
+    /// Runs one forward pass through caller-owned scratch buffers,
+    /// writing the output activations into `out`.
+    ///
+    /// After the first call has warmed the workspace up to the network's
+    /// layer widths, the pass performs **no heap allocation**: activation
+    /// codes, accumulators, row masks and the activation ping-pong all
+    /// live in `ws`, and every [`QuantBackend`] receives its accumulator
+    /// buffer through [`QuantBackend::matvec_into`]. Results are
+    /// bit-identical to [`Self::forward_with_masks`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on input/mask shape mismatches.
+    pub fn forward_with_masks_into<B: QuantBackend>(
+        &self,
+        backend: &mut B,
+        x: &[f64],
+        masks: &[Vec<bool>],
+        ws: &mut ForwardWorkspace,
+        out: &mut Vec<f64>,
+    ) {
         assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
         let deterministic = masks.is_empty();
         if !deterministic {
@@ -356,7 +451,8 @@ impl QuantizedMlp {
             );
         }
         backend.begin_pass();
-        let mut h = x.to_vec();
+        ws.h.clear();
+        ws.h.extend_from_slice(x);
         let mut dense_idx = 0;
         let mut dropout_idx = 0;
         for (li, layer) in self.layers.iter().enumerate() {
@@ -366,25 +462,34 @@ impl QuantizedMlp {
                     bias,
                     act_quant,
                 } => {
-                    let codes = act_quant.quantize_all(&h);
-                    let out_mask = self.lookahead_mask(li, matrix.rows(), masks, dropout_idx);
-                    let acc = backend.matvec(dense_idx, matrix, &codes, &out_mask);
+                    act_quant.quantize_all_into(&ws.h, &mut ws.codes);
+                    self.lookahead_mask_into(
+                        li,
+                        matrix.rows(),
+                        masks,
+                        dropout_idx,
+                        &mut ws.out_mask,
+                    );
+                    backend.matvec_into(dense_idx, matrix, &ws.codes, &ws.out_mask, &mut ws.acc);
                     let scale = matrix.step() * act_quant.step();
-                    h = acc
-                        .iter()
-                        .zip(bias)
-                        .zip(&out_mask)
-                        .map(|((&a, &b), &keep)| if keep { a as f64 * scale + b } else { 0.0 })
-                        .collect();
+                    ws.h_next.clear();
+                    ws.h_next.extend(
+                        ws.acc
+                            .iter()
+                            .zip(bias)
+                            .zip(&ws.out_mask)
+                            .map(|((&a, &b), &keep)| if keep { a as f64 * scale + b } else { 0.0 }),
+                    );
+                    std::mem::swap(&mut ws.h, &mut ws.h_next);
                     dense_idx += 1;
                 }
-                QuantLayer::Activation(a) => h = a.apply_all(&h),
+                QuantLayer::Activation(a) => a.apply_in_place(&mut ws.h),
                 QuantLayer::Dropout { p } => {
                     if !deterministic {
                         let mask = &masks[dropout_idx];
-                        assert_eq!(mask.len(), h.len(), "dropout mask length mismatch");
+                        assert_eq!(mask.len(), ws.h.len(), "dropout mask length mismatch");
                         let s = 1.0 / (1.0 - p);
-                        for (v, &keep) in h.iter_mut().zip(mask) {
+                        for (v, &keep) in ws.h.iter_mut().zip(mask) {
                             *v = if keep { *v * s } else { 0.0 };
                         }
                     }
@@ -392,7 +497,8 @@ impl QuantizedMlp {
                 }
             }
         }
-        h
+        out.clear();
+        out.extend_from_slice(&ws.h);
     }
 
     /// Runs one forward pass in the given mode, sampling masks from `rng`
@@ -428,10 +534,16 @@ impl QuantizedMlp {
     ) -> McPrediction {
         assert!(iterations >= 2, "mc_predict requires at least 2 iterations");
         backend.reset();
+        // One workspace and mask buffer serve every iteration; only the
+        // returned samples themselves are allocated.
+        let mut ws = ForwardWorkspace::default();
+        let mut masks: Vec<Vec<bool>> = Vec::new();
         let samples: Vec<Vec<f64>> = (0..iterations)
             .map(|_| {
-                let masks = self.sample_masks(rng);
-                self.forward_with_masks(backend, x, &masks)
+                self.sample_masks_into(rng, &mut masks);
+                let mut y = Vec::with_capacity(self.out_dim);
+                self.forward_with_masks_into(backend, x, &masks, &mut ws, &mut y);
+                y
             })
             .collect();
         let n = samples.len() as f64;
@@ -458,14 +570,17 @@ impl QuantizedMlp {
     /// The output mask for the dense layer at stack position `li`: the mask
     /// of the next dropout layer separated only by elementwise layers
     /// (whose dropped rows need not be computed at all — the paper's
-    /// row-line gating), or all-true.
-    fn lookahead_mask(
+    /// row-line gating), or all-true. Written into the reused `out`
+    /// buffer.
+    fn lookahead_mask_into(
         &self,
         li: usize,
         rows: usize,
         masks: &[Vec<bool>],
         dropout_idx: usize,
-    ) -> Vec<bool> {
+        out: &mut Vec<bool>,
+    ) {
+        out.clear();
         if !masks.is_empty() {
             for layer in &self.layers[li + 1..] {
                 match layer {
@@ -473,7 +588,8 @@ impl QuantizedMlp {
                     QuantLayer::Dropout { .. } => {
                         let m = &masks[dropout_idx];
                         if m.len() == rows {
-                            return m.clone();
+                            out.extend_from_slice(m);
+                            return;
                         }
                         break;
                     }
@@ -481,7 +597,7 @@ impl QuantizedMlp {
                 }
             }
         }
-        vec![true; rows]
+        out.resize(rows, true);
     }
 
     /// Dense-layer MAC count of one full (non-reused, unmasked) pass.
@@ -621,6 +737,79 @@ mod tests {
         let net = trained_like_net(9);
         assert!(QuantizedMlp::from_mlp(&net, 8, 8, &[]).is_err());
         assert!(QuantizedMlp::from_mlp(&net, 8, 8, &[vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn workspace_path_matches_allocating_path() {
+        // forward_with_masks_into through one long-lived workspace is
+        // bit-identical to forward_with_masks, pass after pass, including
+        // backend MAC accounting.
+        let net = trained_like_net(11);
+        let qnet = QuantizedMlp::from_mlp(&net, 6, 6, &calib()).unwrap();
+        let mut rng = Pcg32::seed_from_u64(12);
+        let mut ws = ForwardWorkspace::new();
+        let mut b_ws = ExactBackend::new();
+        let mut b_alloc = ExactBackend::new();
+        let mut y = Vec::new();
+        for x in calib() {
+            let masks = qnet.sample_masks(&mut rng);
+            qnet.forward_with_masks_into(&mut b_ws, &x, &masks, &mut ws, &mut y);
+            let expected = qnet.forward_with_masks(&mut b_alloc, &x, &masks);
+            assert_eq!(y, expected);
+            assert_eq!(b_ws.macs, b_alloc.macs);
+            // Deterministic pass through the same workspace.
+            qnet.forward_with_masks_into(&mut b_ws, &x, &[], &mut ws, &mut y);
+            assert_eq!(y, qnet.forward_with_masks(&mut b_alloc, &x, &[]));
+        }
+    }
+
+    #[test]
+    fn sample_masks_into_matches_sample_masks() {
+        let net = trained_like_net(12);
+        let qnet = QuantizedMlp::from_mlp(&net, 6, 6, &calib()).unwrap();
+        let mut rng_a = Pcg32::seed_from_u64(3);
+        let mut rng_b = Pcg32::seed_from_u64(3);
+        let mut reused = Vec::new();
+        for _ in 0..5 {
+            qnet.sample_masks_into(&mut rng_a, &mut reused);
+            assert_eq!(reused, qnet.sample_masks(&mut rng_b));
+        }
+        assert_eq!(rng_a, rng_b, "identical RNG consumption");
+    }
+
+    #[test]
+    fn workspace_buffers_stop_growing_after_warmup() {
+        // After one pass the workspace holds every layer's width; later
+        // passes must not grow any buffer (the zero-alloc invariant).
+        let net = trained_like_net(13);
+        let qnet = QuantizedMlp::from_mlp(&net, 6, 6, &calib()).unwrap();
+        let mut ws = ForwardWorkspace::new();
+        let mut backend = ExactBackend::new();
+        let mut rng = Pcg32::seed_from_u64(14);
+        let mut y = Vec::new();
+        let masks = qnet.sample_masks(&mut rng);
+        qnet.forward_with_masks_into(&mut backend, &calib()[0], &masks, &mut ws, &mut y);
+        let caps = (
+            ws.h.capacity(),
+            ws.h_next.capacity(),
+            ws.codes.capacity(),
+            ws.acc.capacity(),
+            ws.out_mask.capacity(),
+        );
+        for x in calib() {
+            let masks = qnet.sample_masks(&mut rng);
+            qnet.forward_with_masks_into(&mut backend, &x, &masks, &mut ws, &mut y);
+        }
+        assert_eq!(
+            caps,
+            (
+                ws.h.capacity(),
+                ws.h_next.capacity(),
+                ws.codes.capacity(),
+                ws.acc.capacity(),
+                ws.out_mask.capacity(),
+            )
+        );
     }
 
     #[test]

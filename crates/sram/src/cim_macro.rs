@@ -73,7 +73,10 @@ struct LayerState {
     rows: usize,
     cols: usize,
     w_max: i64,
-    prev_input: Option<Vec<i64>>,
+    /// Previous input codes (valid only when `has_prev`; the buffer is
+    /// kept across frames so steady-state matvecs allocate nothing).
+    prev_input: Vec<i64>,
+    has_prev: bool,
     prev_acc: Vec<i64>,
 }
 
@@ -83,6 +86,8 @@ pub struct SramCimMacro {
     config: MacroConfig,
     layers: HashMap<usize, LayerState>,
     stats: MacroStats,
+    /// Reused changed-column index scratch for the delta path.
+    changed: Vec<usize>,
 }
 
 impl SramCimMacro {
@@ -92,6 +97,7 @@ impl SramCimMacro {
             config,
             layers: HashMap::new(),
             stats: MacroStats::default(),
+            changed: Vec::new(),
         }
     }
 
@@ -132,7 +138,8 @@ impl SramCimMacro {
                 rows,
                 cols,
                 w_max,
-                prev_input: None,
+                prev_input: Vec::new(),
+                has_prev: false,
                 prev_acc: vec![0; rows],
             },
         );
@@ -144,11 +151,9 @@ impl SramCimMacro {
         self.layers.contains_key(&layer_id)
     }
 
-    /// Executes one quantized matrix-vector product.
+    /// Executes one quantized matrix-vector product into a fresh vector.
     ///
-    /// Masked rows (`out_mask[o] == false`) return 0 without being
-    /// evaluated. The returned accumulators carry the ADC quantization of
-    /// the configured resolution.
+    /// Allocating wrapper over [`Self::matvec_into`].
     ///
     /// # Errors
     ///
@@ -160,6 +165,32 @@ impl SramCimMacro {
         input: &[i64],
         out_mask: &[bool],
     ) -> Result<Vec<i64>> {
+        let mut out = Vec::new();
+        self.matvec_into(layer_id, input, out_mask, &mut out)?;
+        Ok(out)
+    }
+
+    /// Executes one quantized matrix-vector product into a reused output
+    /// buffer (cleared first; one value per row).
+    ///
+    /// Masked rows (`out_mask[o] == false`) yield 0 without being
+    /// evaluated. The accumulators carry the ADC quantization of the
+    /// configured resolution. In steady state — layers programmed, reuse
+    /// caches warm, `out` at capacity — the call performs no heap
+    /// allocation: the previous-input and changed-column scratch buffers
+    /// are retained inside the macro.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::UnknownLayer`] for unprogrammed ids and
+    /// [`SramError::ShapeMismatch`] for wrong input/mask lengths.
+    pub fn matvec_into(
+        &mut self,
+        layer_id: usize,
+        input: &[i64],
+        out_mask: &[bool],
+        out: &mut Vec<i64>,
+    ) -> Result<()> {
         let reuse = self.config.reuse;
         let layer = self
             .layers
@@ -182,29 +213,23 @@ impl SramCimMacro {
         let active_rows = out_mask.iter().filter(|&&m| m).count() as u64;
         self.stats.rows_gated += layer.rows as u64 - active_rows;
 
-        let usable_prev = reuse
-            && layer
-                .prev_input
-                .as_ref()
-                .map(|p| p.len() == input.len())
-                .unwrap_or(false);
-
-        if usable_prev {
+        if reuse && layer.has_prev {
             // Delta path: only columns whose input code changed are
             // re-evaluated; accumulators update incrementally.
-            let prev = layer.prev_input.as_ref().expect("checked above");
-            let changed: Vec<usize> = (0..layer.cols).filter(|&i| prev[i] != input[i]).collect();
+            self.changed.clear();
+            self.changed
+                .extend((0..layer.cols).filter(|&i| layer.prev_input[i] != input[i]));
             for o in 0..layer.rows {
                 // Note: accumulators for *all* rows are kept current so
                 // later iterations with different row masks stay exact.
                 let row = &layer.codes[o * layer.cols..(o + 1) * layer.cols];
                 let mut acc = layer.prev_acc[o];
-                for &i in &changed {
-                    acc += row[i] * (input[i] - prev[i]);
+                for &i in &self.changed {
+                    acc += row[i] * (input[i] - layer.prev_input[i]);
                 }
                 layer.prev_acc[o] = acc;
             }
-            self.stats.macs_executed += changed.len() as u64 * layer.rows as u64;
+            self.stats.macs_executed += self.changed.len() as u64 * layer.rows as u64;
         } else {
             for o in 0..layer.rows {
                 let row = &layer.codes[o * layer.cols..(o + 1) * layer.cols];
@@ -212,7 +237,9 @@ impl SramCimMacro {
             }
             self.stats.macs_executed += (layer.rows * layer.cols) as u64;
         }
-        layer.prev_input = Some(input.to_vec());
+        layer.prev_input.clear();
+        layer.prev_input.extend_from_slice(input);
+        layer.has_prev = true;
 
         // Read out active rows through the partial-sum ADC.
         let x_max = input.iter().map(|x| x.abs()).max().unwrap_or(0).max(1);
@@ -220,22 +247,22 @@ impl SramCimMacro {
             * (layer.cols as f64).sqrt()
             * layer.w_max as f64
             * x_max as f64;
-        let out: Vec<i64> = (0..layer.rows)
-            .map(|o| {
-                if !out_mask[o] {
-                    return 0;
-                }
-                self.stats.adc_conversions += 1;
-                quantize_adc(layer.prev_acc[o], self.config.adc_bits, range)
-            })
-            .collect();
-        Ok(out)
+        out.clear();
+        out.extend((0..layer.rows).map(|o| {
+            if !out_mask[o] {
+                return 0;
+            }
+            self.stats.adc_conversions += 1;
+            quantize_adc(layer.prev_acc[o], self.config.adc_bits, range)
+        }));
+        Ok(())
     }
 
-    /// Clears the per-layer reuse caches (new input frame).
+    /// Clears the per-layer reuse caches (new input frame), keeping their
+    /// allocations.
     pub fn reset_reuse(&mut self) {
         for layer in self.layers.values_mut() {
-            layer.prev_input = None;
+            layer.has_prev = false;
             layer.prev_acc.iter_mut().for_each(|a| *a = 0);
         }
     }

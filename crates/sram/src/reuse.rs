@@ -81,7 +81,16 @@ pub fn greedy_order(masks: &[Vec<bool>]) -> Result<Vec<usize>> {
 /// Convenience: concatenates per-dropout-layer masks of one MC iteration
 /// into a single vector for ordering purposes.
 pub fn flatten_iteration(masks: &[Vec<bool>]) -> Vec<bool> {
-    masks.iter().flatten().copied().collect()
+    let mut flat = Vec::new();
+    flatten_iteration_into(masks, &mut flat);
+    flat
+}
+
+/// [`flatten_iteration`] into a reused buffer (cleared first) — the
+/// allocation-free variant for per-frame callers.
+pub fn flatten_iteration_into(masks: &[Vec<bool>], flat: &mut Vec<bool>) {
+    flat.clear();
+    flat.extend(masks.iter().flatten().copied());
 }
 
 #[cfg(test)]

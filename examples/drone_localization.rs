@@ -6,10 +6,17 @@
 //! builds the scene, fits both map models, runs the particle filter on
 //! each backend and prices the map-evaluation energy.
 //!
+//! It also demonstrates the *pluggable* backend registry: a custom map
+//! backend — here a plain closure scoring distance to a subsampled point
+//! cloud — is registered under a name and driven by the same localizer,
+//! with no change to `navicim-core`.
+//!
 //! Run: `cargo run --release --example drone_localization`
 
-use navicim::analog::engine::CimEngineConfig;
-use navicim::core::localization::{BackendKind, CimLocalizer, LocalizerConfig};
+use navicim::core::localization::{CimLocalizer, LocalizerConfig};
+use navicim::core::registry::{
+    BackendRegistry, ClosureBackend, MapFitContext, CIM_HMGM, DIGITAL_GMM,
+};
 use navicim::core::reportfmt::Table;
 use navicim::energy::analog::AnalogCimProfile;
 use navicim::energy::digital::DigitalProfile;
@@ -36,45 +43,81 @@ fn main() {
         dataset.frames.len()
     );
 
-    let config = |backend| LocalizerConfig {
+    let config = |backend: &str| LocalizerConfig {
         num_particles: 300,
         components: 12,
         pixel_stride: 9,
-        backend,
+        backend: backend.into(),
         seed: 99,
         ..LocalizerConfig::default()
     };
 
-    let mut digital = CimLocalizer::build(&dataset, config(BackendKind::DigitalGmm))
-        .expect("digital localizer builds");
-    let digital_run = digital.run(&dataset).expect("digital run completes");
+    // The default registry serves the paper's backends; a custom
+    // kernel-density backend registers alongside them. The factory gets
+    // the dataset's point cloud through the fit context and returns any
+    // Box<dyn MapBackend> — here the ClosureBackend adapter over a plain
+    // scoring closure.
+    let mut registry = BackendRegistry::with_defaults();
+    registry.register("point-cloud-kde", |ctx: &MapFitContext<'_>| {
+        let anchors: Vec<Vec<f64>> = ctx.points.iter().step_by(11).cloned().collect();
+        let inv_two_sigma_sq = 1.0 / (2.0 * 0.25f64.powi(2));
+        let components = anchors.len();
+        Ok(Box::new(ClosureBackend::new(
+            "point-cloud-kde",
+            3,
+            components,
+            move |q: &[f64]| {
+                // Max-kernel approximation of a KDE log-density: the
+                // nearest anchor dominates the sum.
+                let mut best = f64::MIN;
+                for a in &anchors {
+                    let d2: f64 = a.iter().zip(q).map(|(ai, qi)| (ai - qi).powi(2)).sum();
+                    best = best.max(-d2 * inv_two_sigma_sq);
+                }
+                best
+            },
+        )))
+    });
 
-    let mut cim = CimLocalizer::build(
-        &dataset,
-        config(BackendKind::CimHmgm(CimEngineConfig::default())),
-    )
-    .expect("cim localizer builds");
-    let cim_run = cim.run(&dataset).expect("cim run completes");
+    let run_backend = |name: &str| {
+        CimLocalizer::build_with_registry(&dataset, config(name), &registry)
+            .unwrap_or_else(|e| panic!("{name} localizer builds: {e}"))
+            .run(&dataset)
+            .unwrap_or_else(|e| panic!("{name} run completes: {e}"))
+    };
+    let digital_run = run_backend(DIGITAL_GMM);
+    let cim_run = run_backend(CIM_HMGM);
+    let kde_run = run_backend("point-cloud-kde");
 
     println!("per-frame tracking error (m):");
-    let mut table = Table::new(vec!["frame", "digital GMM", "analog CIM"]);
-    for (i, (d, c)) in digital_run.errors.iter().zip(&cim_run.errors).enumerate() {
+    let mut table = Table::new(vec!["frame", "digital GMM", "analog CIM", "custom KDE"]);
+    for (i, ((d, c), k)) in digital_run
+        .errors
+        .iter()
+        .zip(&cim_run.errors)
+        .zip(&kde_run.errors)
+        .enumerate()
+    {
         table.row(vec![
             format!("{}", i + 1),
             format!("{d:.4}"),
             format!("{c:.4}"),
+            format!("{k:.4}"),
         ]);
     }
     println!("{table}");
 
-    // Energy for the map evaluations both filters performed.
+    // Energy for the map evaluations both paper filters performed. The
+    // trait-level BackendStats carry the analog counters; digital
+    // backends report zero converter activity.
     let digital_profile = DigitalProfile::paper_calibrated_gmm_asic();
     let analog_profile = AnalogCimProfile::paper_45nm();
     let digital_pj = digital_profile
         .gmm_point_pj(3, 12, 8)
         .expect("digital energy prices")
         * digital_run.point_evaluations as f64;
-    let stats = cim_run.cim_stats.expect("cim backend tracked stats");
+    let stats = cim_run.stats;
+    assert!(stats.is_analog(), "cim backend reports analog counters");
     let cim_pj = analog_profile
         .likelihood_eval_report(stats.avg_current(), 3, 4, 4)
         .expect("analog energy prices")
@@ -91,6 +134,11 @@ fn main() {
         "  analog CIM  : {:.2} uJ  (steady-state error {:.3} m)",
         cim_pj / 1e6,
         cim_run.steady_state_error()
+    );
+    println!(
+        "  custom KDE  : (digital closure backend, {} evaluations, steady-state error {:.3} m)",
+        kde_run.point_evaluations,
+        kde_run.steady_state_error()
     );
     println!(
         "  -> the co-designed map evaluation costs {:.0}x less energy",

@@ -6,8 +6,8 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use navicim::analog::engine::CimEngineConfig;
-use navicim::core::localization::{BackendKind, CimLocalizer, LocalizerConfig};
+use navicim::core::localization::{CimLocalizer, LocalizerConfig};
+use navicim::core::registry::CIM_HMGM;
 use navicim::core::vo::{train_vo_network, BayesianVo, VoPipelineConfig, VoTrainConfig};
 use navicim::device::inverter::GaussianLikeCell;
 use navicim::device::params::TechParams;
@@ -61,7 +61,7 @@ fn main() {
         LocalizerConfig {
             num_particles: 250,
             components: 10,
-            backend: BackendKind::CimHmgm(CimEngineConfig::default()),
+            backend: CIM_HMGM.into(),
             ..LocalizerConfig::default()
         },
     )

@@ -2,8 +2,8 @@
 //! through the public umbrella API, plus exactness and determinism
 //! guarantees that span crate boundaries.
 
-use navicim::analog::engine::CimEngineConfig;
-use navicim::core::localization::{BackendKind, CimLocalizer, LocalizerConfig, WeightPath};
+use navicim::core::localization::{CimLocalizer, LocalizerConfig, WeightPath};
+use navicim::core::registry::{CIM_HMGM, DIGITAL_GMM};
 use navicim::core::uncertainty::calibration_summary;
 use navicim::core::vo::{
     train_vo_network, BayesianVo, CimQuantBackend, VoPipelineConfig, VoTrainConfig,
@@ -61,25 +61,22 @@ fn small_train() -> VoTrainConfig {
 #[test]
 fn localization_pipeline_both_backends_converge() {
     let dataset = loc_dataset(101);
-    let config = |backend| LocalizerConfig {
+    let config = |backend: &str| LocalizerConfig {
         num_particles: 300,
         components: 12,
         pixel_stride: 9,
-        backend,
+        backend: backend.into(),
         seed: 5,
         ..LocalizerConfig::default()
     };
-    let digital = CimLocalizer::build(&dataset, config(BackendKind::DigitalGmm))
+    let digital = CimLocalizer::build(&dataset, config(DIGITAL_GMM))
         .expect("digital builds")
         .run(&dataset)
         .expect("digital runs");
-    let cim = CimLocalizer::build(
-        &dataset,
-        config(BackendKind::CimHmgm(CimEngineConfig::default())),
-    )
-    .expect("cim builds")
-    .run(&dataset)
-    .expect("cim runs");
+    let cim = CimLocalizer::build(&dataset, config(CIM_HMGM))
+        .expect("cim builds")
+        .run(&dataset)
+        .expect("cim runs");
     assert!(
         digital.steady_state_error() < 0.25,
         "digital {:?}",
@@ -96,39 +93,37 @@ fn batched_weight_step_runs_both_backends_end_to_end() {
     // the full localization pipeline on both backends and agree
     // bit-for-bit with the legacy scalar path.
     let dataset = loc_dataset(108);
-    let config = |backend, path| LocalizerConfig {
+    let config = |backend: &str, path| LocalizerConfig {
         num_particles: 300,
         components: 12,
         pixel_stride: 9,
-        backend,
+        backend: backend.into(),
         weight_path: path,
         seed: 5,
         ..LocalizerConfig::default()
     };
     assert_eq!(LocalizerConfig::default().weight_path, WeightPath::Batched);
-    for backend in [
-        BackendKind::DigitalGmm,
-        BackendKind::CimHmgm(CimEngineConfig::default()),
-    ] {
-        let batched = CimLocalizer::build(&dataset, config(backend.clone(), WeightPath::Batched))
+    for backend in [DIGITAL_GMM, CIM_HMGM] {
+        let batched = CimLocalizer::build(&dataset, config(backend, WeightPath::Batched))
             .expect("batched builds")
             .run(&dataset)
             .expect("batched runs");
-        let scalar = CimLocalizer::build(&dataset, config(backend.clone(), WeightPath::Scalar))
+        let scalar = CimLocalizer::build(&dataset, config(backend, WeightPath::Scalar))
             .expect("scalar builds")
             .run(&dataset)
             .expect("scalar runs");
-        assert_eq!(batched.errors, scalar.errors, "{backend:?}");
-        assert_eq!(batched.estimates, scalar.estimates, "{backend:?}");
+        assert_eq!(batched.errors, scalar.errors, "{backend}");
+        assert_eq!(batched.estimates, scalar.estimates, "{backend}");
         assert_eq!(
             batched.point_evaluations, scalar.point_evaluations,
-            "{backend:?}"
+            "{backend}"
         );
-        assert!(batched.point_evaluations > 0, "{backend:?}");
+        assert!(batched.point_evaluations > 0, "{backend}");
         // And the pipeline still converges through the batch path.
+        assert_eq!(batched.stats, scalar.stats, "{backend}");
         assert!(
             batched.steady_state_error() < 0.4,
-            "{backend:?}: {:?}",
+            "{backend}: {:?}",
             batched.errors
         );
     }
@@ -270,13 +265,14 @@ fn energy_models_price_measured_runs() {
             num_particles: 100,
             components: 8,
             pixel_stride: 9,
-            backend: BackendKind::CimHmgm(CimEngineConfig::default()),
+            backend: CIM_HMGM.into(),
             ..LocalizerConfig::default()
         },
     )
     .expect("builds");
     let run = loc.run(&dataset).expect("runs");
-    let stats = run.cim_stats.expect("cim stats");
+    let stats = run.stats;
+    assert!(stats.is_analog());
     let report = AnalogCimProfile::paper_45nm()
         .likelihood_eval_report(stats.avg_current(), 3, 4, 4)
         .expect("prices");

@@ -3,6 +3,7 @@
 
 use navicim::analog::engine::{CimEngineConfig, HmgmCimEngine};
 use navicim::analog::mapping::SpaceMap;
+use navicim::backend::par::ChunkPolicy;
 use navicim::backend::{LikelihoodBackend, PointBatch};
 use navicim::device::inverter::GaussianLikeCell;
 use navicim::device::params::TechParams;
@@ -257,6 +258,76 @@ proptest! {
         let batched = LikelihoodBackend::log_likelihood_batch(&mut batch_engine, &batch);
         prop_assert_eq!(scalar, batched);
         prop_assert_eq!(scalar_engine.stats(), batch_engine.stats());
+    }
+
+    /// Analog batch evaluation is invariant under chunk size and worker
+    /// count: for every (chunk_len, workers) pair — 1/2/4 workers ×
+    /// chunk sizes 1, 7, 64 and the batch length — outputs AND
+    /// EngineStats totals are bit-identical to the auto policy, and
+    /// splitting the batch into consecutive sub-batch calls changes
+    /// nothing either (the counter-based noise stream assigns each
+    /// evaluation its absolute index). Under `--features parallel` the
+    /// multi-worker cases genuinely run on threads.
+    #[test]
+    fn cim_engine_chunking_and_threading_invariant(seed in 0u64..40, n in 1usize..140) {
+        let mut rng = Pcg32::seed_from_u64(seed ^ 0xc0de);
+        use navicim::math::rng::SampleExt;
+        let pts = vec![vec![-1.0, -1.0, -1.0], vec![1.0, 1.0, 1.0]];
+        let space = SpaceMap::fit_to_points(&pts, 0.15, 0.85, 0.2).expect("map fits");
+        let tech = TechParams::cmos_45nm();
+        let (floor, ceil) = HmgmCimEngine::recommended_sigma_bounds(&tech, &space);
+        let sigma = (floor * 2.0).min(ceil);
+        let model = HmgmModel::new(
+            vec![1.0, 0.5],
+            vec![
+                HmgKernel::new(vec![-0.5, 0.0, 0.2], vec![sigma; 3], 1.0).expect("kernel"),
+                HmgKernel::new(vec![0.6, 0.3, -0.4], vec![sigma; 3], 1.0).expect("kernel"),
+            ],
+        )
+        .expect("model");
+        let config = CimEngineConfig { seed, ..CimEngineConfig::default() };
+        let mut batch = PointBatch::new(3);
+        for _ in 0..n {
+            batch.push(&[
+                rng.sample_uniform(-1.0, 1.0),
+                rng.sample_uniform(-1.0, 1.0),
+                rng.sample_uniform(-1.0, 1.0),
+            ]);
+        }
+        let mut reference =
+            HmgmCimEngine::build(&model, space.clone(), config).expect("engine builds");
+        let mut expected = vec![0.0; n];
+        reference.log_likelihood_into(&batch, &mut expected);
+        for chunk_len in [1usize, 7, 64, n] {
+            for workers in [1usize, 2, 4] {
+                let mut engine =
+                    HmgmCimEngine::build(&model, space.clone(), config).expect("engine builds");
+                let mut out = vec![0.0; n];
+                engine.log_likelihood_into_chunked(
+                    &batch,
+                    &mut out,
+                    ChunkPolicy::exact(chunk_len, workers),
+                );
+                prop_assert_eq!(&out, &expected);
+                prop_assert_eq!(engine.stats(), reference.stats());
+            }
+        }
+        // Consecutive sub-batch calls cover consecutive stream ranges.
+        let split = n / 2;
+        let mut split_engine =
+            HmgmCimEngine::build(&model, space, config).expect("engine builds");
+        let mut head = PointBatch::new(3);
+        let mut tail = PointBatch::new(3);
+        for (i, p) in batch.iter().enumerate() {
+            if i < split { head.push(p) } else { tail.push(p) }
+        }
+        let mut out = Vec::with_capacity(n);
+        if !head.is_empty() {
+            out.extend(LikelihoodBackend::log_likelihood_batch(&mut split_engine, &head));
+        }
+        out.extend(LikelihoodBackend::log_likelihood_batch(&mut split_engine, &tail));
+        prop_assert_eq!(out, expected);
+        prop_assert_eq!(split_engine.stats(), reference.stats());
     }
 
     /// MC-Dropout batched prediction is bit-identical to sequential
