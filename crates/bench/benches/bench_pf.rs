@@ -1,14 +1,21 @@
 //! Timing: one particle-filter predict/update step vs particle count,
-//! the scalar-vs-batched comparison of the map-backed weight step, and a
+//! the scalar-vs-batched comparison of the map-backed weight step, a
 //! worker-count sweep (1/2/4) of the *analog* weight step at 1024
 //! particles — the multi-core CIM throughput the `parallel` feature
-//! unlocks (without the feature the sweep rows coincide).
+//! unlocks (without the feature the sweep rows coincide) — and the full
+//! uncertainty-gated pipeline step under each arbitration policy.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use navicim_analog::engine::{CimEngineConfig, HmgmCimEngine};
 use navicim_analog::mapping::SpaceMap;
 use navicim_backend::par::ChunkPolicy;
 use navicim_backend::{LikelihoodBackend, PointBatch};
+use navicim_bench::small_localization_dataset;
+use navicim_core::localization::LocalizerConfig;
+use navicim_core::pipeline::{
+    GateConfig, GateKind, HysteresisConfig, LocalizationPipeline, ANALOG_SLOT, DIGITAL_SLOT,
+};
+use navicim_core::registry::{CIM_HMGM, DIGITAL_GMM};
 use navicim_filter::filter::{FilterConfig, Measurement, ParticleFilter};
 use navicim_filter::motion::OdometryMotion;
 use navicim_filter::particle::ParticleSet;
@@ -249,10 +256,53 @@ fn bench_pf(c: &mut Criterion) {
     group.finish();
 }
 
+/// One full gated-pipeline step (projection, gate decision, weight
+/// update, energy pricing) under each arbitration policy — the end-to-end
+/// cost of the streaming API, and the digital↔analog throughput gap the
+/// hysteresis gate trades between.
+fn bench_gated_pipeline_step(c: &mut Criterion) {
+    let dataset = small_localization_dataset(51);
+    let mut group = c.benchmark_group("pf_gated_pipeline_step");
+    group.sample_size(10);
+    for (label, policy) in [
+        ("always-digital", GateKind::Always(DIGITAL_SLOT)),
+        ("always-analog", GateKind::Always(ANALOG_SLOT)),
+        (
+            "hysteresis",
+            GateKind::Hysteresis(HysteresisConfig::default()),
+        ),
+    ] {
+        group.bench_function(BenchmarkId::new(label, 256), |b| {
+            let config = LocalizerConfig {
+                num_particles: 256,
+                components: 12,
+                pixel_stride: 11,
+                gate: GateConfig {
+                    backends: vec![DIGITAL_GMM.into(), CIM_HMGM.into()],
+                    policy: policy.clone(),
+                },
+                seed: 9,
+                ..LocalizerConfig::default()
+            };
+            let mut pipeline =
+                LocalizationPipeline::build(&dataset, config).expect("pipeline builds");
+            let control = dataset.frames[0].pose.delta_to(dataset.frames[1].pose);
+            let truth = dataset.frames[1].pose;
+            b.iter(|| {
+                pipeline
+                    .step(&control, &dataset.frames[1].depth, truth)
+                    .expect("step succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_pf,
     bench_weight_step,
-    bench_analog_weight_step_threads
+    bench_analog_weight_step_threads,
+    bench_gated_pipeline_step
 );
 criterion_main!(benches);

@@ -9,6 +9,12 @@
 //!   the SRAM CIM macro, with dropout bits from the modeled CCI RNG,
 //!   compute reuse and sample ordering, and uncertainty-vs-error
 //!   diagnostics (Fig. 3(c–f)) plus TOPS/W accounting.
+//! - [`pipeline`] — the uncertainty-gated streaming localization
+//!   pipeline: multiple live backends from the registry, a per-frame
+//!   [`pipeline::GatePolicy`] arbitrating digital↔analog on
+//!   particle-spread thresholds, and [`pipeline::FrameReport`] energy
+//!   accounting. [`localization::CimLocalizer`] is a thin wrapper over a
+//!   single-backend pipeline.
 //! - [`registry`] — the pluggable map-backend registry: named
 //!   `Box<dyn MapBackend>` factories (digital GMM, digital HMGM and the
 //!   analog CIM engine by default) through which [`localization`] selects
@@ -22,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub mod localization;
+pub mod pipeline;
 pub mod registry;
 pub mod reportfmt;
 pub mod uncertainty;

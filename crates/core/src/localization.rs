@@ -19,17 +19,16 @@
 //! Fig. 2(e–h) is the comparison of localization convergence between the
 //! digital and analog backends; Fig. 2(i) is their energy comparison.
 
-use crate::registry::{BackendRegistry, BackendStats, MapBackend, MapFitContext, DIGITAL_GMM};
-use crate::{CoreError, Result};
+use crate::pipeline::{GateConfig, LocalizationPipeline, PipelineRun};
+use crate::registry::{BackendRegistry, BackendStats, MapBackend, DIGITAL_GMM};
+use crate::Result;
 use navicim_analog::engine::CimEngineConfig;
 use navicim_backend::PointBatch;
-use navicim_filter::estimate::{mean_pose, position_spread};
-use navicim_filter::filter::{FilterConfig, Measurement, ParticleFilter};
+use navicim_filter::filter::{FilterConfig, Measurement};
 use navicim_filter::motion::OdometryMotion;
-use navicim_filter::particle::ParticleSet;
 use navicim_gmm::fit::FitConfig;
 use navicim_math::geom::{Pose, Quat, Vec3};
-use navicim_math::rng::{Pcg32, Rng64, SampleExt};
+use navicim_math::rng::{Rng64, SampleExt};
 use navicim_scene::camera::{DepthCamera, DepthImage};
 use navicim_scene::dataset::LocalizationDataset;
 
@@ -77,6 +76,12 @@ pub struct LocalizerConfig {
     pub weight_path: WeightPath,
     /// Mixture-fit settings (GMM warm start for both backends).
     pub fit: FitConfig,
+    /// Backend-arbitration section: which backend slots the streaming
+    /// pipeline instantiates and which [`crate::pipeline::GatePolicy`]
+    /// picks between them per frame. The default is single-backend mode
+    /// (serve [`Self::backend`] on every frame), which preserves the
+    /// monolithic behavior exactly.
+    pub gate: GateConfig,
     /// Master seed.
     pub seed: u64,
 }
@@ -96,6 +101,7 @@ impl Default for LocalizerConfig {
             cim: CimEngineConfig::default(),
             weight_path: WeightPath::default(),
             fit: FitConfig::default(),
+            gate: GateConfig::default(),
             seed: 0xd20e,
         }
     }
@@ -147,31 +153,27 @@ impl LocalizationRun {
     }
 }
 
-/// The Section II pipeline.
+/// The Section II pipeline — now a thin wrapper over a single-backend
+/// [`LocalizationPipeline`], so the monolithic build/step/run API keeps
+/// working bit-for-bit while the streaming pipeline carries the actual
+/// logic (and, when [`LocalizerConfig::gate`] names several backends,
+/// the per-frame digital↔analog arbitration).
 pub struct CimLocalizer {
-    map: Box<dyn MapBackend>,
-    camera: DepthCamera,
-    pf: ParticleFilter<Pose>,
-    config: LocalizerConfig,
-    rng: Pcg32,
+    pipeline: LocalizationPipeline,
 }
 
 impl std::fmt::Debug for CimLocalizer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CimLocalizer")
-            .field("backend", &self.map.name())
-            .field("components", &self.map.components())
-            .field("particles", &self.pf.particles().len())
+            .field("pipeline", &self.pipeline)
             .finish_non_exhaustive()
     }
 }
 
-struct ScanSensor<'a> {
-    map: &'a mut dyn MapBackend,
-    camera: &'a DepthCamera,
-    stride: usize,
-    sharpness: f64,
-    path: WeightPath,
+/// Reusable buffers of the scan measurement model, owned by the pipeline
+/// so the per-frame weight step allocates nothing in steady state.
+#[derive(Debug)]
+pub(crate) struct ScanScratch {
     /// Reused projection buffer.
     points: Vec<Vec3>,
     /// Reused frame-wide query batch.
@@ -182,13 +184,34 @@ struct ScanSensor<'a> {
     lls: Vec<f64>,
 }
 
+impl Default for ScanScratch {
+    fn default() -> Self {
+        Self {
+            points: Vec::new(),
+            batch: PointBatch::new(3),
+            counts: Vec::new(),
+            lls: Vec::new(),
+        }
+    }
+}
+
+pub(crate) struct ScanSensor<'a> {
+    map: &'a mut dyn MapBackend,
+    camera: &'a DepthCamera,
+    stride: usize,
+    sharpness: f64,
+    path: WeightPath,
+    scratch: &'a mut ScanScratch,
+}
+
 impl<'a> ScanSensor<'a> {
-    fn new(
+    pub(crate) fn new(
         map: &'a mut dyn MapBackend,
         camera: &'a DepthCamera,
         stride: usize,
         sharpness: f64,
         path: WeightPath,
+        scratch: &'a mut ScanScratch,
     ) -> Self {
         Self {
             map,
@@ -196,10 +219,7 @@ impl<'a> ScanSensor<'a> {
             stride,
             sharpness,
             path,
-            points: Vec::new(),
-            batch: PointBatch::new(3),
-            counts: Vec::new(),
-            lls: Vec::new(),
+            scratch,
         }
     }
 
@@ -208,31 +228,29 @@ impl<'a> ScanSensor<'a> {
     const BLIND_LL: f64 = -1e3;
 
     /// Reduces one particle's per-point log-likelihoods to its weight.
-    fn reduce(&self, sum: f64, count: usize) -> f64 {
-        self.sharpness * sum / count as f64
+    fn reduce(sharpness: f64, sum: f64, count: usize) -> f64 {
+        sharpness * sum / count as f64
     }
 }
 
 impl Measurement<Pose, DepthImage> for ScanSensor<'_> {
     fn log_likelihood(&mut self, state: &Pose, obs: &DepthImage) -> f64 {
-        let mut points = std::mem::take(&mut self.points);
+        let sharpness = self.sharpness;
+        let scratch = &mut *self.scratch;
         self.camera
-            .project_to_world_into(obs, *state, self.stride, &mut points);
-        self.batch.clear();
-        for p in &points {
-            self.batch.push_xyz(p.x, p.y, p.z);
+            .project_to_world_into(obs, *state, self.stride, &mut scratch.points);
+        scratch.batch.clear();
+        for p in &scratch.points {
+            scratch.batch.push_xyz(p.x, p.y, p.z);
         }
-        self.points = points;
-        if self.batch.is_empty() {
+        if scratch.batch.is_empty() {
             return Self::BLIND_LL;
         }
-        self.lls.resize(self.batch.len(), 0.0);
-        let mut lls = std::mem::take(&mut self.lls);
-        self.map.log_likelihood_into(&self.batch, &mut lls);
-        let sum: f64 = lls.iter().sum();
-        let count = lls.len();
-        self.lls = lls;
-        self.reduce(sum, count)
+        scratch.lls.resize(scratch.batch.len(), 0.0);
+        self.map
+            .log_likelihood_into(&scratch.batch, &mut scratch.lls);
+        let sum: f64 = scratch.lls.iter().sum();
+        Self::reduce(sharpness, sum, scratch.lls.len())
     }
 
     /// The tentpole weight step: projects every particle's scan, gathers
@@ -252,32 +270,31 @@ impl Measurement<Pose, DepthImage> for ScanSensor<'_> {
             }
             return;
         }
-        let mut points = std::mem::take(&mut self.points);
-        self.batch.clear();
-        self.counts.clear();
+        let sharpness = self.sharpness;
+        let scratch = &mut *self.scratch;
+        scratch.batch.clear();
+        scratch.counts.clear();
         for state in states {
             self.camera
-                .project_to_world_into(obs, *state, self.stride, &mut points);
-            self.counts.push(points.len());
-            for p in &points {
-                self.batch.push_xyz(p.x, p.y, p.z);
+                .project_to_world_into(obs, *state, self.stride, &mut scratch.points);
+            scratch.counts.push(scratch.points.len());
+            for p in &scratch.points {
+                scratch.batch.push_xyz(p.x, p.y, p.z);
             }
         }
-        self.points = points;
-        self.lls.resize(self.batch.len(), 0.0);
-        let mut lls = std::mem::take(&mut self.lls);
-        self.map.log_likelihood_into(&self.batch, &mut lls);
+        scratch.lls.resize(scratch.batch.len(), 0.0);
+        self.map
+            .log_likelihood_into(&scratch.batch, &mut scratch.lls);
         let mut offset = 0;
-        for (o, &count) in out.iter_mut().zip(&self.counts) {
+        for (o, &count) in out.iter_mut().zip(&scratch.counts) {
             if count == 0 {
                 *o = Self::BLIND_LL;
                 continue;
             }
-            let sum: f64 = lls[offset..offset + count].iter().sum();
-            *o = self.reduce(sum, count);
+            let sum: f64 = scratch.lls[offset..offset + count].iter().sum();
+            *o = Self::reduce(sharpness, sum, count);
             offset += count;
         }
-        self.lls = lls;
     }
 }
 
@@ -308,51 +325,30 @@ impl CimLocalizer {
         config: LocalizerConfig,
         registry: &BackendRegistry,
     ) -> Result<Self> {
-        if dataset.frames.is_empty() {
-            return Err(CoreError::InvalidArgument("dataset has no frames".into()));
-        }
-        let mut rng = Pcg32::seed_from_u64(config.seed);
-        let points = dataset.map_points_as_rows();
-        let map = registry.build(
-            &config.backend,
-            &MapFitContext {
-                points: &points,
-                components: config.components,
-                fit: &config.fit,
-                cim: &config.cim,
-                // The factory seeds its own fit RNG from the master seed;
-                // the filter RNG below advances independently, so backend
-                // choice does not perturb the particle stream.
-                seed: config.seed,
-            },
-        )?;
-
-        let prior = dataset.frames[0].pose;
-        let states: Vec<Pose> = (0..config.num_particles)
-            .map(|_| perturb_pose(prior, config.init_spread, config.init_yaw_spread, &mut rng))
-            .collect();
-        let pf = ParticleFilter::new(
-            ParticleSet::from_states(states)
-                .map_err(|e| CoreError::InvalidArgument(e.to_string()))?,
-            config.filter,
-        );
         Ok(Self {
-            map,
-            camera: dataset.camera,
-            pf,
-            config,
-            rng,
+            pipeline: LocalizationPipeline::build_with_registry(dataset, config, registry)?,
         })
     }
 
-    /// The map backend (for stats and energy accounting).
+    /// The underlying streaming pipeline (gate state, per-slot backends).
+    pub fn pipeline(&self) -> &LocalizationPipeline {
+        &self.pipeline
+    }
+
+    /// Mutable access to the underlying pipeline.
+    pub fn pipeline_mut(&mut self) -> &mut LocalizationPipeline {
+        &mut self.pipeline
+    }
+
+    /// The map backend in slot 0 (for stats and energy accounting). In
+    /// single-backend mode — the default — this is *the* backend.
     pub fn map(&self) -> &dyn MapBackend {
-        self.map.as_ref()
+        self.pipeline.backend(0)
     }
 
     /// Current pose estimate (weighted mean of the cloud).
     pub fn estimate(&self) -> Pose {
-        mean_pose(self.pf.particles())
+        self.pipeline.estimate()
     }
 
     /// One predict/update step given odometry `control` and the new depth
@@ -362,27 +358,7 @@ impl CimLocalizer {
     ///
     /// Propagates filter degeneracy.
     pub fn step(&mut self, control: &Pose, depth: &DepthImage, truth: Pose) -> Result<StepSummary> {
-        let mut sensor = ScanSensor::new(
-            self.map.as_mut(),
-            &self.camera,
-            self.config.pixel_stride,
-            self.config.sharpness,
-            self.config.weight_path,
-        );
-        self.pf.step(
-            control,
-            depth,
-            &self.config.motion,
-            &mut sensor,
-            &mut self.rng,
-        )?;
-        let estimate = mean_pose(self.pf.particles());
-        Ok(StepSummary {
-            estimate,
-            error: estimate.translation_distance(truth),
-            spread: position_spread(self.pf.particles()),
-            ess: self.pf.particles().ess(),
-        })
+        Ok(self.pipeline.step(control, depth, truth)?.summary)
     }
 
     /// Runs the filter over the whole dataset using ground-truth frame
@@ -392,32 +368,35 @@ impl CimLocalizer {
     ///
     /// Propagates step errors.
     pub fn run(&mut self, dataset: &LocalizationDataset) -> Result<LocalizationRun> {
-        let mut estimates = Vec::new();
-        let mut truths = Vec::new();
-        let mut errors = Vec::new();
-        let mut spreads = Vec::new();
-        for t in 1..dataset.frames.len() {
-            let control = dataset.frames[t - 1].pose.delta_to(dataset.frames[t].pose);
-            let truth = dataset.frames[t].pose;
-            let summary = self.step(&control, &dataset.frames[t].depth, truth)?;
-            estimates.push(summary.estimate);
-            truths.push(truth);
-            errors.push(summary.error);
-            spreads.push(summary.spread);
-        }
-        Ok(LocalizationRun {
-            backend: self.map.name().to_string(),
-            estimates,
-            truths,
-            errors,
-            spreads,
-            point_evaluations: self.map.stats().evaluations,
-            stats: self.map.stats(),
-        })
+        Ok(LocalizationRun::from(self.pipeline.run(dataset)?))
     }
 }
 
-fn perturb_pose<R: Rng64 + ?Sized>(prior: Pose, spread: f64, yaw_spread: f64, rng: &mut R) -> Pose {
+impl From<PipelineRun> for LocalizationRun {
+    /// Flattens a pipeline run into the monolithic run record: per-frame
+    /// series extracted from the [`crate::pipeline::FrameReport`]s,
+    /// per-slot stats merged into one total, slot names joined with `+`
+    /// for gated runs.
+    fn from(run: PipelineRun) -> Self {
+        let stats = run.merged_stats();
+        LocalizationRun {
+            backend: run.backends.join("+"),
+            estimates: run.frames.iter().map(|f| f.summary.estimate).collect(),
+            truths: run.frames.iter().map(|f| f.truth).collect(),
+            errors: run.frames.iter().map(|f| f.summary.error).collect(),
+            spreads: run.frames.iter().map(|f| f.summary.spread).collect(),
+            point_evaluations: stats.evaluations,
+            stats,
+        }
+    }
+}
+
+pub(crate) fn perturb_pose<R: Rng64 + ?Sized>(
+    prior: Pose,
+    spread: f64,
+    yaw_spread: f64,
+    rng: &mut R,
+) -> Pose {
     let dt = Vec3::new(
         rng.sample_normal(0.0, spread),
         rng.sample_normal(0.0, spread),
@@ -433,7 +412,7 @@ fn perturb_pose<R: Rng64 + ?Sized>(prior: Pose, spread: f64, yaw_spread: f64, rn
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::registry::{ClosureBackend, CIM_HMGM};
+    use crate::registry::{ClosureBackend, MapFitContext, CIM_HMGM};
     use navicim_scene::dataset::LocalizationConfig;
 
     fn small_dataset() -> LocalizationDataset {

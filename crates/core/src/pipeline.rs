@@ -1,0 +1,1106 @@
+//! The uncertainty-gated streaming localization pipeline.
+//!
+//! [`crate::localization::CimLocalizer`] historically bound one map
+//! backend at build time and ran it for the whole trajectory. The paper's
+//! core argument cuts the other way: particle-spread uncertainty should
+//! *drive* the compute substrate. When the cloud is wide (lost, startup,
+//! kidnapped), spend energy on the accurate digital datapath; once it has
+//! collapsed, the cheap analog CIM array holds the track at a fraction of
+//! the energy — the wake-up/fallback pattern of the memristor front-end
+//! literature.
+//!
+//! This module is that redesign:
+//!
+//! - [`LocalizationPipeline`] — owns **multiple** live backends built by
+//!   name from the [`BackendRegistry`] and streams depth frames through a
+//!   per-frame predict/gate/weigh/report loop,
+//! - [`GatePolicy`] — the arbitration strategy (uncertainty metric →
+//!   backend slot). [`HysteresisGate`] is the default co-design: spread
+//!   enter/exit thresholds plus a dwell count so the gate never thrashes;
+//!   [`AlwaysBackend`] pins a slot and provides the always-digital /
+//!   always-analog baselines,
+//! - [`FrameReport`] / [`PipelineRun`] — per-frame records of the chosen
+//!   slot, the gate's uncertainty input, pose error and the Fig. 2(i)-style
+//!   map-evaluation energy priced through `navicim-energy`, so a run shows
+//!   the analog-mode energy savings directly.
+//!
+//! `CimLocalizer` is now a thin wrapper over a single-backend pipeline, so
+//! the monolithic API (and its bit-exact behavior) survives unchanged.
+
+use crate::localization::{LocalizerConfig, ScanScratch, ScanSensor, StepSummary};
+use crate::registry::{BackendRegistry, BackendStats, MapBackend, MapFitContext};
+use crate::reportfmt::{fmt_pct, Table};
+use crate::{CoreError, Result};
+use navicim_energy::analog::AnalogCimProfile;
+use navicim_energy::digital::DigitalProfile;
+use navicim_filter::estimate::{mean_pose, position_spread};
+use navicim_filter::filter::ParticleFilter;
+use navicim_math::geom::Pose;
+use navicim_math::rng::Pcg32;
+use navicim_scene::camera::{DepthCamera, DepthImage};
+use navicim_scene::dataset::LocalizationDataset;
+use std::fmt;
+
+/// Conventional slot of the accurate digital reference backend.
+pub const DIGITAL_SLOT: usize = 0;
+/// Conventional slot of the cheap analog backend.
+pub const ANALOG_SLOT: usize = 1;
+
+/// Everything a gate sees before a frame is weighed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateContext {
+    /// 0-based index of the upcoming frame.
+    pub frame: usize,
+    /// Particle-cloud positional spread (1σ radius, metres) *before* the
+    /// motion prediction — the uncertainty signal.
+    pub spread: f64,
+    /// Effective sample size of the current weights.
+    pub ess: f64,
+    /// Slot that served the previous frame (the gate's start slot on
+    /// frame 0).
+    pub current: usize,
+    /// Number of live backend slots.
+    pub num_backends: usize,
+}
+
+/// Per-frame backend arbitration: an uncertainty metric in, a backend
+/// slot out.
+///
+/// Policies are stateful (`&mut self`) so hysteresis and dwell logic can
+/// live inside them; [`GatePolicy::reset`] returns a policy to its
+/// initial state for a fresh run.
+pub trait GatePolicy {
+    /// Policy name for reports.
+    fn name(&self) -> &str;
+
+    /// Chooses the backend slot for the upcoming frame.
+    fn select(&mut self, ctx: &GateContext) -> usize;
+
+    /// Resets internal state (dwell counters, switch counts).
+    fn reset(&mut self) {}
+}
+
+/// The trivial policy: every frame on one pinned slot. Provides the
+/// always-digital / always-analog baselines the gated runs are measured
+/// against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlwaysBackend {
+    slot: usize,
+    name: String,
+}
+
+impl AlwaysBackend {
+    /// Pins all frames to `slot`.
+    pub fn new(slot: usize) -> Self {
+        Self {
+            slot,
+            name: format!("always-slot{slot}"),
+        }
+    }
+
+    /// The always-digital baseline ([`DIGITAL_SLOT`]).
+    pub fn digital() -> Self {
+        Self {
+            slot: DIGITAL_SLOT,
+            name: "always-digital".into(),
+        }
+    }
+
+    /// The always-analog baseline ([`ANALOG_SLOT`]).
+    pub fn analog() -> Self {
+        Self {
+            slot: ANALOG_SLOT,
+            name: "always-analog".into(),
+        }
+    }
+
+    /// The pinned slot.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
+impl GatePolicy for AlwaysBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn select(&mut self, _ctx: &GateContext) -> usize {
+        self.slot
+    }
+}
+
+/// Thresholds of the default [`HysteresisGate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HysteresisConfig {
+    /// Spread at or below which frames go to the cheap analog slot (the
+    /// cloud has collapsed; the approximate path can hold the track).
+    pub analog_enter: f64,
+    /// Spread at or above which the gate wakes the accurate digital slot
+    /// (uncertainty is growing; pay for precision). Must exceed
+    /// [`Self::analog_enter`]; the band between the two is the
+    /// hysteresis dead zone where the gate keeps its current slot.
+    pub digital_enter: f64,
+    /// Minimum number of frames between switches (≥ 1). A switch locks
+    /// the gate for `dwell` frames, so backend churn is bounded even on
+    /// noisy spread signals.
+    pub dwell: usize,
+    /// Slot served on frame 0 (digital by default: the cloud starts
+    /// wide).
+    pub start: usize,
+}
+
+impl Default for HysteresisConfig {
+    fn default() -> Self {
+        Self {
+            analog_enter: 0.10,
+            digital_enter: 0.20,
+            dwell: 3,
+            start: DIGITAL_SLOT,
+        }
+    }
+}
+
+/// The default gate: particle-spread thresholds with hysteresis and a
+/// dwell count.
+///
+/// - spread ≤ `analog_enter` → the cheap analog slot,
+/// - spread ≥ `digital_enter` → the accurate digital slot,
+/// - in between → keep the current slot (dead zone),
+/// - after any switch the gate dwells for `dwell` frames regardless of
+///   the signal, so it can never switch more than once per dwell window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HysteresisGate {
+    config: HysteresisConfig,
+    current: usize,
+    since_switch: usize,
+    switches: u64,
+    started: bool,
+}
+
+impl HysteresisGate {
+    /// Validates the thresholds and builds the gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] unless
+    /// `0 < analog_enter < digital_enter` (both finite), `dwell ≥ 1` and
+    /// the start slot is digital or analog.
+    pub fn new(config: HysteresisConfig) -> Result<Self> {
+        if !(config.analog_enter > 0.0)
+            || !(config.digital_enter > config.analog_enter)
+            || !config.digital_enter.is_finite()
+        {
+            return Err(CoreError::InvalidArgument(format!(
+                "hysteresis thresholds must satisfy 0 < analog_enter < digital_enter \
+                 (got {} / {})",
+                config.analog_enter, config.digital_enter
+            )));
+        }
+        if config.dwell == 0 {
+            return Err(CoreError::InvalidArgument(
+                "hysteresis dwell must be at least 1 frame".into(),
+            ));
+        }
+        if config.start > ANALOG_SLOT {
+            return Err(CoreError::InvalidArgument(format!(
+                "hysteresis start slot {} is neither digital (0) nor analog (1)",
+                config.start
+            )));
+        }
+        Ok(Self {
+            config,
+            current: config.start,
+            since_switch: 0,
+            switches: 0,
+            started: false,
+        })
+    }
+
+    /// The gate's thresholds.
+    pub fn config(&self) -> &HysteresisConfig {
+        &self.config
+    }
+
+    /// Number of backend switches performed since construction/reset.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+}
+
+impl GatePolicy for HysteresisGate {
+    fn name(&self) -> &str {
+        "hysteresis"
+    }
+
+    fn select(&mut self, ctx: &GateContext) -> usize {
+        if !self.started {
+            self.started = true;
+            self.current = self.config.start;
+            self.since_switch = 0;
+            return self.current;
+        }
+        self.since_switch = self.since_switch.saturating_add(1);
+        if self.since_switch >= self.config.dwell {
+            let target = if ctx.spread <= self.config.analog_enter {
+                ANALOG_SLOT
+            } else if ctx.spread >= self.config.digital_enter {
+                DIGITAL_SLOT
+            } else {
+                self.current
+            };
+            if target != self.current {
+                self.current = target;
+                self.since_switch = 0;
+                self.switches += 1;
+            }
+        }
+        self.current
+    }
+
+    fn reset(&mut self) {
+        self.current = self.config.start;
+        self.since_switch = 0;
+        self.switches = 0;
+        self.started = false;
+    }
+}
+
+/// Built-in gate policies, selected through [`GateConfig`] the same way
+/// backends are selected by name — no serde, plain builder calls.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateKind {
+    /// Pin every frame to one slot.
+    Always(usize),
+    /// Spread-thresholded digital↔analog arbitration with hysteresis.
+    Hysteresis(HysteresisConfig),
+}
+
+/// The `gate` section of [`LocalizerConfig`]: which backend slots the
+/// pipeline instantiates and which built-in policy arbitrates them.
+///
+/// With an empty slot list (the default) the pipeline serves
+/// [`LocalizerConfig::backend`] alone and the policy must be
+/// `Always(0)` — exactly the monolithic behavior. Slot order is the
+/// contract: slot [`DIGITAL_SLOT`] is the accurate reference, slot
+/// [`ANALOG_SLOT`] the cheap alternate.
+///
+/// ```
+/// use navicim_core::pipeline::GateConfig;
+/// use navicim_core::registry::{CIM_HMGM, DIGITAL_GMM};
+///
+/// // Uncertainty-gated digital↔analog arbitration with the default
+/// // thresholds:
+/// let gate = GateConfig::gated(DIGITAL_GMM, CIM_HMGM);
+/// assert_eq!(gate.backends.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateConfig {
+    /// Backend registry names, by slot. Empty = single-backend mode.
+    pub backends: Vec<String>,
+    /// The arbitration policy.
+    pub policy: GateKind,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        Self {
+            backends: Vec::new(),
+            policy: GateKind::Always(DIGITAL_SLOT),
+        }
+    }
+}
+
+impl GateConfig {
+    /// Single-backend mode (the default): serve
+    /// [`LocalizerConfig::backend`] on every frame.
+    pub fn single() -> Self {
+        Self::default()
+    }
+
+    /// Multi-backend slots with every frame pinned to `slot` — the
+    /// baseline configurations of a gating ablation.
+    pub fn always<S: Into<String>>(backends: Vec<S>, slot: usize) -> Self {
+        Self {
+            backends: backends.into_iter().map(Into::into).collect(),
+            policy: GateKind::Always(slot),
+        }
+    }
+
+    /// Hysteresis-gated `digital` ↔ `analog` arbitration with default
+    /// thresholds; tune them with [`Self::with_hysteresis`].
+    pub fn gated(digital: impl Into<String>, analog: impl Into<String>) -> Self {
+        Self {
+            backends: vec![digital.into(), analog.into()],
+            policy: GateKind::Hysteresis(HysteresisConfig::default()),
+        }
+    }
+
+    /// Replaces the hysteresis thresholds (builder style).
+    pub fn with_hysteresis(mut self, config: HysteresisConfig) -> Self {
+        self.policy = GateKind::Hysteresis(config);
+        self
+    }
+
+    /// Registry names the pipeline will instantiate, resolving the
+    /// empty-slot default against the localizer's single backend name.
+    pub fn slot_names<'a>(&'a self, fallback: &'a str) -> Vec<&'a str> {
+        if self.backends.is_empty() {
+            vec![fallback]
+        } else {
+            self.backends.iter().map(String::as_str).collect()
+        }
+    }
+
+    /// Builds the configured policy, validating it against the number of
+    /// live slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] when the pinned slot is out
+    /// of range or a hysteresis gate is configured without both a digital
+    /// and an analog slot.
+    pub fn build_policy(&self, num_slots: usize) -> Result<Box<dyn GatePolicy>> {
+        match &self.policy {
+            GateKind::Always(slot) => {
+                if *slot >= num_slots {
+                    return Err(CoreError::InvalidArgument(format!(
+                        "gate pins slot {slot} but only {num_slots} backend(s) are configured"
+                    )));
+                }
+                Ok(Box::new(match (*slot, num_slots) {
+                    // Single-backend mode keeps the generic label; in
+                    // multi-slot mode the conventional slots get their
+                    // baseline names.
+                    (_, 1) => AlwaysBackend::new(*slot),
+                    (DIGITAL_SLOT, _) => AlwaysBackend::digital(),
+                    (ANALOG_SLOT, _) => AlwaysBackend::analog(),
+                    _ => AlwaysBackend::new(*slot),
+                }))
+            }
+            GateKind::Hysteresis(config) => {
+                if num_slots < 2 {
+                    return Err(CoreError::InvalidArgument(
+                        "hysteresis gating requires a digital and an analog backend slot".into(),
+                    ));
+                }
+                Ok(Box::new(HysteresisGate::new(*config)?))
+            }
+        }
+    }
+}
+
+/// Fig. 2(i)-style pricing of per-frame map evaluations: analog frames
+/// cost measured array current × DAC/ADC conversions, digital frames the
+/// per-component GMM datapath energy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyPricing {
+    /// Analog CIM cost profile.
+    pub analog: AnalogCimProfile,
+    /// Digital datapath cost profile.
+    pub digital: DigitalProfile,
+    /// Digital operand width in bits.
+    pub digital_bits: u32,
+}
+
+impl Default for EnergyPricing {
+    fn default() -> Self {
+        Self {
+            analog: AnalogCimProfile::paper_45nm(),
+            digital: DigitalProfile::paper_calibrated_gmm_asic(),
+            digital_bits: 8,
+        }
+    }
+}
+
+impl EnergyPricing {
+    /// Energy of one frame's map evaluations in pJ, from that frame's
+    /// [`BackendStats`] delta. Analog deltas (converter activity present)
+    /// are priced per evaluation at the frame's measured average array
+    /// current; digital deltas at the per-point mixture datapath cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profile validation (zero widths, negative currents).
+    pub fn frame_pj(
+        &self,
+        delta: &BackendStats,
+        components: usize,
+        dim: usize,
+        dac_bits: u32,
+        adc_bits: u32,
+    ) -> Result<f64> {
+        if delta.evaluations == 0 {
+            return Ok(0.0);
+        }
+        let per_eval = if delta.is_analog() {
+            self.analog
+                .likelihood_eval_pj(delta.avg_current(), dim, dac_bits, adc_bits)?
+        } else {
+            self.digital
+                .gmm_point_pj(dim, components.max(1), self.digital_bits)?
+        };
+        Ok(per_eval * delta.evaluations as f64)
+    }
+}
+
+/// Everything one streamed frame produced: the gate's decision and
+/// input, the filter summary, and the frame's evaluation/energy
+/// accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameReport {
+    /// 0-based frame index (the first tracked frame is dataset frame 1).
+    pub frame: usize,
+    /// Backend slot the gate chose for this frame.
+    pub slot: usize,
+    /// Gate input: the particle spread *before* this frame's prediction.
+    pub gate_spread: f64,
+    /// Filter summary after the update (estimate, error, post spread,
+    /// ESS).
+    pub summary: StepSummary,
+    /// Ground-truth pose of this frame.
+    pub truth: Pose,
+    /// Map point evaluations served this frame.
+    pub evaluations: u64,
+    /// Map-evaluation energy this frame, in pJ.
+    pub energy_pj: f64,
+}
+
+/// Outcome of a gated pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineRun {
+    /// Backend names, by slot.
+    pub backends: Vec<String>,
+    /// Gate policy name.
+    pub gate: String,
+    /// Per-frame reports, in stream order.
+    pub frames: Vec<FrameReport>,
+    /// Cumulative per-slot backend stats at the end of the run.
+    pub stats: Vec<BackendStats>,
+}
+
+impl PipelineRun {
+    /// Mean translation error over the final quarter of the run.
+    pub fn steady_state_error(&self) -> f64 {
+        let n = self.frames.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let tail = &self.frames[n - (n / 4).max(1)..];
+        tail.iter().map(|f| f.summary.error).sum::<f64>() / tail.len() as f64
+    }
+
+    /// Number of frames served by `slot`.
+    pub fn frames_on(&self, slot: usize) -> usize {
+        self.frames.iter().filter(|f| f.slot == slot).count()
+    }
+
+    /// Fraction of frames served by `slot` (0 for an empty run).
+    pub fn slot_fraction(&self, slot: usize) -> f64 {
+        if self.frames.is_empty() {
+            0.0
+        } else {
+            self.frames_on(slot) as f64 / self.frames.len() as f64
+        }
+    }
+
+    /// Fraction of frames served by an analog backend (identified by its
+    /// converter counters).
+    pub fn analog_fraction(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        let analog = self
+            .frames
+            .iter()
+            .filter(|f| {
+                self.stats
+                    .get(f.slot)
+                    .map(BackendStats::is_analog)
+                    .unwrap_or(false)
+            })
+            .count();
+        analog as f64 / self.frames.len() as f64
+    }
+
+    /// Total map-evaluation energy of the run, in pJ.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.frames.iter().map(|f| f.energy_pj).sum()
+    }
+
+    /// Total map point evaluations of the run.
+    pub fn total_evaluations(&self) -> u64 {
+        self.frames.iter().map(|f| f.evaluations).sum()
+    }
+
+    /// All per-slot stats merged into one total.
+    pub fn merged_stats(&self) -> BackendStats {
+        self.stats
+            .iter()
+            .fold(BackendStats::default(), |acc, s| acc.merged(s))
+    }
+
+    /// Number of frames on which the served slot differs from the
+    /// previous frame's.
+    pub fn switches(&self) -> usize {
+        self.frames
+            .windows(2)
+            .filter(|w| w[0].slot != w[1].slot)
+            .count()
+    }
+
+    /// Markdown summary: one row per slot with frame share, evaluations
+    /// and energy.
+    pub fn summary_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "slot",
+            "backend",
+            "frames",
+            "share",
+            "point evals",
+            "energy (pJ)",
+        ]);
+        for (slot, name) in self.backends.iter().enumerate() {
+            let frames = self.frames_on(slot);
+            let evals: u64 = self
+                .frames
+                .iter()
+                .filter(|f| f.slot == slot)
+                .map(|f| f.evaluations)
+                .sum();
+            let energy: f64 = self
+                .frames
+                .iter()
+                .filter(|f| f.slot == slot)
+                .map(|f| f.energy_pj)
+                .sum();
+            table.row(vec![
+                format!("{slot}"),
+                name.clone(),
+                format!("{frames}"),
+                fmt_pct(self.slot_fraction(slot)),
+                format!("{evals}"),
+                format!("{energy:.1}"),
+            ]);
+        }
+        table
+    }
+}
+
+/// The streaming localization pipeline: multiple live backends, a gate
+/// policy arbitrating them per frame, and per-frame energy accounting.
+pub struct LocalizationPipeline {
+    backends: Vec<Box<dyn MapBackend>>,
+    names: Vec<String>,
+    gate: Box<dyn GatePolicy>,
+    camera: DepthCamera,
+    pf: ParticleFilter<Pose>,
+    config: LocalizerConfig,
+    pricing: EnergyPricing,
+    rng: Pcg32,
+    scratch: ScanScratch,
+    prev_stats: Vec<BackendStats>,
+    frame: usize,
+    current: usize,
+}
+
+impl fmt::Debug for LocalizationPipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalizationPipeline")
+            .field("backends", &self.names)
+            .field("gate", &self.gate.name())
+            .field("particles", &self.pf.particles().len())
+            .field("frame", &self.frame)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LocalizationPipeline {
+    /// Builds the pipeline against the default registry.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::build_with_registry`].
+    pub fn build(dataset: &LocalizationDataset, config: LocalizerConfig) -> Result<Self> {
+        Self::build_with_registry(dataset, config, &BackendRegistry::with_defaults())
+    }
+
+    /// Builds every backend slot named by `config.gate` (or the single
+    /// `config.backend` when the gate section is empty) from `registry`,
+    /// constructs the gate policy, and initializes the particle cloud
+    /// around the first frame's pose.
+    ///
+    /// The particle-init RNG stream is independent of how many backends
+    /// are built, so a single-backend pipeline is bit-identical to the
+    /// pre-pipeline `CimLocalizer`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty datasets, unknown backend names and inconsistent
+    /// gate configurations; propagates fit/compile errors.
+    pub fn build_with_registry(
+        dataset: &LocalizationDataset,
+        config: LocalizerConfig,
+        registry: &BackendRegistry,
+    ) -> Result<Self> {
+        let slot_names: Vec<String> = config
+            .gate
+            .slot_names(&config.backend)
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        let gate = config.gate.build_policy(slot_names.len())?;
+        Self::with_gate(dataset, config, registry, &slot_names, gate)
+    }
+
+    /// The fully general entry point: explicit slot names and a
+    /// caller-supplied [`GatePolicy`] — the hook for custom arbitration
+    /// strategies (learned gates, duty-cycle schedules) without touching
+    /// this crate.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty datasets and slot lists; propagates registry and
+    /// fit errors.
+    pub fn with_gate(
+        dataset: &LocalizationDataset,
+        config: LocalizerConfig,
+        registry: &BackendRegistry,
+        slot_names: &[String],
+        gate: Box<dyn GatePolicy>,
+    ) -> Result<Self> {
+        if dataset.frames.is_empty() {
+            return Err(CoreError::InvalidArgument("dataset has no frames".into()));
+        }
+        if slot_names.is_empty() {
+            return Err(CoreError::InvalidArgument(
+                "pipeline requires at least one backend slot".into(),
+            ));
+        }
+        let mut rng = Pcg32::seed_from_u64(config.seed);
+        let points = dataset.map_points_as_rows();
+        let ctx = MapFitContext {
+            points: &points,
+            components: config.components,
+            fit: &config.fit,
+            cim: &config.cim,
+            // Factories seed their own fit RNGs from the master seed; the
+            // filter RNG below advances independently, so neither backend
+            // choice nor slot count perturbs the particle stream.
+            seed: config.seed,
+        };
+        let mut backends = Vec::with_capacity(slot_names.len());
+        for name in slot_names {
+            backends.push(registry.build(name, &ctx)?);
+        }
+        let names: Vec<String> = backends.iter().map(|b| b.name().to_string()).collect();
+
+        let prior = dataset.frames[0].pose;
+        let states: Vec<Pose> = (0..config.num_particles)
+            .map(|_| {
+                crate::localization::perturb_pose(
+                    prior,
+                    config.init_spread,
+                    config.init_yaw_spread,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let pf = ParticleFilter::new(
+            navicim_filter::particle::ParticleSet::from_states(states)
+                .map_err(|e| CoreError::InvalidArgument(e.to_string()))?,
+            config.filter,
+        );
+        let prev_stats = backends.iter().map(|b| b.stats()).collect();
+        Ok(Self {
+            backends,
+            names,
+            gate,
+            camera: dataset.camera,
+            pf,
+            config,
+            pricing: EnergyPricing::default(),
+            rng,
+            scratch: ScanScratch::default(),
+            prev_stats,
+            frame: 0,
+            current: 0,
+        })
+    }
+
+    /// Replaces the energy pricing profiles (builder style).
+    pub fn with_pricing(mut self, pricing: EnergyPricing) -> Self {
+        self.pricing = pricing;
+        self
+    }
+
+    /// Backend names, by slot.
+    pub fn backend_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The backend serving `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn backend(&self, slot: usize) -> &dyn MapBackend {
+        self.backends[slot].as_ref()
+    }
+
+    /// Number of backend slots.
+    pub fn num_backends(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// The gate policy name.
+    pub fn gate_name(&self) -> &str {
+        self.gate.name()
+    }
+
+    /// Current pose estimate (weighted mean of the cloud).
+    pub fn estimate(&self) -> Pose {
+        mean_pose(self.pf.particles())
+    }
+
+    /// Current particle spread — the signal the gate will see next frame.
+    pub fn spread(&self) -> f64 {
+        self.pf.spread(|p| p.translation.to_array())
+    }
+
+    /// Streams one frame: reads the cloud spread, lets the gate pick a
+    /// slot, runs the predict/weigh/resample step on that backend and
+    /// prices the frame's evaluations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filter degeneracy and pricing errors; rejects gates
+    /// that select an out-of-range slot.
+    pub fn step(&mut self, control: &Pose, depth: &DepthImage, truth: Pose) -> Result<FrameReport> {
+        let gate_spread = self.pf.spread(|p| p.translation.to_array());
+        let ctx = GateContext {
+            frame: self.frame,
+            spread: gate_spread,
+            ess: self.pf.particles().ess(),
+            current: self.current,
+            num_backends: self.backends.len(),
+        };
+        let slot = self.gate.select(&ctx);
+        if slot >= self.backends.len() {
+            return Err(CoreError::InvalidArgument(format!(
+                "gate '{}' selected slot {slot} but only {} backend(s) are live",
+                self.gate.name(),
+                self.backends.len()
+            )));
+        }
+        let mut sensor = ScanSensor::new(
+            self.backends[slot].as_mut(),
+            &self.camera,
+            self.config.pixel_stride,
+            self.config.sharpness,
+            self.config.weight_path,
+            &mut self.scratch,
+        );
+        self.pf.step(
+            control,
+            depth,
+            &self.config.motion,
+            &mut sensor,
+            &mut self.rng,
+        )?;
+        let estimate = mean_pose(self.pf.particles());
+        let summary = StepSummary {
+            estimate,
+            error: estimate.translation_distance(truth),
+            spread: position_spread(self.pf.particles()),
+            ess: self.pf.particles().ess(),
+        };
+        let stats = self.backends[slot].stats();
+        let delta = stats.delta_since(&self.prev_stats[slot]);
+        self.prev_stats[slot] = stats;
+        // The filter and the gate have both committed to this frame, so
+        // advance the stream counters before anything else can fail —
+        // a pricing error below must not leave `frame`/`current` out of
+        // sync with the gate's internal state.
+        let frame = self.frame;
+        self.frame += 1;
+        self.current = slot;
+        let energy_pj = self.pricing.frame_pj(
+            &delta,
+            self.backends[slot].components(),
+            self.backends[slot].dim(),
+            self.config.cim.dac_bits,
+            self.config.cim.adc_bits,
+        )?;
+        Ok(FrameReport {
+            frame,
+            slot,
+            gate_spread,
+            summary,
+            truth,
+            evaluations: delta.evaluations,
+            energy_pj,
+        })
+    }
+
+    /// Streams the whole dataset using ground-truth frame deltas as
+    /// odometry (the motion model adds its own noise).
+    ///
+    /// # Errors
+    ///
+    /// Propagates step errors.
+    pub fn run(&mut self, dataset: &LocalizationDataset) -> Result<PipelineRun> {
+        let mut frames = Vec::with_capacity(dataset.frames.len().saturating_sub(1));
+        for t in 1..dataset.frames.len() {
+            let control = dataset.frames[t - 1].pose.delta_to(dataset.frames[t].pose);
+            let truth = dataset.frames[t].pose;
+            frames.push(self.step(&control, &dataset.frames[t].depth, truth)?);
+        }
+        Ok(PipelineRun {
+            backends: self.names.clone(),
+            gate: self.gate.name().to_string(),
+            frames,
+            stats: self.backends.iter().map(|b| b.stats()).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::localization::CimLocalizer;
+    use crate::registry::{CIM_HMGM, DIGITAL_GMM};
+    use navicim_scene::dataset::LocalizationConfig;
+
+    fn small_dataset() -> LocalizationDataset {
+        let config = LocalizationConfig {
+            image_width: 24,
+            image_height: 18,
+            map_points: 600,
+            frames: 10,
+            ..LocalizationConfig::default()
+        };
+        LocalizationDataset::generate(&config, 7).unwrap()
+    }
+
+    fn small_config(gate: GateConfig) -> LocalizerConfig {
+        LocalizerConfig {
+            num_particles: 250,
+            pixel_stride: 7,
+            components: 10,
+            gate,
+            seed: 3,
+            ..LocalizerConfig::default()
+        }
+    }
+
+    fn ctx(frame: usize, spread: f64, current: usize) -> GateContext {
+        GateContext {
+            frame,
+            spread,
+            ess: 100.0,
+            current,
+            num_backends: 2,
+        }
+    }
+
+    #[test]
+    fn hysteresis_thresholds_and_dead_zone() {
+        let mut gate = HysteresisGate::new(HysteresisConfig {
+            analog_enter: 0.1,
+            digital_enter: 0.2,
+            dwell: 1,
+            start: DIGITAL_SLOT,
+        })
+        .unwrap();
+        // Frame 0: start slot regardless of signal.
+        assert_eq!(gate.select(&ctx(0, 0.01, DIGITAL_SLOT)), DIGITAL_SLOT);
+        // Collapsed spread: go analog.
+        assert_eq!(gate.select(&ctx(1, 0.05, DIGITAL_SLOT)), ANALOG_SLOT);
+        // Dead zone: keep the current slot.
+        assert_eq!(gate.select(&ctx(2, 0.15, ANALOG_SLOT)), ANALOG_SLOT);
+        // Spread grows past the digital threshold: wake the digital path.
+        assert_eq!(gate.select(&ctx(3, 0.25, ANALOG_SLOT)), DIGITAL_SLOT);
+        // Dead zone again: stay digital.
+        assert_eq!(gate.select(&ctx(4, 0.15, DIGITAL_SLOT)), DIGITAL_SLOT);
+        assert_eq!(gate.switches(), 2);
+        gate.reset();
+        assert_eq!(gate.switches(), 0);
+        assert_eq!(gate.select(&ctx(0, 0.01, DIGITAL_SLOT)), DIGITAL_SLOT);
+    }
+
+    #[test]
+    fn hysteresis_dwell_blocks_rapid_switching() {
+        let mut gate = HysteresisGate::new(HysteresisConfig {
+            analog_enter: 0.1,
+            digital_enter: 0.2,
+            dwell: 3,
+            start: DIGITAL_SLOT,
+        })
+        .unwrap();
+        // An oscillating signal that would thrash a dwell-free gate.
+        let spreads = [0.05, 0.3, 0.05, 0.3, 0.05, 0.3, 0.05, 0.3, 0.05];
+        let mut current = DIGITAL_SLOT;
+        let mut last_switch: Option<usize> = None;
+        for (frame, &s) in spreads.iter().enumerate() {
+            let next = gate.select(&ctx(frame, s, current));
+            if next != current {
+                if let Some(prev) = last_switch {
+                    assert!(
+                        frame - prev >= 3,
+                        "switched at {prev} and again at {frame} (dwell 3)"
+                    );
+                }
+                last_switch = Some(frame);
+            }
+            current = next;
+        }
+        assert!(gate.switches() >= 1, "the gate did switch at least once");
+    }
+
+    #[test]
+    fn hysteresis_validation() {
+        let bad = |analog_enter, digital_enter, dwell| {
+            HysteresisGate::new(HysteresisConfig {
+                analog_enter,
+                digital_enter,
+                dwell,
+                start: DIGITAL_SLOT,
+            })
+            .is_err()
+        };
+        assert!(bad(0.0, 0.2, 3)); // non-positive enter
+        assert!(bad(0.2, 0.1, 3)); // inverted band
+        assert!(bad(0.1, f64::INFINITY, 3)); // non-finite
+        assert!(bad(0.1, 0.2, 0)); // zero dwell
+        assert!(HysteresisGate::new(HysteresisConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn gate_config_validation() {
+        // Pinned slot out of range.
+        assert!(GateConfig::always(vec![DIGITAL_GMM], 1)
+            .build_policy(1)
+            .is_err());
+        // Hysteresis needs two slots.
+        let gated = GateConfig {
+            backends: vec![DIGITAL_GMM.into()],
+            policy: GateKind::Hysteresis(HysteresisConfig::default()),
+        };
+        assert!(gated.build_policy(1).is_err());
+        assert!(GateConfig::gated(DIGITAL_GMM, CIM_HMGM)
+            .build_policy(2)
+            .is_ok());
+        // The default single-backend config resolves to the fallback name.
+        assert_eq!(GateConfig::default().slot_names("x"), vec!["x"]);
+    }
+
+    #[test]
+    fn single_backend_pipeline_matches_cim_localizer() {
+        // The wrapper invariant: a single-slot pipeline and the
+        // monolithic localizer produce bit-identical runs.
+        let ds = small_dataset();
+        let run = LocalizationPipeline::build(&ds, small_config(GateConfig::default()))
+            .unwrap()
+            .run(&ds)
+            .unwrap();
+        let legacy = CimLocalizer::build(&ds, small_config(GateConfig::default()))
+            .unwrap()
+            .run(&ds)
+            .unwrap();
+        assert_eq!(run.frames.len(), legacy.errors.len());
+        let errors: Vec<f64> = run.frames.iter().map(|f| f.summary.error).collect();
+        assert_eq!(errors, legacy.errors);
+        let spreads: Vec<f64> = run.frames.iter().map(|f| f.summary.spread).collect();
+        assert_eq!(spreads, legacy.spreads);
+        assert_eq!(run.merged_stats(), legacy.stats);
+        assert_eq!(run.total_evaluations(), legacy.point_evaluations);
+        assert_eq!(run.gate, "always-slot0");
+    }
+
+    #[test]
+    fn gated_pipeline_uses_both_backends_and_prices_energy() {
+        let ds = small_dataset();
+        let config = small_config(GateConfig::gated(DIGITAL_GMM, CIM_HMGM).with_hysteresis(
+            HysteresisConfig {
+                analog_enter: 0.12,
+                digital_enter: 0.2,
+                dwell: 2,
+                start: DIGITAL_SLOT,
+            },
+        ));
+        let mut pipeline = LocalizationPipeline::build(&ds, config).unwrap();
+        assert_eq!(pipeline.num_backends(), 2);
+        assert_eq!(pipeline.gate_name(), "hysteresis");
+        let run = pipeline.run(&ds).unwrap();
+        assert_eq!(run.frames.len(), 9);
+        // The cloud starts wide (digital) and collapses (analog).
+        assert_eq!(run.frames[0].slot, DIGITAL_SLOT);
+        assert!(run.frames_on(ANALOG_SLOT) > 0, "{:?}", run.frames);
+        assert!(run.analog_fraction() > 0.0);
+        // Every frame carries evaluations and positive energy.
+        for f in &run.frames {
+            assert!(f.evaluations > 0, "frame {} had no evaluations", f.frame);
+            assert!(f.energy_pj > 0.0);
+            assert!(f.gate_spread.is_finite());
+        }
+        // Slot stats separate digital from analog counters.
+        assert!(!run.stats[DIGITAL_SLOT].is_analog());
+        assert!(run.stats[ANALOG_SLOT].is_analog());
+        // The summary table renders one row per slot.
+        let table = run.summary_table();
+        assert_eq!(table.len(), 2);
+        assert!(table.to_string().contains(CIM_HMGM));
+    }
+
+    #[test]
+    fn gated_runs_are_deterministic() {
+        let ds = small_dataset();
+        let config = || small_config(GateConfig::gated(DIGITAL_GMM, CIM_HMGM));
+        let run1 = LocalizationPipeline::build(&ds, config())
+            .unwrap()
+            .run(&ds)
+            .unwrap();
+        let run2 = LocalizationPipeline::build(&ds, config())
+            .unwrap()
+            .run(&ds)
+            .unwrap();
+        assert_eq!(run1, run2);
+    }
+
+    #[test]
+    fn always_analog_baseline_runs_on_the_analog_slot() {
+        let ds = small_dataset();
+        let config = small_config(GateConfig {
+            backends: vec![DIGITAL_GMM.into(), CIM_HMGM.into()],
+            policy: GateKind::Always(ANALOG_SLOT),
+        });
+        let run = LocalizationPipeline::build(&ds, config)
+            .unwrap()
+            .run(&ds)
+            .unwrap();
+        assert_eq!(run.frames_on(ANALOG_SLOT), run.frames.len());
+        assert!((run.analog_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(run.switches(), 0);
+        // The digital slot was built but never served.
+        assert_eq!(run.stats[DIGITAL_SLOT].evaluations, 0);
+    }
+
+    #[test]
+    fn pricing_rejects_invalid_profiles_and_prices_zero_for_idle_frames() {
+        let pricing = EnergyPricing::default();
+        let idle = BackendStats::default();
+        assert_eq!(pricing.frame_pj(&idle, 10, 3, 4, 4).unwrap(), 0.0);
+        let digital = BackendStats {
+            evaluations: 100,
+            ..BackendStats::default()
+        };
+        let e = pricing.frame_pj(&digital, 16, 3, 4, 4).unwrap();
+        assert!(e > 0.0);
+        let bad = EnergyPricing {
+            digital_bits: 0,
+            ..EnergyPricing::default()
+        };
+        assert!(bad.frame_pj(&digital, 16, 3, 4, 4).is_err());
+    }
+}

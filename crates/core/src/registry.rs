@@ -83,6 +83,38 @@ impl BackendStats {
     pub fn is_analog(&self) -> bool {
         self.adc_conversions > 0 || self.dac_conversions > 0
     }
+
+    /// Counters accumulated since an `earlier` snapshot of the same
+    /// backend — the per-frame deltas the gated pipeline prices energy
+    /// from.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `earlier` is ahead of `self`, which
+    /// would mean the snapshots were swapped.
+    pub fn delta_since(&self, earlier: &BackendStats) -> BackendStats {
+        debug_assert!(
+            self.evaluations >= earlier.evaluations,
+            "stats snapshots out of order"
+        );
+        BackendStats {
+            evaluations: self.evaluations - earlier.evaluations,
+            dac_conversions: self.dac_conversions - earlier.dac_conversions,
+            adc_conversions: self.adc_conversions - earlier.adc_conversions,
+            current_sum: self.current_sum - earlier.current_sum,
+        }
+    }
+
+    /// Sum of the counters with `other` — aggregates the per-slot stats
+    /// of a multi-backend pipeline into one run total.
+    pub fn merged(&self, other: &BackendStats) -> BackendStats {
+        BackendStats {
+            evaluations: self.evaluations + other.evaluations,
+            dac_conversions: self.dac_conversions + other.dac_conversions,
+            adc_conversions: self.adc_conversions + other.adc_conversions,
+            current_sum: self.current_sum + other.current_sum,
+        }
+    }
 }
 
 impl From<EngineStats> for BackendStats {
@@ -535,6 +567,32 @@ mod tests {
         assert_eq!(named.stats().evaluations, 2);
         assert_eq!(named.inner().num_components(), named.components());
         assert_eq!(named.stats().avg_current(), 0.0);
+    }
+
+    #[test]
+    fn backend_stats_delta_and_merge() {
+        let earlier = BackendStats {
+            evaluations: 10,
+            dac_conversions: 30,
+            adc_conversions: 10,
+            current_sum: 1.0,
+        };
+        let later = BackendStats {
+            evaluations: 25,
+            dac_conversions: 75,
+            adc_conversions: 25,
+            current_sum: 2.5,
+        };
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.evaluations, 15);
+        assert_eq!(delta.dac_conversions, 45);
+        assert_eq!(delta.adc_conversions, 15);
+        assert!((delta.current_sum - 1.5).abs() < 1e-12);
+        assert_eq!(earlier.merged(&delta), later);
+        assert_eq!(
+            BackendStats::default().merged(&later).evaluations,
+            later.evaluations
+        );
     }
 
     #[test]

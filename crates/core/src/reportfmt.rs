@@ -63,6 +63,11 @@ impl fmt::Display for Table {
     }
 }
 
+/// Formats a fraction as a percentage with one decimal (`0.5` → `50.0%`).
+pub fn fmt_pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
 /// Formats a float with engineering-style precision for tables.
 pub fn fmt_sig(x: f64) -> String {
     if x == 0.0 {
@@ -100,6 +105,14 @@ mod tests {
         let mut t = Table::new(vec!["a", "b", "c"]);
         t.row(vec!["x".into()]);
         assert!(t.to_string().contains("| x |  |  |"));
+    }
+
+    #[test]
+    fn fmt_pct_renders_fractions() {
+        assert_eq!(fmt_pct(0.5), "50.0%");
+        assert_eq!(fmt_pct(0.0), "0.0%");
+        assert_eq!(fmt_pct(1.0), "100.0%");
+        assert_eq!(fmt_pct(0.666), "66.6%");
     }
 
     #[test]

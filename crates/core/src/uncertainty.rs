@@ -133,4 +133,52 @@ mod tests {
         // Constant uncertainty: correlation undefined.
         assert!(calibration_summary(&[1.0; 4], &four, 2).is_err());
     }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(calibration_summary(&[], &[], 1).is_err());
+        assert!(calibration_summary(&[], &[1.0], 1).is_err());
+    }
+
+    #[test]
+    fn single_bin_covers_all_samples() {
+        let unc = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let err = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = calibration_summary(&unc, &err, 1).unwrap();
+        assert_eq!(s.binned_errors.len(), 1);
+        assert_eq!(s.binned_uncertainty.len(), 1);
+        // The single bin is the global mean of both series.
+        assert!((s.binned_errors[0] - 3.0).abs() < 1e-12);
+        assert!((s.binned_uncertainty[0] - 0.3).abs() < 1e-12);
+        // With one bin, first == last: no trend is detectable.
+        assert!(!s.monotone_trend());
+    }
+
+    #[test]
+    fn non_monotone_trend_detected() {
+        // Errors *fall* as uncertainty grows: an anti-calibrated signal.
+        let unc = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+        let err = [8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0];
+        let s = calibration_summary(&unc, &err, 4).unwrap();
+        assert!(!s.monotone_trend());
+        assert!(s.pearson < -0.9, "pearson {}", s.pearson);
+        // A V-shaped relationship is also not a monotone trend when the
+        // outer bins tie.
+        let v_err = [4.0, 3.0, 2.0, 1.0, 1.0, 2.0, 3.0, 4.0];
+        let v = calibration_summary(&unc, &v_err, 4).unwrap();
+        assert!(!v.monotone_trend());
+    }
+
+    #[test]
+    fn negative_errors_enter_as_magnitudes() {
+        // Signed errors are folded to |error| before binning, so a
+        // mirror-negative error series calibrates identically.
+        let unc = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+        let err = [1.0, -2.0, 3.0, -4.0, 5.0, -6.0];
+        let abs: Vec<f64> = err.iter().map(|e: &f64| e.abs()).collect();
+        let s_signed = calibration_summary(&unc, &err, 3).unwrap();
+        let s_abs = calibration_summary(&unc, &abs, 3).unwrap();
+        assert_eq!(s_signed, s_abs);
+        assert!(s_signed.monotone_trend());
+    }
 }

@@ -13,7 +13,7 @@ use navicim_math::geom::Pose;
 use navicim_math::metrics::{trajectory_error, TrajectoryError};
 use navicim_math::rng::{Pcg32, Rng64};
 use navicim_nn::loss::Mse;
-use navicim_nn::mc::{mc_moments, McPrediction};
+use navicim_nn::mc::{mc_moments_in_place, McPrediction};
 use navicim_nn::mlp::Mlp;
 use navicim_nn::optim::Adam;
 use navicim_nn::quant::{ForwardWorkspace, QuantBackend, QuantMatrix, QuantizedMlp};
@@ -314,10 +314,22 @@ impl BayesianVo {
     /// One MC-Dropout prediction: `mc_iterations` stochastic passes on the
     /// frame features, with optional greedy iteration ordering.
     ///
-    /// The mask sets, the flattened ordering inputs and the forward
-    /// scratch all live in reused buffers; after the first frame the
-    /// prediction allocates only its returned samples.
+    /// Owned-output adapter over [`Self::predict_into`]; frame loops that
+    /// want the zero-alloc path should reuse one [`McPrediction`] there
+    /// instead.
     pub fn predict(&mut self, features: &[f64]) -> McPrediction {
+        let mut pred = McPrediction::default();
+        self.predict_into(features, &mut pred);
+        pred
+    }
+
+    /// [`Self::predict`] into a caller-pooled [`McPrediction`]: the mask
+    /// sets, the flattened ordering inputs, the forward scratch *and* the
+    /// per-iteration sample vectors all live in reused buffers, so a
+    /// steady-state frame loop performs no heap allocation beyond the
+    /// greedy ordering's permutation. Arithmetic and RNG consumption are
+    /// identical to [`Self::predict`].
+    pub fn predict_into(&mut self, features: &[f64], pred: &mut McPrediction) {
         let t = self.config.mc_iterations;
         self.mask_sets.resize_with(t, Vec::new);
         for set in &mut self.mask_sets {
@@ -333,22 +345,17 @@ impl BayesianVo {
             (0..t).collect()
         };
         self.backend.reset();
-        let out_dim = self.qnet.out_dim();
-        let samples: Vec<Vec<f64>> = order
-            .iter()
-            .map(|&i| {
-                let mut y = Vec::with_capacity(out_dim);
-                self.qnet.forward_with_masks_into(
-                    &mut self.backend,
-                    features,
-                    &self.mask_sets[i],
-                    &mut self.ws,
-                    &mut y,
-                );
-                y
-            })
-            .collect();
-        mc_moments(samples)
+        pred.samples.resize_with(t, Vec::new);
+        for (slot, &i) in pred.samples.iter_mut().zip(&order) {
+            self.qnet.forward_with_masks_into(
+                &mut self.backend,
+                features,
+                &self.mask_sets[i],
+                &mut self.ws,
+                slot,
+            );
+        }
+        mc_moments_in_place(pred);
     }
 
     /// MC-Dropout predictions for a whole sequence of frames, in order.
@@ -388,11 +395,14 @@ impl BayesianVo {
                 "vo dataset has no frame pairs".into(),
             ));
         }
-        let predictions = self.predict_batch(dataset.samples.iter().map(|s| s.features.as_slice()));
         let mut deltas = Vec::with_capacity(dataset.samples.len());
         let mut per_step_error = Vec::with_capacity(dataset.samples.len());
         let mut per_step_variance = Vec::with_capacity(dataset.samples.len());
-        for (sample, pred) in dataset.samples.iter().zip(predictions) {
+        // One pooled prediction for the whole trajectory: per-frame MC
+        // samples land in reused buffers instead of fresh vectors.
+        let mut pred = McPrediction::default();
+        for sample in &dataset.samples {
+            self.predict_into(&sample.features, &mut pred);
             let mut d = [0.0; 6];
             d.copy_from_slice(&pred.mean);
             for r in &mut d[3..6] {
@@ -645,6 +655,26 @@ mod tests {
             fp.trajectory.ate_rmse,
             q.trajectory.ate_rmse
         );
+    }
+
+    #[test]
+    fn pooled_predictions_match_owned() {
+        // Reusing one McPrediction across frames (the run_trajectory
+        // path) must be bit-identical to fresh predictions per frame.
+        let ds = tiny_dataset(7);
+        let net = train_vo_network(&ds.samples, ds.feature_dim(), &tiny_train_config()).unwrap();
+        let config = VoPipelineConfig {
+            mc_iterations: 8,
+            ..VoPipelineConfig::default()
+        };
+        let mut owned_vo = BayesianVo::build(&net, &calibration(&ds), config.clone()).unwrap();
+        let mut pooled_vo = BayesianVo::build(&net, &calibration(&ds), config).unwrap();
+        let mut pooled = McPrediction::default();
+        for sample in ds.samples.iter().take(5) {
+            let owned = owned_vo.predict(&sample.features);
+            pooled_vo.predict_into(&sample.features, &mut pooled);
+            assert_eq!(owned, pooled);
+        }
     }
 
     #[test]

@@ -65,6 +65,26 @@ impl AnalogCimProfile {
         self.adc_fom_fj_per_step * (1u64 << bits) as f64 * 1e-3
     }
 
+    /// Total energy of one likelihood evaluation in pJ — the sum of the
+    /// [`Self::likelihood_eval_report`] items without building the
+    /// itemized report, so per-frame pricing loops (the gated pipeline
+    /// prices every frame) stay allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::array_pj`] validation.
+    pub fn likelihood_eval_pj(
+        &self,
+        avg_current_a: f64,
+        dims: usize,
+        dac_bits: u32,
+        adc_bits: u32,
+    ) -> Result<f64> {
+        Ok(self.array_pj(avg_current_a)?
+            + dims as f64 * self.dac_pj(dac_bits)
+            + self.adc_pj(adc_bits))
+    }
+
     /// Full breakdown of one likelihood evaluation: `dims` DAC conversions,
     /// one array read, one log-ADC conversion.
     ///
@@ -128,5 +148,14 @@ mod tests {
         let report = p.likelihood_eval_report(1e-6, 3, 4, 8).unwrap();
         assert_eq!(report.items().len(), 3);
         assert!(report.total_pj() > 0.0);
+    }
+
+    #[test]
+    fn eval_pj_matches_report_total() {
+        let p = AnalogCimProfile::paper_45nm();
+        let report = p.likelihood_eval_report(2.5e-6, 3, 4, 6).unwrap();
+        let total = p.likelihood_eval_pj(2.5e-6, 3, 4, 6).unwrap();
+        assert_eq!(total, report.total_pj());
+        assert!(p.likelihood_eval_pj(-1.0, 3, 4, 6).is_err());
     }
 }

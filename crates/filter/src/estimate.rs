@@ -42,10 +42,9 @@ pub fn mean_pose(particles: &ParticleSet<Pose>) -> Pose {
 /// Weighted positional spread: the root of the summed per-axis weighted
 /// variances (a scalar "1σ radius" of the particle cloud).
 pub fn position_spread(particles: &ParticleSet<Pose>) -> f64 {
-    let vx = particles.weighted_variance(|p| p.translation.x);
-    let vy = particles.weighted_variance(|p| p.translation.y);
-    let vz = particles.weighted_variance(|p| p.translation.z);
-    (vx + vy + vz).sqrt()
+    particles
+        .weighted_covariance_trace(|p| p.translation.to_array())
+        .sqrt()
 }
 
 #[cfg(test)]

@@ -129,6 +129,15 @@ impl<S: Clone> ParticleFilter<S> {
         self.step_count
     }
 
+    /// Current cloud spread: the square root of the weighted covariance
+    /// trace of a 3-vector projection of the state (for poses, the
+    /// positional "1σ radius"). Allocation-free, so it can be sampled
+    /// every frame — it is the uncertainty signal the gated localization
+    /// pipeline arbitrates backends on.
+    pub fn spread<F: Fn(&S) -> [f64; 3]>(&self, project: F) -> f64 {
+        self.particles.weighted_covariance_trace(project).sqrt()
+    }
+
     /// Number of resampling events triggered.
     pub fn resamples(&self) -> u64 {
         self.resample_count

@@ -124,6 +124,34 @@ impl<S: Clone> ParticleSet<S> {
             .sum()
     }
 
+    /// Trace of the weighted covariance of a 3-vector projection of the
+    /// state (e.g. a pose's position), computed in two allocation-free
+    /// passes over the particles.
+    ///
+    /// Per axis this accumulates exactly the sums of
+    /// [`Self::weighted_mean`]/[`Self::weighted_variance`] in particle
+    /// order, so it is bit-identical to three separate variance calls —
+    /// at a third of the traversals, cheap enough to read every frame as
+    /// an uncertainty gate signal.
+    pub fn weighted_covariance_trace<F: Fn(&S) -> [f64; 3]>(&self, f: F) -> f64 {
+        let mut mean = [0.0f64; 3];
+        for (s, &w) in self.states.iter().zip(&self.weights) {
+            let v = f(s);
+            for (m, x) in mean.iter_mut().zip(v) {
+                *m += w * x;
+            }
+        }
+        let mut var = [0.0f64; 3];
+        for (s, &w) in self.states.iter().zip(&self.weights) {
+            let v = f(s);
+            for ((acc, x), m) in var.iter_mut().zip(v).zip(mean) {
+                let d = x - m;
+                *acc += w * d * d;
+            }
+        }
+        var[0] + var[1] + var[2]
+    }
+
     /// Weighted variance of a scalar function of the state.
     pub fn weighted_variance<F: Fn(&S) -> f64>(&self, f: F) -> f64 {
         let mean = self.weighted_mean(&f);
@@ -210,5 +238,30 @@ mod tests {
         set.reweight_log(&[0.0, 0.0]).unwrap();
         assert!(approx_eq(set.weighted_mean(|&s| s), 5.0, 1e-12));
         assert!(approx_eq(set.weighted_variance(|&s| s), 25.0, 1e-12));
+    }
+
+    #[test]
+    fn covariance_trace_matches_per_axis_variances() {
+        use navicim_math::rng::SampleExt;
+        let mut rng = Pcg32::seed_from_u64(12);
+        let states: Vec<[f64; 3]> = (0..200)
+            .map(|_| {
+                [
+                    rng.sample_normal(1.0, 0.5),
+                    rng.sample_normal(-2.0, 0.2),
+                    rng.sample_normal(0.0, 1.5),
+                ]
+            })
+            .collect();
+        let mut set = ParticleSet::from_states(states).unwrap();
+        let lls: Vec<f64> = (0..200).map(|i| -((i % 7) as f64)).collect();
+        set.reweight_log(&lls).unwrap();
+        let trace = set.weighted_covariance_trace(|s| *s);
+        let per_axis = set.weighted_variance(|s| s[0])
+            + set.weighted_variance(|s| s[1])
+            + set.weighted_variance(|s| s[2]);
+        // Bit-identical, not just approximately equal: the fused pass
+        // accumulates the same sums in the same order.
+        assert_eq!(trace, per_axis);
     }
 }

@@ -7,7 +7,12 @@ use navicim_backend::PointBatch;
 use navicim_math::rng::Rng64;
 
 /// The outcome of an MC-Dropout prediction.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Construct an empty one with [`Default`] and reuse it across
+/// [`crate::mc`]-style `predict_into` calls: the mean/variance/sample
+/// buffers are rewritten in place, so a frame loop allocates nothing
+/// after warmup.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct McPrediction {
     /// Predictive mean per output.
     pub mean: Vec<f64>,
@@ -111,24 +116,39 @@ impl McDropout {
 /// Predictive mean/variance from raw MC samples (shared by the scalar and
 /// batched paths and by the VO pipeline).
 pub fn mc_moments(samples: Vec<Vec<f64>>) -> McPrediction {
-    let out_dim = samples[0].len();
-    let n = samples.len() as f64;
-    let mut mean = vec![0.0; out_dim];
-    for s in &samples {
-        for (m, &v) in mean.iter_mut().zip(s) {
+    let mut pred = McPrediction {
+        mean: Vec::new(),
+        variance: Vec::new(),
+        samples,
+    };
+    mc_moments_in_place(&mut pred);
+    pred
+}
+
+/// Recomputes [`McPrediction::mean`] and [`McPrediction::variance`] from
+/// [`McPrediction::samples`], reusing the moment buffers — the pooled
+/// counterpart of [`mc_moments`] (identical arithmetic, zero
+/// allocations once the buffers have their capacity).
+///
+/// # Panics
+///
+/// Panics if `pred.samples` is empty.
+pub fn mc_moments_in_place(pred: &mut McPrediction) {
+    let out_dim = pred.samples[0].len();
+    let n = pred.samples.len() as f64;
+    pred.mean.clear();
+    pred.mean.resize(out_dim, 0.0);
+    for s in &pred.samples {
+        for (m, &v) in pred.mean.iter_mut().zip(s) {
             *m += v / n;
         }
     }
-    let mut variance = vec![0.0; out_dim];
-    for s in &samples {
-        for ((var, &v), &m) in variance.iter_mut().zip(s).zip(&mean) {
+    pred.variance.clear();
+    pred.variance.resize(out_dim, 0.0);
+    for s in &pred.samples {
+        for ((var, &v), &m) in pred.variance.iter_mut().zip(s).zip(&pred.mean) {
             *var += (v - m) * (v - m) / (n - 1.0);
         }
-    }
-    McPrediction {
-        mean,
-        variance,
-        samples,
     }
 }
 
@@ -214,6 +234,22 @@ mod tests {
         assert_eq!(scalar, batched);
         // The RNG streams advanced identically, too.
         assert_eq!(rng_scalar, rng_batch);
+    }
+
+    #[test]
+    fn in_place_moments_match_owned_and_reuse_buffers() {
+        let samples = vec![vec![1.0, 2.0], vec![3.0, 6.0], vec![5.0, 4.0]];
+        let owned = mc_moments(samples.clone());
+        let mut pooled = McPrediction {
+            // Stale content from a previous, wider frame must be
+            // overwritten, not appended to.
+            mean: vec![9.0; 5],
+            variance: vec![9.0; 5],
+            samples,
+        };
+        mc_moments_in_place(&mut pooled);
+        assert_eq!(pooled, owned);
+        assert_eq!(pooled.mean, vec![3.0, 4.0]);
     }
 
     #[test]

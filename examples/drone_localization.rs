@@ -9,15 +9,18 @@
 //! It also demonstrates the *pluggable* backend registry: a custom map
 //! backend — here a plain closure scoring distance to a subsampled point
 //! cloud — is registered under a name and driven by the same localizer,
-//! with no change to `navicim-core`.
+//! with no change to `navicim-core` — and the *uncertainty-gated*
+//! streaming pipeline, which arbitrates digital↔analog per frame on the
+//! particle spread and reports the blended flight energy.
 //!
 //! Run: `cargo run --release --example drone_localization`
 
 use navicim::core::localization::{CimLocalizer, LocalizerConfig};
+use navicim::core::pipeline::{GateConfig, HysteresisConfig, LocalizationPipeline, DIGITAL_SLOT};
 use navicim::core::registry::{
     BackendRegistry, ClosureBackend, MapFitContext, CIM_HMGM, DIGITAL_GMM,
 };
-use navicim::core::reportfmt::Table;
+use navicim::core::reportfmt::{fmt_pct, Table};
 use navicim::energy::analog::AnalogCimProfile;
 use navicim::energy::digital::DigitalProfile;
 use navicim::scene::dataset::{LocalizationConfig, LocalizationDataset};
@@ -143,5 +146,39 @@ fn main() {
     println!(
         "  -> the co-designed map evaluation costs {:.0}x less energy",
         digital_pj / cim_pj
+    );
+
+    // The gated pipeline: per-frame digital<->analog arbitration on the
+    // particle spread, priced frame by frame. The same registry serves
+    // both slots.
+    let gated_config = LocalizerConfig {
+        gate: GateConfig::gated(DIGITAL_GMM, CIM_HMGM).with_hysteresis(HysteresisConfig {
+            analog_enter: 0.07,
+            digital_enter: 0.12,
+            dwell: 2,
+            start: DIGITAL_SLOT,
+        }),
+        // Low-precision converters: the analog path's energy advantage
+        // comes from the Walden-scaled ADC term.
+        cim: navicim::analog::engine::CimEngineConfig {
+            dac_bits: 6,
+            adc_bits: 6,
+            ..navicim::analog::engine::CimEngineConfig::default()
+        },
+        ..config(DIGITAL_GMM)
+    };
+    let gated_run = LocalizationPipeline::build_with_registry(&dataset, gated_config, &registry)
+        .expect("gated pipeline builds")
+        .run(&dataset)
+        .expect("gated run completes");
+    println!("\nuncertainty-gated flight (hysteresis on particle spread):");
+    println!("{}", gated_run.summary_table());
+    println!(
+        "  {} of frames on the analog array, steady-state error {:.3} m, \
+         total map energy {:.2} uJ (always-digital: {:.2} uJ)",
+        fmt_pct(gated_run.analog_fraction()),
+        gated_run.steady_state_error(),
+        gated_run.total_energy_pj() / 1e6,
+        digital_pj / 1e6
     );
 }

@@ -7,7 +7,8 @@
 //! Run: `cargo run --release --example quickstart`
 
 use navicim::core::localization::{CimLocalizer, LocalizerConfig};
-use navicim::core::registry::CIM_HMGM;
+use navicim::core::pipeline::{GateConfig, LocalizationPipeline, ANALOG_SLOT, DIGITAL_SLOT};
+use navicim::core::registry::{CIM_HMGM, DIGITAL_GMM};
 use navicim::core::vo::{train_vo_network, BayesianVo, VoPipelineConfig, VoTrainConfig};
 use navicim::device::inverter::GaussianLikeCell;
 use navicim::device::params::TechParams;
@@ -75,7 +76,30 @@ fn main() {
         run.point_evaluations
     );
 
-    // 3b. Ad-hoc filtering: both the motion and the measurement model can
+    // 3b. The uncertainty-gated pipeline: the particle spread drives the
+    //     compute substrate per frame — wide cloud on the accurate
+    //     digital path, collapsed cloud on the cheap analog array.
+    let mut gated = LocalizationPipeline::build(
+        &dataset,
+        LocalizerConfig {
+            num_particles: 250,
+            components: 10,
+            gate: GateConfig::gated(DIGITAL_GMM, CIM_HMGM),
+            ..LocalizerConfig::default()
+        },
+    )
+    .expect("gated pipeline builds");
+    let gated_run = gated.run(&dataset).expect("gated run completes");
+    println!(
+        "\n3b. gated pipeline: {} frames digital / {} frames analog, \
+         steady-state error {:.3} m, map energy {:.1} nJ",
+        gated_run.frames_on(DIGITAL_SLOT),
+        gated_run.frames_on(ANALOG_SLOT),
+        gated_run.steady_state_error(),
+        gated_run.total_energy_pj() / 1e3
+    );
+
+    // 3c. Ad-hoc filtering: both the motion and the measurement model can
     //     be plain closures — no wrapper types needed.
     let mut rng = Pcg32::seed_from_u64(3);
     let init: Vec<f64> = (0..400).map(|_| rng.sample_uniform(-5.0, 5.0)).collect();
@@ -91,7 +115,7 @@ fn main() {
             .expect("filter step");
     }
     println!(
-        "\n3b. closure models: 1-D tracker estimate {:.2} (truth 2.80) after 15 steps",
+        "\n3c. closure models: 1-D tracker estimate {:.2} (truth 2.80) after 15 steps",
         pf.particles().weighted_mean(|s| *s)
     );
 

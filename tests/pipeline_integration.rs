@@ -2,7 +2,11 @@
 //! through the public umbrella API, plus exactness and determinism
 //! guarantees that span crate boundaries.
 
+use navicim::analog::engine::CimEngineConfig;
 use navicim::core::localization::{CimLocalizer, LocalizerConfig, WeightPath};
+use navicim::core::pipeline::{
+    GateConfig, GateKind, HysteresisConfig, LocalizationPipeline, ANALOG_SLOT, DIGITAL_SLOT,
+};
 use navicim::core::registry::{CIM_HMGM, DIGITAL_GMM};
 use navicim::core::uncertainty::calibration_summary;
 use navicim::core::vo::{
@@ -127,6 +131,79 @@ fn batched_weight_step_runs_both_backends_end_to_end() {
             batched.errors
         );
     }
+}
+
+#[test]
+fn gated_pipeline_arbitrates_backends_and_saves_energy() {
+    // The uncertainty-gated streaming API end to end: a hysteresis gate
+    // over [digital, analog] slots must actually use both substrates,
+    // spend less map energy than the always-digital baseline, and keep
+    // tracking.
+    let dataset = loc_dataset(109);
+    let config = |policy: GateKind| LocalizerConfig {
+        num_particles: 300,
+        components: 12,
+        pixel_stride: 9,
+        // Low-precision converters: the analog energy advantage comes
+        // from the Walden-scaled ADC term.
+        cim: CimEngineConfig {
+            dac_bits: 6,
+            adc_bits: 6,
+            ..CimEngineConfig::default()
+        },
+        gate: GateConfig {
+            backends: vec![DIGITAL_GMM.into(), CIM_HMGM.into()],
+            policy,
+        },
+        seed: 5,
+        ..LocalizerConfig::default()
+    };
+    let hysteresis = GateKind::Hysteresis(HysteresisConfig {
+        analog_enter: 0.07,
+        digital_enter: 0.12,
+        dwell: 2,
+        start: DIGITAL_SLOT,
+    });
+    let gated = LocalizationPipeline::build(&dataset, config(hysteresis))
+        .expect("gated pipeline builds")
+        .run(&dataset)
+        .expect("gated run completes");
+    let digital = LocalizationPipeline::build(&dataset, config(GateKind::Always(DIGITAL_SLOT)))
+        .expect("digital pipeline builds")
+        .run(&dataset)
+        .expect("digital run completes");
+
+    // Both substrates served frames; the stream starts digital (wide
+    // initial cloud) and hands converged frames to the analog array.
+    assert_eq!(gated.frames[0].slot, DIGITAL_SLOT);
+    assert!(gated.frames_on(ANALOG_SLOT) > 0, "{:?}", gated.frames);
+    assert!(gated.frames_on(DIGITAL_SLOT) > 0);
+    assert!(gated.analog_fraction() > 0.0 && gated.analog_fraction() < 1.0);
+    // The mixed-substrate run is cheaper than always-digital and still
+    // tracks.
+    assert!(
+        gated.total_energy_pj() < digital.total_energy_pj(),
+        "gated {} pJ vs digital {} pJ",
+        gated.total_energy_pj(),
+        digital.total_energy_pj()
+    );
+    assert!(gated.steady_state_error() < 0.4, "{:?}", gated.frames);
+    assert!(gated
+        .frames
+        .iter()
+        .all(|f| f.summary.error.is_finite() && f.energy_pj > 0.0));
+    // Per-slot stats separate the substrates.
+    assert!(!gated.stats[DIGITAL_SLOT].is_analog());
+    assert!(gated.stats[ANALOG_SLOT].is_analog());
+
+    // The monolithic wrapper serves gated configs too, flattening the
+    // pipeline run into the legacy record.
+    let legacy = CimLocalizer::build(&dataset, config(GateKind::Always(ANALOG_SLOT)))
+        .expect("wrapper builds")
+        .run(&dataset)
+        .expect("wrapper runs");
+    assert_eq!(legacy.backend, format!("{DIGITAL_GMM}+{CIM_HMGM}"));
+    assert!(legacy.stats.is_analog());
 }
 
 #[test]

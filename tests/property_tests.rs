@@ -5,6 +5,12 @@ use navicim::analog::engine::{CimEngineConfig, HmgmCimEngine};
 use navicim::analog::mapping::SpaceMap;
 use navicim::backend::par::ChunkPolicy;
 use navicim::backend::{LikelihoodBackend, PointBatch};
+use navicim::core::localization::LocalizerConfig;
+use navicim::core::pipeline::{
+    GateConfig, GateContext, GatePolicy, HysteresisConfig, HysteresisGate, LocalizationPipeline,
+    ANALOG_SLOT, DIGITAL_SLOT,
+};
+use navicim::core::registry::{CIM_HMGM, DIGITAL_GMM};
 use navicim::device::inverter::GaussianLikeCell;
 use navicim::device::params::TechParams;
 use navicim::gmm::gaussian::{Covariance, Gmm};
@@ -370,6 +376,56 @@ proptest! {
         prop_assert_eq!(rng_scalar, rng_batch);
     }
 
+    /// The hysteresis gate switches at most once per dwell window for
+    /// arbitrary spread signals: consecutive switch frames are at least
+    /// `dwell` apart, selections stay within the two slots, and the
+    /// gate's own switch counter agrees with the observed transitions.
+    #[test]
+    fn hysteresis_gate_respects_dwell(
+        seed in 0u64..10_000,
+        dwell in 1usize..6,
+        frames in 8usize..64,
+    ) {
+        let mut rng = Pcg32::seed_from_u64(seed ^ 0x6a7e);
+        use navicim::math::rng::SampleExt;
+        let mut gate = HysteresisGate::new(HysteresisConfig {
+            analog_enter: 0.08,
+            digital_enter: 0.16,
+            dwell,
+            start: DIGITAL_SLOT,
+        })
+        .expect("valid gate");
+        let mut current = DIGITAL_SLOT;
+        let mut last_switch: Option<usize> = None;
+        let mut observed = 0u64;
+        for frame in 0..frames {
+            let spread = rng.sample_uniform(0.0, 0.3);
+            let next = gate.select(&GateContext {
+                frame,
+                spread,
+                ess: 100.0,
+                current,
+                num_backends: 2,
+            });
+            prop_assert!(next == DIGITAL_SLOT || next == ANALOG_SLOT);
+            if next != current {
+                observed += 1;
+                if let Some(prev) = last_switch {
+                    prop_assert!(
+                        frame - prev >= dwell,
+                        "switched at {} and {} with dwell {}",
+                        prev,
+                        frame,
+                        dwell
+                    );
+                }
+                last_switch = Some(frame);
+            }
+            current = next;
+        }
+        prop_assert_eq!(observed, gate.switches());
+    }
+
     /// Weight quantization reconstruction error is bounded by the step.
     #[test]
     fn quant_matrix_reconstruction(
@@ -385,5 +441,60 @@ proptest! {
         for (code, &orig) in m.codes().iter().zip(&w) {
             prop_assert!((*code as f64 * m.step() - orig).abs() <= m.step() * 0.5 + 1e-12);
         }
+    }
+}
+
+// Full gated localization runs are expensive, so this block draws fewer
+// cases than the kernel-level properties above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Uncertainty-gated runs are deterministic: for a fixed seed, two
+    /// independently built pipelines produce bit-identical PipelineRuns —
+    /// same gate decisions, same estimates/errors, same per-frame energy
+    /// and backend stats — even though the analog slot consumes noise
+    /// only on the frames the gate hands it.
+    #[test]
+    fn gated_runs_bit_identical_across_repeats(seed in 0u64..1_000) {
+        use navicim::scene::dataset::{LocalizationConfig, LocalizationDataset};
+        let dataset = LocalizationDataset::generate(
+            &LocalizationConfig {
+                image_width: 24,
+                image_height: 18,
+                map_points: 600,
+                frames: 8,
+                ..LocalizationConfig::default()
+            },
+            7,
+        )
+        .expect("dataset generates");
+        let config = || LocalizerConfig {
+            num_particles: 150,
+            pixel_stride: 7,
+            components: 8,
+            gate: GateConfig::gated(DIGITAL_GMM, CIM_HMGM).with_hysteresis(HysteresisConfig {
+                analog_enter: 0.08,
+                digital_enter: 0.15,
+                dwell: 2,
+                start: DIGITAL_SLOT,
+            }),
+            seed,
+            ..LocalizerConfig::default()
+        };
+        let run1 = LocalizationPipeline::build(&dataset, config())
+            .expect("pipeline builds")
+            .run(&dataset)
+            .expect("run completes");
+        let run2 = LocalizationPipeline::build(&dataset, config())
+            .expect("pipeline builds")
+            .run(&dataset)
+            .expect("run completes");
+        prop_assert_eq!(&run1, &run2);
+        // The per-frame stream is internally consistent.
+        prop_assert_eq!(run1.frames.len(), 7);
+        prop_assert_eq!(
+            run1.total_evaluations(),
+            run1.merged_stats().evaluations
+        );
     }
 }
