@@ -298,11 +298,103 @@ fn bench_gated_pipeline_step(c: &mut Criterion) {
     group.finish();
 }
 
+/// One gated pipeline step with the VO MC-Dropout stage riding along:
+/// fixed 30-iteration depth vs the variance-adaptive policy — the
+/// VO-side saving of the two-axis co-design in the perf trajectory.
+fn bench_adaptive_mc_pipeline_step(c: &mut Criterion) {
+    use navicim_core::pipeline::VoStage;
+    use navicim_core::vo::{
+        train_vo_network, AdaptiveMcConfig, AdaptiveMcPolicy, BayesianVo, VoPipelineConfig,
+        VoTrainConfig,
+    };
+    use navicim_scene::dataset::make_samples;
+
+    let dataset = small_localization_dataset(51);
+    // The standard Section III network size (128/64 hidden units on a
+    // 96-dimensional 8x4 feature grid): large enough that the MC-pass
+    // count dominates the VO stage's cost, so the fixed-vs-adaptive gap
+    // is visible in wall time and not only in the energy accounting.
+    let (grid_w, grid_h) = (8usize, 4usize);
+    let samples = make_samples(&dataset.frames, &dataset.camera, grid_w, grid_h);
+    let net = train_vo_network(
+        &samples,
+        3 * grid_w * grid_h,
+        &VoTrainConfig {
+            epochs: 60,
+            ..VoTrainConfig::default()
+        },
+    )
+    .expect("vo network trains");
+    let calib: Vec<Vec<f64>> = samples.iter().take(6).map(|s| s.features.clone()).collect();
+    let adaptive = || {
+        AdaptiveMcPolicy::new(AdaptiveMcConfig {
+            min_iterations: 8,
+            max_iterations: 30,
+            // A permissive low threshold: steady-state frames run at the
+            // 8-pass floor, which is exactly the saving being measured.
+            var_low: f64::MAX / 4.0,
+            var_high: f64::MAX / 2.0,
+            dwell: 1,
+        })
+        .expect("adaptive policy")
+    };
+    let mut group = c.benchmark_group("pf_vo_mc_pipeline_step");
+    group.sample_size(10);
+    for (label, policy) in [
+        ("vo-fixed30", AdaptiveMcPolicy::fixed(30).expect("fixed")),
+        ("vo-adaptive", adaptive()),
+    ] {
+        group.bench_function(BenchmarkId::new(label, 256), |b| {
+            let config = LocalizerConfig {
+                num_particles: 256,
+                components: 12,
+                pixel_stride: 11,
+                gate: GateConfig {
+                    backends: vec![DIGITAL_GMM.into(), CIM_HMGM.into()],
+                    policy: GateKind::Hysteresis(HysteresisConfig::default()),
+                },
+                seed: 9,
+                ..LocalizerConfig::default()
+            };
+            let vo = BayesianVo::build(
+                &net,
+                &calib,
+                VoPipelineConfig {
+                    mc_iterations: 30,
+                    ..VoPipelineConfig::default()
+                },
+            )
+            .expect("vo builds");
+            let stage = VoStage::new(
+                vo,
+                policy.clone(),
+                &dataset.camera,
+                &dataset.frames[0].depth,
+                grid_w,
+                grid_h,
+            )
+            .expect("vo stage builds");
+            let mut pipeline = LocalizationPipeline::build(&dataset, config)
+                .expect("pipeline builds")
+                .with_vo(stage);
+            let control = dataset.frames[0].pose.delta_to(dataset.frames[1].pose);
+            let truth = dataset.frames[1].pose;
+            b.iter(|| {
+                pipeline
+                    .step(&control, &dataset.frames[1].depth, truth)
+                    .expect("step succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_pf,
     bench_weight_step,
     bench_analog_weight_step_threads,
-    bench_gated_pipeline_step
+    bench_gated_pipeline_step,
+    bench_adaptive_mc_pipeline_step
 );
 criterion_main!(benches);

@@ -1,23 +1,46 @@
-//! Ablation: uncertainty-gated digital↔analog backend arbitration.
+//! Ablation: uncertainty-gated compute on *both* axes — the map
+//! substrate and the VO MC-Dropout depth.
 //!
-//! The paper's thesis, closed end to end: particle-spread uncertainty
-//! *drives* the compute substrate. A hysteresis gate serves uncertain
-//! frames on the accurate digital GMM datapath and collapsed-cloud frames
-//! on the cheap analog HMGM-CIM array, and is compared against the
-//! always-digital and always-analog baselines on steady-state accuracy
-//! and Fig. 2(i)-style map-evaluation energy.
+//! The paper's thesis, closed end to end: live uncertainty *drives* the
+//! compute spent. On the map axis a hysteresis gate serves uncertain
+//! frames on the accurate digital GMM datapath and collapsed-cloud
+//! frames on the cheap analog HMGM-CIM array, compared against the
+//! always-digital / always-analog baselines and an uncertainty-blind
+//! periodic-refresh duty cycle. On the VO axis an [`AdaptiveMcPolicy`]
+//! modulates the per-frame MC-Dropout iteration count from the previous
+//! frame's predictive variance (paper Section III), compared against the
+//! fixed-depth run at *identical* pose error — the joint map+VO energy
+//! is the full Fig. 2 story.
 //!
 //! Run: `cargo run --release -p navicim-bench --bin abl_gating`
+//!
+//! Flags:
+//! - `--frames N` — flight length (default 60; CI smoke uses 40),
+//! - `--csv PATH` — write the gated adaptive run's per-frame log (all
+//!   uncertainty-bus columns) as CSV, the training-data path for learned
+//!   gates.
 
 use navicim_analog::engine::CimEngineConfig;
-
 use navicim_core::localization::LocalizerConfig;
 use navicim_core::pipeline::{
-    GateConfig, GateKind, HysteresisConfig, LocalizationPipeline, PipelineRun, ANALOG_SLOT,
-    DIGITAL_SLOT,
+    GateConfig, GateKind, HysteresisConfig, LocalizationPipeline, PeriodicRefreshConfig,
+    PipelineRun, VoStage, ANALOG_SLOT, DIGITAL_SLOT,
 };
 use navicim_core::registry::{CIM_HMGM, DIGITAL_GMM};
 use navicim_core::reportfmt::{fmt_pct, Table};
+use navicim_core::vo::{
+    train_vo_network, AdaptiveMcConfig, AdaptiveMcPolicy, BayesianVo, VoPipelineConfig,
+    VoTrainConfig,
+};
+use navicim_scene::dataset::{make_samples, LocalizationDataset};
+
+/// MC-Dropout depth of the fixed VO baseline (the paper's constant).
+const FIXED_MC: usize = 30;
+/// Depth floor of the adaptive policy.
+const MIN_MC: usize = 8;
+/// VO feature grid.
+const GRID_W: usize = 4;
+const GRID_H: usize = 3;
 
 fn gate_thresholds() -> HysteresisConfig {
     HysteresisConfig {
@@ -28,15 +51,15 @@ fn gate_thresholds() -> HysteresisConfig {
     }
 }
 
-/// The standard Section II scene, orbited for 30 frames so the gate's
-/// digital↔analog duty cycle settles.
-fn gating_dataset() -> navicim_scene::dataset::LocalizationDataset {
-    navicim_scene::dataset::LocalizationDataset::generate(
+/// The standard Section II scene, orbited long enough for the gate's
+/// digital↔analog duty cycle to settle.
+fn gating_dataset(frames: usize) -> LocalizationDataset {
+    LocalizationDataset::generate(
         &navicim_scene::dataset::LocalizationConfig {
             image_width: 48,
             image_height: 36,
             map_points: 2000,
-            frames: 30,
+            frames,
             ..navicim_scene::dataset::LocalizationConfig::default()
         },
         navicim_bench::SEED,
@@ -44,9 +67,8 @@ fn gating_dataset() -> navicim_scene::dataset::LocalizationDataset {
     .expect("gating dataset generates")
 }
 
-fn run_policy(label: &str, policy: GateKind) -> PipelineRun {
-    let dataset = gating_dataset();
-    let config = LocalizerConfig {
+fn localizer_config(policy: GateKind) -> LocalizerConfig {
+    LocalizerConfig {
         num_particles: 500,
         components: 16,
         pixel_stride: 9,
@@ -68,45 +90,175 @@ fn run_policy(label: &str, policy: GateKind) -> PipelineRun {
         },
         seed: 5,
         ..LocalizerConfig::default()
-    };
-    LocalizationPipeline::build(&dataset, config)
+    }
+}
+
+fn run_policy(dataset: &LocalizationDataset, label: &str, policy: GateKind) -> PipelineRun {
+    LocalizationPipeline::build(dataset, localizer_config(policy))
         .unwrap_or_else(|e| panic!("{label} pipeline builds: {e}"))
-        .run(&dataset)
+        .run(dataset)
         .unwrap_or_else(|e| panic!("{label} run completes: {e}"))
 }
 
+/// A gated run with a VO stage riding along at the given depth policy.
+fn run_gated_with_vo(
+    dataset: &LocalizationDataset,
+    net: &navicim_nn::mlp::Mlp,
+    calib: &[Vec<f64>],
+    label: &str,
+    policy: AdaptiveMcPolicy,
+) -> PipelineRun {
+    let vo = BayesianVo::build(
+        net,
+        calib,
+        VoPipelineConfig {
+            mc_iterations: FIXED_MC,
+            ..VoPipelineConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("{label} vo builds: {e}"));
+    let stage = VoStage::new(
+        vo,
+        policy,
+        &dataset.camera,
+        &dataset.frames[0].depth,
+        GRID_W,
+        GRID_H,
+    )
+    .unwrap_or_else(|e| panic!("{label} vo stage builds: {e}"));
+    LocalizationPipeline::build(
+        dataset,
+        localizer_config(GateKind::Hysteresis(gate_thresholds())),
+    )
+    .unwrap_or_else(|e| panic!("{label} pipeline builds: {e}"))
+    .with_vo(stage)
+    .run(dataset)
+    .unwrap_or_else(|e| panic!("{label} run completes: {e}"))
+}
+
+fn parse_args() -> (usize, Option<String>) {
+    let mut frames = 60usize;
+    let mut csv = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--frames" => {
+                let v = args.next().expect("--frames needs a value");
+                frames = v.parse().expect("--frames value must be an integer");
+                assert!(frames >= 8, "--frames must be at least 8");
+            }
+            "--csv" => csv = Some(args.next().expect("--csv needs a path")),
+            other => panic!("unknown argument {other} (expected --frames N / --csv PATH)"),
+        }
+    }
+    (frames, csv)
+}
+
 fn main() {
-    println!("# Ablation — uncertainty-gated digital<->analog backend arbitration\n");
+    let (num_frames, csv_path) = parse_args();
+    println!("# Ablation — uncertainty-gated compute on the map and VO axes\n");
     let thresholds = gate_thresholds();
     println!(
-        "hysteresis gate: analog at spread <= {} m, digital at spread >= {} m, \
-         dwell {} frames\n",
+        "flight: {num_frames} frames; hysteresis gate: analog at spread <= {} m, digital at \
+         spread >= {} m, dwell {} frames",
         thresholds.analog_enter, thresholds.digital_enter, thresholds.dwell
     );
+    let refresh = PeriodicRefreshConfig::default();
+    println!(
+        "periodic-refresh baseline: {} digital frame(s) every {} analog frames\n",
+        refresh.refresh_len, refresh.period
+    );
+    let dataset = gating_dataset(num_frames);
 
-    let digital = run_policy("always-digital", GateKind::Always(DIGITAL_SLOT));
-    let analog = run_policy("always-analog", GateKind::Always(ANALOG_SLOT));
-    let gated = run_policy("hysteresis", GateKind::Hysteresis(thresholds));
+    // ── Map axis: gate policies over the digital/analog slots ─────────
+    let digital = run_policy(&dataset, "always-digital", GateKind::Always(DIGITAL_SLOT));
+    let analog = run_policy(&dataset, "always-analog", GateKind::Always(ANALOG_SLOT));
+    let periodic = run_policy(&dataset, "periodic-refresh", GateKind::Periodic(refresh));
+    let gated = run_policy(&dataset, "hysteresis", GateKind::Hysteresis(thresholds));
 
-    println!("## per-frame stream");
+    // ── VO axis: fixed-depth vs adaptive MC on the gated pipeline ─────
+    eprintln!("training the VO regressor...");
+    let samples = make_samples(&dataset.frames, &dataset.camera, GRID_W, GRID_H);
+    let net = train_vo_network(
+        &samples,
+        3 * GRID_W * GRID_H,
+        &VoTrainConfig {
+            hidden1: 32,
+            hidden2: 16,
+            epochs: 120,
+            ..VoTrainConfig::default()
+        },
+    )
+    .expect("vo network trains");
+    let calib: Vec<Vec<f64>> = samples.iter().take(8).map(|s| s.features.clone()).collect();
+    let fixed_vo = run_gated_with_vo(
+        &dataset,
+        &net,
+        &calib,
+        "gated+fixed-mc",
+        AdaptiveMcPolicy::fixed(FIXED_MC).expect("fixed policy"),
+    );
+    // Adaptive thresholds straddle the fixed run's observed variance
+    // scale (quantiles of its logged per-frame variances), so the policy
+    // runs shallow on the confident majority and deep on the uncertain
+    // tail. Both thresholds sit *inside* the observed distribution
+    // (p75 / p90) so both directions of the hysteresis band can fire —
+    // the policy steps down when confident AND climbs back on the
+    // uncertain tail, rather than degenerating into a one-way
+    // step-down-to-floor schedule.
+    let mut vars: Vec<f64> = fixed_vo
+        .frames
+        .iter()
+        .map(|f| f.vo.expect("vo stage attached").variance)
+        .collect();
+    vars.sort_by(|a, b| a.partial_cmp(b).expect("finite variances"));
+    let var_low = vars[(vars.len() * 3) / 4];
+    let p90 = vars[(vars.len() * 9) / 10];
+    // Ties between quantiles would invert the band; nudge var_high up.
+    let var_high = if p90 > var_low {
+        p90
+    } else {
+        var_low * 1.5 + 1e-12
+    };
+    let mc_config = AdaptiveMcConfig {
+        min_iterations: MIN_MC,
+        max_iterations: FIXED_MC,
+        var_low,
+        var_high,
+        dwell: 2,
+    };
+    let adaptive_vo = run_gated_with_vo(
+        &dataset,
+        &net,
+        &calib,
+        "gated+adaptive-mc",
+        AdaptiveMcPolicy::new(mc_config).expect("adaptive policy"),
+    );
+
+    println!("## per-frame stream (gated + adaptive MC)");
     let mut frames = Table::new(vec![
         "frame",
-        "gated backend",
-        "gate spread (m)",
-        "digital err (m)",
-        "analog err (m)",
+        "backend",
+        "spread (m)",
+        "ess frac",
+        "innovation",
+        "mc iters",
         "gated err (m)",
-        "gated energy (pJ)",
+        "map pJ",
+        "vo pJ",
     ]);
-    for ((d, a), g) in digital.frames.iter().zip(&analog.frames).zip(&gated.frames) {
+    for f in &adaptive_vo.frames {
+        let vo = f.vo.expect("vo stage attached");
         frames.row(vec![
-            format!("{}", g.frame + 1),
-            gated.backends[g.slot].clone(),
-            format!("{:.4}", g.gate_spread),
-            format!("{:.4}", d.summary.error),
-            format!("{:.4}", a.summary.error),
-            format!("{:.4}", g.summary.error),
-            format!("{:.1}", g.energy_pj),
+            format!("{}", f.frame + 1),
+            adaptive_vo.backends[f.slot].clone(),
+            format!("{:.4}", f.signals.spread),
+            format!("{:.3}", f.signals.ess_fraction),
+            format!("{:.3}", f.signals.innovation),
+            format!("{}", vo.iterations),
+            format!("{:.4}", f.summary.error),
+            format!("{:.1}", f.map_energy_pj),
+            format!("{:.1}", vo.energy_pj),
         ]);
     }
     println!("{frames}");
@@ -114,43 +266,98 @@ fn main() {
     println!("## per-slot share of the gated run");
     println!("{}", gated.summary_table());
 
-    println!("## policy comparison");
+    println!("## map-axis policy comparison");
     let mut table = Table::new(vec![
         "policy",
         "analog frames",
         "steady-state error (m)",
-        "energy (pJ)",
+        "map energy (pJ)",
         "vs always-digital",
     ]);
-    for run in [&digital, &analog, &gated] {
+    for run in [&digital, &analog, &periodic, &gated] {
         table.row(vec![
             run.gate.clone(),
             fmt_pct(run.analog_fraction()),
             format!("{:.4}", run.steady_state_error()),
-            format!("{:.1}", run.total_energy_pj()),
+            format!("{:.1}", run.total_map_energy_pj()),
             format!(
                 "{:.2}x energy",
-                run.total_energy_pj() / digital.total_energy_pj()
+                run.total_map_energy_pj() / digital.total_map_energy_pj()
             ),
         ]);
     }
     println!("{table}");
 
-    // The headline claims of the gating co-design, checked on the spot.
+    println!("## vo-axis depth comparison (both on the hysteresis-gated map)");
+    let mut vo_table = Table::new(vec![
+        "mc policy",
+        "mean iters",
+        "steady-state error (m)",
+        "vo energy (pJ)",
+        "joint map+vo (pJ)",
+        "vs fixed",
+    ]);
+    for run in [&fixed_vo, &adaptive_vo] {
+        vo_table.row(vec![
+            run.vo_policy.clone().expect("vo stage attached"),
+            format!("{:.1}", run.mean_mc_iterations()),
+            format!("{:.4}", run.steady_state_error()),
+            format!("{:.1}", run.total_vo_energy_pj()),
+            format!("{:.1}", run.total_energy_pj()),
+            format!(
+                "{:.2}x joint energy",
+                run.total_energy_pj() / fixed_vo.total_energy_pj()
+            ),
+        ]);
+    }
+    println!("{vo_table}");
+
+    if let Some(path) = &csv_path {
+        let csv = adaptive_vo.to_csv();
+        std::fs::write(path, csv.to_string()).expect("csv log writes");
+        println!("wrote {} frame-log rows to {path}\n", csv.len());
+    }
+
+    // The headline claims of the two-axis gating co-design, checked on
+    // the spot. A MISMATCH exits non-zero so the CI smoke run fails on a
+    // regression of either energy story, not just on a crash.
     let analog_share = gated.analog_fraction();
     let err_ratio = gated.steady_state_error() / digital.steady_state_error();
-    let saves_energy = gated.total_energy_pj() < digital.total_energy_pj();
+    let saves_map_energy = gated.total_map_energy_pj() < digital.total_map_energy_pj();
+    let map_ok = analog_share >= 0.5 && err_ratio <= 1.1 && saves_map_energy;
     println!(
-        "gated run: {} of frames on the analog array, steady-state error {:.1}% of \
-         always-digital, {} backend switches, energy {:.2}x always-digital -> {}",
+        "map axis: {} of frames on the analog array, steady-state error {:.1}% of \
+         always-digital, {} backend switches, map energy {:.2}x always-digital -> {}",
         fmt_pct(analog_share),
         err_ratio * 100.0,
         gated.switches(),
-        gated.total_energy_pj() / digital.total_energy_pj(),
-        if analog_share >= 0.5 && err_ratio <= 1.1 && saves_energy {
+        gated.total_map_energy_pj() / digital.total_map_energy_pj(),
+        if map_ok {
             "SHAPE REPRODUCED"
         } else {
             "MISMATCH"
         }
     );
+    let same_error = adaptive_vo.steady_state_error() <= fixed_vo.steady_state_error();
+    let saves_joint = adaptive_vo.total_energy_pj() < fixed_vo.total_energy_pj();
+    let vo_ok = saves_joint && same_error;
+    println!(
+        "vo axis: adaptive depth {:.1} mean iters (fixed {FIXED_MC}), joint energy {:.2}x the \
+         fixed-depth gated run at {} steady-state pose error -> {}",
+        adaptive_vo.mean_mc_iterations(),
+        adaptive_vo.total_energy_pj() / fixed_vo.total_energy_pj(),
+        if adaptive_vo.steady_state_error() == fixed_vo.steady_state_error() {
+            "identical"
+        } else {
+            "different"
+        },
+        if vo_ok {
+            "SHAPE REPRODUCED"
+        } else {
+            "MISMATCH"
+        }
+    );
+    if !(map_ok && vo_ok) {
+        std::process::exit(1);
+    }
 }

@@ -11,8 +11,12 @@
 //!   diagnostics (Fig. 3(c–f)) plus TOPS/W accounting.
 //! - [`pipeline`] — the uncertainty-gated streaming localization
 //!   pipeline: multiple live backends from the registry, a per-frame
-//!   [`pipeline::GatePolicy`] arbitrating digital↔analog on
-//!   particle-spread thresholds, and [`pipeline::FrameReport`] energy
+//!   [`pipeline::UncertaintySignals`] bus (spread, ESS fraction,
+//!   likelihood innovation, VO predictive variance) feeding a
+//!   [`pipeline::GatePolicy`] that arbitrates digital↔analog, an
+//!   optional [`pipeline::VoStage`] whose MC-Dropout depth adapts to
+//!   predictive variance ([`vo::AdaptiveMcPolicy`] — the second gated
+//!   compute axis), and [`pipeline::FrameReport`] joint map+VO energy
 //!   accounting. [`localization::CimLocalizer`] is a thin wrapper over a
 //!   single-backend pipeline.
 //! - [`registry`] — the pluggable map-backend registry: named

@@ -29,16 +29,21 @@
 
 use crate::localization::{LocalizerConfig, ScanScratch, ScanSensor, StepSummary};
 use crate::registry::{BackendRegistry, BackendStats, MapBackend, MapFitContext};
-use crate::reportfmt::{fmt_pct, Table};
+use crate::reportfmt::{fmt_pct, Csv, Table};
+use crate::vo::{AdaptiveMcPolicy, BayesianVo};
 use crate::{CoreError, Result};
 use navicim_energy::analog::AnalogCimProfile;
 use navicim_energy::digital::DigitalProfile;
+use navicim_energy::sram::SramCimProfile;
 use navicim_filter::estimate::{mean_pose, position_spread};
 use navicim_filter::filter::ParticleFilter;
+use navicim_filter::signals::InnovationTracker;
 use navicim_math::geom::Pose;
 use navicim_math::rng::Pcg32;
+use navicim_nn::mc::McPrediction;
 use navicim_scene::camera::{DepthCamera, DepthImage};
 use navicim_scene::dataset::LocalizationDataset;
+use navicim_sram::cim_macro::MacroStats;
 use std::fmt;
 
 /// Conventional slot of the accurate digital reference backend.
@@ -46,16 +51,50 @@ pub const DIGITAL_SLOT: usize = 0;
 /// Conventional slot of the cheap analog backend.
 pub const ANALOG_SLOT: usize = 1;
 
+/// The per-frame uncertainty bus: every live "how lost are we" estimate,
+/// gathered *before* a frame is weighed and shared — the same values —
+/// by the gate policy, the frame log ([`FrameReport::signals`]) and any
+/// downstream consumer (energy ablation, learned-gate training data).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UncertaintySignals {
+    /// Particle-cloud positional spread (1σ radius, metres) before the
+    /// motion prediction — the original gate signal.
+    pub spread: f64,
+    /// Effective sample size as a fraction of the particle count, in
+    /// (0, 1] (scale-free, so thresholds survive population changes).
+    pub ess_fraction: f64,
+    /// Likelihood innovation: the previous frame's mean log-likelihood
+    /// minus its running EWMA (0 until two frames have been weighed).
+    /// Negative values mean the map matched *worse* than the recent
+    /// trend — the "collapsed but biased" symptom spread alone cannot
+    /// see.
+    pub innovation: f64,
+    /// Previous frame's VO total predictive variance (`None` before the
+    /// first VO prediction, or when no [`VoStage`] rides the pipeline).
+    pub vo_variance: Option<f64>,
+}
+
+impl UncertaintySignals {
+    /// A spread-only bus (the other signals at their neutral values) —
+    /// handy for tests and for driving spread-thresholded policies
+    /// directly.
+    pub fn from_spread(spread: f64) -> Self {
+        Self {
+            spread,
+            ess_fraction: 1.0,
+            innovation: 0.0,
+            vo_variance: None,
+        }
+    }
+}
+
 /// Everything a gate sees before a frame is weighed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GateContext {
     /// 0-based index of the upcoming frame.
     pub frame: usize,
-    /// Particle-cloud positional spread (1σ radius, metres) *before* the
-    /// motion prediction — the uncertainty signal.
-    pub spread: f64,
-    /// Effective sample size of the current weights.
-    pub ess: f64,
+    /// The uncertainty bus for this frame.
+    pub signals: UncertaintySignals,
     /// Slot that served the previous frame (the gate's start slot on
     /// frame 0).
     pub current: usize,
@@ -242,9 +281,9 @@ impl GatePolicy for HysteresisGate {
         }
         self.since_switch = self.since_switch.saturating_add(1);
         if self.since_switch >= self.config.dwell {
-            let target = if ctx.spread <= self.config.analog_enter {
+            let target = if ctx.signals.spread <= self.config.analog_enter {
                 ANALOG_SLOT
-            } else if ctx.spread >= self.config.digital_enter {
+            } else if ctx.signals.spread >= self.config.digital_enter {
                 DIGITAL_SLOT
             } else {
                 self.current
@@ -266,6 +305,81 @@ impl GatePolicy for HysteresisGate {
     }
 }
 
+/// Schedule of the [`PeriodicRefresh`] gate: a repeating cycle of
+/// `refresh_len` digital frames followed by `period` analog frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeriodicRefreshConfig {
+    /// Analog frames between digital wake-ups (≥ 1).
+    pub period: usize,
+    /// Consecutive digital frames per wake-up (≥ 1).
+    pub refresh_len: usize,
+}
+
+impl Default for PeriodicRefreshConfig {
+    fn default() -> Self {
+        Self {
+            period: 8,
+            refresh_len: 2,
+        }
+    }
+}
+
+/// The uncertainty-blind duty-cycle baseline: wake the accurate digital
+/// slot for `refresh_len` frames every `period` analog frames, starting
+/// digital (the cloud is wide at startup), regardless of what the bus
+/// says. The third baseline of the gating ablation — it shows how much
+/// of the gated savings come from *reacting* to uncertainty rather than
+/// from merely rationing digital frames on a timer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeriodicRefresh {
+    config: PeriodicRefreshConfig,
+}
+
+impl PeriodicRefresh {
+    /// Validates the schedule and builds the gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] when either the period or
+    /// the refresh length is zero.
+    pub fn new(config: PeriodicRefreshConfig) -> Result<Self> {
+        if config.period == 0 || config.refresh_len == 0 {
+            return Err(CoreError::InvalidArgument(format!(
+                "periodic refresh needs period >= 1 and refresh_len >= 1 (got {} / {})",
+                config.period, config.refresh_len
+            )));
+        }
+        Ok(Self { config })
+    }
+
+    /// The gate's schedule.
+    pub fn config(&self) -> &PeriodicRefreshConfig {
+        &self.config
+    }
+
+    /// Length of one digital+analog duty cycle, in frames.
+    pub fn cycle_len(&self) -> usize {
+        self.config.period + self.config.refresh_len
+    }
+}
+
+impl GatePolicy for PeriodicRefresh {
+    fn name(&self) -> &str {
+        "periodic-refresh"
+    }
+
+    /// Selection is a pure function of the frame index, so the policy is
+    /// stateless and trivially deterministic: frames `0..refresh_len` of
+    /// every cycle are digital, the remaining `period` frames analog.
+    fn select(&mut self, ctx: &GateContext) -> usize {
+        if ctx.frame % self.cycle_len() < self.config.refresh_len {
+            DIGITAL_SLOT
+        } else {
+            ANALOG_SLOT
+        }
+    }
+}
+
 /// Built-in gate policies, selected through [`GateConfig`] the same way
 /// backends are selected by name — no serde, plain builder calls.
 #[derive(Debug, Clone, PartialEq)]
@@ -274,6 +388,8 @@ pub enum GateKind {
     Always(usize),
     /// Spread-thresholded digital↔analog arbitration with hysteresis.
     Hysteresis(HysteresisConfig),
+    /// Uncertainty-blind timer: wake digital every N analog frames.
+    Periodic(PeriodicRefreshConfig),
 }
 
 /// The `gate` section of [`LocalizerConfig`]: which backend slots the
@@ -342,6 +458,19 @@ impl GateConfig {
         self
     }
 
+    /// Timer-gated `digital` ↔ `analog` duty cycling — the
+    /// uncertainty-blind [`PeriodicRefresh`] baseline.
+    pub fn periodic(
+        digital: impl Into<String>,
+        analog: impl Into<String>,
+        config: PeriodicRefreshConfig,
+    ) -> Self {
+        Self {
+            backends: vec![digital.into(), analog.into()],
+            policy: GateKind::Periodic(config),
+        }
+    }
+
     /// Registry names the pipeline will instantiate, resolving the
     /// empty-slot default against the localizer's single backend name.
     pub fn slot_names<'a>(&'a self, fallback: &'a str) -> Vec<&'a str> {
@@ -386,13 +515,23 @@ impl GateConfig {
                 }
                 Ok(Box::new(HysteresisGate::new(*config)?))
             }
+            GateKind::Periodic(config) => {
+                if num_slots < 2 {
+                    return Err(CoreError::InvalidArgument(
+                        "periodic refresh requires a digital and an analog backend slot".into(),
+                    ));
+                }
+                Ok(Box::new(PeriodicRefresh::new(*config)?))
+            }
         }
     }
 }
 
-/// Fig. 2(i)-style pricing of per-frame map evaluations: analog frames
+/// Fig. 2(i)-style pricing of per-frame map evaluations — analog frames
 /// cost measured array current × DAC/ADC conversions, digital frames the
-/// per-component GMM datapath energy.
+/// per-component GMM datapath energy — plus the Section III-D SRAM-macro
+/// profile pricing the VO stage's per-frame MC-Dropout passes, so a
+/// [`FrameReport`] carries the *joint* map+VO energy of the frame.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnergyPricing {
     /// Analog CIM cost profile.
@@ -401,6 +540,8 @@ pub struct EnergyPricing {
     pub digital: DigitalProfile,
     /// Digital operand width in bits.
     pub digital_bits: u32,
+    /// SRAM MC-Dropout macro profile (the VO inference path).
+    pub sram: SramCimProfile,
 }
 
 impl Default for EnergyPricing {
@@ -409,6 +550,7 @@ impl Default for EnergyPricing {
             analog: AnalogCimProfile::paper_45nm(),
             digital: DigitalProfile::paper_calibrated_gmm_asic(),
             digital_bits: 8,
+            sram: SramCimProfile::paper_16nm(),
         }
     }
 }
@@ -442,19 +584,60 @@ impl EnergyPricing {
         };
         Ok(per_eval * delta.evaluations as f64)
     }
+
+    /// Energy of one frame's VO MC-Dropout passes in pJ, from that
+    /// frame's [`MacroStats`] delta: executed MACs at the weight
+    /// precision, partial-sum ADC conversions at the macro resolution,
+    /// plus any silicon-RNG dropout bits drawn.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profile validation (zero precision).
+    pub fn vo_frame_pj(
+        &self,
+        delta: &MacroStats,
+        rng_bits: u64,
+        weight_bits: u32,
+        adc_bits: u32,
+    ) -> Result<f64> {
+        if delta.macs_executed == 0 && delta.adc_conversions == 0 && rng_bits == 0 {
+            return Ok(0.0);
+        }
+        Ok(self.sram.inference_pj(
+            delta.macs_executed,
+            delta.adc_conversions,
+            adc_bits,
+            rng_bits,
+            weight_bits,
+        )?)
+    }
 }
 
-/// Everything one streamed frame produced: the gate's decision and
-/// input, the filter summary, and the frame's evaluation/energy
-/// accounting.
+/// Per-frame record of the VO stage riding the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoFrameReport {
+    /// MC-Dropout passes the depth policy granted this frame.
+    pub iterations: usize,
+    /// This frame's fresh total predictive variance (it enters the bus
+    /// as [`UncertaintySignals::vo_variance`] on the *next* frame).
+    pub variance: f64,
+    /// VO inference energy this frame, in pJ.
+    pub energy_pj: f64,
+}
+
+/// Everything one streamed frame produced: the gate's decision and the
+/// full uncertainty bus it saw, the filter summary, and the frame's
+/// evaluation/energy accounting on both compute axes (map substrate and
+/// VO MC depth).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FrameReport {
     /// 0-based frame index (the first tracked frame is dataset frame 1).
     pub frame: usize,
     /// Backend slot the gate chose for this frame.
     pub slot: usize,
-    /// Gate input: the particle spread *before* this frame's prediction.
-    pub gate_spread: f64,
+    /// The uncertainty bus sampled *before* this frame's prediction —
+    /// exactly what the gate saw.
+    pub signals: UncertaintySignals,
     /// Filter summary after the update (estimate, error, post spread,
     /// ESS).
     pub summary: StepSummary,
@@ -463,7 +646,22 @@ pub struct FrameReport {
     /// Map point evaluations served this frame.
     pub evaluations: u64,
     /// Map-evaluation energy this frame, in pJ.
-    pub energy_pj: f64,
+    pub map_energy_pj: f64,
+    /// VO stage record (`None` when no [`VoStage`] rides the pipeline).
+    pub vo: Option<VoFrameReport>,
+}
+
+impl FrameReport {
+    /// Gate input: the particle spread before this frame's prediction
+    /// (convenience over [`Self::signals`]).
+    pub fn gate_spread(&self) -> f64 {
+        self.signals.spread
+    }
+
+    /// Joint map+VO energy this frame, in pJ.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.map_energy_pj + self.vo.map_or(0.0, |v| v.energy_pj)
+    }
 }
 
 /// Outcome of a gated pipeline run.
@@ -473,6 +671,8 @@ pub struct PipelineRun {
     pub backends: Vec<String>,
     /// Gate policy name.
     pub gate: String,
+    /// MC-depth policy name of the VO stage (`None` without one).
+    pub vo_policy: Option<String>,
     /// Per-frame reports, in stream order.
     pub frames: Vec<FrameReport>,
     /// Cumulative per-slot backend stats at the end of the run.
@@ -523,9 +723,42 @@ impl PipelineRun {
         analog as f64 / self.frames.len() as f64
     }
 
-    /// Total map-evaluation energy of the run, in pJ.
+    /// Total joint map+VO energy of the run, in pJ (equals the map
+    /// energy when no VO stage rode along).
     pub fn total_energy_pj(&self) -> f64 {
-        self.frames.iter().map(|f| f.energy_pj).sum()
+        self.frames.iter().map(FrameReport::total_energy_pj).sum()
+    }
+
+    /// Total map-evaluation energy of the run, in pJ.
+    pub fn total_map_energy_pj(&self) -> f64 {
+        self.frames.iter().map(|f| f.map_energy_pj).sum()
+    }
+
+    /// Total VO inference energy of the run, in pJ (0 without a VO
+    /// stage).
+    pub fn total_vo_energy_pj(&self) -> f64 {
+        self.frames
+            .iter()
+            .filter_map(|f| f.vo.map(|v| v.energy_pj))
+            .sum()
+    }
+
+    /// Mean MC-Dropout depth over the frames a VO stage served (0
+    /// without one).
+    pub fn mean_mc_iterations(&self) -> f64 {
+        let mut frames = 0usize;
+        let mut total = 0usize;
+        for f in &self.frames {
+            if let Some(vo) = f.vo {
+                frames += 1;
+                total += vo.iterations;
+            }
+        }
+        if frames == 0 {
+            0.0
+        } else {
+            total as f64 / frames as f64
+        }
     }
 
     /// Total map point evaluations of the run.
@@ -550,7 +783,7 @@ impl PipelineRun {
     }
 
     /// Markdown summary: one row per slot with frame share, evaluations
-    /// and energy.
+    /// and map energy.
     pub fn summary_table(&self) -> Table {
         let mut table = Table::new(vec![
             "slot",
@@ -558,7 +791,7 @@ impl PipelineRun {
             "frames",
             "share",
             "point evals",
-            "energy (pJ)",
+            "map energy (pJ)",
         ]);
         for (slot, name) in self.backends.iter().enumerate() {
             let frames = self.frames_on(slot);
@@ -572,7 +805,7 @@ impl PipelineRun {
                 .frames
                 .iter()
                 .filter(|f| f.slot == slot)
-                .map(|f| f.energy_pj)
+                .map(|f| f.map_energy_pj)
                 .sum();
             table.row(vec![
                 format!("{slot}"),
@@ -584,6 +817,217 @@ impl PipelineRun {
             ]);
         }
         table
+    }
+
+    /// The run's frame log as CSV — one row per [`FrameReport`] carrying
+    /// every uncertainty-bus column next to the decision and energy
+    /// columns. This is the training-data path for learned gates: each
+    /// row pairs what the gate *saw* (`spread`, `ess_fraction`,
+    /// `innovation`, `bus_vo_variance`) with what it *did* (`slot`,
+    /// `mc_iterations`) and what it *cost* (error and pJ columns).
+    ///
+    /// Floats render with Rust's shortest round-trip formatting, so the
+    /// log is lossless; optional columns are empty when absent.
+    pub fn to_csv(&self) -> Csv {
+        let opt = |v: Option<f64>| v.map(|x| format!("{x}")).unwrap_or_default();
+        let mut csv = Csv::new(vec![
+            "frame",
+            "slot",
+            "backend",
+            "gate",
+            "spread",
+            "ess_fraction",
+            "innovation",
+            "bus_vo_variance",
+            "error_m",
+            "post_spread",
+            "post_ess",
+            "evaluations",
+            "map_energy_pj",
+            "mc_iterations",
+            "vo_variance",
+            "vo_energy_pj",
+            "total_energy_pj",
+        ]);
+        for f in &self.frames {
+            csv.row(vec![
+                format!("{}", f.frame),
+                format!("{}", f.slot),
+                self.backends
+                    .get(f.slot)
+                    .cloned()
+                    .unwrap_or_else(|| format!("slot{}", f.slot)),
+                self.gate.clone(),
+                format!("{}", f.signals.spread),
+                format!("{}", f.signals.ess_fraction),
+                format!("{}", f.signals.innovation),
+                opt(f.signals.vo_variance),
+                format!("{}", f.summary.error),
+                format!("{}", f.summary.spread),
+                format!("{}", f.summary.ess),
+                format!("{}", f.evaluations),
+                format!("{}", f.map_energy_pj),
+                f.vo.map(|v| format!("{}", v.iterations))
+                    .unwrap_or_default(),
+                opt(f.vo.map(|v| v.variance)),
+                opt(f.vo.map(|v| v.energy_pj)),
+                format!("{}", f.total_energy_pj()),
+            ]);
+        }
+        csv
+    }
+}
+
+/// The Section III MC-Dropout VO head riding along the localization
+/// stream — the pipeline's *second* gated compute axis.
+///
+/// Per frame it extracts grid features from the previous/current depth
+/// pair (the same representation the VO regressor trains on), asks its
+/// [`AdaptiveMcPolicy`] for this frame's MC-Dropout depth — driven by
+/// the *previous* frame's predictive variance, the paper Section III
+/// knob — runs the quantized MC prediction on the modeled SRAM macro and
+/// prices the executed passes. Its fresh variance feeds the next frame's
+/// [`UncertaintySignals::vo_variance`].
+///
+/// The stage is a pure observer of the localization side: it has its own
+/// RNG/mask source and never touches the particle filter, so attaching
+/// it leaves the map-side stream (gate decisions, estimates, errors,
+/// map energy) bit-identical.
+pub struct VoStage {
+    vo: BayesianVo,
+    policy: AdaptiveMcPolicy,
+    grid_width: usize,
+    grid_height: usize,
+    prev_grid: Vec<f64>,
+    curr_grid: Vec<f64>,
+    features: Vec<f64>,
+    pred: McPrediction,
+    last_variance: Option<f64>,
+    prev_stats: MacroStats,
+    prev_silicon_bits: u64,
+}
+
+impl fmt::Debug for VoStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VoStage")
+            .field("policy", &self.policy.name())
+            .field("grid", &(self.grid_width, self.grid_height))
+            .field("last_variance", &self.last_variance)
+            .finish_non_exhaustive()
+    }
+}
+
+impl VoStage {
+    /// Builds the stage around a quantized VO engine and a depth policy.
+    /// `first_frame` seeds the previous-frame grid (the VO features need
+    /// a frame pair), and the feature layout must match the engine:
+    /// `3 · grid_width · grid_height` inputs (prev grid, current grid,
+    /// difference — see `navicim_scene::dataset::make_samples`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] for zero grid dimensions or
+    /// a feature/input dimension mismatch.
+    pub fn new(
+        vo: BayesianVo,
+        policy: AdaptiveMcPolicy,
+        camera: &DepthCamera,
+        first_frame: &DepthImage,
+        grid_width: usize,
+        grid_height: usize,
+    ) -> Result<Self> {
+        if grid_width == 0 || grid_height == 0 {
+            return Err(CoreError::InvalidArgument(
+                "vo stage grid dimensions must be positive".into(),
+            ));
+        }
+        let feature_dim = 3 * grid_width * grid_height;
+        if vo.qnet().in_dim() != feature_dim {
+            return Err(CoreError::InvalidArgument(format!(
+                "vo stage features are {feature_dim}-dimensional (3 x {grid_width} x \
+                 {grid_height}) but the network expects {} inputs",
+                vo.qnet().in_dim()
+            )));
+        }
+        let mut prev_grid = Vec::new();
+        first_frame.grid_means_into(grid_width, grid_height, &mut prev_grid);
+        for g in &mut prev_grid {
+            *g /= camera.max_range;
+        }
+        let prev_stats = vo.macro_stats();
+        let prev_silicon_bits = vo.silicon_bits().unwrap_or(0);
+        Ok(Self {
+            vo,
+            policy,
+            grid_width,
+            grid_height,
+            prev_grid,
+            curr_grid: Vec::new(),
+            features: Vec::new(),
+            pred: McPrediction::default(),
+            last_variance: None,
+            prev_stats,
+            prev_silicon_bits,
+        })
+    }
+
+    /// The most recent prediction's total variance (`None` before the
+    /// first frame) — the value the bus reports as `vo_variance`.
+    pub fn last_variance(&self) -> Option<f64> {
+        self.last_variance
+    }
+
+    /// The depth policy (current thresholds, change count).
+    pub fn policy(&self) -> &AdaptiveMcPolicy {
+        &self.policy
+    }
+
+    /// The underlying VO engine (macro stats, configuration).
+    pub fn vo(&self) -> &BayesianVo {
+        &self.vo
+    }
+
+    /// One per-frame VO step: features from the stored previous grid and
+    /// `depth`, depth-policy decision, MC prediction, energy pricing.
+    fn step(
+        &mut self,
+        depth: &DepthImage,
+        camera: &DepthCamera,
+        pricing: &EnergyPricing,
+    ) -> Result<VoFrameReport> {
+        depth.grid_means_into(self.grid_width, self.grid_height, &mut self.curr_grid);
+        for g in &mut self.curr_grid {
+            *g /= camera.max_range;
+        }
+        self.features.clear();
+        self.features.extend_from_slice(&self.prev_grid);
+        self.features.extend_from_slice(&self.curr_grid);
+        for (c, p) in self.curr_grid.iter().zip(&self.prev_grid) {
+            self.features.push(c - p);
+        }
+        let iterations = self.policy.next_iterations(self.last_variance);
+        self.vo
+            .predict_n_into(&self.features, iterations, &mut self.pred);
+        let variance = self.pred.total_variance();
+        self.last_variance = Some(variance);
+        std::mem::swap(&mut self.prev_grid, &mut self.curr_grid);
+        let stats = self.vo.macro_stats();
+        let delta = stats.delta_since(&self.prev_stats);
+        self.prev_stats = stats;
+        let bits = self.vo.silicon_bits().unwrap_or(0);
+        let rng_bits = bits.saturating_sub(self.prev_silicon_bits);
+        self.prev_silicon_bits = bits;
+        let energy_pj = pricing.vo_frame_pj(
+            &delta,
+            rng_bits,
+            self.vo.config().weight_bits,
+            self.vo.config().adc_bits,
+        )?;
+        Ok(VoFrameReport {
+            iterations,
+            variance,
+            energy_pj,
+        })
     }
 }
 
@@ -600,6 +1044,8 @@ pub struct LocalizationPipeline {
     rng: Pcg32,
     scratch: ScanScratch,
     prev_stats: Vec<BackendStats>,
+    innovation: InnovationTracker,
+    vo: Option<VoStage>,
     frame: usize,
     current: usize,
 }
@@ -723,6 +1169,8 @@ impl LocalizationPipeline {
             rng,
             scratch: ScanScratch::default(),
             prev_stats,
+            innovation: InnovationTracker::default(),
+            vo: None,
             frame: 0,
             current: 0,
         })
@@ -732,6 +1180,20 @@ impl LocalizationPipeline {
     pub fn with_pricing(mut self, pricing: EnergyPricing) -> Self {
         self.pricing = pricing;
         self
+    }
+
+    /// Attaches a [`VoStage`] (builder style): per-frame MC-Dropout VO
+    /// with compute-adaptive depth, priced into the frame reports. The
+    /// stage is a pure observer — the map-side stream is bit-identical
+    /// with or without it.
+    pub fn with_vo(mut self, stage: VoStage) -> Self {
+        self.vo = Some(stage);
+        self
+    }
+
+    /// The attached VO stage, if any.
+    pub fn vo_stage(&self) -> Option<&VoStage> {
+        self.vo.as_ref()
     }
 
     /// Backend names, by slot.
@@ -768,20 +1230,31 @@ impl LocalizationPipeline {
         self.pf.spread(|p| p.translation.to_array())
     }
 
-    /// Streams one frame: reads the cloud spread, lets the gate pick a
-    /// slot, runs the predict/weigh/resample step on that backend and
-    /// prices the frame's evaluations.
+    /// The uncertainty bus as it stands right now — the signals the gate
+    /// will see on the next [`Self::step`] call.
+    pub fn signals(&self) -> UncertaintySignals {
+        UncertaintySignals {
+            spread: self.pf.spread(|p| p.translation.to_array()),
+            ess_fraction: self.pf.ess_fraction(),
+            innovation: self.innovation.last_innovation(),
+            vo_variance: self.vo.as_ref().and_then(VoStage::last_variance),
+        }
+    }
+
+    /// Streams one frame: samples the uncertainty bus, lets the gate
+    /// pick a slot, runs the predict/weigh/resample step on that
+    /// backend, steps the VO stage (when attached) at its
+    /// policy-selected MC depth and prices both compute axes.
     ///
     /// # Errors
     ///
     /// Propagates filter degeneracy and pricing errors; rejects gates
     /// that select an out-of-range slot.
     pub fn step(&mut self, control: &Pose, depth: &DepthImage, truth: Pose) -> Result<FrameReport> {
-        let gate_spread = self.pf.spread(|p| p.translation.to_array());
+        let signals = self.signals();
         let ctx = GateContext {
             frame: self.frame,
-            spread: gate_spread,
-            ess: self.pf.particles().ess(),
+            signals,
             current: self.current,
             num_backends: self.backends.len(),
         };
@@ -815,6 +1288,11 @@ impl LocalizationPipeline {
             spread: position_spread(self.pf.particles()),
             ess: self.pf.particles().ess(),
         };
+        // Fold this frame's mean log-likelihood into the innovation EWMA
+        // so the *next* frame's bus carries the delta.
+        if let Some(mean_ll) = self.pf.last_mean_log_likelihood() {
+            self.innovation.observe(mean_ll);
+        }
         let stats = self.backends[slot].stats();
         let delta = stats.delta_since(&self.prev_stats[slot]);
         self.prev_stats[slot] = stats;
@@ -825,21 +1303,26 @@ impl LocalizationPipeline {
         let frame = self.frame;
         self.frame += 1;
         self.current = slot;
-        let energy_pj = self.pricing.frame_pj(
+        let map_energy_pj = self.pricing.frame_pj(
             &delta,
             self.backends[slot].components(),
             self.backends[slot].dim(),
             self.config.cim.dac_bits,
             self.config.cim.adc_bits,
         )?;
+        let vo = match self.vo.as_mut() {
+            Some(stage) => Some(stage.step(depth, &self.camera, &self.pricing)?),
+            None => None,
+        };
         Ok(FrameReport {
             frame,
             slot,
-            gate_spread,
+            signals,
             summary,
             truth,
             evaluations: delta.evaluations,
-            energy_pj,
+            map_energy_pj,
+            vo,
         })
     }
 
@@ -859,6 +1342,7 @@ impl LocalizationPipeline {
         Ok(PipelineRun {
             backends: self.names.clone(),
             gate: self.gate.name().to_string(),
+            vo_policy: self.vo.as_ref().map(|s| s.policy.name()),
             frames,
             stats: self.backends.iter().map(|b| b.stats()).collect(),
         })
@@ -897,8 +1381,7 @@ mod tests {
     fn ctx(frame: usize, spread: f64, current: usize) -> GateContext {
         GateContext {
             frame,
-            spread,
-            ess: 100.0,
+            signals: UncertaintySignals::from_spread(spread),
             current,
             num_backends: 2,
         }
@@ -1038,12 +1521,22 @@ mod tests {
         assert_eq!(run.frames[0].slot, DIGITAL_SLOT);
         assert!(run.frames_on(ANALOG_SLOT) > 0, "{:?}", run.frames);
         assert!(run.analog_fraction() > 0.0);
-        // Every frame carries evaluations and positive energy.
+        // Every frame carries evaluations, positive energy and a fully
+        // populated uncertainty bus.
         for f in &run.frames {
             assert!(f.evaluations > 0, "frame {} had no evaluations", f.frame);
-            assert!(f.energy_pj > 0.0);
-            assert!(f.gate_spread.is_finite());
+            assert!(f.map_energy_pj > 0.0);
+            assert_eq!(f.total_energy_pj(), f.map_energy_pj, "no VO stage");
+            assert!(f.gate_spread().is_finite());
+            assert!(f.signals.ess_fraction > 0.0 && f.signals.ess_fraction <= 1.0);
+            assert!(f.signals.innovation.is_finite());
+            assert_eq!(f.signals.vo_variance, None);
         }
+        // The innovation signal goes live once two frames have been
+        // weighed (the first two frames have no EWMA delta yet).
+        assert_eq!(run.frames[0].signals.innovation, 0.0);
+        assert!(run.frames[2..].iter().any(|f| f.signals.innovation != 0.0));
+        assert_eq!(run.vo_policy, None);
         // Slot stats separate digital from analog counters.
         assert!(!run.stats[DIGITAL_SLOT].is_analog());
         assert!(run.stats[ANALOG_SLOT].is_analog());
@@ -1087,6 +1580,233 @@ mod tests {
     }
 
     #[test]
+    fn periodic_refresh_follows_its_schedule() {
+        let mut gate = PeriodicRefresh::new(PeriodicRefreshConfig {
+            period: 3,
+            refresh_len: 2,
+        })
+        .unwrap();
+        assert_eq!(gate.name(), "periodic-refresh");
+        assert_eq!(gate.cycle_len(), 5);
+        // Two digital frames, three analog frames, repeating — dwell-style
+        // check: runs of each slot have exactly the configured length.
+        let slots: Vec<usize> = (0..12).map(|f| gate.select(&ctx(f, 0.5, 0))).collect();
+        assert_eq!(slots, vec![0, 0, 1, 1, 1, 0, 0, 1, 1, 1, 0, 0]);
+        // The schedule ignores the uncertainty bus entirely.
+        let blind: Vec<usize> = (0..12).map(|f| gate.select(&ctx(f, 1e9, 1))).collect();
+        assert_eq!(slots, blind);
+    }
+
+    #[test]
+    fn periodic_refresh_validation() {
+        assert!(PeriodicRefresh::new(PeriodicRefreshConfig {
+            period: 0,
+            refresh_len: 1,
+        })
+        .is_err());
+        assert!(PeriodicRefresh::new(PeriodicRefreshConfig {
+            period: 1,
+            refresh_len: 0,
+        })
+        .is_err());
+        assert!(PeriodicRefresh::new(PeriodicRefreshConfig::default()).is_ok());
+        // Needs two slots, like the hysteresis gate.
+        let config = GateConfig {
+            backends: vec![DIGITAL_GMM.into()],
+            policy: GateKind::Periodic(PeriodicRefreshConfig::default()),
+        };
+        assert!(config.build_policy(1).is_err());
+        assert!(
+            GateConfig::periodic(DIGITAL_GMM, CIM_HMGM, PeriodicRefreshConfig::default())
+                .build_policy(2)
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn periodic_refresh_pipeline_serves_both_slots() {
+        let ds = small_dataset();
+        let config = small_config(GateConfig::periodic(
+            DIGITAL_GMM,
+            CIM_HMGM,
+            PeriodicRefreshConfig {
+                period: 2,
+                refresh_len: 1,
+            },
+        ));
+        let run = LocalizationPipeline::build(&ds, config)
+            .unwrap()
+            .run(&ds)
+            .unwrap();
+        assert_eq!(run.gate, "periodic-refresh");
+        // 9 tracked frames with a 1+2 cycle: 3 digital, 6 analog.
+        assert_eq!(run.frames_on(DIGITAL_SLOT), 3);
+        assert_eq!(run.frames_on(ANALOG_SLOT), 6);
+        assert_eq!(run.frames[0].slot, DIGITAL_SLOT);
+    }
+
+    fn vo_stage_for(
+        ds: &LocalizationDataset,
+        policy: crate::vo::AdaptiveMcPolicy,
+        grid: (usize, usize),
+    ) -> VoStage {
+        use crate::vo::{BayesianVo, VoPipelineConfig};
+        use navicim_scene::dataset::make_samples;
+        // An untrained regressor suffices for plumbing tests: dropout
+        // still produces nonzero predictive variance.
+        let mut rng = Pcg32::seed_from_u64(40);
+        let in_dim = 3 * grid.0 * grid.1;
+        let net = navicim_nn::mlp::Mlp::builder(in_dim)
+            .dense(16)
+            .relu()
+            .dropout(0.5)
+            .dense(6)
+            .build(&mut rng)
+            .unwrap();
+        let samples = make_samples(&ds.frames, &ds.camera, grid.0, grid.1);
+        let calib: Vec<Vec<f64>> = samples.iter().take(4).map(|s| s.features.clone()).collect();
+        let vo = BayesianVo::build(
+            &net,
+            &calib,
+            VoPipelineConfig {
+                mc_iterations: 12,
+                ..VoPipelineConfig::default()
+            },
+        )
+        .unwrap();
+        VoStage::new(vo, policy, &ds.camera, &ds.frames[0].depth, grid.0, grid.1).unwrap()
+    }
+
+    #[test]
+    fn vo_stage_reports_and_leaves_map_side_bit_identical() {
+        use crate::vo::{AdaptiveMcConfig, AdaptiveMcPolicy};
+        let ds = small_dataset();
+        let config = || small_config(GateConfig::gated(DIGITAL_GMM, CIM_HMGM));
+        let bare = LocalizationPipeline::build(&ds, config())
+            .unwrap()
+            .run(&ds)
+            .unwrap();
+        let policy = AdaptiveMcPolicy::new(AdaptiveMcConfig {
+            min_iterations: 4,
+            max_iterations: 12,
+            var_low: 1e-6,
+            var_high: 1e9,
+            dwell: 1,
+        })
+        .unwrap();
+        let stage = vo_stage_for(&ds, policy, (4, 3));
+        let run = LocalizationPipeline::build(&ds, config())
+            .unwrap()
+            .with_vo(stage)
+            .run(&ds)
+            .unwrap();
+        assert_eq!(run.vo_policy.as_deref(), Some("adaptive-mc[4..12]"));
+        // The VO stage is a pure observer: the map side is bit-identical.
+        assert_eq!(run.stats, bare.stats);
+        for (with_vo, without) in run.frames.iter().zip(&bare.frames) {
+            assert_eq!(with_vo.slot, without.slot);
+            assert_eq!(with_vo.summary, without.summary);
+            assert_eq!(with_vo.map_energy_pj, without.map_energy_pj);
+            assert_eq!(with_vo.signals.spread, without.signals.spread);
+        }
+        // Every frame carries a VO record with bounded depth and energy;
+        // the first frame runs at max depth (no variance history).
+        let first = run.frames[0].vo.unwrap();
+        assert_eq!(first.iterations, 12);
+        assert_eq!(run.frames[0].signals.vo_variance, None);
+        for f in &run.frames {
+            let vo = f.vo.expect("stage attached");
+            assert!((4..=12).contains(&vo.iterations));
+            assert!(vo.variance > 0.0);
+            assert!(vo.energy_pj > 0.0);
+            assert!(f.total_energy_pj() > f.map_energy_pj);
+        }
+        // From frame 1 on, the bus carries the previous frame's fresh
+        // variance.
+        for w in run.frames.windows(2) {
+            assert_eq!(w[1].signals.vo_variance, Some(w[0].vo.unwrap().variance));
+        }
+        assert!(run.total_vo_energy_pj() > 0.0);
+        assert!(
+            (run.total_energy_pj() - run.total_map_energy_pj() - run.total_vo_energy_pj()).abs()
+                < 1e-9
+        );
+        assert!(run.mean_mc_iterations() >= 4.0 && run.mean_mc_iterations() <= 12.0);
+    }
+
+    #[test]
+    fn vo_stage_rejects_mismatched_grid() {
+        use crate::vo::AdaptiveMcPolicy;
+        let ds = small_dataset();
+        // Stage helper builds a 4x3 net; a 5x3 grid must be rejected.
+        use crate::vo::VoPipelineConfig;
+        let mut rng = Pcg32::seed_from_u64(41);
+        let net = navicim_nn::mlp::Mlp::builder(36)
+            .dense(8)
+            .relu()
+            .dropout(0.5)
+            .dense(6)
+            .build(&mut rng)
+            .unwrap();
+        let calib = vec![vec![0.1; 36]; 2];
+        let vo = BayesianVo::build(&net, &calib, VoPipelineConfig::default()).unwrap();
+        let err = VoStage::new(
+            vo,
+            AdaptiveMcPolicy::fixed(8).unwrap(),
+            &ds.camera,
+            &ds.frames[0].depth,
+            5,
+            3,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("45"), "{err}");
+    }
+
+    #[test]
+    fn csv_log_carries_the_full_bus() {
+        use crate::vo::AdaptiveMcPolicy;
+        let ds = small_dataset();
+        let stage = vo_stage_for(&ds, AdaptiveMcPolicy::fixed(8).unwrap(), (4, 3));
+        let run = LocalizationPipeline::build(
+            &ds,
+            small_config(GateConfig::gated(DIGITAL_GMM, CIM_HMGM)),
+        )
+        .unwrap()
+        .with_vo(stage)
+        .run(&ds)
+        .unwrap();
+        let csv = run.to_csv();
+        assert_eq!(csv.len(), run.frames.len());
+        let text = csv.to_string();
+        let header = text.lines().next().unwrap();
+        for col in [
+            "spread",
+            "ess_fraction",
+            "innovation",
+            "bus_vo_variance",
+            "mc_iterations",
+            "vo_energy_pj",
+            "total_energy_pj",
+        ] {
+            assert!(header.contains(col), "missing column {col} in {header}");
+        }
+        // Frame 0: empty bus vo_variance cell, populated vo columns.
+        let row0: Vec<&str> = text.lines().nth(1).unwrap().split(',').collect();
+        assert_eq!(row0[0], "0");
+        assert_eq!(row0[7], "", "bus vo_variance empty on frame 0");
+        assert_eq!(row0[13], "8", "fixed depth logged");
+        // A no-VO run leaves the vo columns empty but keeps the header.
+        let bare = LocalizationPipeline::build(&ds, small_config(GateConfig::default()))
+            .unwrap()
+            .run(&ds)
+            .unwrap();
+        let bare_text = bare.to_csv().to_string();
+        let bare_row: Vec<&str> = bare_text.lines().nth(1).unwrap().split(',').collect();
+        assert_eq!(bare_row[13], "");
+        assert_eq!(bare_row[14], "");
+    }
+
+    #[test]
     fn pricing_rejects_invalid_profiles_and_prices_zero_for_idle_frames() {
         let pricing = EnergyPricing::default();
         let idle = BackendStats::default();
@@ -1102,5 +1822,17 @@ mod tests {
             ..EnergyPricing::default()
         };
         assert!(bad.frame_pj(&digital, 16, 3, 4, 4).is_err());
+
+        // VO pricing: idle frames are free, busy frames positive, zero
+        // weight precision rejected.
+        let idle_macro = MacroStats::default();
+        assert_eq!(pricing.vo_frame_pj(&idle_macro, 0, 4, 12).unwrap(), 0.0);
+        let busy = MacroStats {
+            macs_executed: 10_000,
+            adc_conversions: 500,
+            ..MacroStats::default()
+        };
+        assert!(pricing.vo_frame_pj(&busy, 100, 4, 12).unwrap() > 0.0);
+        assert!(pricing.vo_frame_pj(&busy, 100, 0, 12).is_err());
     }
 }

@@ -63,6 +63,75 @@ impl fmt::Display for Table {
     }
 }
 
+/// A minimal CSV document: a header plus data rows, with RFC-4180-style
+/// quoting for cells containing commas, quotes or line breaks. This is
+/// the machine-readable sibling of [`Table`] — the experiment binaries
+/// render both so frame logs can feed offline analysis (and, eventually,
+/// learned gate training) without a parser dependency.
+///
+/// ```
+/// use navicim_core::reportfmt::Csv;
+/// let mut c = Csv::new(vec!["frame", "note"]);
+/// c.row(vec!["1".into(), "a,b".into()]);
+/// assert_eq!(c.to_string(), "frame,note\n1,\"a,b\"\n");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csv {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    /// Creates a document with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (cells are padded/truncated to the header count).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the document has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+fn csv_cell(f: &mut fmt::Formatter<'_>, cell: &str) -> fmt::Result {
+    if cell.contains([',', '"', '\n', '\r']) {
+        write!(f, "\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        f.write_str(cell)
+    }
+}
+
+impl fmt::Display for Csv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for line in std::iter::once(&self.headers).chain(&self.rows) {
+            for (i, cell) in line.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                csv_cell(f, cell)?;
+            }
+            f.write_str("\n")?;
+        }
+        Ok(())
+    }
+}
+
 /// Formats a fraction as a percentage with one decimal (`0.5` → `50.0%`).
 pub fn fmt_pct(fraction: f64) -> String {
     format!("{:.1}%", fraction * 100.0)
@@ -105,6 +174,25 @@ mod tests {
         let mut t = Table::new(vec!["a", "b", "c"]);
         t.row(vec!["x".into()]);
         assert!(t.to_string().contains("| x |  |  |"));
+    }
+
+    #[test]
+    fn csv_renders_and_escapes() {
+        let mut c = Csv::new(vec!["a", "b", "c"]);
+        c.row(vec!["1".into(), "plain".into(), "x,y".into()]);
+        c.row(vec!["2".into(), "say \"hi\"".into()]);
+        let s = c.to_string();
+        assert_eq!(s, "a,b,c\n1,plain,\"x,y\"\n2,\"say \"\"hi\"\"\",\n");
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert!(Csv::new(vec!["only"]).is_empty());
+    }
+
+    #[test]
+    fn csv_quotes_newlines() {
+        let mut c = Csv::new(vec!["v"]);
+        c.row(vec!["line1\nline2".into()]);
+        assert_eq!(c.to_string(), "v\n\"line1\nline2\"\n");
     }
 
     #[test]

@@ -234,12 +234,187 @@ pub struct VoRun {
     pub per_step_error: Vec<f64>,
     /// Per-step total predictive variance (uncertainty signal).
     pub per_step_variance: Vec<f64>,
+    /// Per-step MC-Dropout iteration counts (empty for the deterministic
+    /// and full-precision baselines, which draw no stochastic samples).
+    pub per_step_iterations: Vec<usize>,
     /// Trajectory error summary.
     pub trajectory: TrajectoryError,
     /// Macro operation counters accumulated over the run.
     pub macro_stats: MacroStats,
     /// Dropout bits drawn from the silicon RNG, when used.
     pub silicon_bits: Option<u64>,
+}
+
+impl VoRun {
+    /// Mean MC-Dropout depth over the run (0 when no stochastic passes
+    /// were drawn).
+    pub fn mean_iterations(&self) -> f64 {
+        if self.per_step_iterations.is_empty() {
+            return 0.0;
+        }
+        self.per_step_iterations.iter().sum::<usize>() as f64
+            / self.per_step_iterations.len() as f64
+    }
+}
+
+/// Thresholds of the [`AdaptiveMcPolicy`] — the paper Section III knob:
+/// MC-Dropout depth driven by predictive variance, mirroring the map
+/// gate's hysteresis-plus-dwell shape on the VO axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveMcConfig {
+    /// Depth floor (≥ 2: variance needs at least two samples).
+    pub min_iterations: usize,
+    /// Depth ceiling (≥ `min_iterations`); also the startup depth — a
+    /// fresh run is maximally uncertain, like the map gate starting
+    /// digital.
+    pub max_iterations: usize,
+    /// Previous-frame total predictive variance at or below which the
+    /// policy drops to `min_iterations` (confident: spend less compute).
+    pub var_low: f64,
+    /// Variance at or above which it returns to `max_iterations`
+    /// (uncertain: spend more). Must exceed `var_low`; between the two
+    /// the depth holds (hysteresis dead zone).
+    pub var_high: f64,
+    /// Minimum frames between depth changes (≥ 1), bounding oscillation
+    /// on noisy variance signals exactly like the map gate's dwell.
+    pub dwell: usize,
+}
+
+/// Per-frame MC-Dropout depth selection from the previous frame's
+/// predictive variance.
+///
+/// Stateful like [`crate::pipeline::GatePolicy`]: the first call returns
+/// `max_iterations` (no variance history yet), later calls apply the
+/// hysteresis band with the dwell lock. Depth decisions are a pure
+/// function of the observed variance sequence, so repeated runs are
+/// bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveMcPolicy {
+    config: AdaptiveMcConfig,
+    current: usize,
+    since_change: usize,
+    changes: u64,
+    started: bool,
+}
+
+impl AdaptiveMcPolicy {
+    /// Validates the thresholds and builds the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] unless
+    /// `2 <= min_iterations <= max_iterations`,
+    /// `0 <= var_low < var_high` (both finite) and `dwell >= 1`.
+    pub fn new(config: AdaptiveMcConfig) -> Result<Self> {
+        if config.min_iterations < 2 || config.max_iterations < config.min_iterations {
+            return Err(CoreError::InvalidArgument(format!(
+                "adaptive-mc iteration bounds must satisfy 2 <= min <= max (got {} / {})",
+                config.min_iterations, config.max_iterations
+            )));
+        }
+        if !(config.var_low >= 0.0)
+            || !(config.var_high > config.var_low)
+            || !config.var_high.is_finite()
+        {
+            return Err(CoreError::InvalidArgument(format!(
+                "adaptive-mc variance thresholds must satisfy 0 <= var_low < var_high \
+                 (got {} / {})",
+                config.var_low, config.var_high
+            )));
+        }
+        if config.dwell == 0 {
+            return Err(CoreError::InvalidArgument(
+                "adaptive-mc dwell must be at least 1 frame".into(),
+            ));
+        }
+        Ok(Self {
+            config,
+            current: config.max_iterations,
+            since_change: 0,
+            changes: 0,
+            started: false,
+        })
+    }
+
+    /// A depth policy pinned to `iterations` — the fixed-depth baseline
+    /// (the paper's constant 30) expressed in the same type, so fixed and
+    /// adaptive runs share one code path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] for fewer than 2 iterations.
+    pub fn fixed(iterations: usize) -> Result<Self> {
+        Self::new(AdaptiveMcConfig {
+            min_iterations: iterations,
+            max_iterations: iterations,
+            var_low: 0.0,
+            var_high: f64::MAX,
+            dwell: 1,
+        })
+    }
+
+    /// The policy's thresholds.
+    pub fn config(&self) -> &AdaptiveMcConfig {
+        &self.config
+    }
+
+    /// Whether the depth is pinned (`min_iterations == max_iterations`).
+    pub fn is_fixed(&self) -> bool {
+        self.config.min_iterations == self.config.max_iterations
+    }
+
+    /// Number of depth changes performed since construction/reset.
+    pub fn changes(&self) -> u64 {
+        self.changes
+    }
+
+    /// Policy name for reports.
+    pub fn name(&self) -> String {
+        if self.is_fixed() {
+            format!("fixed-mc{}", self.config.max_iterations)
+        } else {
+            format!(
+                "adaptive-mc[{}..{}]",
+                self.config.min_iterations, self.config.max_iterations
+            )
+        }
+    }
+
+    /// Chooses this frame's MC-Dropout iteration count from the previous
+    /// frame's total predictive variance (`None` on the first frame or
+    /// when no prediction has run yet). Non-finite variances hold the
+    /// current depth.
+    pub fn next_iterations(&mut self, prev_variance: Option<f64>) -> usize {
+        if !self.started {
+            self.started = true;
+            self.current = self.config.max_iterations;
+            self.since_change = 0;
+            return self.current;
+        }
+        self.since_change = self.since_change.saturating_add(1);
+        if self.since_change >= self.config.dwell {
+            let target = match prev_variance {
+                Some(v) if v.is_finite() && v <= self.config.var_low => self.config.min_iterations,
+                Some(v) if v.is_finite() && v >= self.config.var_high => self.config.max_iterations,
+                _ => self.current,
+            };
+            if target != self.current {
+                self.current = target;
+                self.since_change = 0;
+                self.changes += 1;
+            }
+        }
+        self.current
+    }
+
+    /// Resets internal state (depth, dwell counter, change count) for a
+    /// fresh run.
+    pub fn reset(&mut self) {
+        self.current = self.config.max_iterations;
+        self.since_change = 0;
+        self.changes = 0;
+        self.started = false;
+    }
 }
 
 /// The Section III pipeline: quantized MC-Dropout VO on the SRAM macro.
@@ -301,6 +476,13 @@ impl BayesianVo {
         self.backend.cim().stats()
     }
 
+    /// Dropout bits drawn so far from the silicon RNG (`None` for the
+    /// software PRNG source) — snapshot this around a prediction to
+    /// price the RNG term of a frame's inference energy.
+    pub fn silicon_bits(&self) -> Option<u64> {
+        self.masks.silicon_bits()
+    }
+
     /// Clears macro counters.
     pub fn reset_macro_stats(&mut self) {
         self.backend.cim_mut().reset_stats();
@@ -330,22 +512,44 @@ impl BayesianVo {
     /// greedy ordering's permutation. Arithmetic and RNG consumption are
     /// identical to [`Self::predict`].
     pub fn predict_into(&mut self, features: &[f64], pred: &mut McPrediction) {
-        let t = self.config.mc_iterations;
-        self.mask_sets.resize_with(t, Vec::new);
-        for set in &mut self.mask_sets {
+        self.predict_n_into(features, self.config.mc_iterations, pred);
+    }
+
+    /// Variable-depth pooled prediction: `iterations` overrides the
+    /// configured `mc_iterations` for this call — the compute-adaptive
+    /// knob an [`AdaptiveMcPolicy`] drives per frame. All scratch
+    /// (mask sets, flattened orderings, MC sample slots) is kept at its
+    /// lifetime high-water mark: shrinking the depth deallocates
+    /// nothing, growing allocates only past the widest call so far.
+    /// With `iterations == config.mc_iterations` this is bit-identical
+    /// to [`Self::predict_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for fewer than 2 iterations (the predictive variance needs
+    /// at least two samples).
+    pub fn predict_n_into(&mut self, features: &[f64], iterations: usize, pred: &mut McPrediction) {
+        assert!(iterations >= 2, "mc-dropout requires at least 2 iterations");
+        let t = iterations;
+        if self.mask_sets.len() < t {
+            self.mask_sets.resize_with(t, Vec::new);
+        }
+        for set in &mut self.mask_sets[..t] {
             self.qnet.sample_masks_into(self.masks.rng_mut(), set);
         }
         let order: Vec<usize> = if self.config.order_samples {
-            self.flat_masks.resize_with(t, Vec::new);
-            for (flat, set) in self.flat_masks.iter_mut().zip(&self.mask_sets) {
+            if self.flat_masks.len() < t {
+                self.flat_masks.resize_with(t, Vec::new);
+            }
+            for (flat, set) in self.flat_masks[..t].iter_mut().zip(&self.mask_sets[..t]) {
                 flatten_iteration_into(set, flat);
             }
-            greedy_order(&self.flat_masks).expect("mask sets are non-empty and uniform")
+            greedy_order(&self.flat_masks[..t]).expect("mask sets are non-empty and uniform")
         } else {
             (0..t).collect()
         };
         self.backend.reset();
-        pred.samples.resize_with(t, Vec::new);
+        pred.resize_samples(t);
         for (slot, &i) in pred.samples.iter_mut().zip(&order) {
             self.qnet.forward_with_masks_into(
                 &mut self.backend,
@@ -383,37 +587,58 @@ impl BayesianVo {
         y
     }
 
-    /// Runs MC-Dropout VO over a dataset, integrating the predicted mean
-    /// deltas into an absolute trajectory.
+    /// Runs MC-Dropout VO over a dataset at the configured fixed depth,
+    /// integrating the predicted mean deltas into an absolute trajectory.
+    ///
+    /// One code path serves both depth modes: this is
+    /// [`Self::run_trajectory_adaptive`] with a policy pinned at
+    /// `config.mc_iterations` (a pinned policy grants that depth on
+    /// every frame, so the runs are bit-identical — regression-tested).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] for datasets without
+    /// samples or a configured depth below 2.
+    pub fn run_trajectory(&mut self, dataset: &VoDataset) -> Result<VoRun> {
+        let mut pinned = AdaptiveMcPolicy::fixed(self.config.mc_iterations)?;
+        self.run_trajectory_adaptive(dataset, &mut pinned)
+    }
+
+    /// [`Self::run_trajectory`] with compute-adaptive depth: every
+    /// frame's MC-Dropout iteration count comes from `policy`, driven by
+    /// the *previous* frame's total predictive variance (the paper
+    /// Section III knob). With a pinned policy
+    /// ([`AdaptiveMcPolicy::fixed`] at `config.mc_iterations`) the run is
+    /// bit-identical to [`Self::run_trajectory`].
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidArgument`] for datasets without samples.
-    pub fn run_trajectory(&mut self, dataset: &VoDataset) -> Result<VoRun> {
+    pub fn run_trajectory_adaptive(
+        &mut self,
+        dataset: &VoDataset,
+        policy: &mut AdaptiveMcPolicy,
+    ) -> Result<VoRun> {
         if dataset.samples.is_empty() {
             return Err(CoreError::InvalidArgument(
                 "vo dataset has no frame pairs".into(),
             ));
         }
-        let mut deltas = Vec::with_capacity(dataset.samples.len());
-        let mut per_step_error = Vec::with_capacity(dataset.samples.len());
-        let mut per_step_variance = Vec::with_capacity(dataset.samples.len());
-        // One pooled prediction for the whole trajectory: per-frame MC
-        // samples land in reused buffers instead of fresh vectors.
+        let n = dataset.samples.len();
+        let mut deltas = Vec::with_capacity(n);
+        let mut per_step_error = Vec::with_capacity(n);
+        let mut per_step_variance = Vec::with_capacity(n);
+        let mut per_step_iterations = Vec::with_capacity(n);
         let mut pred = McPrediction::default();
+        let mut prev_variance = None;
         for sample in &dataset.samples {
-            self.predict_into(&sample.features, &mut pred);
-            let mut d = [0.0; 6];
-            d.copy_from_slice(&pred.mean);
-            for r in &mut d[3..6] {
-                *r /= ROT_TARGET_SCALE;
-            }
-            let err = ((d[0] - sample.target[0]).powi(2)
-                + (d[1] - sample.target[1]).powi(2)
-                + (d[2] - sample.target[2]).powi(2))
-            .sqrt();
+            let t = policy.next_iterations(prev_variance);
+            self.predict_n_into(&sample.features, t, &mut pred);
+            prev_variance = Some(pred.total_variance());
+            let (d, err) = delta_and_error(&pred.mean, &sample.target);
             per_step_error.push(err);
             per_step_variance.push(pred.total_variance());
+            per_step_iterations.push(t);
             deltas.push(d);
         }
         let estimates = integrate_deltas(dataset.frames[0].pose, &deltas);
@@ -424,6 +649,7 @@ impl BayesianVo {
             truths,
             per_step_error,
             per_step_variance,
+            per_step_iterations,
             trajectory,
             macro_stats: self.macro_stats(),
             silicon_bits: self.masks.silicon_bits(),
@@ -446,17 +672,8 @@ impl BayesianVo {
         let mut per_step_error = Vec::with_capacity(dataset.samples.len());
         for sample in &dataset.samples {
             let y = self.predict_deterministic(&sample.features);
-            let mut d = [0.0; 6];
-            d.copy_from_slice(&y);
-            for r in &mut d[3..6] {
-                *r /= ROT_TARGET_SCALE;
-            }
-            per_step_error.push(
-                ((d[0] - sample.target[0]).powi(2)
-                    + (d[1] - sample.target[1]).powi(2)
-                    + (d[2] - sample.target[2]).powi(2))
-                .sqrt(),
-            );
+            let (d, err) = delta_and_error(&y, &sample.target);
+            per_step_error.push(err);
             deltas.push(d);
         }
         let estimates = integrate_deltas(dataset.frames[0].pose, &deltas);
@@ -467,11 +684,28 @@ impl BayesianVo {
             truths,
             per_step_error,
             per_step_variance: Vec::new(),
+            per_step_iterations: Vec::new(),
             trajectory,
             macro_stats: self.macro_stats(),
             silicon_bits: self.masks.silicon_bits(),
         })
     }
+}
+
+/// Undoes the rotation-target scaling on a predicted 6-DoF mean and
+/// computes its translation error against the sample target — the shared
+/// accumulation step of every trajectory runner (identical arithmetic
+/// across fixed, adaptive, deterministic and full-precision paths).
+fn delta_and_error(mean: &[f64], target: &[f64; 6]) -> ([f64; 6], f64) {
+    let mut d = [0.0; 6];
+    d.copy_from_slice(mean);
+    for r in &mut d[3..6] {
+        *r /= ROT_TARGET_SCALE;
+    }
+    let err =
+        ((d[0] - target[0]).powi(2) + (d[1] - target[1]).powi(2) + (d[2] - target[2]).powi(2))
+            .sqrt();
+    (d, err)
 }
 
 /// Runs the full-precision deterministic reference trajectory (Fig. 3's
@@ -482,17 +716,8 @@ pub fn run_fp_trajectory(net: &mut Mlp, dataset: &VoDataset) -> VoRun {
     let mut per_step_error = Vec::with_capacity(dataset.samples.len());
     for sample in &dataset.samples {
         let y = net.forward(&sample.features, Mode::Deterministic, &mut rng);
-        let mut d = [0.0; 6];
-        d.copy_from_slice(&y);
-        for r in &mut d[3..6] {
-            *r /= ROT_TARGET_SCALE;
-        }
-        per_step_error.push(
-            ((d[0] - sample.target[0]).powi(2)
-                + (d[1] - sample.target[1]).powi(2)
-                + (d[2] - sample.target[2]).powi(2))
-            .sqrt(),
-        );
+        let (d, err) = delta_and_error(&y, &sample.target);
+        per_step_error.push(err);
         deltas.push(d);
     }
     let estimates = integrate_deltas(dataset.frames[0].pose, &deltas);
@@ -503,6 +728,7 @@ pub fn run_fp_trajectory(net: &mut Mlp, dataset: &VoDataset) -> VoRun {
         truths,
         per_step_error,
         per_step_variance: Vec::new(),
+        per_step_iterations: Vec::new(),
         trajectory,
         macro_stats: MacroStats::default(),
         silicon_bits: None,
@@ -675,6 +901,218 @@ mod tests {
             pooled_vo.predict_into(&sample.features, &mut pooled);
             assert_eq!(owned, pooled);
         }
+    }
+
+    #[test]
+    fn adaptive_policy_validation() {
+        let bad = |min, max, lo, hi, dwell| {
+            AdaptiveMcPolicy::new(AdaptiveMcConfig {
+                min_iterations: min,
+                max_iterations: max,
+                var_low: lo,
+                var_high: hi,
+                dwell,
+            })
+            .is_err()
+        };
+        assert!(bad(1, 30, 0.1, 0.2, 1)); // min below 2
+        assert!(bad(10, 5, 0.1, 0.2, 1)); // inverted bounds
+        assert!(bad(5, 30, 0.2, 0.1, 1)); // inverted band
+        assert!(bad(5, 30, -0.1, 0.2, 1)); // negative threshold
+        assert!(bad(5, 30, 0.1, f64::INFINITY, 1)); // non-finite
+        assert!(bad(5, 30, 0.1, 0.2, 0)); // zero dwell
+        assert!(AdaptiveMcPolicy::fixed(30).is_ok());
+        assert!(AdaptiveMcPolicy::fixed(1).is_err());
+    }
+
+    #[test]
+    fn adaptive_policy_hysteresis_and_dwell() {
+        let mut p = AdaptiveMcPolicy::new(AdaptiveMcConfig {
+            min_iterations: 8,
+            max_iterations: 30,
+            var_low: 0.1,
+            var_high: 0.3,
+            dwell: 1,
+        })
+        .unwrap();
+        // First frame: no history, maximum depth.
+        assert_eq!(p.next_iterations(None), 30);
+        // Confident: drop to the floor.
+        assert_eq!(p.next_iterations(Some(0.05)), 8);
+        // Dead zone: hold.
+        assert_eq!(p.next_iterations(Some(0.2)), 8);
+        // Uncertain: back to the ceiling.
+        assert_eq!(p.next_iterations(Some(0.5)), 30);
+        // Non-finite variance: hold.
+        assert_eq!(p.next_iterations(Some(f64::NAN)), 30);
+        assert_eq!(p.changes(), 2);
+        p.reset();
+        assert_eq!(p.changes(), 0);
+        assert_eq!(p.next_iterations(Some(0.01)), 30, "first frame after reset");
+
+        // Dwell 3 locks the depth for three frames after a change.
+        let mut dwelled = AdaptiveMcPolicy::new(AdaptiveMcConfig {
+            min_iterations: 8,
+            max_iterations: 30,
+            var_low: 0.1,
+            var_high: 0.3,
+            dwell: 3,
+        })
+        .unwrap();
+        dwelled.next_iterations(None);
+        let depths: Vec<usize> = [0.01, 0.5, 0.5, 0.5, 0.01]
+            .iter()
+            .map(|&v| dwelled.next_iterations(Some(v)))
+            .collect();
+        // No change can land within 3 frames of the previous one.
+        let mut last_change = None;
+        let mut prev = 30;
+        for (i, &d) in depths.iter().enumerate() {
+            if d != prev {
+                if let Some(l) = last_change {
+                    assert!(i - l >= 3, "changes at {l} and {i} under dwell 3");
+                }
+                last_change = Some(i);
+            }
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn fixed_policy_is_pinned() {
+        let mut p = AdaptiveMcPolicy::fixed(12).unwrap();
+        assert!(p.is_fixed());
+        assert_eq!(p.name(), "fixed-mc12");
+        for v in [None, Some(0.0), Some(1e9), Some(f64::NAN)] {
+            assert_eq!(p.next_iterations(v), 12);
+        }
+        assert_eq!(p.changes(), 0);
+        let adaptive = AdaptiveMcPolicy::new(AdaptiveMcConfig {
+            min_iterations: 4,
+            max_iterations: 16,
+            var_low: 0.1,
+            var_high: 0.2,
+            dwell: 2,
+        })
+        .unwrap();
+        assert_eq!(adaptive.name(), "adaptive-mc[4..16]");
+    }
+
+    #[test]
+    fn variable_depth_prediction_matches_fixed_at_config_depth() {
+        // predict_n_into at the configured depth is the fixed path —
+        // bit-identical samples, moments and RNG stream.
+        let ds = tiny_dataset(8);
+        let net = train_vo_network(&ds.samples, ds.feature_dim(), &tiny_train_config()).unwrap();
+        let config = VoPipelineConfig {
+            mc_iterations: 10,
+            ..VoPipelineConfig::default()
+        };
+        let mut fixed = BayesianVo::build(&net, &calibration(&ds), config.clone()).unwrap();
+        let mut variable = BayesianVo::build(&net, &calibration(&ds), config).unwrap();
+        let mut fixed_pred = McPrediction::default();
+        let mut var_pred = McPrediction::default();
+        for sample in ds.samples.iter().take(4) {
+            fixed.predict_into(&sample.features, &mut fixed_pred);
+            variable.predict_n_into(&sample.features, 10, &mut var_pred);
+            assert_eq!(fixed_pred, var_pred);
+        }
+        assert_eq!(fixed.macro_stats(), variable.macro_stats());
+    }
+
+    #[test]
+    fn shrinking_depth_cuts_macro_work() {
+        let ds = tiny_dataset(9);
+        let net = train_vo_network(&ds.samples, ds.feature_dim(), &tiny_train_config()).unwrap();
+        let config = VoPipelineConfig {
+            mc_iterations: 24,
+            ..VoPipelineConfig::default()
+        };
+        let mut vo = BayesianVo::build(&net, &calibration(&ds), config).unwrap();
+        let mut pred = McPrediction::default();
+        vo.predict_n_into(&ds.samples[0].features, 24, &mut pred);
+        let deep = vo.macro_stats();
+        assert_eq!(pred.samples.len(), 24);
+        vo.predict_n_into(&ds.samples[1].features, 4, &mut pred);
+        let shallow = vo.macro_stats().delta_since(&deep);
+        assert_eq!(pred.samples.len(), 4);
+        // A 4-pass frame executes a fraction of the 24-pass workload.
+        assert!(
+            shallow.macs_full_equivalent * 4 < deep.macs_full_equivalent,
+            "shallow {} vs deep {}",
+            shallow.macs_full_equivalent,
+            deep.macs_full_equivalent
+        );
+    }
+
+    #[test]
+    fn adaptive_trajectory_with_pinned_policy_matches_fixed() {
+        let ds = tiny_dataset(10);
+        let net = train_vo_network(&ds.samples, ds.feature_dim(), &tiny_train_config()).unwrap();
+        let config = VoPipelineConfig {
+            mc_iterations: 8,
+            ..VoPipelineConfig::default()
+        };
+        let fixed_run = BayesianVo::build(&net, &calibration(&ds), config.clone())
+            .unwrap()
+            .run_trajectory(&ds)
+            .unwrap();
+        let mut policy = AdaptiveMcPolicy::fixed(8).unwrap();
+        let pinned_run = BayesianVo::build(&net, &calibration(&ds), config)
+            .unwrap()
+            .run_trajectory_adaptive(&ds, &mut policy)
+            .unwrap();
+        assert_eq!(fixed_run, pinned_run);
+        assert_eq!(pinned_run.per_step_iterations, vec![8; ds.samples.len()]);
+        assert_eq!(pinned_run.mean_iterations(), 8.0);
+    }
+
+    #[test]
+    fn adaptive_trajectory_varies_depth_and_stays_in_bounds() {
+        let ds = tiny_dataset(11);
+        let net = train_vo_network(&ds.samples, ds.feature_dim(), &tiny_train_config()).unwrap();
+        let config = VoPipelineConfig {
+            mc_iterations: 20,
+            ..VoPipelineConfig::default()
+        };
+        // Thresholds straddling the observed variance scale: probe with a
+        // fixed run first.
+        let probe = BayesianVo::build(&net, &calibration(&ds), config.clone())
+            .unwrap()
+            .run_trajectory(&ds)
+            .unwrap();
+        let mut sorted = probe.per_step_variance.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mid = sorted[sorted.len() / 2];
+        let mc_config = AdaptiveMcConfig {
+            min_iterations: 4,
+            max_iterations: 20,
+            var_low: mid,
+            var_high: mid * 4.0 + 1e-9,
+            dwell: 1,
+        };
+        let run = |ds: &VoDataset| {
+            let mut policy = AdaptiveMcPolicy::new(mc_config).unwrap();
+            BayesianVo::build(&net, &calibration(ds), config.clone())
+                .unwrap()
+                .run_trajectory_adaptive(ds, &mut policy)
+                .unwrap()
+        };
+        let adaptive = run(&ds);
+        assert!(adaptive
+            .per_step_iterations
+            .iter()
+            .all(|&t| (4..=20).contains(&t)));
+        assert_eq!(adaptive.per_step_iterations[0], 20, "starts at max depth");
+        assert!(
+            adaptive.mean_iterations() < 20.0,
+            "depth adapted: {:?}",
+            adaptive.per_step_iterations
+        );
+        // Fewer passes → strictly less macro work than the fixed run.
+        assert!(adaptive.macro_stats.macs_full_equivalent < probe.macro_stats.macs_full_equivalent);
+        // Deterministic across repeats.
+        assert_eq!(run(&ds), adaptive);
     }
 
     #[test]

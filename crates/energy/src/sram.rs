@@ -47,6 +47,35 @@ impl SramCimProfile {
         self.adc_fom_fj_per_step * (1u64 << bits) as f64 * 1e-3
     }
 
+    /// Total inference energy in pJ from raw operation counts — the
+    /// allocation-free per-frame counterpart of
+    /// [`Self::inference_report`] (identical arithmetic, no report
+    /// strings), used by the gated pipeline to price each frame's
+    /// MC-Dropout passes from a [`MacroStats`-style] counter delta.
+    ///
+    /// [`MacroStats`-style]: Self::inference_report
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyError::InvalidArgument`] for zero precision.
+    pub fn inference_pj(
+        &self,
+        macs_executed: u64,
+        adc_conversions: u64,
+        adc_bits: u32,
+        rng_bits: u64,
+        precision_bits: u32,
+    ) -> Result<f64> {
+        if precision_bits == 0 {
+            return Err(EnergyError::InvalidArgument(
+                "precision must be non-zero".into(),
+            ));
+        }
+        Ok(macs_executed as f64 * self.mac_pj(precision_bits)
+            + adc_conversions as f64 * self.adc_pj(adc_bits)
+            + rng_bits as f64 * self.rng_bit_fj * 1e-3)
+    }
+
     /// Full inference-energy breakdown from operation counts.
     ///
     /// # Errors
@@ -157,6 +186,17 @@ mod tests {
             .effective_tops_per_watt(1_000_000, 1_000_000, 20_000, 8, 6000, 4)
             .unwrap();
         assert!(with_reuse > without * 1.5);
+    }
+
+    #[test]
+    fn inference_pj_matches_report_total() {
+        let p = SramCimProfile::paper_16nm();
+        let (_, exec, adc, rng) = paper_like_counts();
+        let report = p.inference_report(exec, adc, 8, rng, 4).unwrap();
+        let flat = p.inference_pj(exec, adc, 8, rng, 4).unwrap();
+        assert!((flat - report.total_pj()).abs() < 1e-9 * report.total_pj());
+        assert!(p.inference_pj(exec, adc, 8, rng, 0).is_err());
+        assert_eq!(p.inference_pj(0, 0, 8, 0, 4).unwrap(), 0.0);
     }
 
     #[test]

@@ -100,6 +100,8 @@ pub struct ParticleFilter<S> {
     step_count: u64,
     /// Reused per-update log-likelihood buffer (one slot per particle).
     ll_scratch: Vec<f64>,
+    /// Mean log-likelihood of the most recent measurement update.
+    last_mean_ll: Option<f64>,
 }
 
 impl<S: Clone> ParticleFilter<S> {
@@ -111,6 +113,7 @@ impl<S: Clone> ParticleFilter<S> {
             resample_count: 0,
             step_count: 0,
             ll_scratch: Vec::new(),
+            last_mean_ll: None,
         }
     }
 
@@ -136,6 +139,33 @@ impl<S: Clone> ParticleFilter<S> {
     /// pipeline arbitrates backends on.
     pub fn spread<F: Fn(&S) -> [f64; 3]>(&self, project: F) -> f64 {
         self.particles.weighted_covariance_trace(project).sqrt()
+    }
+
+    /// Effective sample size of the current weights (allocation-free;
+    /// delegates to [`ParticleSet::ess`]).
+    pub fn ess(&self) -> f64 {
+        self.particles.ess()
+    }
+
+    /// Effective sample size as a fraction of the particle count, in
+    /// (0, 1] — the scale-free form the uncertainty bus carries so gate
+    /// thresholds do not depend on the configured population size.
+    /// Clamped at 1: the true ESS cannot exceed the population, only
+    /// its floating-point estimate can (by an ulp, on uniform weights).
+    pub fn ess_fraction(&self) -> f64 {
+        (self.particles.ess() / self.particles.len() as f64).min(1.0)
+    }
+
+    /// Mean log-likelihood of the last measurement update (`None` before
+    /// the first update), averaged over the hypotheses that scored
+    /// *finite* — stray `-inf` particles from hard-gating sensors do not
+    /// blind the frame (a frame with no finite hypothesis reads `-inf`).
+    /// Recorded before reweighting, so it is available even for a frame
+    /// that ends in [`crate::FilterError::Degenerate`] — it is the raw
+    /// per-frame map-agreement signal the likelihood innovation is
+    /// computed from.
+    pub fn last_mean_log_likelihood(&self) -> Option<f64> {
+        self.last_mean_ll
     }
 
     /// Number of resampling events triggered.
@@ -172,6 +202,24 @@ impl<S: Clone> ParticleFilter<S> {
         let mut lls = std::mem::take(&mut self.ll_scratch);
         lls.resize(self.particles.len(), 0.0);
         sensor.log_likelihood_batch(self.particles.states(), obs, &mut lls);
+        // Mean over the *finite* log-likelihoods only: a hard-gating
+        // sensor may score a few out-of-support hypotheses at -inf
+        // while the frame is otherwise fully informative, and one such
+        // particle must not blind the innovation signal for the whole
+        // frame. A frame with no finite hypothesis at all records -inf.
+        let mut sum = 0.0;
+        let mut finite = 0usize;
+        for &ll in &lls {
+            if ll.is_finite() {
+                sum += ll;
+                finite += 1;
+            }
+        }
+        self.last_mean_ll = Some(if finite == 0 {
+            f64::NEG_INFINITY
+        } else {
+            sum / finite as f64
+        });
         let reweighted = self.particles.reweight_log(&lls);
         self.ll_scratch = lls;
         reweighted?;
@@ -345,6 +393,104 @@ mod tests {
         let mut batched = vec![0.0; states.len()];
         sensor.log_likelihood_batch(&states, &obs, &mut batched);
         assert_eq!(scalar, batched);
+    }
+
+    #[test]
+    fn ess_fraction_and_mean_ll_signals() {
+        let mut rng = Pcg32::seed_from_u64(7);
+        let init: Vec<f64> = (0..50).map(|_| rng.sample_uniform(-1.0, 1.0)).collect();
+        let mut pf = ParticleFilter::new(
+            ParticleSet::from_states(init).unwrap(),
+            FilterConfig::default(),
+        );
+        // Before any update: uniform weights, no likelihood history.
+        assert!((pf.ess() - 50.0).abs() < 1e-9);
+        assert!((pf.ess_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(pf.last_mean_log_likelihood(), None);
+        let mut sensor = GaussianSensor { sigma: 0.3 };
+        let motion = walk_motion();
+        pf.step(&0.0, &0.2, &motion, &mut sensor, &mut rng).unwrap();
+        assert!(pf.ess_fraction() > 0.0 && pf.ess_fraction() <= 1.0);
+        let mean_ll = pf.last_mean_log_likelihood().expect("update recorded");
+        // A Gaussian sensor over a bounded cloud yields finite means.
+        assert!(mean_ll.is_finite());
+    }
+
+    #[test]
+    fn degenerate_all_equal_weights_keep_full_ess() {
+        // An uninformative measurement (identical log-likelihood for every
+        // hypothesis) must leave the weights — and the ESS fraction —
+        // untouched.
+        let mut rng = Pcg32::seed_from_u64(8);
+        let init: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let mut pf = ParticleFilter::new(
+            ParticleSet::from_states(init).unwrap(),
+            FilterConfig {
+                ess_fraction: 0.0,
+                ..FilterConfig::default()
+            },
+        );
+        let mut flat = |_s: &f64, _o: &f64| -5.0;
+        pf.update(&0.0, &mut flat, &mut rng).unwrap();
+        assert!((pf.ess_fraction() - 1.0).abs() < 1e-9);
+        assert_eq!(pf.last_mean_log_likelihood(), Some(-5.0));
+    }
+
+    #[test]
+    fn single_particle_set_signals_are_well_defined() {
+        let mut rng = Pcg32::seed_from_u64(9);
+        let mut pf = ParticleFilter::new(
+            ParticleSet::from_states(vec![1.5f64]).unwrap(),
+            FilterConfig::default(),
+        );
+        assert!((pf.ess() - 1.0).abs() < 1e-12);
+        assert!((pf.ess_fraction() - 1.0).abs() < 1e-12);
+        // A one-particle cloud has zero covariance trace, hence spread 0.
+        assert_eq!(pf.spread(|&s| [s, 0.0, 0.0]), 0.0);
+        let mut sensor = GaussianSensor { sigma: 0.5 };
+        let motion = walk_motion();
+        pf.step(&0.0, &1.5, &motion, &mut sensor, &mut rng).unwrap();
+        assert!((pf.ess_fraction() - 1.0).abs() < 1e-12);
+        assert!(pf.last_mean_log_likelihood().unwrap().is_finite());
+    }
+
+    #[test]
+    fn stray_neg_inf_particles_do_not_blind_the_mean_ll() {
+        // A hard-gating sensor scores one out-of-support hypothesis at
+        // -inf; the frame's mean must average the remaining finite
+        // hypotheses instead of collapsing to -inf.
+        let mut rng = Pcg32::seed_from_u64(11);
+        let mut pf = ParticleFilter::new(
+            ParticleSet::from_states(vec![0.0f64, 1.0, 2.0, 50.0]).unwrap(),
+            FilterConfig {
+                ess_fraction: 0.0,
+                ..FilterConfig::default()
+            },
+        );
+        let mut gating = |state: &f64, _obs: &f64| {
+            if *state > 10.0 {
+                f64::NEG_INFINITY
+            } else {
+                -*state
+            }
+        };
+        pf.update(&0.0, &mut gating, &mut rng).unwrap();
+        // Mean of {-0, -1, -2}; the -inf particle is excluded.
+        assert_eq!(pf.last_mean_log_likelihood(), Some(-1.0));
+    }
+
+    #[test]
+    fn mean_ll_recorded_even_for_degenerate_frames() {
+        let mut rng = Pcg32::seed_from_u64(10);
+        let mut pf = ParticleFilter::new(
+            ParticleSet::from_states(vec![0.0f64; 5]).unwrap(),
+            FilterConfig::default(),
+        );
+        let mut killer = |_s: &f64, _o: &f64| f64::NEG_INFINITY;
+        let motion = walk_motion();
+        assert!(pf.step(&0.0, &0.0, &motion, &mut killer, &mut rng).is_err());
+        // The signal survived the failed reweight.
+        assert_eq!(pf.last_mean_log_likelihood(), Some(f64::NEG_INFINITY));
     }
 
     #[test]

@@ -10,7 +10,12 @@
 //!   user-supplied [`filter::Motion`] and [`filter::Measurement`] models,
 //! - [`motion::OdometryMotion`] — the noisy odometry motion model for
 //!   [`navicim_math::geom::Pose`] states,
-//! - [`estimate`] — weighted pose-mean extraction.
+//! - [`estimate`] — weighted pose-mean extraction,
+//! - [`signals`] — streaming uncertainty signals (the likelihood
+//!   [`signals::InnovationTracker`]) that, together with
+//!   [`filter::ParticleFilter::spread`] and
+//!   [`filter::ParticleFilter::ess_fraction`], feed the gated pipeline's
+//!   per-frame uncertainty bus in `navicim-core`.
 //!
 //! The measurement model is deliberately generic: the digital GMM baseline
 //! and the analog HMGM-CIM engine both plug in through
@@ -24,6 +29,7 @@ pub mod estimate;
 pub mod filter;
 pub mod motion;
 pub mod particle;
+pub mod signals;
 
 use std::error::Error;
 use std::fmt;

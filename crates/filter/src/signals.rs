@@ -1,0 +1,180 @@
+//! Streaming uncertainty signals derived from the filter's likelihoods.
+//!
+//! The particle spread alone cannot distinguish "collapsed and correct"
+//! from "collapsed but biased": a confidently wrong cloud is tight, yet
+//! its measurement likelihoods sag below their recent trend. This module
+//! tracks that trend so the gated pipeline can read a *likelihood
+//! innovation* — the per-frame mean log-likelihood minus its running
+//! exponentially-weighted average — as a second uncertainty signal next
+//! to spread and effective sample size.
+
+use crate::{FilterError, Result};
+
+/// Default EWMA smoothing factor of [`InnovationTracker`]: roughly a
+/// five-frame memory, short enough to track scene changes and long
+/// enough to ride out single-frame noise.
+pub const DEFAULT_INNOVATION_ALPHA: f64 = 0.2;
+
+/// Running innovation of a per-frame scalar (the filter's mean
+/// log-likelihood) against its exponentially-weighted moving average.
+///
+/// Feed one observation per frame with [`InnovationTracker::observe`];
+/// it returns `observation - ewma_of_past_frames` (0 on the first frame,
+/// when there is no history) and then folds the observation into the
+/// average. Negative innovations mean the frame matched the map *worse*
+/// than the recent trend — the "collapsed but biased" symptom.
+///
+/// Non-finite observations (a frame whose every hypothesis scored
+/// `-inf`) are ignored: the innovation reads 0 and the history is left
+/// untouched, so one blind frame cannot poison the average.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InnovationTracker {
+    alpha: f64,
+    ewma: Option<f64>,
+    last: f64,
+}
+
+impl Default for InnovationTracker {
+    fn default() -> Self {
+        Self {
+            alpha: DEFAULT_INNOVATION_ALPHA,
+            ewma: None,
+            last: 0.0,
+        }
+    }
+}
+
+impl InnovationTracker {
+    /// Creates a tracker with smoothing factor `alpha` (the weight of the
+    /// newest observation in the average).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterError::InvalidArgument`] unless `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> Result<Self> {
+        if !(alpha > 0.0) || !(alpha <= 1.0) {
+            return Err(FilterError::InvalidArgument(format!(
+                "innovation alpha must be in (0, 1], got {alpha}"
+            )));
+        }
+        Ok(Self {
+            alpha,
+            ewma: None,
+            last: 0.0,
+        })
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The current running average (`None` before the first finite
+    /// observation).
+    pub fn history(&self) -> Option<f64> {
+        self.ewma
+    }
+
+    /// Records one per-frame observation and returns its innovation
+    /// against the average of *past* frames (0 on the first frame and
+    /// for non-finite observations).
+    pub fn observe(&mut self, value: f64) -> f64 {
+        if !value.is_finite() {
+            self.last = 0.0;
+            return 0.0;
+        }
+        let innovation = match self.ewma {
+            Some(mean) => value - mean,
+            None => 0.0,
+        };
+        self.ewma = Some(match self.ewma {
+            Some(mean) => mean + self.alpha * (value - mean),
+            None => value,
+        });
+        self.last = innovation;
+        innovation
+    }
+
+    /// Innovation of the most recent observation (0 before any
+    /// observation) — the value a per-frame consumer reads *before* the
+    /// next frame is weighed.
+    pub fn last_innovation(&self) -> f64 {
+        self.last
+    }
+
+    /// Clears the history for a fresh run.
+    pub fn reset(&mut self) {
+        self.ewma = None;
+        self.last = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(InnovationTracker::new(0.0).is_err());
+        assert!(InnovationTracker::new(-0.1).is_err());
+        assert!(InnovationTracker::new(1.1).is_err());
+        assert!(InnovationTracker::new(f64::NAN).is_err());
+        assert!(InnovationTracker::new(1.0).is_ok());
+        assert!(InnovationTracker::new(0.2).is_ok());
+    }
+
+    #[test]
+    fn first_observation_has_zero_innovation() {
+        let mut t = InnovationTracker::default();
+        assert_eq!(t.last_innovation(), 0.0);
+        assert_eq!(t.history(), None);
+        assert_eq!(t.observe(-3.0), 0.0);
+        assert_eq!(t.history(), Some(-3.0));
+        assert_eq!(t.last_innovation(), 0.0);
+    }
+
+    #[test]
+    fn innovation_is_delta_against_ewma() {
+        let mut t = InnovationTracker::new(0.5).unwrap();
+        t.observe(10.0);
+        // EWMA = 10; a repeat of the mean is zero innovation.
+        assert_eq!(t.observe(10.0), 0.0);
+        // EWMA still 10; a drop of 4 reads as -4.
+        assert_eq!(t.observe(6.0), -4.0);
+        assert_eq!(t.last_innovation(), -4.0);
+        // EWMA moved to 8 = 10 + 0.5 * (6 - 10).
+        assert_eq!(t.history(), Some(8.0));
+        assert_eq!(t.observe(9.0), 1.0);
+    }
+
+    #[test]
+    fn non_finite_observations_ignored() {
+        let mut t = InnovationTracker::new(0.5).unwrap();
+        t.observe(2.0);
+        assert_eq!(t.observe(f64::NEG_INFINITY), 0.0);
+        assert_eq!(t.observe(f64::NAN), 0.0);
+        // History untouched by the blind frames.
+        assert_eq!(t.history(), Some(2.0));
+        assert_eq!(t.observe(3.0), 1.0);
+    }
+
+    #[test]
+    fn alpha_one_tracks_the_last_value() {
+        let mut t = InnovationTracker::new(1.0).unwrap();
+        t.observe(1.0);
+        assert_eq!(t.observe(5.0), 4.0);
+        // With alpha = 1 the EWMA *is* the previous observation.
+        assert_eq!(t.observe(5.0), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut t = InnovationTracker::default();
+        t.observe(1.0);
+        t.observe(2.0);
+        t.reset();
+        assert_eq!(t.history(), None);
+        assert_eq!(t.last_innovation(), 0.0);
+        assert_eq!(t.observe(7.0), 0.0);
+    }
+}

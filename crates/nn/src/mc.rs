@@ -11,8 +11,12 @@ use navicim_math::rng::Rng64;
 /// Construct an empty one with [`Default`] and reuse it across
 /// [`crate::mc`]-style `predict_into` calls: the mean/variance/sample
 /// buffers are rewritten in place, so a frame loop allocates nothing
-/// after warmup.
-#[derive(Debug, Clone, PartialEq, Default)]
+/// after warmup — even when the per-call iteration count *varies*
+/// (compute-adaptive inference): [`McPrediction::resize_samples`]
+/// retires surplus sample buffers to an internal pool on shrink and
+/// revives them on growth, so heap traffic happens only past the
+/// high-water mark.
+#[derive(Debug, Clone, Default)]
 pub struct McPrediction {
     /// Predictive mean per output.
     pub mean: Vec<f64>,
@@ -20,6 +24,19 @@ pub struct McPrediction {
     pub variance: Vec<f64>,
     /// All raw samples (`iterations × out_dim`).
     pub samples: Vec<Vec<f64>>,
+    /// Retired per-iteration buffers kept warm for reuse when the
+    /// iteration count shrinks. Not part of the prediction's value (the
+    /// manual [`PartialEq`] ignores it).
+    spare: Vec<Vec<f64>>,
+}
+
+/// Equality is over the prediction's value — mean, variance and the
+/// active samples — not over pooled spare capacity, so a pooled
+/// prediction compares equal to a freshly allocated one.
+impl PartialEq for McPrediction {
+    fn eq(&self, other: &Self) -> bool {
+        self.mean == other.mean && self.variance == other.variance && self.samples == other.samples
+    }
 }
 
 impl McPrediction {
@@ -31,6 +48,23 @@ impl McPrediction {
     /// Per-output standard deviations.
     pub fn std_devs(&self) -> Vec<f64> {
         self.variance.iter().map(|v| v.sqrt()).collect()
+    }
+
+    /// Sets the number of active sample slots to `iterations`.
+    ///
+    /// Shrinking moves surplus buffers into the spare pool (no
+    /// deallocation); growing pulls buffers back out (allocating only
+    /// when the pool is exhausted, i.e. past the lifetime high-water
+    /// mark). Slot contents are stale afterwards — callers overwrite
+    /// every active slot before reading.
+    pub fn resize_samples(&mut self, iterations: usize) {
+        while self.samples.len() > iterations {
+            self.spare
+                .push(self.samples.pop().expect("len checked above"));
+        }
+        while self.samples.len() < iterations {
+            self.samples.push(self.spare.pop().unwrap_or_default());
+        }
     }
 }
 
@@ -111,15 +145,62 @@ impl McDropout {
         }
         predictions
     }
+
+    /// Pooled scalar prediction at the engine's fixed depth: the scratch
+    /// and the [`McPrediction`] buffers are caller-owned and reused, so a
+    /// steady-state frame loop allocates nothing. Bit-identical (values
+    /// and RNG stream) to [`McDropout::predict`].
+    pub fn predict_into<R: Rng64>(
+        &self,
+        net: &Mlp,
+        input: &[f64],
+        rng: &mut R,
+        scratch: &mut ForwardScratch,
+        pred: &mut McPrediction,
+    ) {
+        self.predict_n_into(net, input, self.iterations, rng, scratch, pred);
+    }
+
+    /// Variable-depth pooled prediction: `iterations` overrides the
+    /// engine's fixed count for this call — the compute-adaptive knob
+    /// (paper Section III) that lets a frame loop spend fewer stochastic
+    /// passes when the previous frame's predictive variance was low.
+    /// Sample buffers come from the prediction's pool
+    /// ([`McPrediction::resize_samples`]), so varying the depth per call
+    /// causes no steady-state reallocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics for fewer than 2 iterations or an input dimension mismatch.
+    pub fn predict_n_into<R: Rng64>(
+        &self,
+        net: &Mlp,
+        input: &[f64],
+        iterations: usize,
+        rng: &mut R,
+        scratch: &mut ForwardScratch,
+        pred: &mut McPrediction,
+    ) {
+        assert!(iterations >= 2, "mc-dropout requires at least 2 iterations");
+        assert_eq!(
+            input.len(),
+            net.in_dim(),
+            "input dimension must match network input dimension"
+        );
+        pred.resize_samples(iterations);
+        for sample in pred.samples.iter_mut() {
+            net.forward_into(input, Mode::McSample, rng, scratch, sample);
+        }
+        mc_moments_in_place(pred);
+    }
 }
 
 /// Predictive mean/variance from raw MC samples (shared by the scalar and
 /// batched paths and by the VO pipeline).
 pub fn mc_moments(samples: Vec<Vec<f64>>) -> McPrediction {
     let mut pred = McPrediction {
-        mean: Vec::new(),
-        variance: Vec::new(),
         samples,
+        ..McPrediction::default()
     };
     mc_moments_in_place(&mut pred);
     pred
@@ -246,10 +327,90 @@ mod tests {
             mean: vec![9.0; 5],
             variance: vec![9.0; 5],
             samples,
+            ..McPrediction::default()
         };
         mc_moments_in_place(&mut pooled);
         assert_eq!(pooled, owned);
         assert_eq!(pooled.mean, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn pooled_predict_into_matches_owned() {
+        let net = dropout_net(21);
+        let mc = McDropout::new(9).unwrap();
+        let mut rng_owned = Pcg32::seed_from_u64(31);
+        let mut rng_pooled = Pcg32::seed_from_u64(31);
+        let mut scratch = ForwardScratch::default();
+        let mut pooled = McPrediction::default();
+        for x in [[0.1, -0.2], [0.9, 0.4], [-1.0, 0.0]] {
+            let mut net_owned = net.clone();
+            let owned = mc.predict(&mut net_owned, &x, &mut rng_owned);
+            mc.predict_into(&net, &x, &mut rng_pooled, &mut scratch, &mut pooled);
+            assert_eq!(owned, pooled);
+        }
+        assert_eq!(rng_owned, rng_pooled);
+    }
+
+    #[test]
+    fn variable_depth_reuses_pooled_buffers() {
+        let net = dropout_net(22);
+        let mc = McDropout::new(30).unwrap();
+        let mut rng = Pcg32::seed_from_u64(5);
+        let mut scratch = ForwardScratch::default();
+        let mut pred = McPrediction::default();
+        // Grow to 16, shrink to 4, grow back to 10: each call's result
+        // must match a fresh prediction at that depth with the same RNG
+        // stream position.
+        for &iters in &[16usize, 4, 10] {
+            let mut rng_fresh = rng;
+            mc.predict_n_into(&net, &[0.5, -0.5], iters, &mut rng, &mut scratch, &mut pred);
+            assert_eq!(pred.samples.len(), iters);
+            let mut fresh = McPrediction::default();
+            let mut fresh_scratch = ForwardScratch::default();
+            mc.predict_n_into(
+                &net,
+                &[0.5, -0.5],
+                iters,
+                &mut rng_fresh,
+                &mut fresh_scratch,
+                &mut fresh,
+            );
+            assert_eq!(pred, fresh);
+            assert_eq!(rng, rng_fresh);
+        }
+        // Shrinking retired buffers instead of freeing them: growing back
+        // to the high-water mark needs no new allocation. Observable via
+        // resize_samples round-tripping the same buffers.
+        pred.resize_samples(2);
+        pred.resize_samples(16);
+        assert_eq!(pred.samples.len(), 16);
+        assert!(pred.samples.iter().all(|s| s.capacity() > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 iterations")]
+    fn variable_depth_rejects_single_iteration() {
+        let net = dropout_net(23);
+        let mc = McDropout::new(2).unwrap();
+        let mut rng = Pcg32::seed_from_u64(1);
+        let mut scratch = ForwardScratch::default();
+        let mut pred = McPrediction::default();
+        mc.predict_n_into(&net, &[0.0, 0.0], 1, &mut rng, &mut scratch, &mut pred);
+    }
+
+    #[test]
+    fn spare_pool_does_not_affect_equality() {
+        let samples = vec![vec![1.0], vec![2.0]];
+        let a = mc_moments(samples.clone());
+        let mut b = mc_moments(samples);
+        // Retire and revive a slot: value unchanged, pool non-empty in
+        // between.
+        b.resize_samples(1);
+        b.resize_samples(2);
+        b.samples[0] = vec![1.0];
+        b.samples[1] = vec![2.0];
+        mc_moments_in_place(&mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

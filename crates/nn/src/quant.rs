@@ -546,25 +546,7 @@ impl QuantizedMlp {
                 y
             })
             .collect();
-        let n = samples.len() as f64;
-        let out_dim = self.out_dim;
-        let mut mean = vec![0.0; out_dim];
-        for s in &samples {
-            for (m, &v) in mean.iter_mut().zip(s) {
-                *m += v / n;
-            }
-        }
-        let mut variance = vec![0.0; out_dim];
-        for s in &samples {
-            for ((var, &v), &m) in variance.iter_mut().zip(s).zip(&mean) {
-                *var += (v - m) * (v - m) / (n - 1.0);
-            }
-        }
-        McPrediction {
-            mean,
-            variance,
-            samples,
-        }
+        crate::mc::mc_moments(samples)
     }
 
     /// The output mask for the dense layer at stack position `li`: the mask

@@ -150,19 +150,38 @@ impl DepthImage {
     ///
     /// Panics if either grid dimension is zero.
     pub fn grid_means(&self, gw: usize, gh: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.grid_means_into(gw, gh, &mut out);
+        out
+    }
+
+    /// [`Self::grid_means`] into a caller-reused buffer (cleared and
+    /// refilled), plus an internal count pass folded into the output —
+    /// the allocation-free form the per-frame VO stage of the streaming
+    /// pipeline extracts features with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either grid dimension is zero.
+    pub fn grid_means_into(&self, gw: usize, gh: usize, out: &mut Vec<f64>) {
         assert!(gw > 0 && gh > 0, "grid dimensions must be positive");
-        let mut sums = vec![0.0; gw * gh];
-        let mut counts = vec![0usize; gw * gh];
+        let cells = gw * gh;
+        // The buffer's upper half carries the per-cell pixel counts
+        // during accumulation (exact in f64 for any realistic image) and
+        // is truncated away before returning.
+        out.clear();
+        out.resize(2 * cells, 0.0);
         for (u, v, d) in self.valid_pixels() {
             let gu = (u * gw / self.width).min(gw - 1);
             let gv = (v * gh / self.height).min(gh - 1);
-            sums[gv * gw + gu] += d;
-            counts[gv * gw + gu] += 1;
+            out[gv * gw + gu] += d;
+            out[cells + gv * gw + gu] += 1.0;
         }
-        sums.iter()
-            .zip(&counts)
-            .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
-            .collect()
+        for i in 0..cells {
+            let c = out[cells + i];
+            out[i] = if c > 0.0 { out[i] / c } else { 0.0 };
+        }
+        out.truncate(cells);
     }
 }
 

@@ -65,6 +65,29 @@ impl MacroStats {
         }
         self.macs_executed as f64 / self.macs_full_equivalent as f64
     }
+
+    /// Counters accumulated since an `earlier` snapshot of the same
+    /// macro — the per-frame deltas the gated pipeline prices VO
+    /// inference energy from.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `earlier` is ahead of `self`, which
+    /// would mean the snapshots were swapped.
+    pub fn delta_since(&self, earlier: &MacroStats) -> MacroStats {
+        debug_assert!(
+            self.macs_executed >= earlier.macs_executed
+                && self.matvec_calls >= earlier.matvec_calls,
+            "stats snapshots out of order"
+        );
+        MacroStats {
+            macs_executed: self.macs_executed - earlier.macs_executed,
+            macs_full_equivalent: self.macs_full_equivalent - earlier.macs_full_equivalent,
+            adc_conversions: self.adc_conversions - earlier.adc_conversions,
+            rows_gated: self.rows_gated - earlier.rows_gated,
+            matvec_calls: self.matvec_calls - earlier.matvec_calls,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -432,6 +455,32 @@ mod tests {
         m.matvec(0, &[1, 1, 1], &[true, true]).unwrap();
         // Full first call (6) + zero-delta second call (0) of 12 total.
         assert!((m.stats().workload_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_delta_since_subtracts_fieldwise() {
+        let earlier = MacroStats {
+            macs_executed: 10,
+            macs_full_equivalent: 100,
+            adc_conversions: 4,
+            rows_gated: 2,
+            matvec_calls: 1,
+        };
+        let later = MacroStats {
+            macs_executed: 35,
+            macs_full_equivalent: 300,
+            adc_conversions: 10,
+            rows_gated: 5,
+            matvec_calls: 4,
+        };
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.macs_executed, 25);
+        assert_eq!(delta.macs_full_equivalent, 200);
+        assert_eq!(delta.adc_conversions, 6);
+        assert_eq!(delta.rows_gated, 3);
+        assert_eq!(delta.matvec_calls, 3);
+        // A snapshot against itself is the zero delta.
+        assert_eq!(later.delta_since(&later), MacroStats::default());
     }
 
     #[test]

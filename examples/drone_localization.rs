@@ -181,4 +181,29 @@ fn main() {
         gated_run.total_energy_pj() / 1e6,
         digital_pj / 1e6
     );
+
+    // Every frame logs the full uncertainty bus the gate saw — spread,
+    // ESS fraction and the likelihood innovation (mean log-likelihood
+    // vs. its running EWMA); `PipelineRun::to_csv()` exports the same
+    // columns as training data for learned gates.
+    println!("\n  per-frame uncertainty bus (first 5 frames):");
+    for f in gated_run.frames.iter().take(5) {
+        println!(
+            "    frame {:>2}: spread {:.4} m, ess {:.3}, innovation {:+.3} -> {}",
+            f.frame + 1,
+            f.signals.spread,
+            f.signals.ess_fraction,
+            f.signals.innovation,
+            gated_run.backends[f.slot]
+        );
+    }
+    let csv = gated_run.to_csv();
+    println!(
+        "  to_csv(): {} rows x {} columns of gate training data",
+        csv.len(),
+        csv.to_string()
+            .lines()
+            .next()
+            .map_or(0, |h| h.split(',').count())
+    );
 }

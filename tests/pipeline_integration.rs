@@ -191,7 +191,15 @@ fn gated_pipeline_arbitrates_backends_and_saves_energy() {
     assert!(gated
         .frames
         .iter()
-        .all(|f| f.summary.error.is_finite() && f.energy_pj > 0.0));
+        .all(|f| f.summary.error.is_finite() && f.map_energy_pj > 0.0));
+    // Without a VO stage the joint energy *is* the map energy and the bus
+    // carries no VO variance.
+    assert_eq!(gated.total_energy_pj(), gated.total_map_energy_pj());
+    assert_eq!(gated.total_vo_energy_pj(), 0.0);
+    assert!(gated
+        .frames
+        .iter()
+        .all(|f| f.vo.is_none() && f.signals.vo_variance.is_none()));
     // Per-slot stats separate the substrates.
     assert!(!gated.stats[DIGITAL_SLOT].is_analog());
     assert!(gated.stats[ANALOG_SLOT].is_analog());
@@ -204,6 +212,104 @@ fn gated_pipeline_arbitrates_backends_and_saves_energy() {
         .expect("wrapper runs");
     assert_eq!(legacy.backend, format!("{DIGITAL_GMM}+{CIM_HMGM}"));
     assert!(legacy.stats.is_analog());
+}
+
+#[test]
+fn adaptive_mc_vo_stage_cuts_joint_energy_at_identical_pose_error() {
+    // The two-axis co-design end to end: a hysteresis-gated map plus a
+    // VO stage whose MC depth adapts to predictive variance must price a
+    // *joint* energy strictly below the fixed-30-style run, while the
+    // map-side stream (and hence pose error) stays bit-identical — the
+    // VO stage is an observer, not an actor, on the filter.
+    use navicim::core::pipeline::VoStage;
+    use navicim::core::vo::{AdaptiveMcConfig, AdaptiveMcPolicy};
+    use navicim::scene::dataset::make_samples;
+
+    let dataset = loc_dataset(110);
+    let (grid_w, grid_h) = (4, 3);
+    let samples = make_samples(&dataset.frames, &dataset.camera, grid_w, grid_h);
+    let net = train_vo_network(&samples, 3 * grid_w * grid_h, &small_train()).expect("trains");
+    let calib: Vec<Vec<f64>> = samples.iter().take(6).map(|s| s.features.clone()).collect();
+    let config = || LocalizerConfig {
+        num_particles: 300,
+        components: 12,
+        pixel_stride: 9,
+        gate: GateConfig::gated(DIGITAL_GMM, CIM_HMGM),
+        seed: 5,
+        ..LocalizerConfig::default()
+    };
+    let run_with = |policy: AdaptiveMcPolicy| {
+        let vo = BayesianVo::build(
+            &net,
+            &calib,
+            VoPipelineConfig {
+                mc_iterations: 16,
+                ..VoPipelineConfig::default()
+            },
+        )
+        .expect("vo builds");
+        let stage = VoStage::new(
+            vo,
+            policy,
+            &dataset.camera,
+            &dataset.frames[0].depth,
+            grid_w,
+            grid_h,
+        )
+        .expect("stage builds");
+        LocalizationPipeline::build(&dataset, config())
+            .expect("pipeline builds")
+            .with_vo(stage)
+            .run(&dataset)
+            .expect("run completes")
+    };
+    let fixed = run_with(AdaptiveMcPolicy::fixed(16).expect("fixed policy"));
+    // Thresholds straddling the observed variance scale, probed from the
+    // fixed run's logged variances.
+    let mut vars: Vec<f64> = fixed
+        .frames
+        .iter()
+        .map(|f| f.vo.expect("stage attached").variance)
+        .collect();
+    vars.sort_by(|a, b| a.partial_cmp(b).expect("finite variances"));
+    // Thresholds inside the observed distribution (p75 / p90, like the
+    // abl_gating bin) so both hysteresis directions can fire: most
+    // frames are "confident enough" to run shallow, the uncertain tail
+    // climbs back toward the ceiling.
+    let low = vars[(vars.len() * 3) / 4];
+    let p90 = vars[(vars.len() * 9) / 10];
+    let high = if p90 > low { p90 } else { low * 1.5 + 1e-12 };
+    let adaptive = run_with(
+        AdaptiveMcPolicy::new(AdaptiveMcConfig {
+            min_iterations: 4,
+            max_iterations: 16,
+            var_low: low,
+            var_high: high,
+            dwell: 2,
+        })
+        .expect("adaptive policy"),
+    );
+    assert_eq!(fixed.vo_policy.as_deref(), Some("fixed-mc16"));
+    assert_eq!(adaptive.vo_policy.as_deref(), Some("adaptive-mc[4..16]"));
+    // Map side identical: same slots, same errors, same map energy.
+    assert_eq!(fixed.stats, adaptive.stats);
+    assert_eq!(fixed.steady_state_error(), adaptive.steady_state_error());
+    assert_eq!(fixed.total_map_energy_pj(), adaptive.total_map_energy_pj());
+    // VO side adapted: lower mean depth, strictly lower VO and joint
+    // energy.
+    assert!(
+        adaptive.mean_mc_iterations() < fixed.mean_mc_iterations(),
+        "adaptive {} vs fixed {}",
+        adaptive.mean_mc_iterations(),
+        fixed.mean_mc_iterations()
+    );
+    assert!(adaptive.total_vo_energy_pj() < fixed.total_vo_energy_pj());
+    assert!(adaptive.total_energy_pj() < fixed.total_energy_pj());
+    // Depths bounded and logged per frame.
+    assert!(adaptive
+        .frames
+        .iter()
+        .all(|f| (4..=16).contains(&f.vo.expect("vo record").iterations)));
 }
 
 #[test]

@@ -8,9 +8,10 @@ use navicim::backend::{LikelihoodBackend, PointBatch};
 use navicim::core::localization::LocalizerConfig;
 use navicim::core::pipeline::{
     GateConfig, GateContext, GatePolicy, HysteresisConfig, HysteresisGate, LocalizationPipeline,
-    ANALOG_SLOT, DIGITAL_SLOT,
+    PeriodicRefresh, PeriodicRefreshConfig, UncertaintySignals, VoStage, ANALOG_SLOT, DIGITAL_SLOT,
 };
 use navicim::core::registry::{CIM_HMGM, DIGITAL_GMM};
+use navicim::core::vo::{AdaptiveMcConfig, AdaptiveMcPolicy, BayesianVo, VoPipelineConfig};
 use navicim::device::inverter::GaussianLikeCell;
 use navicim::device::params::TechParams;
 use navicim::gmm::gaussian::{Covariance, Gmm};
@@ -402,8 +403,7 @@ proptest! {
             let spread = rng.sample_uniform(0.0, 0.3);
             let next = gate.select(&GateContext {
                 frame,
-                spread,
-                ess: 100.0,
+                signals: UncertaintySignals::from_spread(spread),
                 current,
                 num_backends: 2,
             });
@@ -424,6 +424,140 @@ proptest! {
             current = next;
         }
         prop_assert_eq!(observed, gate.switches());
+    }
+
+    /// Adaptive-MC depth selection stays within `[min, max]`, starts at
+    /// the maximum, respects the dwell lock between depth changes, and is
+    /// a deterministic function of the variance sequence (two policies
+    /// fed the same stream agree decision for decision).
+    #[test]
+    fn adaptive_mc_depth_bounded_dwelled_and_deterministic(
+        seed in 0u64..10_000,
+        min_it in 2usize..12,
+        extra in 0usize..24,
+        dwell in 1usize..5,
+        frames in 4usize..64,
+    ) {
+        let mut rng = Pcg32::seed_from_u64(seed ^ 0xadaf);
+        use navicim::math::rng::SampleExt;
+        let max_it = min_it + extra;
+        let config = AdaptiveMcConfig {
+            min_iterations: min_it,
+            max_iterations: max_it,
+            var_low: 0.05,
+            var_high: 0.15,
+            dwell,
+        };
+        let mut a = AdaptiveMcPolicy::new(config).expect("valid policy");
+        let mut b = AdaptiveMcPolicy::new(config).expect("valid policy");
+        let mut last_change: Option<usize> = None;
+        let mut prev_depth = None;
+        let mut observed_changes = 0u64;
+        for frame in 0..frames {
+            let variance = if frame == 0 {
+                None
+            } else {
+                Some(rng.sample_uniform(0.0, 0.3))
+            };
+            let depth = a.next_iterations(variance);
+            prop_assert_eq!(depth, b.next_iterations(variance));
+            prop_assert!((min_it..=max_it).contains(&depth), "depth {} out of bounds", depth);
+            if frame == 0 {
+                prop_assert_eq!(depth, max_it);
+            }
+            if let Some(prev) = prev_depth {
+                if depth != prev {
+                    observed_changes += 1;
+                    if let Some(l) = last_change {
+                        prop_assert!(
+                            frame - l >= dwell,
+                            "depth changed at {} and {} under dwell {}",
+                            l, frame, dwell
+                        );
+                    }
+                    last_change = Some(frame);
+                }
+            }
+            prev_depth = Some(depth);
+        }
+        prop_assert_eq!(observed_changes, a.changes());
+    }
+
+    /// The periodic-refresh gate is a pure schedule: slot choice depends
+    /// only on the frame index (never on the uncertainty bus), digital
+    /// runs are exactly `refresh_len` long and analog runs exactly
+    /// `period` long.
+    #[test]
+    fn periodic_refresh_schedule_invariants(
+        seed in 0u64..10_000,
+        period in 1usize..9,
+        refresh_len in 1usize..4,
+        frames in 4usize..80,
+    ) {
+        let mut rng = Pcg32::seed_from_u64(seed ^ 0x9e81);
+        use navicim::math::rng::SampleExt;
+        let mut gate = PeriodicRefresh::new(PeriodicRefreshConfig { period, refresh_len })
+            .expect("valid schedule");
+        let cycle = period + refresh_len;
+        for frame in 0..frames {
+            // Arbitrary bus contents must not influence the schedule.
+            let spread = rng.sample_uniform(0.0, 10.0);
+            let slot = gate.select(&GateContext {
+                frame,
+                signals: UncertaintySignals::from_spread(spread),
+                current: frame % 2,
+                num_backends: 2,
+            });
+            let expected = if frame % cycle < refresh_len {
+                DIGITAL_SLOT
+            } else {
+                ANALOG_SLOT
+            };
+            prop_assert_eq!(slot, expected);
+        }
+    }
+
+    /// Variable-depth VO prediction at the configured depth is the fixed
+    /// path: `predict_n_into(t = mc_iterations)` must be bit-identical to
+    /// `predict` — samples, moments, macro counters and mask-RNG stream —
+    /// for arbitrary depths and repeated pool reuse across shrink/grow
+    /// cycles.
+    #[test]
+    fn vo_variable_depth_matches_fixed_at_config_depth(
+        seed in 0u64..300,
+        iters in 2usize..16,
+    ) {
+        use navicim::nn::mc::McPrediction;
+        let mut rng = Pcg32::seed_from_u64(seed ^ 0x7a11);
+        use navicim::math::rng::SampleExt;
+        // Untrained net: bit-identity does not need a good regressor.
+        let net = navicim::nn::mlp::Mlp::builder(6)
+            .dense(10)
+            .relu()
+            .dropout(0.5)
+            .dense(6)
+            .build(&mut rng)
+            .expect("net builds");
+        let calib: Vec<Vec<f64>> = (0..3)
+            .map(|_| (0..6).map(|_| rng.sample_uniform(-1.0, 1.0)).collect())
+            .collect();
+        let config = VoPipelineConfig {
+            mc_iterations: iters,
+            seed,
+            ..VoPipelineConfig::default()
+        };
+        let mut fixed = BayesianVo::build(&net, &calib, config.clone()).expect("builds");
+        let mut variable = BayesianVo::build(&net, &calib, config).expect("builds");
+        let mut pooled = McPrediction::default();
+        for k in 0..4u64 {
+            let features: Vec<f64> = (0..6)
+                .map(|i| ((seed + k) as f64 * 0.01 + i as f64 * 0.1).sin())
+                .collect();
+            let owned = fixed.predict(&features);
+            variable.predict_n_into(&features, iters, &mut pooled);
+            prop_assert_eq!(&owned, &pooled);
+        }
+        prop_assert_eq!(fixed.macro_stats(), variable.macro_stats());
     }
 
     /// Weight quantization reconstruction error is bounded by the step.
@@ -496,5 +630,99 @@ proptest! {
             run1.total_evaluations(),
             run1.merged_stats().evaluations
         );
+    }
+
+    /// Attaching a VO stage never perturbs the fixed-config map path: the
+    /// gated localization stream (slots, estimates, errors, map energy,
+    /// backend stats) is bit-identical with and without the stage, and
+    /// the adaptive-MC depths it logs stay within their configured
+    /// bounds and repeat deterministically.
+    #[test]
+    fn vo_stage_is_a_pure_observer_of_the_map_path(seed in 0u64..1_000) {
+        use navicim::scene::dataset::{make_samples, LocalizationConfig, LocalizationDataset};
+        let dataset = LocalizationDataset::generate(
+            &LocalizationConfig {
+                image_width: 24,
+                image_height: 18,
+                map_points: 600,
+                frames: 8,
+                ..LocalizationConfig::default()
+            },
+            11,
+        )
+        .expect("dataset generates");
+        let config = || LocalizerConfig {
+            num_particles: 150,
+            pixel_stride: 7,
+            components: 8,
+            gate: GateConfig::gated(DIGITAL_GMM, CIM_HMGM),
+            seed,
+            ..LocalizerConfig::default()
+        };
+        let stage = || {
+            let mut rng = Pcg32::seed_from_u64(seed ^ 0x0b5e);
+            let net = navicim::nn::mlp::Mlp::builder(36)
+                .dense(12)
+                .relu()
+                .dropout(0.5)
+                .dense(6)
+                .build(&mut rng)
+                .expect("net builds");
+            let samples = make_samples(&dataset.frames, &dataset.camera, 4, 3);
+            let calib: Vec<Vec<f64>> =
+                samples.iter().take(3).map(|s| s.features.clone()).collect();
+            let vo = BayesianVo::build(
+                &net,
+                &calib,
+                VoPipelineConfig {
+                    mc_iterations: 10,
+                    seed,
+                    ..VoPipelineConfig::default()
+                },
+            )
+            .expect("vo builds");
+            VoStage::new(
+                vo,
+                AdaptiveMcPolicy::new(AdaptiveMcConfig {
+                    min_iterations: 4,
+                    max_iterations: 10,
+                    var_low: 1e-6,
+                    var_high: 1e6,
+                    dwell: 1,
+                })
+                .expect("policy builds"),
+                &dataset.camera,
+                &dataset.frames[0].depth,
+                4,
+                3,
+            )
+            .expect("stage builds")
+        };
+        let bare = LocalizationPipeline::build(&dataset, config())
+            .expect("pipeline builds")
+            .run(&dataset)
+            .expect("run completes");
+        let observed = LocalizationPipeline::build(&dataset, config())
+            .expect("pipeline builds")
+            .with_vo(stage())
+            .run(&dataset)
+            .expect("run completes");
+        prop_assert_eq!(&observed.stats, &bare.stats);
+        for (with_vo, without) in observed.frames.iter().zip(&bare.frames) {
+            prop_assert_eq!(with_vo.slot, without.slot);
+            prop_assert_eq!(&with_vo.summary, &without.summary);
+            prop_assert_eq!(with_vo.map_energy_pj, without.map_energy_pj);
+            prop_assert_eq!(with_vo.signals.spread, without.signals.spread);
+            prop_assert_eq!(with_vo.signals.innovation, without.signals.innovation);
+            let vo = with_vo.vo.expect("stage attached");
+            prop_assert!((4..=10).contains(&vo.iterations));
+        }
+        // And the observed run itself repeats bit-identically.
+        let repeat = LocalizationPipeline::build(&dataset, config())
+            .expect("pipeline builds")
+            .with_vo(stage())
+            .run(&dataset)
+            .expect("run completes");
+        prop_assert_eq!(&observed, &repeat);
     }
 }
