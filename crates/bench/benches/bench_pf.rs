@@ -300,9 +300,12 @@ fn bench_gated_pipeline_step(c: &mut Criterion) {
 
 /// One gated pipeline step with the VO MC-Dropout stage riding along:
 /// fixed 30-iteration depth vs the variance-adaptive policy — the
-/// VO-side saving of the two-axis co-design in the perf trajectory.
+/// VO-side saving of the two-axis co-design in the perf trajectory —
+/// plus the closed-loop variant, where the VO predictive mean *drives*
+/// the motion model with variance-scaled noise instead of observing
+/// (the full step a ground-truth-free deployment pays for).
 fn bench_adaptive_mc_pipeline_step(c: &mut Criterion) {
-    use navicim_core::pipeline::VoStage;
+    use navicim_core::pipeline::{ControlSource, VoStage};
     use navicim_core::vo::{
         train_vo_network, AdaptiveMcConfig, AdaptiveMcPolicy, BayesianVo, VoPipelineConfig,
         VoTrainConfig,
@@ -340,9 +343,14 @@ fn bench_adaptive_mc_pipeline_step(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("pf_vo_mc_pipeline_step");
     group.sample_size(10);
-    for (label, policy) in [
-        ("vo-fixed30", AdaptiveMcPolicy::fixed(30).expect("fixed")),
-        ("vo-adaptive", adaptive()),
+    for (label, policy, control) in [
+        (
+            "vo-fixed30",
+            AdaptiveMcPolicy::fixed(30).expect("fixed"),
+            ControlSource::GroundTruth,
+        ),
+        ("vo-adaptive", adaptive(), ControlSource::GroundTruth),
+        ("vo-closed-loop", adaptive(), ControlSource::VisualOdometry),
     ] {
         group.bench_function(BenchmarkId::new(label, 256), |b| {
             let config = LocalizerConfig {
@@ -376,12 +384,13 @@ fn bench_adaptive_mc_pipeline_step(c: &mut Criterion) {
             .expect("vo stage builds");
             let mut pipeline = LocalizationPipeline::build(&dataset, config)
                 .expect("pipeline builds")
-                .with_vo(stage);
-            let control = dataset.frames[0].pose.delta_to(dataset.frames[1].pose);
+                .with_vo(stage)
+                .with_control(control);
+            let gt_control = dataset.frames[0].pose.delta_to(dataset.frames[1].pose);
             let truth = dataset.frames[1].pose;
             b.iter(|| {
                 pipeline
-                    .step(&control, &dataset.frames[1].depth, truth)
+                    .step(&gt_control, &dataset.frames[1].depth, truth)
                     .expect("step succeeds")
             })
         });

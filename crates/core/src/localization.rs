@@ -362,7 +362,11 @@ impl CimLocalizer {
     }
 
     /// Runs the filter over the whole dataset using ground-truth frame
-    /// deltas as odometry (the motion model adds its own noise).
+    /// deltas as odometry (the motion model adds its own noise). The
+    /// wrapper always runs open loop; for VO-driven closed-loop control
+    /// (`ControlSource::VisualOdometry` with uncertainty-scaled motion
+    /// noise) use [`LocalizationPipeline`] directly — see
+    /// `LocalizationPipeline::with_control`.
     ///
     /// # Errors
     ///

@@ -51,6 +51,12 @@ pub const DIGITAL_SLOT: usize = 0;
 /// Conventional slot of the cheap analog backend.
 pub const ANALOG_SLOT: usize = 1;
 
+/// Frames of absence after which a backend slot's frozen likelihood
+/// trend is stale: the slot's [`InnovationTracker`] resets to warm-up
+/// instead of scoring the first frame back against ancient history
+/// (roughly twice the default five-frame EWMA memory).
+pub const INNOVATION_STALE_AFTER: usize = 10;
+
 /// The per-frame uncertainty bus: every live "how lost are we" estimate,
 /// gathered *before* a frame is weighed and shared — the same values —
 /// by the gate policy, the frame log ([`FrameReport::signals`]) and any
@@ -62,13 +68,25 @@ pub struct UncertaintySignals {
     pub spread: f64,
     /// Effective sample size as a fraction of the particle count, in
     /// (0, 1] (scale-free, so thresholds survive population changes).
+    /// Measured on the previous update *before* its resampling step —
+    /// the resampler resets collapsed weights to uniform on the spot,
+    /// so a post-resample reading could never show the degeneracy an
+    /// ESS-triggered rescue exists to catch. Before the first update it
+    /// is the live (uniform-weight) value.
     pub ess_fraction: f64,
     /// Likelihood innovation: the previous frame's mean log-likelihood
-    /// minus its running EWMA (0 until two frames have been weighed).
-    /// Negative values mean the map matched *worse* than the recent
-    /// trend — the "collapsed but biased" symptom spread alone cannot
-    /// see.
-    pub innovation: f64,
+    /// minus the running EWMA *of the backend slot that served it* —
+    /// each slot keeps its own trend, because digital and analog
+    /// likelihoods sit on different scales and a cross-backend delta
+    /// would read every slot switch as a phantom map-mismatch event.
+    /// `None` during warm-up — until the serving slot has weighed two
+    /// finite frames there is no trend to deviate from — and after a
+    /// blind (all-`-inf`) frame, so "no reading yet" can never
+    /// masquerade as a genuine `Some(0.0)` matched-the-trend-exactly
+    /// reading. Negative values mean the map matched *worse* than the
+    /// serving backend's recent trend — the "collapsed but biased"
+    /// symptom spread alone cannot see.
+    pub innovation: Option<f64>,
     /// Previous frame's VO total predictive variance (`None` before the
     /// first VO prediction, or when no [`VoStage`] rides the pipeline).
     pub vo_variance: Option<f64>,
@@ -82,7 +100,7 @@ impl UncertaintySignals {
         Self {
             spread,
             ess_fraction: 1.0,
-            innovation: 0.0,
+            innovation: None,
             vo_variance: None,
         }
     }
@@ -200,6 +218,59 @@ impl Default for HysteresisConfig {
     }
 }
 
+impl HysteresisConfig {
+    /// Validates every threshold uniformly: both spread thresholds must
+    /// be finite with `0 < analog_enter < digital_enter`, the dwell at
+    /// least one frame, and the start slot digital or analog. Shared by
+    /// [`HysteresisGate::new`] and [`MultiSignalGate::new`], so the
+    /// spread band obeys one rule set wherever it appears.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if !self.analog_enter.is_finite()
+            || !self.digital_enter.is_finite()
+            || !(self.analog_enter > 0.0)
+            || !(self.digital_enter > self.analog_enter)
+        {
+            return Err(CoreError::InvalidArgument(format!(
+                "hysteresis thresholds must be finite with 0 < analog_enter < digital_enter \
+                 (got {} / {})",
+                self.analog_enter, self.digital_enter
+            )));
+        }
+        if self.dwell == 0 {
+            return Err(CoreError::InvalidArgument(
+                "hysteresis dwell must be at least 1 frame".into(),
+            ));
+        }
+        if self.start > ANALOG_SLOT {
+            return Err(CoreError::InvalidArgument(format!(
+                "hysteresis start slot {} is neither digital (0) nor analog (1)",
+                self.start
+            )));
+        }
+        Ok(())
+    }
+
+    /// The slot this spread band demands given the current slot: analog
+    /// at or below `analog_enter`, digital at or above `digital_enter`,
+    /// the current slot inside the dead zone. Shared by
+    /// [`HysteresisGate`] and [`MultiSignalGate`] so the two gates'
+    /// spread semantics cannot drift apart (their neutral-bus
+    /// equivalence is property-tested).
+    pub fn spread_target(&self, spread: f64, current: usize) -> usize {
+        if spread <= self.analog_enter {
+            ANALOG_SLOT
+        } else if spread >= self.digital_enter {
+            DIGITAL_SLOT
+        } else {
+            current
+        }
+    }
+}
+
 /// The default gate: particle-spread thresholds with hysteresis and a
 /// dwell count.
 ///
@@ -224,29 +295,10 @@ impl HysteresisGate {
     ///
     /// Returns [`CoreError::InvalidArgument`] unless
     /// `0 < analog_enter < digital_enter` (both finite), `dwell ≥ 1` and
-    /// the start slot is digital or analog.
+    /// the start slot is digital or analog
+    /// ([`HysteresisConfig::validate`]).
     pub fn new(config: HysteresisConfig) -> Result<Self> {
-        if !(config.analog_enter > 0.0)
-            || !(config.digital_enter > config.analog_enter)
-            || !config.digital_enter.is_finite()
-        {
-            return Err(CoreError::InvalidArgument(format!(
-                "hysteresis thresholds must satisfy 0 < analog_enter < digital_enter \
-                 (got {} / {})",
-                config.analog_enter, config.digital_enter
-            )));
-        }
-        if config.dwell == 0 {
-            return Err(CoreError::InvalidArgument(
-                "hysteresis dwell must be at least 1 frame".into(),
-            ));
-        }
-        if config.start > ANALOG_SLOT {
-            return Err(CoreError::InvalidArgument(format!(
-                "hysteresis start slot {} is neither digital (0) nor analog (1)",
-                config.start
-            )));
-        }
+        config.validate()?;
         Ok(Self {
             config,
             current: config.start,
@@ -281,13 +333,7 @@ impl GatePolicy for HysteresisGate {
         }
         self.since_switch = self.since_switch.saturating_add(1);
         if self.since_switch >= self.config.dwell {
-            let target = if ctx.signals.spread <= self.config.analog_enter {
-                ANALOG_SLOT
-            } else if ctx.signals.spread >= self.config.digital_enter {
-                DIGITAL_SLOT
-            } else {
-                self.current
-            };
+            let target = self.config.spread_target(ctx.signals.spread, self.current);
             if target != self.current {
                 self.current = target;
                 self.since_switch = 0;
@@ -301,6 +347,162 @@ impl GatePolicy for HysteresisGate {
         self.current = self.config.start;
         self.since_switch = 0;
         self.switches = 0;
+        self.started = false;
+    }
+}
+
+/// Thresholds of the [`MultiSignalGate`]: the spread hysteresis band
+/// plus the two digital-wake overrides that read the rest of the
+/// uncertainty bus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiSignalConfig {
+    /// The spread band — same semantics (and same validation) as the
+    /// spread-only [`HysteresisGate`].
+    pub spread: HysteresisConfig,
+    /// Wake the digital slot when the likelihood innovation is at or
+    /// below this (strongly negative: the map suddenly matches much
+    /// worse than its recent trend) even if the cloud is tight — the
+    /// "collapsed but biased" rescue. Must be finite and negative.
+    pub innovation_wake: f64,
+    /// Wake the digital slot when the ESS fraction is at or below this
+    /// (weight mass concentrated on a sliver of the cloud). Must be in
+    /// (0, 1).
+    pub ess_wake: f64,
+}
+
+impl Default for MultiSignalConfig {
+    fn default() -> Self {
+        Self {
+            spread: HysteresisConfig::default(),
+            // Roughly "the frame scored one nat/point below trend" on
+            // the tempered per-frame mean log-likelihood scale.
+            innovation_wake: -1.0,
+            ess_wake: 0.05,
+        }
+    }
+}
+
+/// The multi-signal gate: the [`HysteresisGate`] spread band extended
+/// with digital-wake overrides on the other bus signals. A tight cloud
+/// ordinarily stays on the cheap analog slot, but a strongly negative
+/// likelihood innovation or a collapsed ESS fraction means the cloud is
+/// confidently *wrong* — the one failure mode a spread threshold is
+/// blind to (PAPERS.md: the memristor wake-up paper's
+/// uncertainty-triggered escalation) — and forces the accurate digital
+/// slot.
+///
+/// Overrides obey the same dwell lock as spread switches, so the gate
+/// still switches at most once per dwell window; an innovation of
+/// `None` (warm-up, blind frame) never fires the override.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiSignalGate {
+    config: MultiSignalConfig,
+    current: usize,
+    since_switch: usize,
+    switches: u64,
+    rescues: u64,
+    started: bool,
+}
+
+impl MultiSignalGate {
+    /// Validates the thresholds and builds the gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] when the spread band is
+    /// invalid ([`HysteresisConfig::validate`]), `innovation_wake` is
+    /// not a finite negative number, or `ess_wake` is outside (0, 1).
+    pub fn new(config: MultiSignalConfig) -> Result<Self> {
+        config.spread.validate()?;
+        if !config.innovation_wake.is_finite() || !(config.innovation_wake < 0.0) {
+            return Err(CoreError::InvalidArgument(format!(
+                "multi-signal innovation wake threshold must be finite and negative, got {}",
+                config.innovation_wake
+            )));
+        }
+        if !config.ess_wake.is_finite() || !(config.ess_wake > 0.0) || !(config.ess_wake < 1.0) {
+            return Err(CoreError::InvalidArgument(format!(
+                "multi-signal ess wake threshold must be in (0, 1), got {}",
+                config.ess_wake
+            )));
+        }
+        Ok(Self {
+            config,
+            current: config.spread.start,
+            since_switch: 0,
+            switches: 0,
+            rescues: 0,
+            started: false,
+        })
+    }
+
+    /// The gate's thresholds.
+    pub fn config(&self) -> &MultiSignalConfig {
+        &self.config
+    }
+
+    /// Number of backend switches performed since construction/reset.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Number of rescue-triggered *switches* to the digital slot —
+    /// switches the innovation/ESS overrides forced while the spread
+    /// band alone would not have left the analog slot. Frames on which
+    /// a still-firing override merely *holds* digital are not counted
+    /// (the gate is already where the rescue wants it).
+    pub fn rescues(&self) -> u64 {
+        self.rescues
+    }
+
+    /// Whether the non-spread signals demand the digital slot.
+    fn wants_rescue(&self, signals: &UncertaintySignals) -> bool {
+        let innovation_fires = signals
+            .innovation
+            .is_some_and(|i| i.is_finite() && i <= self.config.innovation_wake);
+        let ess_fires =
+            signals.ess_fraction.is_finite() && signals.ess_fraction <= self.config.ess_wake;
+        innovation_fires || ess_fires
+    }
+}
+
+impl GatePolicy for MultiSignalGate {
+    fn name(&self) -> &str {
+        "multi-signal"
+    }
+
+    fn select(&mut self, ctx: &GateContext) -> usize {
+        if !self.started {
+            self.started = true;
+            self.current = self.config.spread.start;
+            self.since_switch = 0;
+            return self.current;
+        }
+        self.since_switch = self.since_switch.saturating_add(1);
+        if self.since_switch >= self.config.spread.dwell {
+            let spread_target = self
+                .config
+                .spread
+                .spread_target(ctx.signals.spread, self.current);
+            let rescue = self.wants_rescue(&ctx.signals);
+            let target = if rescue { DIGITAL_SLOT } else { spread_target };
+            if target != self.current {
+                if rescue && spread_target != DIGITAL_SLOT {
+                    self.rescues += 1;
+                }
+                self.current = target;
+                self.since_switch = 0;
+                self.switches += 1;
+            }
+        }
+        self.current
+    }
+
+    fn reset(&mut self) {
+        self.current = self.config.spread.start;
+        self.since_switch = 0;
+        self.switches = 0;
+        self.rescues = 0;
         self.started = false;
     }
 }
@@ -388,6 +590,8 @@ pub enum GateKind {
     Always(usize),
     /// Spread-thresholded digital↔analog arbitration with hysteresis.
     Hysteresis(HysteresisConfig),
+    /// The spread band plus innovation/ESS digital-wake overrides.
+    MultiSignal(MultiSignalConfig),
     /// Uncertainty-blind timer: wake digital every N analog frames.
     Periodic(PeriodicRefreshConfig),
 }
@@ -458,6 +662,20 @@ impl GateConfig {
         self
     }
 
+    /// Multi-signal-gated `digital` ↔ `analog` arbitration: the spread
+    /// band of [`Self::gated`] plus the innovation/ESS digital-wake
+    /// overrides of [`MultiSignalGate`].
+    pub fn multi_signal(
+        digital: impl Into<String>,
+        analog: impl Into<String>,
+        config: MultiSignalConfig,
+    ) -> Self {
+        Self {
+            backends: vec![digital.into(), analog.into()],
+            policy: GateKind::MultiSignal(config),
+        }
+    }
+
     /// Timer-gated `digital` ↔ `analog` duty cycling — the
     /// uncertainty-blind [`PeriodicRefresh`] baseline.
     pub fn periodic(
@@ -515,6 +733,14 @@ impl GateConfig {
                 }
                 Ok(Box::new(HysteresisGate::new(*config)?))
             }
+            GateKind::MultiSignal(config) => {
+                if num_slots < 2 {
+                    return Err(CoreError::InvalidArgument(
+                        "multi-signal gating requires a digital and an analog backend slot".into(),
+                    ));
+                }
+                Ok(Box::new(MultiSignalGate::new(*config)?))
+            }
             GateKind::Periodic(config) => {
                 if num_slots < 2 {
                     return Err(CoreError::InvalidArgument(
@@ -523,6 +749,129 @@ impl GateConfig {
                 }
                 Ok(Box::new(PeriodicRefresh::new(*config)?))
             }
+        }
+    }
+}
+
+/// What drives the particle filter's motion model each frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ControlSource {
+    /// Ground-truth frame deltas (the open-loop default, bit-identical
+    /// to every pre-closed-loop run): the caller's `control` argument is
+    /// composed into the motion model with its configured noise.
+    #[default]
+    GroundTruth,
+    /// The VO stage's MC-Dropout predictive mean (paper Section III →
+    /// Section II fusion): the pipeline navigates on its *own* odometry
+    /// estimate, with the prediction's variance inflating the motion
+    /// noise through [`NoiseInflation`] so uncertain VO widens the
+    /// proposal instead of silently biasing it. Requires an attached
+    /// [`VoStage`].
+    VisualOdometry,
+}
+
+impl ControlSource {
+    /// Stable lowercase label for reports and CSV logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ControlSource::GroundTruth => "ground-truth",
+            ControlSource::VisualOdometry => "visual-odometry",
+        }
+    }
+}
+
+impl fmt::Display for ControlSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Maps the VO prediction's total predictive variance onto a bounded
+/// motion-noise scale: `scale = min(floor + gain · variance, ceiling)`,
+/// applied to the motion model's noise standard deviations through
+/// [`navicim_filter::filter::Motion::sample_scaled`].
+///
+/// `floor` is the trust granted a zero-variance (perfectly confident)
+/// prediction; values below 1 let a VO source whose measured per-step
+/// error sits well inside the modeled odometry noise *sharpen* the
+/// proposal, while `gain` widens it toward the ceiling as the
+/// prediction's epistemic variance grows.
+///
+/// The bound is the safety contract of the closed loop — for *any*
+/// variance input (including `NaN`/`±inf` from a degenerate prediction,
+/// and `None` before the first prediction) the returned scale is finite
+/// and inside `[floor, ceiling]`, so a pathological VO frame can widen
+/// the proposal to the configured ceiling but can never collapse or
+/// explode it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseInflation {
+    /// Noise-scale gain per unit of VO predictive variance (≥ 0,
+    /// finite). 0 pins the scale to `floor`.
+    pub gain: f64,
+    /// The zero-variance trust level and lower bound on the scale
+    /// (> 0, finite). 1.0 keeps the configured motion noise as the
+    /// baseline; values below 1 sharpen it for confident predictions.
+    pub floor: f64,
+    /// Upper bound on the scale (≥ floor, finite) — also the scale used
+    /// when no variance is available yet or the variance is non-finite
+    /// (maximum distrust).
+    pub ceiling: f64,
+}
+
+impl Default for NoiseInflation {
+    fn default() -> Self {
+        Self {
+            // The VO regressor's total predictive variance on this
+            // workload sits around 1e-3..1e-1; the default gain maps
+            // that band onto a ~1x..4x noise inflation.
+            gain: 30.0,
+            floor: 1.0,
+            ceiling: 4.0,
+        }
+    }
+}
+
+impl NoiseInflation {
+    /// Validates the bounds and builds the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] unless `gain` is finite
+    /// and non-negative and `0 < floor <= ceiling` (both finite).
+    pub fn new(gain: f64, floor: f64, ceiling: f64) -> Result<Self> {
+        if !gain.is_finite() || !(gain >= 0.0) {
+            return Err(CoreError::InvalidArgument(format!(
+                "noise-inflation gain must be finite and >= 0, got {gain}"
+            )));
+        }
+        if !floor.is_finite() || !ceiling.is_finite() || !(floor > 0.0) || !(ceiling >= floor) {
+            return Err(CoreError::InvalidArgument(format!(
+                "noise-inflation bounds must be finite with 0 < floor <= ceiling \
+                 (got {floor} / {ceiling})"
+            )));
+        }
+        Ok(Self {
+            gain,
+            floor,
+            ceiling,
+        })
+    }
+
+    /// The bounded motion-noise scale for one frame's VO variance.
+    /// Total for any input: `None` and non-finite variances price at
+    /// the ceiling (maximum distrust), everything else at
+    /// `clamp(floor + gain · variance, floor, ceiling)`.
+    pub fn scale(&self, vo_variance: Option<f64>) -> f64 {
+        match vo_variance {
+            Some(v) if v.is_finite() => {
+                let raw = self.floor + self.gain * v.max(0.0);
+                if raw.is_finite() {
+                    raw.clamp(self.floor, self.ceiling)
+                } else {
+                    self.ceiling
+                }
+            }
+            _ => self.ceiling,
         }
     }
 }
@@ -621,6 +970,12 @@ pub struct VoFrameReport {
     /// This frame's fresh total predictive variance (it enters the bus
     /// as [`UncertaintySignals::vo_variance`] on the *next* frame).
     pub variance: f64,
+    /// The predictive-mean relative pose this frame's frame pair encodes
+    /// — the odometry control a
+    /// [`ControlSource::VisualOdometry`] pipeline feeds its motion
+    /// model, and the estimate an open-loop run can score against the
+    /// ground-truth delta.
+    pub delta: Pose,
     /// VO inference energy this frame, in pJ.
     pub energy_pj: f64,
 }
@@ -638,6 +993,13 @@ pub struct FrameReport {
     /// The uncertainty bus sampled *before* this frame's prediction —
     /// exactly what the gate saw.
     pub signals: UncertaintySignals,
+    /// What drove the motion model this frame (ground-truth deltas or
+    /// the VO predictive mean).
+    pub control_source: ControlSource,
+    /// Motion-noise scale applied to this frame's prediction (1.0 in
+    /// ground-truth mode; the bounded [`NoiseInflation`] output of the
+    /// frame's VO variance in closed-loop mode).
+    pub noise_scale: f64,
     /// Filter summary after the update (estimate, error, post spread,
     /// ESS).
     pub summary: StepSummary,
@@ -761,6 +1123,39 @@ impl PipelineRun {
         }
     }
 
+    /// Mean motion-noise scale over the run (1.0 for a pure
+    /// ground-truth run, 0 for an empty run) — how much the closed loop
+    /// widened the proposal on average.
+    pub fn mean_noise_scale(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.frames.iter().map(|f| f.noise_scale).sum::<f64>() / self.frames.len() as f64
+    }
+
+    /// Mean translation error of the VO-predicted frame deltas against
+    /// the ground-truth deltas between consecutive reports, in metres
+    /// (`None` without a VO stage, or with fewer than two frames) — the
+    /// raw odometry quality driving a closed-loop run, independent of
+    /// what the filter makes of it. The first report has no in-stream
+    /// predecessor to difference against and is skipped.
+    pub fn mean_control_error(&self) -> Option<f64> {
+        let mut n = 0usize;
+        let mut total = 0.0;
+        for pair in self.frames.windows(2) {
+            if let Some(vo) = pair[1].vo {
+                let truth_delta = pair[0].truth.delta_to(pair[1].truth);
+                total += vo.delta.translation_distance(truth_delta);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(total / n as f64)
+        }
+    }
+
     /// Total map point evaluations of the run.
     pub fn total_evaluations(&self) -> u64 {
         self.frames.iter().map(|f| f.evaluations).sum()
@@ -819,36 +1214,57 @@ impl PipelineRun {
         table
     }
 
+    /// The exact header row [`Self::to_csv`] emits — the frame-log
+    /// schema contract downstream loaders (gate training, offline
+    /// analysis) parse against, locked by a round-trip test.
+    pub const CSV_HEADER: [&'static str; 19] = [
+        "frame",
+        "slot",
+        "backend",
+        "gate",
+        "control_source",
+        "spread",
+        "ess_fraction",
+        "innovation",
+        "bus_vo_variance",
+        "noise_scale",
+        "error_m",
+        "post_spread",
+        "post_ess",
+        "evaluations",
+        "map_energy_pj",
+        "mc_iterations",
+        "vo_variance",
+        "vo_energy_pj",
+        "total_energy_pj",
+    ];
+
     /// The run's frame log as CSV — one row per [`FrameReport`] carrying
     /// every uncertainty-bus column next to the decision and energy
     /// columns. This is the training-data path for learned gates: each
     /// row pairs what the gate *saw* (`spread`, `ess_fraction`,
     /// `innovation`, `bus_vo_variance`) with what it *did* (`slot`,
-    /// `mc_iterations`) and what it *cost* (error and pJ columns).
+    /// `control_source`, `noise_scale`, `mc_iterations`) and what it
+    /// *cost* (error and pJ columns).
     ///
-    /// Floats render with Rust's shortest round-trip formatting, so the
-    /// log is lossless; optional columns are empty when absent.
+    /// Finite floats render with Rust's shortest round-trip formatting,
+    /// so the log is lossless; non-finite values (`NaN`, `±inf` — e.g.
+    /// an all-blind frame's `-inf` mean log-likelihood) and absent
+    /// optional columns both render as *empty cells*, never as `NaN`/
+    /// `inf` tokens that would break numeric loaders.
     pub fn to_csv(&self) -> Csv {
-        let opt = |v: Option<f64>| v.map(|x| format!("{x}")).unwrap_or_default();
-        let mut csv = Csv::new(vec![
-            "frame",
-            "slot",
-            "backend",
-            "gate",
-            "spread",
-            "ess_fraction",
-            "innovation",
-            "bus_vo_variance",
-            "error_m",
-            "post_spread",
-            "post_ess",
-            "evaluations",
-            "map_energy_pj",
-            "mc_iterations",
-            "vo_variance",
-            "vo_energy_pj",
-            "total_energy_pj",
-        ]);
+        // Empty-cell sanitation for every float column: one rule for
+        // "absent" and "not a number", so loaders see a single
+        // missing-value convention.
+        let fin = |x: f64| {
+            if x.is_finite() {
+                format!("{x}")
+            } else {
+                String::new()
+            }
+        };
+        let opt = |v: Option<f64>| v.map(fin).unwrap_or_default();
+        let mut csv = Csv::new(Self::CSV_HEADER.to_vec());
         for f in &self.frames {
             csv.row(vec![
                 format!("{}", f.frame),
@@ -858,20 +1274,22 @@ impl PipelineRun {
                     .cloned()
                     .unwrap_or_else(|| format!("slot{}", f.slot)),
                 self.gate.clone(),
-                format!("{}", f.signals.spread),
-                format!("{}", f.signals.ess_fraction),
-                format!("{}", f.signals.innovation),
+                f.control_source.label().into(),
+                fin(f.signals.spread),
+                fin(f.signals.ess_fraction),
+                opt(f.signals.innovation),
                 opt(f.signals.vo_variance),
-                format!("{}", f.summary.error),
-                format!("{}", f.summary.spread),
-                format!("{}", f.summary.ess),
+                fin(f.noise_scale),
+                fin(f.summary.error),
+                fin(f.summary.spread),
+                fin(f.summary.ess),
                 format!("{}", f.evaluations),
-                format!("{}", f.map_energy_pj),
+                fin(f.map_energy_pj),
                 f.vo.map(|v| format!("{}", v.iterations))
                     .unwrap_or_default(),
                 opt(f.vo.map(|v| v.variance)),
                 opt(f.vo.map(|v| v.energy_pj)),
-                format!("{}", f.total_energy_pj()),
+                fin(f.total_energy_pj()),
             ]);
         }
         csv
@@ -903,6 +1321,7 @@ pub struct VoStage {
     features: Vec<f64>,
     pred: McPrediction,
     last_variance: Option<f64>,
+    last_delta: Option<Pose>,
     prev_stats: MacroStats,
     prev_silicon_bits: u64,
 }
@@ -949,6 +1368,12 @@ impl VoStage {
                 vo.qnet().in_dim()
             )));
         }
+        if vo.qnet().out_dim() != 6 {
+            return Err(CoreError::InvalidArgument(format!(
+                "vo stage regressors predict a 6-DoF delta but the network has {} outputs",
+                vo.qnet().out_dim()
+            )));
+        }
         let mut prev_grid = Vec::new();
         first_frame.grid_means_into(grid_width, grid_height, &mut prev_grid);
         for g in &mut prev_grid {
@@ -966,6 +1391,7 @@ impl VoStage {
             features: Vec::new(),
             pred: McPrediction::default(),
             last_variance: None,
+            last_delta: None,
             prev_stats,
             prev_silicon_bits,
         })
@@ -975,6 +1401,12 @@ impl VoStage {
     /// first frame) — the value the bus reports as `vo_variance`.
     pub fn last_variance(&self) -> Option<f64> {
         self.last_variance
+    }
+
+    /// The most recent prediction's mean relative pose (`None` before
+    /// the first frame) — the closed-loop odometry control.
+    pub fn last_delta(&self) -> Option<Pose> {
+        self.last_delta
     }
 
     /// The depth policy (current thresholds, change count).
@@ -1009,16 +1441,18 @@ impl VoStage {
         self.vo
             .predict_n_into(&self.features, iterations, &mut self.pred);
         let variance = self.pred.total_variance();
+        let delta = crate::vo::delta_pose_from_mean(&self.pred.mean);
         self.last_variance = Some(variance);
+        self.last_delta = Some(delta);
         std::mem::swap(&mut self.prev_grid, &mut self.curr_grid);
         let stats = self.vo.macro_stats();
-        let delta = stats.delta_since(&self.prev_stats);
+        let stats_delta = stats.delta_since(&self.prev_stats);
         self.prev_stats = stats;
         let bits = self.vo.silicon_bits().unwrap_or(0);
         let rng_bits = bits.saturating_sub(self.prev_silicon_bits);
         self.prev_silicon_bits = bits;
         let energy_pj = pricing.vo_frame_pj(
-            &delta,
+            &stats_delta,
             rng_bits,
             self.vo.config().weight_bits,
             self.vo.config().adc_bits,
@@ -1026,6 +1460,7 @@ impl VoStage {
         Ok(VoFrameReport {
             iterations,
             variance,
+            delta,
             energy_pj,
         })
     }
@@ -1044,8 +1479,17 @@ pub struct LocalizationPipeline {
     rng: Pcg32,
     scratch: ScanScratch,
     prev_stats: Vec<BackendStats>,
-    innovation: InnovationTracker,
+    /// One likelihood-trend tracker per backend slot (digital and analog
+    /// log-likelihoods live on different scales, so each slot's frames
+    /// score against that slot's own history), the frame each slot last
+    /// served (for staleness aging), and the slot whose tracker produced
+    /// the most recent reading.
+    innovation: Vec<InnovationTracker>,
+    innovation_last_frame: Vec<Option<usize>>,
+    last_served: Option<usize>,
     vo: Option<VoStage>,
+    control: ControlSource,
+    inflation: NoiseInflation,
     frame: usize,
     current: usize,
 }
@@ -1168,9 +1612,13 @@ impl LocalizationPipeline {
             pricing: EnergyPricing::default(),
             rng,
             scratch: ScanScratch::default(),
+            innovation: vec![InnovationTracker::default(); slot_names.len()],
+            innovation_last_frame: vec![None; slot_names.len()],
             prev_stats,
-            innovation: InnovationTracker::default(),
+            last_served: None,
             vo: None,
+            control: ControlSource::GroundTruth,
+            inflation: NoiseInflation::default(),
             frame: 0,
             current: 0,
         })
@@ -1194,6 +1642,38 @@ impl LocalizationPipeline {
     /// The attached VO stage, if any.
     pub fn vo_stage(&self) -> Option<&VoStage> {
         self.vo.as_ref()
+    }
+
+    /// Selects what drives the motion model (builder style). The default
+    /// is [`ControlSource::GroundTruth`] — bit-identical to every run
+    /// before the loop was closed. [`ControlSource::VisualOdometry`]
+    /// requires a [`VoStage`] ([`Self::with_vo`]); the mismatch is
+    /// reported by the first [`Self::step`], not here, so builder order
+    /// does not matter.
+    pub fn with_control(mut self, source: ControlSource) -> Self {
+        self.control = source;
+        self
+    }
+
+    /// Replaces the closed-loop noise-inflation bounds (builder style),
+    /// validating them first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NoiseInflation::new`] validation.
+    pub fn with_noise_inflation(mut self, inflation: NoiseInflation) -> Result<Self> {
+        self.inflation = NoiseInflation::new(inflation.gain, inflation.floor, inflation.ceiling)?;
+        Ok(self)
+    }
+
+    /// The configured control source.
+    pub fn control_source(&self) -> ControlSource {
+        self.control
+    }
+
+    /// The closed-loop noise-inflation bounds.
+    pub fn noise_inflation(&self) -> &NoiseInflation {
+        &self.inflation
     }
 
     /// Backend names, by slot.
@@ -1235,21 +1715,35 @@ impl LocalizationPipeline {
     pub fn signals(&self) -> UncertaintySignals {
         UncertaintySignals {
             spread: self.pf.spread(|p| p.translation.to_array()),
-            ess_fraction: self.pf.ess_fraction(),
-            innovation: self.innovation.last_innovation(),
+            ess_fraction: self
+                .pf
+                .last_pre_resample_ess_fraction()
+                .unwrap_or_else(|| self.pf.ess_fraction()),
+            innovation: self
+                .last_served
+                .and_then(|slot| self.innovation[slot].last_innovation()),
             vo_variance: self.vo.as_ref().and_then(VoStage::last_variance),
         }
     }
 
     /// Streams one frame: samples the uncertainty bus, lets the gate
-    /// pick a slot, runs the predict/weigh/resample step on that
-    /// backend, steps the VO stage (when attached) at its
-    /// policy-selected MC depth and prices both compute axes.
+    /// pick a slot, steps the VO stage (when attached) at its
+    /// policy-selected MC depth, resolves the motion-model control from
+    /// the configured [`ControlSource`] — the caller's ground-truth
+    /// delta, or the fresh VO predictive mean with its variance
+    /// inflating the motion noise — then runs the
+    /// predict/weigh/resample step on the gated backend and prices both
+    /// compute axes.
+    ///
+    /// In closed-loop mode the `control` argument is ignored (the
+    /// pipeline navigates on its own estimate); callers without ground
+    /// truth odometry may pass [`Pose::IDENTITY`].
     ///
     /// # Errors
     ///
     /// Propagates filter degeneracy and pricing errors; rejects gates
-    /// that select an out-of-range slot.
+    /// that select an out-of-range slot and closed-loop mode without an
+    /// attached [`VoStage`].
     pub fn step(&mut self, control: &Pose, depth: &DepthImage, truth: Pose) -> Result<FrameReport> {
         let signals = self.signals();
         let ctx = GateContext {
@@ -1266,6 +1760,28 @@ impl LocalizationPipeline {
                 self.backends.len()
             )));
         }
+        // The VO stage steps *before* the filter so a closed loop can
+        // feed the fresh frame-pair prediction into this frame's motion
+        // model. The stage owns its RNG and never touches the filter,
+        // so in ground-truth mode the reordering leaves the map-side
+        // stream bit-identical (property-tested).
+        let vo = match self.vo.as_mut() {
+            Some(stage) => Some(stage.step(depth, &self.camera, &self.pricing)?),
+            None => None,
+        };
+        let (control, noise_scale) = match self.control {
+            ControlSource::GroundTruth => (*control, 1.0),
+            ControlSource::VisualOdometry => {
+                let vo = vo.as_ref().ok_or_else(|| {
+                    CoreError::InvalidArgument(
+                        "closed-loop control requires an attached VO stage \
+                         (LocalizationPipeline::with_vo)"
+                            .into(),
+                    )
+                })?;
+                (vo.delta, self.inflation.scale(Some(vo.variance)))
+            }
+        };
         let mut sensor = ScanSensor::new(
             self.backends[slot].as_mut(),
             &self.camera,
@@ -1274,10 +1790,11 @@ impl LocalizationPipeline {
             self.config.weight_path,
             &mut self.scratch,
         );
-        self.pf.step(
-            control,
+        self.pf.step_scaled(
+            &control,
             depth,
             &self.config.motion,
+            noise_scale,
             &mut sensor,
             &mut self.rng,
         )?;
@@ -1288,11 +1805,23 @@ impl LocalizationPipeline {
             spread: position_spread(self.pf.particles()),
             ess: self.pf.particles().ess(),
         };
-        // Fold this frame's mean log-likelihood into the innovation EWMA
-        // so the *next* frame's bus carries the delta.
+        // Fold this frame's mean log-likelihood into the serving slot's
+        // innovation EWMA so the *next* frame's bus carries the delta
+        // against that backend's own trend. A trend frozen while the
+        // other slot served is only meaningful for a few frames — after
+        // a long absence the scene has moved on and the first frame
+        // back would score against ancient history — so a stale tracker
+        // is reset to warm-up instead of emitting a phantom reading.
         if let Some(mean_ll) = self.pf.last_mean_log_likelihood() {
-            self.innovation.observe(mean_ll);
+            let stale = self.innovation_last_frame[slot]
+                .is_some_and(|last| self.frame - last > INNOVATION_STALE_AFTER);
+            if stale {
+                self.innovation[slot].reset();
+            }
+            self.innovation[slot].observe(mean_ll);
+            self.innovation_last_frame[slot] = Some(self.frame);
         }
+        self.last_served = Some(slot);
         let stats = self.backends[slot].stats();
         let delta = stats.delta_since(&self.prev_stats[slot]);
         self.prev_stats[slot] = stats;
@@ -1310,14 +1839,12 @@ impl LocalizationPipeline {
             self.config.cim.dac_bits,
             self.config.cim.adc_bits,
         )?;
-        let vo = match self.vo.as_mut() {
-            Some(stage) => Some(stage.step(depth, &self.camera, &self.pricing)?),
-            None => None,
-        };
         Ok(FrameReport {
             frame,
             slot,
             signals,
+            control_source: self.control,
+            noise_scale,
             summary,
             truth,
             evaluations: delta.evaluations,
@@ -1326,18 +1853,21 @@ impl LocalizationPipeline {
         })
     }
 
-    /// Streams the whole dataset using ground-truth frame deltas as
-    /// odometry (the motion model adds its own noise).
+    /// Streams the whole dataset. In ground-truth mode the dataset's
+    /// [`LocalizationDataset::control_deltas`] drive the motion model
+    /// (with its configured noise); in closed-loop mode those deltas are
+    /// only the per-frame *reference* — the filter navigates on the VO
+    /// stage's own predictions.
     ///
     /// # Errors
     ///
     /// Propagates step errors.
     pub fn run(&mut self, dataset: &LocalizationDataset) -> Result<PipelineRun> {
-        let mut frames = Vec::with_capacity(dataset.frames.len().saturating_sub(1));
-        for t in 1..dataset.frames.len() {
-            let control = dataset.frames[t - 1].pose.delta_to(dataset.frames[t].pose);
-            let truth = dataset.frames[t].pose;
-            frames.push(self.step(&control, &dataset.frames[t].depth, truth)?);
+        let controls = dataset.control_deltas();
+        let mut frames = Vec::with_capacity(controls.len());
+        for (t, control) in controls.iter().enumerate() {
+            let truth = dataset.frames[t + 1].pose;
+            frames.push(self.step(control, &dataset.frames[t + 1].depth, truth)?);
         }
         Ok(PipelineRun {
             backends: self.names.clone(),
@@ -1529,13 +2059,33 @@ mod tests {
             assert_eq!(f.total_energy_pj(), f.map_energy_pj, "no VO stage");
             assert!(f.gate_spread().is_finite());
             assert!(f.signals.ess_fraction > 0.0 && f.signals.ess_fraction <= 1.0);
-            assert!(f.signals.innovation.is_finite());
+            assert!(f.signals.innovation.is_none_or(|i| i.is_finite()));
             assert_eq!(f.signals.vo_variance, None);
+            // Open-loop run: ground-truth control at unit noise scale.
+            assert_eq!(f.control_source, ControlSource::GroundTruth);
+            assert_eq!(f.noise_scale, 1.0);
         }
-        // The innovation signal goes live once two frames have been
-        // weighed (the first two frames have no EWMA delta yet).
-        assert_eq!(run.frames[0].signals.innovation, 0.0);
-        assert!(run.frames[2..].iter().any(|f| f.signals.innovation != 0.0));
+        // The innovation warm-up is explicit and *per slot*: a frame's
+        // reading comes from the previous frame's serving slot and goes
+        // live once that slot has weighed its second (finite) frame —
+        // never a fake 0.0 before then, and a fresh warm-up after every
+        // first visit to a new backend.
+        assert_eq!(run.frames[0].signals.innovation, None);
+        assert_eq!(run.frames[1].signals.innovation, None);
+        let mut served = [0usize; 2];
+        for (i, f) in run.frames.iter().enumerate() {
+            if i > 0 {
+                let prev_slot = run.frames[i - 1].slot;
+                assert_eq!(
+                    f.signals.innovation.is_some(),
+                    served[prev_slot] >= 2,
+                    "frame {i}: slot {prev_slot} had {} observations",
+                    served[prev_slot]
+                );
+            }
+            served[f.slot] += 1;
+        }
+        assert!(run.frames.iter().any(|f| f.signals.innovation.is_some()));
         assert_eq!(run.vo_policy, None);
         // Slot stats separate digital from analog counters.
         assert!(!run.stats[DIGITAL_SLOT].is_analog());
@@ -1779,22 +2329,22 @@ mod tests {
         assert_eq!(csv.len(), run.frames.len());
         let text = csv.to_string();
         let header = text.lines().next().unwrap();
-        for col in [
-            "spread",
-            "ess_fraction",
-            "innovation",
-            "bus_vo_variance",
-            "mc_iterations",
-            "vo_energy_pj",
-            "total_energy_pj",
-        ] {
-            assert!(header.contains(col), "missing column {col} in {header}");
-        }
-        // Frame 0: empty bus vo_variance cell, populated vo columns.
+        assert_eq!(header, PipelineRun::CSV_HEADER.join(","));
+        let col = |name: &str| {
+            PipelineRun::CSV_HEADER
+                .iter()
+                .position(|c| *c == name)
+                .unwrap_or_else(|| panic!("missing column {name}"))
+        };
+        // Frame 0: warm-up bus (empty innovation and bus vo_variance
+        // cells), populated vo columns, open-loop control columns.
         let row0: Vec<&str> = text.lines().nth(1).unwrap().split(',').collect();
-        assert_eq!(row0[0], "0");
-        assert_eq!(row0[7], "", "bus vo_variance empty on frame 0");
-        assert_eq!(row0[13], "8", "fixed depth logged");
+        assert_eq!(row0[col("frame")], "0");
+        assert_eq!(row0[col("innovation")], "", "innovation warm-up empty");
+        assert_eq!(row0[col("bus_vo_variance")], "", "bus vo_variance empty");
+        assert_eq!(row0[col("mc_iterations")], "8", "fixed depth logged");
+        assert_eq!(row0[col("control_source")], "ground-truth");
+        assert_eq!(row0[col("noise_scale")], "1");
         // A no-VO run leaves the vo columns empty but keeps the header.
         let bare = LocalizationPipeline::build(&ds, small_config(GateConfig::default()))
             .unwrap()
@@ -1802,8 +2352,8 @@ mod tests {
             .unwrap();
         let bare_text = bare.to_csv().to_string();
         let bare_row: Vec<&str> = bare_text.lines().nth(1).unwrap().split(',').collect();
-        assert_eq!(bare_row[13], "");
-        assert_eq!(bare_row[14], "");
+        assert_eq!(bare_row[col("mc_iterations")], "");
+        assert_eq!(bare_row[col("vo_variance")], "");
     }
 
     #[test]
@@ -1834,5 +2384,466 @@ mod tests {
         };
         assert!(pricing.vo_frame_pj(&busy, 100, 4, 12).unwrap() > 0.0);
         assert!(pricing.vo_frame_pj(&busy, 100, 0, 12).is_err());
+    }
+
+    fn bus(spread: f64, ess: f64, innovation: Option<f64>) -> UncertaintySignals {
+        UncertaintySignals {
+            spread,
+            ess_fraction: ess,
+            innovation,
+            vo_variance: None,
+        }
+    }
+
+    fn ms_ctx(frame: usize, signals: UncertaintySignals, current: usize) -> GateContext {
+        GateContext {
+            frame,
+            signals,
+            current,
+            num_backends: 2,
+        }
+    }
+
+    #[test]
+    fn multi_signal_gate_matches_hysteresis_on_neutral_bus() {
+        // With a healthy ESS and no innovation reading, the overrides
+        // never fire and the gate is decision-for-decision the
+        // spread-only hysteresis gate.
+        let spread_cfg = HysteresisConfig {
+            analog_enter: 0.1,
+            digital_enter: 0.2,
+            dwell: 2,
+            start: DIGITAL_SLOT,
+        };
+        let mut plain = HysteresisGate::new(spread_cfg).unwrap();
+        let mut multi = MultiSignalGate::new(MultiSignalConfig {
+            spread: spread_cfg,
+            innovation_wake: -2.0,
+            ess_wake: 0.05,
+        })
+        .unwrap();
+        let spreads = [0.3, 0.05, 0.05, 0.15, 0.25, 0.05, 0.3, 0.05, 0.05];
+        let mut cur_a = DIGITAL_SLOT;
+        let mut cur_b = DIGITAL_SLOT;
+        for (frame, &s) in spreads.iter().enumerate() {
+            cur_a = plain.select(&ctx(frame, s, cur_a));
+            cur_b = multi.select(&ms_ctx(frame, bus(s, 1.0, None), cur_b));
+            assert_eq!(cur_a, cur_b, "frame {frame}");
+        }
+        assert_eq!(plain.switches(), multi.switches());
+        assert_eq!(multi.rescues(), 0);
+    }
+
+    #[test]
+    fn multi_signal_gate_wakes_digital_on_negative_innovation() {
+        // A tight cloud (spread well under analog_enter) with a strongly
+        // negative innovation is the "collapsed but biased" case: the
+        // spread-only gate stays analog, the multi-signal gate rescues.
+        let mut gate = MultiSignalGate::new(MultiSignalConfig {
+            spread: HysteresisConfig {
+                analog_enter: 0.1,
+                digital_enter: 0.2,
+                dwell: 1,
+                start: ANALOG_SLOT,
+            },
+            innovation_wake: -1.5,
+            ess_wake: 0.05,
+        })
+        .unwrap();
+        assert_eq!(
+            gate.select(&ms_ctx(0, bus(0.05, 1.0, None), 1)),
+            ANALOG_SLOT
+        );
+        // Mildly negative innovation: no rescue.
+        assert_eq!(
+            gate.select(&ms_ctx(1, bus(0.05, 1.0, Some(-0.5)), 1)),
+            ANALOG_SLOT
+        );
+        // Strongly negative innovation: digital despite the tight cloud.
+        assert_eq!(
+            gate.select(&ms_ctx(2, bus(0.05, 1.0, Some(-3.0)), 1)),
+            DIGITAL_SLOT
+        );
+        assert_eq!(gate.rescues(), 1);
+        // The override also *holds* digital while it keeps firing.
+        assert_eq!(
+            gate.select(&ms_ctx(3, bus(0.05, 1.0, Some(-3.0)), 0)),
+            DIGITAL_SLOT
+        );
+        // Signal recovers: the spread band takes back over.
+        assert_eq!(
+            gate.select(&ms_ctx(4, bus(0.05, 1.0, Some(0.0)), 0)),
+            ANALOG_SLOT
+        );
+        // A warm-up innovation (None) never fires the override.
+        assert_eq!(
+            gate.select(&ms_ctx(5, bus(0.05, 1.0, None), 1)),
+            ANALOG_SLOT
+        );
+    }
+
+    #[test]
+    fn multi_signal_gate_wakes_digital_on_collapsed_ess() {
+        let mut gate = MultiSignalGate::new(MultiSignalConfig {
+            spread: HysteresisConfig {
+                analog_enter: 0.1,
+                digital_enter: 0.2,
+                dwell: 1,
+                start: ANALOG_SLOT,
+            },
+            innovation_wake: -1.5,
+            ess_wake: 0.1,
+        })
+        .unwrap();
+        gate.select(&ms_ctx(0, bus(0.05, 1.0, None), 1));
+        // Weight mass collapsed onto a sliver of the cloud: rescue.
+        assert_eq!(
+            gate.select(&ms_ctx(1, bus(0.05, 0.02, None), 1)),
+            DIGITAL_SLOT
+        );
+        assert_eq!(gate.rescues(), 1);
+        assert_eq!(gate.switches(), 1);
+        gate.reset();
+        assert_eq!(gate.rescues(), 0);
+        assert_eq!(gate.switches(), 0);
+    }
+
+    #[test]
+    fn multi_signal_gate_respects_dwell_on_rescues() {
+        // The rescue is subject to the same dwell lock as any switch: a
+        // fresh switch to analog blocks the rescue until the window
+        // expires.
+        let mut gate = MultiSignalGate::new(MultiSignalConfig {
+            spread: HysteresisConfig {
+                analog_enter: 0.1,
+                digital_enter: 0.2,
+                dwell: 3,
+                start: DIGITAL_SLOT,
+            },
+            innovation_wake: -1.5,
+            ess_wake: 0.05,
+        })
+        .unwrap();
+        gate.select(&ms_ctx(0, bus(0.3, 1.0, None), 0));
+        // Collapse: switch to analog at frame 3 (dwell satisfied).
+        gate.select(&ms_ctx(1, bus(0.05, 1.0, None), 0));
+        gate.select(&ms_ctx(2, bus(0.05, 1.0, None), 0));
+        let s3 = gate.select(&ms_ctx(3, bus(0.05, 1.0, None), 0));
+        assert_eq!(s3, ANALOG_SLOT);
+        // Bad innovation right after the switch: dwell-locked.
+        assert_eq!(
+            gate.select(&ms_ctx(4, bus(0.05, 1.0, Some(-9.0)), 1)),
+            ANALOG_SLOT
+        );
+        assert_eq!(
+            gate.select(&ms_ctx(5, bus(0.05, 1.0, Some(-9.0)), 1)),
+            ANALOG_SLOT
+        );
+        // Window expired: the rescue fires.
+        assert_eq!(
+            gate.select(&ms_ctx(6, bus(0.05, 1.0, Some(-9.0)), 1)),
+            DIGITAL_SLOT
+        );
+        assert_eq!(gate.rescues(), 1);
+    }
+
+    #[test]
+    fn multi_signal_validation_rejects_each_bad_field() {
+        let good = MultiSignalConfig::default();
+        assert!(MultiSignalGate::new(good).is_ok());
+        // The embedded spread band goes through the shared hysteresis
+        // validation.
+        let bad_spread = MultiSignalConfig {
+            spread: HysteresisConfig {
+                analog_enter: 0.3,
+                digital_enter: 0.2,
+                ..HysteresisConfig::default()
+            },
+            ..good
+        };
+        assert!(MultiSignalGate::new(bad_spread).is_err());
+        for innovation_wake in [0.0, 1.0, f64::NAN, f64::NEG_INFINITY] {
+            assert!(
+                MultiSignalGate::new(MultiSignalConfig {
+                    innovation_wake,
+                    ..good
+                })
+                .is_err(),
+                "innovation_wake {innovation_wake} accepted"
+            );
+        }
+        for ess_wake in [0.0, -0.1, 1.0, 1.5, f64::NAN] {
+            assert!(
+                MultiSignalGate::new(MultiSignalConfig { ess_wake, ..good }).is_err(),
+                "ess_wake {ess_wake} accepted"
+            );
+        }
+        // And the GateKind plumbing demands two slots like the others.
+        let config = GateConfig {
+            backends: vec![DIGITAL_GMM.into()],
+            policy: GateKind::MultiSignal(MultiSignalConfig::default()),
+        };
+        assert!(config.build_policy(1).is_err());
+        assert!(
+            GateConfig::multi_signal(DIGITAL_GMM, CIM_HMGM, MultiSignalConfig::default())
+                .build_policy(2)
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn validation_parity_across_gate_and_policy_configs() {
+        // Satellite audit: every threshold family rejects non-finite
+        // values, inverted bands and zero dwells the same way.
+        // Spread band (shared by hysteresis and multi-signal gates):
+        for config in [
+            HysteresisConfig {
+                analog_enter: f64::NAN,
+                ..HysteresisConfig::default()
+            },
+            HysteresisConfig {
+                analog_enter: f64::INFINITY,
+                ..HysteresisConfig::default()
+            },
+            HysteresisConfig {
+                digital_enter: f64::NAN,
+                ..HysteresisConfig::default()
+            },
+            HysteresisConfig {
+                digital_enter: f64::INFINITY,
+                ..HysteresisConfig::default()
+            },
+            HysteresisConfig {
+                dwell: 0,
+                ..HysteresisConfig::default()
+            },
+            HysteresisConfig {
+                start: 2,
+                ..HysteresisConfig::default()
+            },
+        ] {
+            assert!(config.validate().is_err(), "{config:?} accepted");
+            assert!(HysteresisGate::new(config).is_err());
+            assert!(MultiSignalGate::new(MultiSignalConfig {
+                spread: config,
+                ..MultiSignalConfig::default()
+            })
+            .is_err());
+        }
+        // Adaptive-MC variance band: same rules on the VO axis.
+        use crate::vo::{AdaptiveMcConfig, AdaptiveMcPolicy};
+        let mc = AdaptiveMcConfig {
+            min_iterations: 4,
+            max_iterations: 16,
+            var_low: 0.1,
+            var_high: 0.2,
+            dwell: 2,
+        };
+        assert!(AdaptiveMcPolicy::new(mc).is_ok());
+        for bad in [
+            AdaptiveMcConfig {
+                var_low: f64::NAN,
+                ..mc
+            },
+            AdaptiveMcConfig {
+                var_low: f64::INFINITY,
+                ..mc
+            },
+            AdaptiveMcConfig {
+                var_high: f64::NAN,
+                ..mc
+            },
+            AdaptiveMcConfig {
+                var_high: f64::INFINITY,
+                ..mc
+            },
+            AdaptiveMcConfig {
+                var_low: 0.3,
+                var_high: 0.2,
+                ..mc
+            },
+            AdaptiveMcConfig {
+                var_low: -0.1,
+                ..mc
+            },
+            AdaptiveMcConfig { dwell: 0, ..mc },
+            AdaptiveMcConfig {
+                min_iterations: 1,
+                ..mc
+            },
+            AdaptiveMcConfig {
+                min_iterations: 20,
+                max_iterations: 16,
+                ..mc
+            },
+        ] {
+            assert!(AdaptiveMcPolicy::new(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn noise_inflation_validation_and_bounds() {
+        assert!(NoiseInflation::new(30.0, 1.0, 4.0).is_ok());
+        assert!(NoiseInflation::new(0.0, 0.5, 0.5).is_ok());
+        for (gain, floor, ceiling) in [
+            (-1.0, 1.0, 4.0),
+            (f64::NAN, 1.0, 4.0),
+            (f64::INFINITY, 1.0, 4.0),
+            (1.0, 0.0, 4.0),
+            (1.0, -1.0, 4.0),
+            (1.0, f64::NAN, 4.0),
+            (1.0, 2.0, 1.0),
+            (1.0, 1.0, f64::INFINITY),
+            (1.0, 1.0, f64::NAN),
+        ] {
+            assert!(
+                NoiseInflation::new(gain, floor, ceiling).is_err(),
+                "({gain}, {floor}, {ceiling}) accepted"
+            );
+        }
+        let inflation = NoiseInflation::new(10.0, 1.0, 3.0).unwrap();
+        // Total for any input: None and garbage price at the ceiling.
+        assert_eq!(inflation.scale(None), 3.0);
+        assert_eq!(inflation.scale(Some(f64::NAN)), 3.0);
+        assert_eq!(inflation.scale(Some(f64::INFINITY)), 3.0);
+        assert_eq!(inflation.scale(Some(f64::NEG_INFINITY)), 3.0);
+        // Finite variances map through the clamped affine law.
+        assert_eq!(inflation.scale(Some(0.0)), 1.0);
+        assert_eq!(inflation.scale(Some(0.05)), 1.5);
+        assert_eq!(inflation.scale(Some(10.0)), 3.0);
+        // Negative variances (impossible, but total) clamp to the floor.
+        assert_eq!(inflation.scale(Some(-5.0)), 1.0);
+    }
+
+    #[test]
+    fn closed_loop_without_vo_stage_is_rejected() {
+        let ds = small_dataset();
+        let mut pipeline = LocalizationPipeline::build(
+            &ds,
+            small_config(GateConfig::gated(DIGITAL_GMM, CIM_HMGM)),
+        )
+        .unwrap()
+        .with_control(ControlSource::VisualOdometry);
+        assert_eq!(pipeline.control_source(), ControlSource::VisualOdometry);
+        let err = pipeline.run(&ds).unwrap_err();
+        assert!(err.to_string().contains("VO stage"), "{err}");
+    }
+
+    #[test]
+    fn closed_loop_runs_on_vo_controls_with_bounded_noise_scale() {
+        use crate::vo::AdaptiveMcPolicy;
+        let ds = small_dataset();
+        let stage = vo_stage_for(&ds, AdaptiveMcPolicy::fixed(8).unwrap(), (4, 3));
+        let inflation = NoiseInflation::new(5.0, 1.0, 3.5).unwrap();
+        let run = LocalizationPipeline::build(
+            &ds,
+            small_config(GateConfig::gated(DIGITAL_GMM, CIM_HMGM)),
+        )
+        .unwrap()
+        .with_vo(stage)
+        .with_control(ControlSource::VisualOdometry)
+        .with_noise_inflation(inflation)
+        .unwrap()
+        .run(&ds)
+        .unwrap();
+        assert_eq!(run.frames.len(), 9);
+        for f in &run.frames {
+            assert_eq!(f.control_source, ControlSource::VisualOdometry);
+            // The applied noise scale is the bounded inflation of this
+            // frame's fresh VO variance.
+            let vo = f.vo.expect("stage attached");
+            assert_eq!(f.noise_scale, inflation.scale(Some(vo.variance)));
+            assert!((1.0..=3.5).contains(&f.noise_scale));
+            assert!(f.summary.error.is_finite());
+        }
+        assert!(run.mean_noise_scale() >= 1.0 && run.mean_noise_scale() <= 3.5);
+        // The VO deltas are real relative poses scored against truth.
+        let ctrl_err = run.mean_control_error().expect("vo stage attached");
+        assert!(ctrl_err.is_finite() && ctrl_err >= 0.0);
+        // The CSV log records the closed-loop columns.
+        let text = run.to_csv().to_string();
+        let row1: Vec<&str> = text.lines().nth(1).unwrap().split(',').collect();
+        let col = |name: &str| {
+            PipelineRun::CSV_HEADER
+                .iter()
+                .position(|c| *c == name)
+                .unwrap()
+        };
+        assert_eq!(row1[col("control_source")], "visual-odometry");
+        assert!(row1[col("noise_scale")].parse::<f64>().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn csv_sanitizes_non_finite_values_and_round_trips() {
+        // A synthetic run with deliberately poisoned floats: the CSV
+        // must render them as empty cells (never `NaN`/`inf` tokens),
+        // keep finite values losslessly round-trippable, and keep the
+        // locked header.
+        let frame = FrameReport {
+            frame: 0,
+            slot: 0,
+            signals: UncertaintySignals {
+                spread: 0.125,
+                ess_fraction: f64::NAN,
+                innovation: Some(f64::NEG_INFINITY),
+                vo_variance: Some(f64::INFINITY),
+            },
+            control_source: ControlSource::VisualOdometry,
+            noise_scale: 2.5,
+            summary: StepSummary {
+                estimate: Pose::IDENTITY,
+                error: f64::INFINITY,
+                spread: 0.25,
+                ess: 100.0,
+            },
+            truth: Pose::IDENTITY,
+            evaluations: 10,
+            map_energy_pj: f64::NAN,
+            vo: Some(VoFrameReport {
+                iterations: 8,
+                variance: f64::NAN,
+                delta: Pose::IDENTITY,
+                energy_pj: 3.0,
+            }),
+        };
+        let run = PipelineRun {
+            backends: vec!["digital-gmm".into()],
+            gate: "test".into(),
+            vo_policy: None,
+            frames: vec![frame],
+            stats: vec![BackendStats::default()],
+        };
+        let text = run.to_csv().to_string();
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap(), PipelineRun::CSV_HEADER.join(","));
+        let row: Vec<&str> = lines.next().unwrap().split(',').collect();
+        assert_eq!(row.len(), PipelineRun::CSV_HEADER.len());
+        let col = |name: &str| {
+            PipelineRun::CSV_HEADER
+                .iter()
+                .position(|c| *c == name)
+                .unwrap()
+        };
+        // Non-finite floats → empty cells, wherever they appear.
+        for poisoned in [
+            "ess_fraction",
+            "innovation",
+            "bus_vo_variance",
+            "error_m",
+            "map_energy_pj",
+            "vo_variance",
+            "total_energy_pj",
+        ] {
+            assert_eq!(row[col(poisoned)], "", "{poisoned} leaked a token");
+        }
+        // No NaN/inf token anywhere in the document.
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+        // Finite values round-trip exactly through the shortest format.
+        assert_eq!(row[col("spread")].parse::<f64>().unwrap(), 0.125);
+        assert_eq!(row[col("noise_scale")].parse::<f64>().unwrap(), 2.5);
+        assert_eq!(row[col("post_spread")].parse::<f64>().unwrap(), 0.25);
+        assert_eq!(row[col("vo_energy_pj")].parse::<f64>().unwrap(), 3.0);
+        assert_eq!(row[col("mc_iterations")].parse::<usize>().unwrap(), 8);
+        assert_eq!(row[col("control_source")], "visual-odometry");
     }
 }

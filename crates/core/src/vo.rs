@@ -692,6 +692,30 @@ impl BayesianVo {
     }
 }
 
+/// Converts a predicted 6-DoF mean `[dx, dy, dz, roll·S, pitch·S,
+/// yaw·S]` (rotation components carrying the [`ROT_TARGET_SCALE`]
+/// training weight `S`) into the relative [`Pose`] it encodes — the
+/// odometry control a closed-loop particle filter composes into its
+/// motion model, and the inverse of the target construction in
+/// `navicim_scene::dataset::make_samples`.
+///
+/// # Panics
+///
+/// Panics when `mean` has fewer than 6 components.
+pub fn delta_pose_from_mean(mean: &[f64]) -> Pose {
+    assert!(
+        mean.len() >= 6,
+        "a 6-DoF delta needs 6 components, got {}",
+        mean.len()
+    );
+    Pose::from_position_euler(
+        navicim_math::geom::Vec3::new(mean[0], mean[1], mean[2]),
+        mean[3] / ROT_TARGET_SCALE,
+        mean[4] / ROT_TARGET_SCALE,
+        mean[5] / ROT_TARGET_SCALE,
+    )
+}
+
 /// Undoes the rotation-target scaling on a predicted 6-DoF mean and
 /// computes its translation error against the sample target — the shared
 /// accumulation step of every trajectory runner (identical arithmetic

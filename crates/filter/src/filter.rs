@@ -9,6 +9,22 @@ use navicim_math::sample::ResampleScheme;
 pub trait Motion<S, U> {
     /// Samples a successor state given the previous state and control.
     fn sample(&self, state: &S, control: &U, rng: &mut dyn Rng64) -> S;
+
+    /// [`Motion::sample`] with the model's noise standard deviations
+    /// multiplied by `noise_scale` — the hook an odometry source with a
+    /// live uncertainty estimate (MC-Dropout VO predictive variance)
+    /// uses to widen the proposal when its control is untrustworthy,
+    /// instead of silently biasing the filter with a confident wrong
+    /// delta.
+    ///
+    /// Implementations must be bit-identical to [`Motion::sample`] at
+    /// `noise_scale == 1.0` (the provided default ignores the factor
+    /// entirely, which trivially satisfies that for models without a
+    /// noise term to scale).
+    fn sample_scaled(&self, state: &S, control: &U, noise_scale: f64, rng: &mut dyn Rng64) -> S {
+        let _ = noise_scale;
+        self.sample(state, control, rng)
+    }
 }
 
 /// A measurement model `p(z_t | x_t)` (paper Eq. 1b), in log space.
@@ -102,6 +118,9 @@ pub struct ParticleFilter<S> {
     ll_scratch: Vec<f64>,
     /// Mean log-likelihood of the most recent measurement update.
     last_mean_ll: Option<f64>,
+    /// ESS fraction of the most recent update, measured before any
+    /// resampling.
+    last_pre_resample_ess_fraction: Option<f64>,
 }
 
 impl<S: Clone> ParticleFilter<S> {
@@ -114,6 +133,7 @@ impl<S: Clone> ParticleFilter<S> {
             step_count: 0,
             ll_scratch: Vec::new(),
             last_mean_ll: None,
+            last_pre_resample_ess_fraction: None,
         }
     }
 
@@ -156,6 +176,17 @@ impl<S: Clone> ParticleFilter<S> {
         (self.particles.ess() / self.particles.len() as f64).min(1.0)
     }
 
+    /// ESS fraction of the most recent measurement update, measured
+    /// *after* reweighting but *before* any resampling (`None` before
+    /// the first update). This is the weight-degeneracy signal a
+    /// downstream consumer actually needs: the resampler resets
+    /// collapsed weights to uniform on the spot, so the live
+    /// [`Self::ess_fraction`] can never read below the configured
+    /// resample threshold at frame boundaries.
+    pub fn last_pre_resample_ess_fraction(&self) -> Option<f64> {
+        self.last_pre_resample_ess_fraction
+    }
+
     /// Mean log-likelihood of the last measurement update (`None` before
     /// the first update), averaged over the hypotheses that scored
     /// *finite* — stray `-inf` particles from hard-gating sensors do not
@@ -181,6 +212,26 @@ impl<S: Clone> ParticleFilter<S> {
     {
         for s in self.particles.states_mut() {
             *s = motion.sample(s, control, rng);
+        }
+    }
+
+    /// [`Self::predict`] with the motion noise scaled by `noise_scale`
+    /// (through [`Motion::sample_scaled`]) — the per-frame covariance
+    /// inflation hook of a closed odometry loop: an uncertain control
+    /// widens the proposal instead of narrowing in on a biased delta.
+    /// Bit-identical to [`Self::predict`] at `noise_scale == 1.0`.
+    pub fn predict_scaled<U, M, R>(
+        &mut self,
+        control: &U,
+        motion: &M,
+        noise_scale: f64,
+        rng: &mut R,
+    ) where
+        M: Motion<S, U>,
+        R: Rng64,
+    {
+        for s in self.particles.states_mut() {
+            *s = motion.sample_scaled(s, control, noise_scale, rng);
         }
     }
 
@@ -225,7 +276,13 @@ impl<S: Clone> ParticleFilter<S> {
         reweighted?;
         self.step_count += 1;
         let n = self.particles.len() as f64;
-        if self.particles.ess() < self.config.ess_fraction * n {
+        let ess = self.particles.ess();
+        // Record degeneracy as measured *before* resampling: the
+        // resampler immediately resets collapsed weights to uniform, so
+        // a post-resample reading can never show the collapse a gate's
+        // ESS rescue needs to see.
+        self.last_pre_resample_ess_fraction = Some((ess / n).min(1.0));
+        if ess < self.config.ess_fraction * n {
             self.particles.resample(self.config.scheme, rng);
             self.resample_count += 1;
         }
@@ -251,6 +308,31 @@ impl<S: Clone> ParticleFilter<S> {
         R: Rng64,
     {
         self.predict(control, motion, rng);
+        self.update(obs, sensor, rng)
+    }
+
+    /// Combined predict + update step with the motion noise scaled by
+    /// `noise_scale` — see [`Self::predict_scaled`]. Bit-identical to
+    /// [`Self::step`] at `noise_scale == 1.0`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates measurement-update errors.
+    pub fn step_scaled<U, Z, MM, MS, R>(
+        &mut self,
+        control: &U,
+        obs: &Z,
+        motion: &MM,
+        noise_scale: f64,
+        sensor: &mut MS,
+        rng: &mut R,
+    ) -> Result<()>
+    where
+        MM: Motion<S, U>,
+        MS: Measurement<S, Z>,
+        R: Rng64,
+    {
+        self.predict_scaled(control, motion, noise_scale, rng);
         self.update(obs, sensor, rng)
     }
 }

@@ -48,8 +48,24 @@ impl Default for OdometryMotion {
 
 impl Motion<Pose, Pose> for OdometryMotion {
     fn sample(&self, state: &Pose, control: &Pose, rng: &mut dyn Rng64) -> Pose {
+        self.sample_scaled(state, control, 1.0, rng)
+    }
+
+    /// Both noise standard deviations (translation and rotation) are
+    /// multiplied by `noise_scale`, so the sampled pose covariance
+    /// inflates by `noise_scale²`. The RNG draw sequence is independent
+    /// of the scale (the rotation branch keys on the *unscaled*
+    /// `rot_sigma`), so scaled and unscaled runs stay stream-aligned and
+    /// `noise_scale == 1.0` is bit-identical to [`Motion::sample`].
+    fn sample_scaled(
+        &self,
+        state: &Pose,
+        control: &Pose,
+        noise_scale: f64,
+        rng: &mut dyn Rng64,
+    ) -> Pose {
         let step_len = control.translation.norm();
-        let sigma_t = self.trans_floor + self.trans_scale * step_len;
+        let sigma_t = (self.trans_floor + self.trans_scale * step_len) * noise_scale;
         let noisy_translation = control.translation
             + Vec3::new(
                 rng.sample_normal(0.0, sigma_t),
@@ -67,7 +83,7 @@ impl Motion<Pose, Pose> for OdometryMotion {
                 .rotation
                 .mul_quat(Quat::from_axis_angle(
                     axis,
-                    rng.sample_normal(0.0, self.rot_sigma),
+                    rng.sample_normal(0.0, self.rot_sigma * noise_scale),
                 ))
                 .normalized()
         } else {
@@ -134,6 +150,49 @@ mod tests {
         let mean_angle = stats::mean(&angles);
         let expect = 0.05 * (2.0 / std::f64::consts::PI).sqrt();
         assert!((mean_angle / expect - 1.0).abs() < 0.1, "mean {mean_angle}");
+    }
+
+    #[test]
+    fn scaled_sampling_is_bit_identical_at_unit_scale() {
+        let m = OdometryMotion::indoor();
+        let start = Pose::from_position_euler(Vec3::new(0.4, -0.2, 1.0), 0.0, 0.1, 0.7);
+        let delta = Pose::from_position_euler(Vec3::new(0.1, 0.02, -0.01), 0.01, 0.0, 0.05);
+        for seed in 0..16 {
+            let mut a = Pcg32::seed_from_u64(seed);
+            let mut b = Pcg32::seed_from_u64(seed);
+            let plain = m.sample(&start, &delta, &mut a);
+            let scaled = m.sample_scaled(&start, &delta, 1.0, &mut b);
+            assert_eq!(plain, scaled);
+            assert_eq!(a, b, "RNG streams stay aligned");
+        }
+    }
+
+    #[test]
+    fn noise_scale_inflates_the_sampled_spread() {
+        let m = OdometryMotion {
+            trans_floor: 0.01,
+            trans_scale: 0.1,
+            rot_sigma: 0.0,
+        };
+        let mut rng = Pcg32::seed_from_u64(21);
+        let delta = Pose::from_position_euler(Vec3::new(1.0, 0.0, 0.0), 0.0, 0.0, 0.0);
+        let sd_at = |scale: f64, rng: &mut Pcg32| {
+            let xs: Vec<f64> = (0..20_000)
+                .map(|_| {
+                    m.sample_scaled(&Pose::IDENTITY, &delta, scale, rng)
+                        .translation
+                        .x
+                        - 1.0
+                })
+                .collect();
+            stats::std_dev(&xs)
+        };
+        // σ = (floor + scale·|step|) · noise_scale = 0.11 · 3 = 0.33.
+        let sd = sd_at(3.0, &mut rng);
+        assert!((sd - 0.33).abs() < 0.015, "sd {sd}");
+        // A zero scale degenerates to exact composition.
+        let exact = m.sample_scaled(&Pose::IDENTITY, &delta, 0.0, &mut rng);
+        assert!(exact.translation_distance(Pose::IDENTITY.compose(delta)) < 1e-12);
     }
 
     #[test]

@@ -19,19 +19,26 @@ pub const DEFAULT_INNOVATION_ALPHA: f64 = 0.2;
 /// log-likelihood) against its exponentially-weighted moving average.
 ///
 /// Feed one observation per frame with [`InnovationTracker::observe`];
-/// it returns `observation - ewma_of_past_frames` (0 on the first frame,
-/// when there is no history) and then folds the observation into the
-/// average. Negative innovations mean the frame matched the map *worse*
-/// than the recent trend — the "collapsed but biased" symptom.
+/// it returns `observation - ewma_of_past_frames` and then folds the
+/// observation into the average. Negative innovations mean the frame
+/// matched the map *worse* than the recent trend — the "collapsed but
+/// biased" symptom.
+///
+/// Warm-up is explicit: the first *finite* observation only primes the
+/// average (there is no past trend to deviate from), so the innovation
+/// goes live on the second finite frame — until then [`Self::observe`]
+/// returns `None` and [`Self::last_innovation`] reads `None`, which is
+/// distinct from a genuine zero-innovation reading (`Some(0.0)`).
 ///
 /// Non-finite observations (a frame whose every hypothesis scored
-/// `-inf`) are ignored: the innovation reads 0 and the history is left
-/// untouched, so one blind frame cannot poison the average.
+/// `-inf`) are skipped: the history is left untouched — so one blind
+/// frame cannot poison the average — and the innovation reads `None`
+/// for that frame (no fresh evidence, not "matched the trend exactly").
 #[derive(Debug, Clone, PartialEq)]
 pub struct InnovationTracker {
     alpha: f64,
     ewma: Option<f64>,
-    last: f64,
+    last: Option<f64>,
 }
 
 impl Default for InnovationTracker {
@@ -39,7 +46,7 @@ impl Default for InnovationTracker {
         Self {
             alpha: DEFAULT_INNOVATION_ALPHA,
             ewma: None,
-            last: 0.0,
+            last: None,
         }
     }
 }
@@ -60,7 +67,7 @@ impl InnovationTracker {
         Ok(Self {
             alpha,
             ewma: None,
-            last: 0.0,
+            last: None,
         })
     }
 
@@ -76,17 +83,17 @@ impl InnovationTracker {
     }
 
     /// Records one per-frame observation and returns its innovation
-    /// against the average of *past* frames (0 on the first frame and
-    /// for non-finite observations).
-    pub fn observe(&mut self, value: f64) -> f64 {
+    /// against the average of *past* frames. `None` marks warm-up (the
+    /// first finite observation, which only primes the average) and
+    /// skipped non-finite observations — both cases where "no reading"
+    /// must not masquerade as a genuine zero innovation.
+    pub fn observe(&mut self, value: f64) -> Option<f64> {
         if !value.is_finite() {
-            self.last = 0.0;
-            return 0.0;
+            // Skip the blind frame: history untouched, no fresh reading.
+            self.last = None;
+            return None;
         }
-        let innovation = match self.ewma {
-            Some(mean) => value - mean,
-            None => 0.0,
-        };
+        let innovation = self.ewma.map(|mean| value - mean);
         self.ewma = Some(match self.ewma {
             Some(mean) => mean + self.alpha * (value - mean),
             None => value,
@@ -95,17 +102,18 @@ impl InnovationTracker {
         innovation
     }
 
-    /// Innovation of the most recent observation (0 before any
-    /// observation) — the value a per-frame consumer reads *before* the
-    /// next frame is weighed.
-    pub fn last_innovation(&self) -> f64 {
+    /// Innovation of the most recent observation (`None` during warm-up,
+    /// before any finite observation has followed the priming one, and
+    /// after a skipped non-finite frame) — the value a per-frame
+    /// consumer reads *before* the next frame is weighed.
+    pub fn last_innovation(&self) -> Option<f64> {
         self.last
     }
 
     /// Clears the history for a fresh run.
     pub fn reset(&mut self) {
         self.ewma = None;
-        self.last = 0.0;
+        self.last = None;
     }
 }
 
@@ -124,47 +132,85 @@ mod tests {
     }
 
     #[test]
-    fn first_observation_has_zero_innovation() {
+    fn first_observation_is_warm_up_not_zero() {
         let mut t = InnovationTracker::default();
-        assert_eq!(t.last_innovation(), 0.0);
+        assert_eq!(t.last_innovation(), None);
         assert_eq!(t.history(), None);
-        assert_eq!(t.observe(-3.0), 0.0);
+        // The first finite frame primes the average but yields no
+        // innovation reading — `None`, explicitly distinct from the
+        // genuine zero of a frame that matched the trend exactly.
+        assert_eq!(t.observe(-3.0), None);
         assert_eq!(t.history(), Some(-3.0));
-        assert_eq!(t.last_innovation(), 0.0);
+        assert_eq!(t.last_innovation(), None);
+        // The second finite frame is the first live reading.
+        assert_eq!(t.observe(-3.0), Some(0.0));
+        assert_eq!(t.last_innovation(), Some(0.0));
     }
 
     #[test]
     fn innovation_is_delta_against_ewma() {
         let mut t = InnovationTracker::new(0.5).unwrap();
         t.observe(10.0);
-        // EWMA = 10; a repeat of the mean is zero innovation.
-        assert_eq!(t.observe(10.0), 0.0);
+        // EWMA = 10; a repeat of the mean is a genuine zero innovation.
+        assert_eq!(t.observe(10.0), Some(0.0));
         // EWMA still 10; a drop of 4 reads as -4.
-        assert_eq!(t.observe(6.0), -4.0);
-        assert_eq!(t.last_innovation(), -4.0);
+        assert_eq!(t.observe(6.0), Some(-4.0));
+        assert_eq!(t.last_innovation(), Some(-4.0));
         // EWMA moved to 8 = 10 + 0.5 * (6 - 10).
         assert_eq!(t.history(), Some(8.0));
-        assert_eq!(t.observe(9.0), 1.0);
+        assert_eq!(t.observe(9.0), Some(1.0));
     }
 
     #[test]
-    fn non_finite_observations_ignored() {
+    fn non_finite_observations_skipped() {
         let mut t = InnovationTracker::new(0.5).unwrap();
         t.observe(2.0);
-        assert_eq!(t.observe(f64::NEG_INFINITY), 0.0);
-        assert_eq!(t.observe(f64::NAN), 0.0);
+        t.observe(2.0);
+        assert_eq!(t.last_innovation(), Some(0.0));
+        // A blind frame clears the live reading instead of faking a 0.
+        assert_eq!(t.observe(f64::NEG_INFINITY), None);
+        assert_eq!(t.last_innovation(), None);
+        assert_eq!(t.observe(f64::NAN), None);
         // History untouched by the blind frames.
         assert_eq!(t.history(), Some(2.0));
-        assert_eq!(t.observe(3.0), 1.0);
+        assert_eq!(t.observe(3.0), Some(1.0));
+    }
+
+    #[test]
+    fn all_neg_inf_frames_never_poison_the_average() {
+        // Regression: a stretch of frames whose every hypothesis scored
+        // -inf (hard-gating sensor, fully out-of-support cloud) must
+        // leave the EWMA finite and the tracker ready to resume — the
+        // -inf mean log-likelihood must never be folded into the
+        // average.
+        let mut t = InnovationTracker::default();
+        t.observe(-5.0);
+        t.observe(-5.0);
+        for _ in 0..10 {
+            assert_eq!(t.observe(f64::NEG_INFINITY), None);
+        }
+        assert_eq!(t.history(), Some(-5.0));
+        assert!(t.history().unwrap().is_finite());
+        // The first frame back on the map reads against the intact
+        // history, not against a poisoned -inf average.
+        assert_eq!(t.observe(-4.0), Some(1.0));
+        // And a tracker that has seen *only* -inf frames is still in
+        // warm-up: no history, no reading.
+        let mut blind = InnovationTracker::default();
+        for _ in 0..5 {
+            assert_eq!(blind.observe(f64::NEG_INFINITY), None);
+        }
+        assert_eq!(blind.history(), None);
+        assert_eq!(blind.last_innovation(), None);
     }
 
     #[test]
     fn alpha_one_tracks_the_last_value() {
         let mut t = InnovationTracker::new(1.0).unwrap();
         t.observe(1.0);
-        assert_eq!(t.observe(5.0), 4.0);
+        assert_eq!(t.observe(5.0), Some(4.0));
         // With alpha = 1 the EWMA *is* the previous observation.
-        assert_eq!(t.observe(5.0), 0.0);
+        assert_eq!(t.observe(5.0), Some(0.0));
     }
 
     #[test]
@@ -174,7 +220,7 @@ mod tests {
         t.observe(2.0);
         t.reset();
         assert_eq!(t.history(), None);
-        assert_eq!(t.last_innovation(), 0.0);
-        assert_eq!(t.observe(7.0), 0.0);
+        assert_eq!(t.last_innovation(), None);
+        assert_eq!(t.observe(7.0), None);
     }
 }

@@ -113,6 +113,18 @@ impl LocalizationDataset {
             .map(|p| vec![p.x, p.y, p.z])
             .collect()
     }
+
+    /// Ground-truth frame-to-frame relative poses, one per tracked frame
+    /// (`frames.len() - 1` deltas): the odometry controls an open-loop
+    /// (ground-truth-driven) run feeds the motion model, and the
+    /// per-frame reference a closed-loop run's visual-odometry controls
+    /// are measured against.
+    pub fn control_deltas(&self) -> Vec<Pose> {
+        self.frames
+            .windows(2)
+            .map(|w| w[0].pose.delta_to(w[1].pose))
+            .collect()
+    }
 }
 
 /// One supervised VO sample: features from a frame pair, 6-DoF delta
@@ -371,6 +383,21 @@ mod tests {
         assert_eq!(a.frames[3], b.frames[3]);
         let c = LocalizationDataset::generate(&small_loc_config(), 43).unwrap();
         assert_ne!(a.map_points, c.map_points);
+    }
+
+    #[test]
+    fn control_deltas_match_pairwise_ground_truth() {
+        let ds = LocalizationDataset::generate(&small_loc_config(), 9).unwrap();
+        let deltas = ds.control_deltas();
+        assert_eq!(deltas.len(), ds.frames.len() - 1);
+        for (t, d) in deltas.iter().enumerate() {
+            let expect = ds.frames[t].pose.delta_to(ds.frames[t + 1].pose);
+            assert_eq!(*d, expect);
+            // Composing the delta back onto the previous pose recovers
+            // the next ground-truth pose.
+            let recon = ds.frames[t].pose.compose(*d);
+            assert!(recon.translation_distance(ds.frames[t + 1].pose) < 1e-9);
+        }
     }
 
     #[test]

@@ -189,11 +189,14 @@ fn main() {
     println!("\n  per-frame uncertainty bus (first 5 frames):");
     for f in gated_run.frames.iter().take(5) {
         println!(
-            "    frame {:>2}: spread {:.4} m, ess {:.3}, innovation {:+.3} -> {}",
+            "    frame {:>2}: spread {:.4} m, ess {:.3}, innovation {} -> {}",
             f.frame + 1,
             f.signals.spread,
             f.signals.ess_fraction,
-            f.signals.innovation,
+            // Warm-up frames have no innovation reading yet.
+            f.signals
+                .innovation
+                .map_or("  (n/a)".to_string(), |i| format!("{i:+.3}")),
             gated_run.backends[f.slot]
         );
     }

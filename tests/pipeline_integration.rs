@@ -313,6 +313,129 @@ fn adaptive_mc_vo_stage_cuts_joint_energy_at_identical_pose_error() {
 }
 
 #[test]
+fn closed_loop_navigates_on_its_own_vo_estimates() {
+    // The full sensor-fusion story end to end: a pipeline whose motion
+    // model is driven by the MC-Dropout VO predictive mean (no
+    // ground-truth odometry at all), with the prediction's variance
+    // scaling the motion noise through the bounded inflation law, must
+    // keep tracking the flight at an error comparable to the
+    // ground-truth-driven run.
+    use navicim::core::pipeline::{ControlSource, NoiseInflation, PipelineRun, VoStage};
+    use navicim::core::vo::AdaptiveMcPolicy;
+    use navicim::scene::dataset::make_samples;
+
+    // A denser flight than `loc_dataset`: 40 frames per orbit keeps the
+    // per-frame deltas (~0.28 m) small enough to sit in the VO
+    // regressor's operating regime (the 12-frame datasets take ~0.9 m
+    // steps no small depth-grid regressor can resolve).
+    let dataset = LocalizationDataset::generate(
+        &LocalizationConfig {
+            image_width: 48,
+            image_height: 36,
+            map_points: 1500,
+            frames: 40,
+            ..LocalizationConfig::default()
+        },
+        111,
+    )
+    .expect("dataset generates");
+    let (grid_w, grid_h) = (4, 3);
+    let samples = make_samples(&dataset.frames, &dataset.camera, grid_w, grid_h);
+    let net = train_vo_network(
+        &samples,
+        3 * grid_w * grid_h,
+        &VoTrainConfig {
+            hidden1: 48,
+            hidden2: 24,
+            epochs: 300,
+            ..VoTrainConfig::default()
+        },
+    )
+    .expect("trains");
+    let calib: Vec<Vec<f64>> = samples.iter().take(6).map(|s| s.features.clone()).collect();
+    // Tracking regime: a decent start prior and a dense-enough scan that
+    // the comparison measures drift containment, as in `abl_gating`.
+    let config = || LocalizerConfig {
+        num_particles: 300,
+        components: 12,
+        pixel_stride: 7,
+        init_spread: 0.1,
+        init_yaw_spread: 0.05,
+        gate: GateConfig::gated(DIGITAL_GMM, CIM_HMGM),
+        seed: 5,
+        ..LocalizerConfig::default()
+    };
+    let inflation = NoiseInflation::default();
+    let run_with = |control: ControlSource| -> PipelineRun {
+        let vo = BayesianVo::build(
+            &net,
+            &calib,
+            VoPipelineConfig {
+                mc_iterations: 12,
+                ..VoPipelineConfig::default()
+            },
+        )
+        .expect("vo builds");
+        let stage = VoStage::new(
+            vo,
+            AdaptiveMcPolicy::fixed(12).expect("policy"),
+            &dataset.camera,
+            &dataset.frames[0].depth,
+            grid_w,
+            grid_h,
+        )
+        .expect("stage builds");
+        LocalizationPipeline::build(&dataset, config())
+            .expect("pipeline builds")
+            .with_vo(stage)
+            .with_control(control)
+            .with_noise_inflation(inflation)
+            .expect("valid inflation")
+            .run(&dataset)
+            .expect("run completes")
+    };
+    let open = run_with(ControlSource::GroundTruth);
+    let closed = run_with(ControlSource::VisualOdometry);
+
+    // The VO controls are genuinely close to the ground-truth deltas
+    // (the regressor trained on this trajectory family), and the closed
+    // loop holds the track without ground truth.
+    let ctrl_err = closed.mean_control_error().expect("vo stage attached");
+    assert!(ctrl_err < 0.05, "mean vo control error {ctrl_err} m");
+    assert!(
+        closed.steady_state_error() < 0.3,
+        "closed-loop steady error {} (open {})",
+        closed.steady_state_error(),
+        open.steady_state_error()
+    );
+    assert!(closed
+        .frames
+        .iter()
+        .all(|f| f.summary.error.is_finite() && f.summary.error < 1.0));
+    // Control columns: the open run records ground truth at unit scale,
+    // the closed run visual odometry at the (here pinned) inflation.
+    assert!(open
+        .frames
+        .iter()
+        .all(|f| f.control_source == ControlSource::GroundTruth && f.noise_scale == 1.0));
+    for f in &closed.frames {
+        assert_eq!(f.control_source, ControlSource::VisualOdometry);
+        let vo = f.vo.expect("stage attached");
+        assert_eq!(f.noise_scale, inflation.scale(Some(vo.variance)));
+        assert!((1.0..=4.0).contains(&f.noise_scale));
+    }
+    // The frame log exposes the closed-loop columns for gate training.
+    let text = closed.to_csv().to_string();
+    let header = text.lines().next().expect("header");
+    assert!(header.contains("control_source") && header.contains("noise_scale"));
+    assert!(text.contains("visual-odometry"));
+    // VO energy is paid identically in both modes: closing the loop
+    // reuses the inference the observer already ran, it does not add a
+    // second compute axis.
+    assert_eq!(open.total_vo_energy_pj(), closed.total_vo_energy_pj());
+}
+
+#[test]
 fn vo_pipeline_produces_calibrated_uncertainty() {
     let dataset = vo_dataset(102);
     let net =

@@ -7,8 +7,9 @@ use navicim::backend::par::ChunkPolicy;
 use navicim::backend::{LikelihoodBackend, PointBatch};
 use navicim::core::localization::LocalizerConfig;
 use navicim::core::pipeline::{
-    GateConfig, GateContext, GatePolicy, HysteresisConfig, HysteresisGate, LocalizationPipeline,
-    PeriodicRefresh, PeriodicRefreshConfig, UncertaintySignals, VoStage, ANALOG_SLOT, DIGITAL_SLOT,
+    ControlSource, GateConfig, GateContext, GatePolicy, HysteresisConfig, HysteresisGate,
+    LocalizationPipeline, MultiSignalConfig, MultiSignalGate, NoiseInflation, PeriodicRefresh,
+    PeriodicRefreshConfig, UncertaintySignals, VoStage, ANALOG_SLOT, DIGITAL_SLOT,
 };
 use navicim::core::registry::{CIM_HMGM, DIGITAL_GMM};
 use navicim::core::vo::{AdaptiveMcConfig, AdaptiveMcPolicy, BayesianVo, VoPipelineConfig};
@@ -560,6 +561,124 @@ proptest! {
         prop_assert_eq!(fixed.macro_stats(), variable.macro_stats());
     }
 
+    /// The closed-loop noise inflation is total and bounded: for ANY
+    /// variance input — absent, negative, huge, `NaN`, `±inf` — the
+    /// returned motion-noise scale is finite and inside the configured
+    /// `[floor, ceiling]`, so one degenerate VO frame can never collapse
+    /// or explode the filter's proposal.
+    #[test]
+    fn noise_inflation_scale_always_bounded(
+        gain in 0.0f64..1e9,
+        floor in 0.01f64..10.0,
+        extra in 0.0f64..10.0,
+        variance_case in 0usize..7,
+        variance in -1e12f64..1e12,
+    ) {
+        let ceiling = floor + extra;
+        let inflation = NoiseInflation::new(gain, floor, ceiling).expect("valid bounds");
+        let input = match variance_case {
+            0 => None,
+            1 => Some(f64::NAN),
+            2 => Some(f64::INFINITY),
+            3 => Some(f64::NEG_INFINITY),
+            4 => Some(f64::MAX),
+            5 => Some(-variance.abs()),
+            _ => Some(variance),
+        };
+        let scale = inflation.scale(input);
+        prop_assert!(scale.is_finite(), "scale {scale} for {input:?}");
+        prop_assert!(
+            (floor..=ceiling).contains(&scale),
+            "scale {scale} outside [{floor}, {ceiling}] for {input:?}"
+        );
+        // Absent and non-finite variances price at the ceiling.
+        if matches!(variance_case, 0..=3) {
+            prop_assert_eq!(scale, ceiling);
+        }
+    }
+
+    /// With a neutral bus (healthy ESS, no innovation reading) the
+    /// multi-signal gate is decision-for-decision the spread-only
+    /// hysteresis gate on ANY spread sequence; with arbitrary bus
+    /// contents it stays within the two slots and never switches more
+    /// than once per dwell window.
+    #[test]
+    fn multi_signal_gate_neutral_equivalence_and_dwell(
+        seed in 0u64..10_000,
+        dwell in 1usize..6,
+        frames in 8usize..64,
+    ) {
+        let mut rng = Pcg32::seed_from_u64(seed ^ 0x3517);
+        use navicim::math::rng::SampleExt;
+        let spread_cfg = HysteresisConfig {
+            analog_enter: 0.08,
+            digital_enter: 0.16,
+            dwell,
+            start: DIGITAL_SLOT,
+        };
+        let ms_cfg = MultiSignalConfig {
+            spread: spread_cfg,
+            innovation_wake: -1.0,
+            ess_wake: 0.1,
+        };
+        // Pass 1: neutral bus — exact hysteresis equivalence.
+        let mut plain = HysteresisGate::new(spread_cfg).expect("valid gate");
+        let mut multi = MultiSignalGate::new(ms_cfg).expect("valid gate");
+        let spreads: Vec<f64> = (0..frames).map(|_| rng.sample_uniform(0.0, 0.3)).collect();
+        let mut cur = DIGITAL_SLOT;
+        for (frame, &s) in spreads.iter().enumerate() {
+            let ctx = GateContext {
+                frame,
+                signals: UncertaintySignals::from_spread(s),
+                current: cur,
+                num_backends: 2,
+            };
+            let a = plain.select(&ctx);
+            let b = multi.select(&ctx);
+            prop_assert_eq!(a, b);
+            cur = a;
+        }
+        prop_assert_eq!(plain.switches(), multi.switches());
+        prop_assert_eq!(multi.rescues(), 0);
+        // Pass 2: adversarial bus — slots stay valid, dwell holds.
+        let mut gate = MultiSignalGate::new(ms_cfg).expect("valid gate");
+        let mut cur = DIGITAL_SLOT;
+        let mut last_switch: Option<usize> = None;
+        for frame in 0..frames {
+            let innovation = if rng.sample_bool(0.3) {
+                None
+            } else {
+                Some(rng.sample_uniform(-5.0, 5.0))
+            };
+            let ctx = GateContext {
+                frame,
+                signals: UncertaintySignals {
+                    spread: rng.sample_uniform(0.0, 0.3),
+                    ess_fraction: rng.sample_uniform(0.001, 1.0),
+                    innovation,
+                    vo_variance: None,
+                },
+                current: cur,
+                num_backends: 2,
+            };
+            let next = gate.select(&ctx);
+            prop_assert!(next == DIGITAL_SLOT || next == ANALOG_SLOT);
+            if next != cur {
+                if let Some(prev) = last_switch {
+                    prop_assert!(
+                        frame - prev >= dwell,
+                        "switched at {} and {} under dwell {}",
+                        prev,
+                        frame,
+                        dwell
+                    );
+                }
+                last_switch = Some(frame);
+            }
+            cur = next;
+        }
+    }
+
     /// Weight quantization reconstruction error is bounded by the step.
     #[test]
     fn quant_matrix_reconstruction(
@@ -724,5 +843,115 @@ proptest! {
             .run(&dataset)
             .expect("run completes");
         prop_assert_eq!(&observed, &repeat);
+    }
+
+    /// Closing the VO→filter loop is safe and reproducible:
+    /// (a) ground-truth mode stays bit-identical to the bare pipeline
+    ///     on the whole map side even with a VO stage attached, an
+    ///     explicit `ControlSource::GroundTruth` and a custom inflation
+    ///     config (the pre-closed-loop behavior survives untouched),
+    /// (b) closed-loop runs repeat bit-identically for a fixed seed,
+    /// (c) every closed-loop frame's applied noise scale equals the
+    ///     bounded inflation of that frame's fresh VO variance.
+    #[test]
+    fn closed_loop_deterministic_and_gt_mode_bit_identical(seed in 0u64..1_000) {
+        use navicim::scene::dataset::{make_samples, LocalizationConfig, LocalizationDataset};
+        let dataset = LocalizationDataset::generate(
+            &LocalizationConfig {
+                image_width: 24,
+                image_height: 18,
+                map_points: 600,
+                frames: 8,
+                ..LocalizationConfig::default()
+            },
+            13,
+        )
+        .expect("dataset generates");
+        let config = || LocalizerConfig {
+            num_particles: 150,
+            pixel_stride: 7,
+            components: 8,
+            gate: GateConfig::gated(DIGITAL_GMM, CIM_HMGM),
+            seed,
+            ..LocalizerConfig::default()
+        };
+        let stage = || {
+            let mut rng = Pcg32::seed_from_u64(seed ^ 0xc105);
+            let net = navicim::nn::mlp::Mlp::builder(36)
+                .dense(12)
+                .relu()
+                .dropout(0.5)
+                .dense(6)
+                .build(&mut rng)
+                .expect("net builds");
+            let samples = make_samples(&dataset.frames, &dataset.camera, 4, 3);
+            let calib: Vec<Vec<f64>> =
+                samples.iter().take(3).map(|s| s.features.clone()).collect();
+            let vo = BayesianVo::build(
+                &net,
+                &calib,
+                VoPipelineConfig {
+                    mc_iterations: 6,
+                    seed,
+                    ..VoPipelineConfig::default()
+                },
+            )
+            .expect("vo builds");
+            VoStage::new(
+                vo,
+                AdaptiveMcPolicy::fixed(6).expect("policy builds"),
+                &dataset.camera,
+                &dataset.frames[0].depth,
+                4,
+                3,
+            )
+            .expect("stage builds")
+        };
+        let inflation = NoiseInflation::new(1e6, 0.5, 3.0).expect("valid bounds");
+        // (a) explicit ground-truth control + inflation config changes
+        // nothing on the map side.
+        let bare = LocalizationPipeline::build(&dataset, config())
+            .expect("pipeline builds")
+            .run(&dataset)
+            .expect("run completes");
+        let gt_mode = LocalizationPipeline::build(&dataset, config())
+            .expect("pipeline builds")
+            .with_vo(stage())
+            .with_control(ControlSource::GroundTruth)
+            .with_noise_inflation(inflation)
+            .expect("valid inflation")
+            .run(&dataset)
+            .expect("run completes");
+        prop_assert_eq!(&gt_mode.stats, &bare.stats);
+        for (gt, plain) in gt_mode.frames.iter().zip(&bare.frames) {
+            prop_assert_eq!(gt.slot, plain.slot);
+            prop_assert_eq!(&gt.summary, &plain.summary);
+            prop_assert_eq!(gt.map_energy_pj, plain.map_energy_pj);
+            prop_assert_eq!(gt.signals.spread, plain.signals.spread);
+            prop_assert_eq!(gt.control_source, ControlSource::GroundTruth);
+            prop_assert_eq!(gt.noise_scale, 1.0);
+        }
+        // (b) + (c): the closed loop repeats bit-identically and applies
+        // the bounded per-frame scale.
+        let closed = || {
+            LocalizationPipeline::build(&dataset, config())
+                .expect("pipeline builds")
+                .with_vo(stage())
+                .with_control(ControlSource::VisualOdometry)
+                .with_noise_inflation(inflation)
+                .expect("valid inflation")
+                .run(&dataset)
+                .expect("closed-loop run completes")
+        };
+        let run1 = closed();
+        let run2 = closed();
+        prop_assert_eq!(&run1, &run2);
+        for f in &run1.frames {
+            prop_assert_eq!(f.control_source, ControlSource::VisualOdometry);
+            let vo = f.vo.expect("stage attached");
+            prop_assert_eq!(f.noise_scale, inflation.scale(Some(vo.variance)));
+            prop_assert!((0.5..=3.0).contains(&f.noise_scale));
+            prop_assert!(f.summary.error.is_finite());
+        }
     }
 }
