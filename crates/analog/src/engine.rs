@@ -16,6 +16,7 @@ use navicim_device::params::TechParams;
 use navicim_device::variation::ProcessVariation;
 use navicim_gmm::hmg::HmgmModel;
 use navicim_math::rng::Pcg32;
+use navicim_math::simd::{F64x4, LANES};
 
 /// Configuration of a CIM likelihood engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,6 +80,113 @@ impl EngineStats {
 /// evaluation noise stream, both derived from [`CimEngineConfig::seed`].
 const NOISE_STREAM_SALT: u64 = 0xa0a1_0c1a_77ab_1e5e;
 
+/// Precomputed per-DAC-code reciprocal cell currents.
+///
+/// The DAC quantizes every axis to `2^dac_bits` output voltages, so the
+/// device model's EKV exponentials only ever see a finite set of inputs.
+/// This table caches `1/I_cell(dac.output(code))` for every
+/// `(column, axis, code)` triple after process variation is applied —
+/// the *exact* reciprocal the direct path divides by, so replaying the
+/// direct path's summation order over table entries reproduces its
+/// total current bit for bit while skipping all per-evaluation device
+/// math. Built once per engine; disabled (falling back to the direct
+/// path) when the code space is too large to cache.
+#[derive(Debug, Clone)]
+struct CodeLut {
+    /// `1/I_cell` laid out as `(column × axis) × code` strips:
+    /// index `(col·dim + axis)·levels + code`.
+    recips: Vec<f64>,
+    /// Per-column replica counts as f64 — the exact factor
+    /// `CimColumn::current` multiplies by.
+    replicas: Vec<f64>,
+    levels: usize,
+    dim: usize,
+}
+
+impl CodeLut {
+    /// Cap on cached entries (8 MiB of f64): a 4-bit DAC over 100
+    /// components × 3 axes needs just 4.8 k entries, but a 16-bit DAC
+    /// would need ~20 M — past the cap the direct path wins on locality.
+    const MAX_ENTRIES: usize = 1 << 20;
+
+    fn build(array: &CimArray, dacs: &[Dac]) -> Option<Self> {
+        let dim = array.num_inputs();
+        let levels = dacs.first()?.levels() as usize;
+        if dacs.len() != dim || dacs.iter().any(|d| d.levels() as usize != levels) {
+            return None;
+        }
+        let entries = array.num_columns().checked_mul(dim)?.checked_mul(levels)?;
+        if entries > Self::MAX_ENTRIES {
+            return None;
+        }
+        let mut recips = Vec::with_capacity(entries);
+        for col in array.columns() {
+            for (axis, cell) in col.inverter().cells().iter().enumerate() {
+                for code in 0..levels {
+                    recips.push(1.0 / cell.current(dacs[axis].output(code as u64)));
+                }
+            }
+        }
+        let replicas = array
+            .columns()
+            .iter()
+            .map(|c| c.replicas() as f64)
+            .collect();
+        Some(Self {
+            recips,
+            replicas,
+            levels,
+            dim,
+        })
+    }
+
+    /// Total array current for one point's DAC codes (`codes[axis]`).
+    ///
+    /// Reproduces `CimArray::total_current` exactly: per-column
+    /// reciprocal sum in axis order, `replicas · (1/Σ)` per column,
+    /// column-order total — all from 0.0, mul *then* add.
+    fn total_current(&self, codes: &[usize]) -> f64 {
+        let mut i_total = 0.0;
+        for (j, &repl) in self.replicas.iter().enumerate() {
+            let col = j * self.dim * self.levels;
+            let mut inv_sum = 0.0;
+            for (axis, &code) in codes.iter().enumerate() {
+                inv_sum += self.recips[col + axis * self.levels + code];
+            }
+            i_total += repl * (1.0 / inv_sum);
+        }
+        i_total
+    }
+
+    /// Total array currents for four points at once (`codes[p·dim + axis]`)
+    /// through explicit f64 lanes.
+    ///
+    /// Each lane applies the scalar [`Self::total_current`] operation
+    /// sequence verbatim (same gathers, same addition order, same
+    /// mul-then-add), so every lane result is bit-identical to evaluating
+    /// that point alone — and therefore to the direct device-model path.
+    fn total_current4(&self, codes: &[usize]) -> [f64; LANES] {
+        debug_assert_eq!(codes.len(), LANES * self.dim);
+        let mut i_total = F64x4::splat(0.0);
+        for (j, &repl) in self.replicas.iter().enumerate() {
+            let col = j * self.dim * self.levels;
+            let mut inv_sum = F64x4::splat(0.0);
+            for axis in 0..self.dim {
+                let strip = col + axis * self.levels;
+                let g = F64x4::new([
+                    self.recips[strip + codes[axis]],
+                    self.recips[strip + codes[self.dim + axis]],
+                    self.recips[strip + codes[2 * self.dim + axis]],
+                    self.recips[strip + codes[3 * self.dim + axis]],
+                ]);
+                inv_sum = inv_sum + g;
+            }
+            i_total = i_total + F64x4::splat(repl) * (F64x4::splat(1.0) / inv_sum);
+        }
+        i_total.to_array()
+    }
+}
+
 /// An HMG mixture compiled onto an inverter array.
 #[derive(Debug, Clone)]
 pub struct HmgmCimEngine {
@@ -93,12 +201,19 @@ pub struct HmgmCimEngine {
     /// queries are batched, chunked or threaded.
     noise_stream: NoiseStream,
     stats: EngineStats,
+    /// Per-DAC-code reciprocal current table; `None` forces the direct
+    /// device-model path (see [`Self::with_direct_eval`]). Both paths
+    /// produce bit-identical outputs.
+    lut: Option<CodeLut>,
     /// Reused per-evaluation array-current scratch (stats are merged from
     /// it in index order after each batch).
     currents: Vec<f64>,
     /// Reused DAC output buffer for the sequential single-chunk path
     /// (threaded chunks carry their own).
     voltages: Vec<f64>,
+    /// Reused DAC code buffer (`4 × dim`) for the sequential single-chunk
+    /// LUT path (threaded chunks carry their own).
+    codes: Vec<usize>,
 }
 
 impl HmgmCimEngine {
@@ -166,6 +281,10 @@ impl HmgmCimEngine {
             })
             .collect::<Result<Vec<_>>>()?;
 
+        // Cache per-code cell currents (post-variation) for the fast
+        // evaluation path; exact, so no behavior change.
+        let lut = CodeLut::build(&array, &dacs);
+
         Ok(Self {
             array,
             dacs,
@@ -178,9 +297,22 @@ impl HmgmCimEngine {
             // draws fabrication-time variation consumed.
             noise_stream: NoiseStream::new(config.seed ^ NOISE_STREAM_SALT),
             stats: EngineStats::default(),
+            lut,
             currents: Vec::new(),
             voltages: Vec::new(),
+            codes: Vec::new(),
         })
+    }
+
+    /// Disables the per-code current table, forcing every evaluation
+    /// through the direct DAC → device-model → Kirchhoff-sum path.
+    ///
+    /// The table caches the *exact* per-code reciprocal currents, so both
+    /// paths are bit-identical — this hook exists for parity tests and as
+    /// the pre-optimization baseline of the kernel benchmarks.
+    pub fn with_direct_eval(mut self) -> Self {
+        self.lut = None;
+        self
     }
 
     /// Per-axis `(floors, ceilings)` in *world* units for a given map —
@@ -282,11 +414,14 @@ impl HmgmCimEngine {
     ) {
         check_batch_shape(self.map.dim(), batch, out);
         let n = batch.len();
+        let dim = self.dacs.len();
         let base = self.noise_stream.cursor();
         self.currents.resize(n, 0.0);
-        self.voltages.resize(self.dacs.len(), 0.0);
+        self.voltages.resize(dim, 0.0);
+        self.codes.resize(LANES * dim, 0);
         let mut currents = std::mem::take(&mut self.currents);
         let mut own_voltages = std::mem::take(&mut self.voltages);
+        let mut own_codes = std::mem::take(&mut self.codes);
         {
             let array = &self.array;
             let dacs = &self.dacs;
@@ -294,19 +429,12 @@ impl HmgmCimEngine {
             let axes = self.map.axes();
             let noise = &self.noise;
             let stream = self.noise_stream;
+            let lut = self.lut.as_ref();
             let i_floor = self.tech.i_leak * 0.01;
             let gm_denom = self.tech.slope_n * self.tech.u_t;
-            // One evaluation; pure in (index, DAC scratch), so chunks can
-            // run it anywhere.
-            let eval = |idx: usize, voltages: &mut [f64]| -> (f64, f64) {
-                for ((v, &x), (axis, dac)) in voltages
-                    .iter_mut()
-                    .zip(batch.point(idx))
-                    .zip(axes.iter().zip(dacs))
-                {
-                    *v = dac.convert(axis.to_voltage(x));
-                }
-                let i_total = array.total_current(voltages);
+            // Noise + ADC stage, shared by every evaluation path; pure in
+            // (index, pre-noise current), so chunks can run it anywhere.
+            let finish = |idx: usize, i_total: f64| -> (f64, f64) {
                 // Subthreshold-style transconductance estimate for the
                 // noise scale; the counter-based z keeps the draw tied
                 // to the absolute evaluation index.
@@ -315,30 +443,90 @@ impl HmgmCimEngine {
                 let i_noisy = (i_total + noise.sample_with_z(gm, i_total, z)).max(i_floor);
                 (adc.convert(i_noisy), i_total)
             };
-            if policy.is_single_chunk(n) {
-                // Sequential path: reuse the engine's own DAC scratch —
-                // zero allocation per batch.
-                for (idx, (o, cur)) in out.iter_mut().zip(currents.iter_mut()).enumerate() {
-                    (*o, *cur) = eval(idx, &mut own_voltages);
+            // Direct device-model evaluation of one point.
+            let eval_direct = |idx: usize, voltages: &mut [f64]| -> (f64, f64) {
+                for ((v, &x), (axis, dac)) in voltages
+                    .iter_mut()
+                    .zip(batch.point(idx))
+                    .zip(axes.iter().zip(dacs))
+                {
+                    *v = dac.convert(axis.to_voltage(x));
                 }
+                finish(idx, array.total_current(voltages))
+            };
+            // DAC codes of point `idx` into `codes[p*dim..]`.
+            let codes_for = |idx: usize, p: usize, codes: &mut [usize]| {
+                for ((c, &x), (axis, dac)) in codes[p * dim..(p + 1) * dim]
+                    .iter_mut()
+                    .zip(batch.point(idx))
+                    .zip(axes.iter().zip(dacs))
+                {
+                    *c = dac.code_for(axis.to_voltage(x)) as usize;
+                }
+            };
+            // One chunk of evaluations. The 4-wide LUT body is the
+            // vectorization seam: grouping is per-chunk-internal and the
+            // lane math is per-point identical to the scalar/direct path,
+            // so chunk boundaries, thread counts and the LUT toggle are
+            // all unobservable in the output bits. Noise stays tied to
+            // absolute indices either way.
+            let run_range = |start: usize,
+                             out_chunk: &mut [f64],
+                             cur_chunk: &mut [f64],
+                             voltages: &mut [f64],
+                             codes: &mut [usize]| {
+                match lut {
+                    Some(lut) => {
+                        let mut k = 0;
+                        while k + LANES <= out_chunk.len() {
+                            for p in 0..LANES {
+                                codes_for(start + k + p, p, codes);
+                            }
+                            let totals = lut.total_current4(codes);
+                            for (p, &i_total) in totals.iter().enumerate() {
+                                let (o, cur) = finish(start + k + p, i_total);
+                                out_chunk[k + p] = o;
+                                cur_chunk[k + p] = cur;
+                            }
+                            k += LANES;
+                        }
+                        // Scalar remainder tail through the same table.
+                        for i in k..out_chunk.len() {
+                            codes_for(start + i, 0, codes);
+                            let (o, cur) = finish(start + i, lut.total_current(&codes[..dim]));
+                            out_chunk[i] = o;
+                            cur_chunk[i] = cur;
+                        }
+                    }
+                    None => {
+                        for (i, (o, cur)) in
+                            out_chunk.iter_mut().zip(cur_chunk.iter_mut()).enumerate()
+                        {
+                            (*o, *cur) = eval_direct(start + i, voltages);
+                        }
+                    }
+                }
+            };
+            if policy.is_single_chunk(n) {
+                // Sequential path: reuse the engine's own scratch —
+                // zero allocation per batch.
+                run_range(0, out, &mut currents, &mut own_voltages, &mut own_codes);
             } else {
                 par::zip_chunks_policy(
                     policy,
                     out,
                     &mut currents,
                     |start, out_chunk, cur_chunk| {
-                        // Per-chunk DAC scratch (chunks may run concurrently).
-                        let mut voltages = vec![0.0; dacs.len()];
-                        for (k, (o, cur)) in
-                            out_chunk.iter_mut().zip(cur_chunk.iter_mut()).enumerate()
-                        {
-                            (*o, *cur) = eval(start + k, &mut voltages);
-                        }
+                        // Per-chunk scratch (chunks may run concurrently).
+                        let mut voltages = vec![0.0; dim];
+                        let mut codes = vec![0usize; LANES * dim];
+                        run_range(start, out_chunk, cur_chunk, &mut voltages, &mut codes);
                     },
                 );
             }
         }
         self.voltages = own_voltages;
+        self.codes = own_codes;
         self.noise_stream.advance(n as u64);
         // Index-order merge: the same left-to-right association scalar
         // calls would produce, independent of how chunks were assigned.
@@ -583,6 +771,38 @@ mod tests {
         out.extend(split_engine.log_likelihood_batch(&second));
         assert_eq!(out, expected);
         assert_eq!(split_engine.stats(), reference.stats());
+    }
+
+    #[test]
+    fn lut_and_direct_paths_are_bit_identical() {
+        // The per-code current table must be a pure cache: outputs and
+        // stats agree bitwise with the direct device-model path for every
+        // batch size around the lane width.
+        let map = test_map();
+        let model = test_model(&map);
+        let config = CimEngineConfig::default();
+        for n in [1usize, 3, 4, 5, 7, 64] {
+            let mut fast = HmgmCimEngine::build(&model, map.clone(), config).unwrap();
+            assert!(fast.lut.is_some(), "default config should build the LUT");
+            let mut direct = HmgmCimEngine::build(&model, map.clone(), config)
+                .unwrap()
+                .with_direct_eval();
+            let mut rng = Pcg32::seed_from_u64(31 + n as u64);
+            let mut batch = PointBatch::new(3);
+            for _ in 0..n {
+                batch.push(&[
+                    rng.sample_uniform(-1.0, 1.0),
+                    rng.sample_uniform(-1.0, 1.0),
+                    rng.sample_uniform(-1.0, 1.0),
+                ]);
+            }
+            assert_eq!(
+                fast.log_likelihood_batch(&batch),
+                direct.log_likelihood_batch(&batch),
+                "n = {n}"
+            );
+            assert_eq!(fast.stats(), direct.stats(), "n = {n}");
+        }
     }
 
     #[test]

@@ -31,7 +31,17 @@
 //! the property tests use it to prove chunking invariance.
 
 /// Minimum number of points per chunk before threading is worthwhile.
-pub const MIN_CHUNK: usize = 256;
+///
+/// Retuned for the vectorized kernels (see `BENCH_kernels.json`): the
+/// 4-wide SIMD + LUT campaign cut per-point cost by roughly 2–5×
+/// (a 1024-point CIM-engine batch now evaluates in the tens of
+/// microseconds), so the old threshold of 256 points no longer amortizes
+/// the ~10 µs cost of spawning scoped worker threads. 1024 points keeps
+/// the slowest kernel's chunk comfortably above that break-even while
+/// still splitting the particle-filter-scale batches threading exists
+/// for. Benchmarks can override per policy via
+/// [`ChunkPolicy::with_min_chunk`].
+pub const MIN_CHUNK: usize = 1024;
 
 /// Number of worker threads the host can usefully run.
 pub fn worker_count() -> usize {
@@ -49,9 +59,13 @@ pub fn worker_count() -> usize {
 pub struct ChunkPolicy {
     /// Chunk length (`None` = one contiguous chunk per worker).
     pub chunk_len: Option<usize>,
-    /// Worker-thread cap (`None` = all available, gated by [`MIN_CHUNK`];
-    /// ignored without the `parallel` feature).
+    /// Worker-thread cap (`None` = all available, gated by the threading
+    /// threshold; ignored without the `parallel` feature).
     pub workers: Option<usize>,
+    /// Threading threshold override (`None` = [`MIN_CHUNK`]): the minimum
+    /// points per chunk before auto worker resolution adds threads.
+    /// Benches sweep this to locate the threading break-even.
+    pub min_chunk: Option<usize>,
 }
 
 impl ChunkPolicy {
@@ -66,7 +80,17 @@ impl ChunkPolicy {
         Self {
             chunk_len: Some(chunk_len),
             workers: Some(workers),
+            min_chunk: None,
         }
+    }
+
+    /// Returns a copy with the auto-threading threshold overridden (the
+    /// minimum points per chunk before worker threads are added; values
+    /// below 1 are floored to 1). Only consulted when `workers` is
+    /// `None` — explicit worker counts already bypass the gate.
+    pub fn with_min_chunk(mut self, min_chunk: usize) -> Self {
+        self.min_chunk = Some(min_chunk.max(1));
+        self
     }
 
     /// Resolves the policy for a batch of `n` elements into a concrete
@@ -80,7 +104,10 @@ impl ChunkPolicy {
         #[cfg(feature = "parallel")]
         let workers = match self.workers {
             Some(w) => w.max(1),
-            None => worker_count().min(n.div_ceil(MIN_CHUNK)).max(1),
+            None => {
+                let min_chunk = self.min_chunk.unwrap_or(MIN_CHUNK).max(1);
+                worker_count().min(n.div_ceil(min_chunk)).max(1)
+            }
         };
         let chunk_len = self.chunk_len.unwrap_or(n.div_ceil(workers)).max(1);
         (chunk_len, workers)
@@ -301,5 +328,38 @@ mod tests {
         assert_eq!(len, 10);
         assert!(ChunkPolicy::auto().is_single_chunk(10));
         assert!(!ChunkPolicy::exact(3, 1).is_single_chunk(10));
+    }
+
+    #[test]
+    fn min_chunk_override_moves_threading_gate() {
+        // Lowering the threshold lets auto resolution add workers for
+        // batches the default gate keeps sequential (observable only
+        // with the `parallel` feature on a multi-core host); the floor
+        // keeps a zero override from dividing by zero.
+        let policy = ChunkPolicy::auto().with_min_chunk(0);
+        assert_eq!(policy.min_chunk, Some(1));
+        let low = ChunkPolicy::auto().with_min_chunk(4);
+        #[cfg(feature = "parallel")]
+        assert_eq!(
+            low.resolve(64).1,
+            worker_count().min(16),
+            "64 points / min_chunk 4 caps workers at 16"
+        );
+        #[cfg(not(feature = "parallel"))]
+        assert_eq!(low.resolve(64).1, 1);
+        // Results stay identical whatever the gate says.
+        let mut a = vec![0.0; 64];
+        for_each_chunk_policy(low, &mut a, |start, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (start + i) as f64;
+            }
+        });
+        let mut b = vec![0.0; 64];
+        for_each_chunk_policy(ChunkPolicy::auto(), &mut b, |start, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (start + i) as f64;
+            }
+        });
+        assert_eq!(a, b);
     }
 }

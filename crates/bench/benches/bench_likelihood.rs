@@ -135,6 +135,7 @@ fn bench_likelihood(c: &mut Criterion) {
             let policy = ChunkPolicy {
                 chunk_len: Some(threads_batch_size.div_ceil(workers)),
                 workers: Some(workers),
+                min_chunk: None,
             };
             group.bench_with_input(
                 BenchmarkId::new(format!("cim_engine_batch1024_threads{workers}"), k),

@@ -206,6 +206,7 @@ fn bench_analog_weight_step_threads(c: &mut Criterion) {
                 policy: ChunkPolicy {
                     chunk_len: Some(n.div_ceil(w)),
                     workers: Some(w),
+                    min_chunk: None,
                 },
                 batch: PointBatch::with_capacity(3, n),
             };

@@ -9,7 +9,8 @@ use crate::{GmmError, Result};
 use navicim_backend::{check_batch_shape, par, LikelihoodBackend, PointBatch};
 use navicim_math::linalg::Matrix;
 use navicim_math::rng::{Rng64, SampleExt};
-use navicim_math::stats::{log_sum_exp, mvn_logpdf, LN_2PI};
+use navicim_math::simd::{log_sum_exp_fast, F64x4, LANES};
+use navicim_math::stats::{mvn_logpdf, LN_2PI};
 
 /// Covariance parameterization of a [`Gmm`].
 #[derive(Debug, Clone, PartialEq)]
@@ -239,6 +240,12 @@ pub struct GmmEvalPlan<'a> {
 impl GmmEvalPlan<'_> {
     /// Log-density of one point, using `terms` as component scratch.
     ///
+    /// This is also the scalar *remainder tail* of the 4-wide batch path
+    /// ([`GmmEvalPlan::log_pdf4`]): both apply the identical per-point
+    /// operation sequence (fused multiply-add quadratic, `exp_fast`-based
+    /// log-sum-exp), so a point's score does not depend on whether it was
+    /// evaluated here or in a vector lane.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len()` differs from the model dimension.
@@ -255,7 +262,7 @@ impl GmmEvalPlan<'_> {
                     let mut quad = 0.0;
                     for i in 0..dim {
                         let d = x[i] - mean[i];
-                        quad += nhiv[i] * d * d;
+                        quad = (nhiv[i] * d).mul_add(d, quad);
                     }
                     terms.push(c + quad);
                 }
@@ -271,7 +278,79 @@ impl GmmEvalPlan<'_> {
                 }
             }
         }
-        log_sum_exp(terms)
+        log_sum_exp_fast(terms)
+    }
+
+    /// Log-density of four points at once through explicit f64 lanes.
+    ///
+    /// `flat` must hold exactly four consecutive points in row-major
+    /// layout (`4 × dim` doubles, as stored by
+    /// [`PointBatch`]); `terms4` and `xs4` are reusable component/axis
+    /// scratch. Returns `None` for full-covariance mixtures, which have
+    /// no lane path — callers fall back to [`GmmEvalPlan::log_pdf`].
+    ///
+    /// Every lane applies exactly the operation sequence of the scalar
+    /// [`GmmEvalPlan::log_pdf`] — same fused multiply-adds, same
+    /// `exp_fast`, same reduction order over components — so the result
+    /// for each point is bit-identical to scoring it alone. The batched
+    /// [`LikelihoodBackend`] impl and the property suite rely on this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len() != 4 * dim`.
+    pub fn log_pdf4(
+        &self,
+        flat: &[f64],
+        terms4: &mut Vec<F64x4>,
+        xs4: &mut Vec<F64x4>,
+    ) -> Option<[f64; 4]> {
+        let plan = self.diag.as_ref()?;
+        let gmm = self.gmm;
+        let dim = gmm.dim();
+        assert_eq!(flat.len(), LANES * dim, "expected exactly four points");
+        // Transpose once: axis i of each of the four points, reused by
+        // every component.
+        xs4.clear();
+        for i in 0..dim {
+            xs4.push(F64x4::new([
+                flat[i],
+                flat[dim + i],
+                flat[2 * dim + i],
+                flat[3 * dim + i],
+            ]));
+        }
+        terms4.clear();
+        for (k, &c) in plan.consts.iter().enumerate() {
+            let nhiv = &plan.neg_half_inv_vars[k * dim..(k + 1) * dim];
+            let mean = &gmm.means[k];
+            let mut quad = F64x4::splat(0.0);
+            for i in 0..dim {
+                let d = xs4[i] - F64x4::splat(mean[i]);
+                quad = (F64x4::splat(nhiv[i]) * d).mul_add(d, quad);
+            }
+            terms4.push(F64x4::splat(c) + quad);
+        }
+        // Lane-wise log-sum-exp, mirroring `log_sum_exp_fast` per lane:
+        // max fold (NaN-skipping `f64::max` semantics), then the ordered
+        // sum of `exp_fast(x − m)`, with the `-inf` early-out becoming a
+        // per-lane select.
+        let mut m = F64x4::splat(f64::NEG_INFINITY);
+        for t in terms4.iter() {
+            m = m.max(*t);
+        }
+        let mut s = F64x4::splat(0.0);
+        for t in terms4.iter() {
+            s = s + (*t - m).exp();
+        }
+        let mut out = [0.0; LANES];
+        for (lane, o) in out.iter_mut().enumerate() {
+            *o = if m.lane(lane) == f64::NEG_INFINITY {
+                f64::NEG_INFINITY
+            } else {
+                m.lane(lane) + s.lane(lane).ln()
+            };
+        }
+        Some(out)
     }
 }
 
@@ -281,12 +360,33 @@ impl LikelihoodBackend for Gmm {
     }
 
     fn log_likelihood_into(&mut self, batch: &PointBatch, out: &mut [f64]) {
-        check_batch_shape(Gmm::dim(self), batch, out);
+        let dim = Gmm::dim(self);
+        check_batch_shape(dim, batch, out);
         let plan = self.eval_plan();
+        let has_lane_path = matches!(self.covariance, Covariance::Diagonal(_));
         par::for_each_chunk(out, |start, chunk| {
-            let mut terms = Vec::with_capacity(plan.gmm.num_components());
-            for (offset, o) in chunk.iter_mut().enumerate() {
-                *o = plan.log_pdf(batch.point(start + offset), &mut terms);
+            let k = plan.gmm.num_components();
+            let mut offset = 0;
+            // 4-wide body. Safe at any chunk boundary: each lane applies
+            // the exact scalar per-point math, so the grouping below is
+            // unobservable in the output bits.
+            if has_lane_path {
+                let mut terms4 = Vec::with_capacity(k);
+                let mut xs4 = Vec::with_capacity(dim);
+                while offset + LANES <= chunk.len() {
+                    let flat = batch.flat_range(start + offset, start + offset + LANES);
+                    let four = plan
+                        .log_pdf4(flat, &mut terms4, &mut xs4)
+                        .expect("diagonal plan has a lane path");
+                    chunk[offset..offset + LANES].copy_from_slice(&four);
+                    offset += LANES;
+                }
+            }
+            // Scalar remainder tail (and the whole chunk for full
+            // covariance models).
+            let mut terms = Vec::with_capacity(k);
+            for (i, o) in chunk.iter_mut().enumerate().skip(offset) {
+                *o = plan.log_pdf(batch.point(start + i), &mut terms);
             }
         });
     }

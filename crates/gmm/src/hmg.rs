@@ -15,6 +15,7 @@ use crate::fit::{fit_diag_gmm, FitConfig};
 use crate::{check_dims, GmmError, Result};
 use navicim_backend::{check_batch_shape, par, LikelihoodBackend, PointBatch};
 use navicim_math::rng::Rng64;
+use navicim_math::simd::{exp_fast, F64x4, LANES};
 
 /// One Harmonic-Mean-of-Gaussian kernel.
 ///
@@ -85,9 +86,14 @@ impl HmgKernel {
     }
 
     /// Per-axis Gaussian factor `gᵢ(xᵢ)` (in `(0, 1]`).
+    ///
+    /// Uses [`exp_fast`] — the same exponential the 4-wide lane path
+    /// applies — so scalar and vectorized evaluation stay bit-identical
+    /// (the whole digital HMG path carries `exp_fast`'s documented
+    /// ulp-bounded tolerance relative to a `f64::exp` reference).
     pub fn axis_factor(&self, axis: usize, x: f64) -> f64 {
         let z = (x - self.means[axis]) / self.sigmas[axis];
-        (-0.5 * z * z).exp()
+        exp_fast(-0.5 * z * z)
     }
 
     /// Evaluates the kernel at `x`.
@@ -185,16 +191,60 @@ impl HmgmModel {
     ///
     /// Panics if `x.len()` differs from the model dimension.
     pub fn likelihood(&self, x: &[f64]) -> f64 {
-        self.weights
-            .iter()
-            .zip(&self.kernels)
-            .map(|(w, k)| w * k.eval(x))
-            .sum()
+        // Fused multiply-add accumulation, mirrored exactly by the
+        // 4-wide lane path so batch and scalar evaluation agree bitwise.
+        let mut total = 0.0;
+        for (w, k) in self.weights.iter().zip(&self.kernels) {
+            total = w.mul_add(k.eval(x), total);
+        }
+        total
     }
 
     /// Natural log of [`Self::likelihood`], floored to stay finite.
     pub fn log_likelihood(&self, x: &[f64]) -> f64 {
         self.likelihood(x).max(1e-300).ln()
+    }
+
+    /// Log-likelihood of four points at once through explicit f64 lanes.
+    ///
+    /// `flat` holds exactly four consecutive row-major points (`4 × dim`
+    /// doubles). Each lane applies the operation sequence of the scalar
+    /// [`Self::log_likelihood`] verbatim — same `exp_fast` axis factors,
+    /// same `1e-300` floors, same fused multiply-add mixture
+    /// accumulation — so every lane result is bit-identical to scoring
+    /// that point alone. This is what lets the batched
+    /// [`LikelihoodBackend`] impl group points freely without observable
+    /// effect.
+    fn log_likelihood4(&self, flat: &[f64], xs4: &mut Vec<F64x4>) -> [f64; LANES] {
+        let dim = self.dim();
+        debug_assert_eq!(flat.len(), LANES * dim);
+        // Transpose once: axis i of each of the four points, reused by
+        // every kernel.
+        xs4.clear();
+        for i in 0..dim {
+            xs4.push(F64x4::new([
+                flat[i],
+                flat[dim + i],
+                flat[2 * dim + i],
+                flat[3 * dim + i],
+            ]));
+        }
+        let mut total = F64x4::splat(0.0);
+        for (w, k) in self.weights.iter().zip(&self.kernels) {
+            let peak = F64x4::splat(k.amplitude * dim as f64);
+            let mut inv_sum = F64x4::splat(0.0);
+            for i in 0..dim {
+                let z = (xs4[i] - F64x4::splat(k.means[i])) / F64x4::splat(k.sigmas[i]);
+                let g = (F64x4::splat(-0.5) * z * z).exp().max(F64x4::splat(1e-300));
+                inv_sum = inv_sum + F64x4::splat(1.0) / g;
+            }
+            total = F64x4::splat(*w).mul_add(peak / inv_sum, total);
+        }
+        let mut out = [0.0; LANES];
+        for (lane, o) in out.iter_mut().enumerate() {
+            *o = total.lane(lane).max(1e-300).ln();
+        }
+        out
     }
 }
 
@@ -207,8 +257,19 @@ impl LikelihoodBackend for HmgmModel {
         check_batch_shape(HmgmModel::dim(self), batch, out);
         let model = &*self;
         par::for_each_chunk(out, |start, chunk| {
-            for (offset, o) in chunk.iter_mut().enumerate() {
-                *o = model.log_likelihood(batch.point(start + offset));
+            // 4-wide body plus scalar remainder tail; lane math is
+            // per-point identical to `log_likelihood`, so any chunk
+            // boundary or grouping yields the same bits.
+            let mut offset = 0;
+            let mut xs4 = Vec::with_capacity(model.dim());
+            while offset + LANES <= chunk.len() {
+                let flat = batch.flat_range(start + offset, start + offset + LANES);
+                chunk[offset..offset + LANES]
+                    .copy_from_slice(&model.log_likelihood4(flat, &mut xs4));
+                offset += LANES;
+            }
+            for (i, o) in chunk.iter_mut().enumerate().skip(offset) {
+                *o = model.log_likelihood(batch.point(start + i));
             }
         });
     }

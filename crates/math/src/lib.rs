@@ -16,7 +16,9 @@
 //!   datapaths,
 //! - [`metrics`] — trajectory/error metrics (RMSE, ATE, …),
 //! - [`randtest`] — a lightweight randomness test battery for the
-//!   SRAM-embedded RNG of the paper's Section III.
+//!   SRAM-embedded RNG of the paper's Section III,
+//! - [`simd`] — explicit 4-wide f64 lanes and a fast exponential for the
+//!   likelihood hot paths (stable Rust, no intrinsics).
 //!
 //! # Example
 //!
@@ -40,6 +42,7 @@ pub mod quant;
 pub mod randtest;
 pub mod rng;
 pub mod sample;
+pub mod simd;
 pub mod stats;
 
 use std::error::Error;

@@ -679,6 +679,140 @@ proptest! {
         }
     }
 
+    /// SIMD remainder handling and lane-position independence: batch
+    /// lengths covering every remainder shape the 4-wide kernels see
+    /// (n = 1, 3, 4g+1, 4g+3 — full lane groups plus a 1- or 3-point
+    /// scalar tail), with one query optionally poisoned by a `NaN` or
+    /// `-inf` coordinate at an arbitrary position, evaluate
+    /// bit-identically between the batched path (SIMD body + scalar
+    /// tail) and sequential scalar calls on both digital kernels. The
+    /// bit-pattern comparison makes `NaN` lanes count as equal, so a
+    /// non-finite query must produce the exact same bits no matter
+    /// which lane — or the tail — served it.
+    #[test]
+    fn simd_remainder_and_nonfinite_lane_parity(
+        seed in 0u64..400,
+        k in 1usize..8,
+        groups in 0usize..8,
+        odd_tail in 0usize..2,
+        special_pos in 0usize..64,
+        special_axis in 0usize..3,
+        special_kind in 0usize..3,
+    ) {
+        let mut rng = Pcg32::seed_from_u64(seed ^ 0x51d0);
+        use navicim::math::rng::SampleExt;
+        let dim = 3;
+        let n = 4 * groups + if odd_tail == 1 { 3 } else { 1 };
+        let mut weights: Vec<f64> = (0..k).map(|_| rng.sample_uniform(0.1, 1.0)).collect();
+        let total: f64 = weights.iter().sum();
+        weights.iter_mut().for_each(|w| *w /= total);
+        let means: Vec<Vec<f64>> = (0..k)
+            .map(|_| (0..dim).map(|_| rng.sample_uniform(-3.0, 3.0)).collect())
+            .collect();
+        let vars: Vec<Vec<f64>> = (0..k)
+            .map(|_| (0..dim).map(|_| rng.sample_uniform(0.05, 2.0)).collect())
+            .collect();
+        let mut gmm = Gmm::new(weights.clone(), means.clone(), Covariance::Diagonal(vars))
+            .expect("valid gmm");
+        let kernels: Vec<HmgKernel> = (0..k)
+            .map(|ki| {
+                HmgKernel::new(
+                    means[ki].clone(),
+                    (0..dim).map(|_| rng.sample_uniform(0.1, 1.5)).collect(),
+                    rng.sample_uniform(0.5, 2.0),
+                )
+                .expect("valid kernel")
+            })
+            .collect();
+        let mut model = HmgmModel::new(weights, kernels).expect("valid model");
+        let mut points: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.sample_uniform(-4.0, 4.0)).collect())
+            .collect();
+        match special_kind {
+            1 => points[special_pos % n][special_axis] = f64::NAN,
+            2 => points[special_pos % n][special_axis] = f64::NEG_INFINITY,
+            _ => {}
+        }
+        let mut batch = PointBatch::new(dim);
+        for p in &points {
+            batch.push(p);
+        }
+        let gmm_scalar: Vec<u64> =
+            batch.iter().map(|p| gmm.log_pdf(p).to_bits()).collect();
+        let gmm_batched: Vec<u64> = gmm
+            .log_likelihood_batch(&batch)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        prop_assert_eq!(gmm_scalar, gmm_batched);
+        let hmgm_scalar: Vec<u64> =
+            batch.iter().map(|p| model.log_likelihood(p).to_bits()).collect();
+        let hmgm_batched: Vec<u64> =
+            LikelihoodBackend::log_likelihood_batch(&mut model, &batch)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+        prop_assert_eq!(hmgm_scalar, hmgm_batched);
+    }
+
+    /// `exp_fast` honours its documented accuracy contract on random
+    /// inputs across the whole finite-result range: within
+    /// `EXP_FAST_MAX_ULP` of the correctly rounded `f64::exp` wherever
+    /// the true result is a normal number.
+    #[test]
+    fn exp_fast_ulp_gate_randomized(x in -745.0f64..709.7) {
+        use navicim::math::simd::{exp_fast, ulp_distance, EXP_FAST_MAX_ULP};
+        let reference = x.exp();
+        if reference.is_normal() {
+            let d = ulp_distance(exp_fast(x), reference);
+            prop_assert!(
+                d <= EXP_FAST_MAX_ULP,
+                "exp_fast({x}) is {d} ulp from f64::exp"
+            );
+        }
+    }
+
+    /// The CIM engine's DAC-code lookup table is a pure acceleration:
+    /// for arbitrary batch sizes (covering all lane-group remainders)
+    /// the LUT engine and a direct-evaluation engine built from the
+    /// same config produce bit-identical outputs and EngineStats.
+    #[test]
+    fn cim_lut_matches_direct_eval(seed in 0u64..100, n in 1usize..48) {
+        let mut rng = Pcg32::seed_from_u64(seed ^ 0x1111);
+        use navicim::math::rng::SampleExt;
+        let pts = vec![vec![-1.0, -1.0, -1.0], vec![1.0, 1.0, 1.0]];
+        let space = SpaceMap::fit_to_points(&pts, 0.15, 0.85, 0.2).expect("map fits");
+        let tech = TechParams::cmos_45nm();
+        let (floor, ceil) = HmgmCimEngine::recommended_sigma_bounds(&tech, &space);
+        let sigma = (floor * 2.0).min(ceil);
+        let model = HmgmModel::new(
+            vec![1.0, 0.5],
+            vec![
+                HmgKernel::new(vec![-0.5, 0.0, 0.2], vec![sigma; 3], 1.0).expect("kernel"),
+                HmgKernel::new(vec![0.6, 0.3, -0.4], vec![sigma; 3], 1.0).expect("kernel"),
+            ],
+        )
+        .expect("model");
+        let config = CimEngineConfig { seed, ..CimEngineConfig::default() };
+        let mut fast =
+            HmgmCimEngine::build(&model, space.clone(), config).expect("engine builds");
+        let mut direct = HmgmCimEngine::build(&model, space, config)
+            .expect("engine builds")
+            .with_direct_eval();
+        let mut batch = PointBatch::new(3);
+        for _ in 0..n {
+            batch.push(&[
+                rng.sample_uniform(-1.0, 1.0),
+                rng.sample_uniform(-1.0, 1.0),
+                rng.sample_uniform(-1.0, 1.0),
+            ]);
+        }
+        let a = LikelihoodBackend::log_likelihood_batch(&mut fast, &batch);
+        let b = LikelihoodBackend::log_likelihood_batch(&mut direct, &batch);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(fast.stats(), direct.stats());
+    }
+
     /// Weight quantization reconstruction error is bounded by the step.
     #[test]
     fn quant_matrix_reconstruction(
