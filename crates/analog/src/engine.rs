@@ -3,6 +3,22 @@
 //! [`HmgmCimEngine`] programs a fitted HMG mixture onto a [`CimArray`] and
 //! serves log-likelihood queries through the DAC → array → log-ADC chain,
 //! while counting the operations the energy model needs.
+//!
+//! The engine is split into two layers so many sessions can share one
+//! fabricated substrate:
+//!
+//! - [`CimCompute`] is the immutable compiled fabric (array, DACs, ADC,
+//!   space map, noise model, code LUT) held behind an `Arc`. It is `Sync`
+//!   and evaluates batches purely — every mutable bit of an evaluation
+//!   (noise index, counters) is passed in.
+//! - [`HmgmCimEngine`] is one *session* over that fabric: it owns the
+//!   counter-based [`NoiseStream`] cursor and the [`EngineStats`].
+//!   [`HmgmCimEngine::fork_session`] spawns additional sessions that share
+//!   the `Arc`'d fabric, and a serving layer can coalesce many sessions'
+//!   queries into one [`CimCompute::eval_segments`] call (each segment
+//!   carrying its own stream) with bit-identical per-session results.
+
+use std::sync::Arc;
 
 use crate::adc::LogAdc;
 use crate::array::{calibrate_overlap, device_sigma_range, CimArray, CimColumn};
@@ -187,33 +203,274 @@ impl CodeLut {
     }
 }
 
-/// An HMG mixture compiled onto an inverter array.
+/// One session's slice of a coalesced batch: points
+/// `[start, next segment's start)` draw their noise from `stream`,
+/// session-locally — point `start + k` uses stream index `cursor + k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoiseSegment {
+    /// Batch index at which this segment begins.
+    pub start: usize,
+    /// The owning session's noise stream, cursor positioned at the
+    /// segment's first evaluation.
+    pub stream: NoiseStream,
+}
+
+/// Reusable DAC scratch buffers for [`CimCompute::eval_segments`]
+/// (sequential single-chunk path only; threaded chunks carry their own).
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    voltages: Vec<f64>,
+    codes: Vec<usize>,
+}
+
+/// The immutable compiled CIM fabric: fabricated array, converters, the
+/// world→voltage map and the per-code current table.
+///
+/// Every field is fixed at build time (process variation is drawn once in
+/// [`HmgmCimEngine::build`]), so a `CimCompute` is freely shared across
+/// threads behind an `Arc` — sessions own only their noise cursor and
+/// counters. Evaluation is pure: the caller passes the noise assignment
+/// ([`NoiseSegment`]s) and receives pre-noise currents for its own
+/// bookkeeping.
 #[derive(Debug, Clone)]
-pub struct HmgmCimEngine {
+pub struct CimCompute {
     array: CimArray,
     dacs: Vec<Dac>,
     adc: LogAdc,
     map: SpaceMap,
     noise: NoiseModel,
     tech: TechParams,
-    /// Counter-based evaluation noise: evaluation `i` (over the engine's
+    /// Per-DAC-code reciprocal current table; `None` forces the direct
+    /// device-model path (see [`HmgmCimEngine::with_direct_eval`]). Both
+    /// paths produce bit-identical outputs.
+    lut: Option<CodeLut>,
+    /// Seed every session's evaluation [`NoiseStream`] starts from
+    /// (`config.seed ^ NOISE_STREAM_SALT`).
+    noise_seed: u64,
+}
+
+impl CimCompute {
+    /// Query dimensionality.
+    pub fn dim(&self) -> usize {
+        self.map.dim()
+    }
+
+    /// The compiled array (for inspection and energy accounting).
+    pub fn array(&self) -> &CimArray {
+        &self.array
+    }
+
+    /// The output ADC.
+    pub fn adc(&self) -> &LogAdc {
+        &self.adc
+    }
+
+    /// The seed sessions forked from this fabric start their noise
+    /// streams on.
+    pub fn noise_seed(&self) -> u64 {
+        self.noise_seed
+    }
+
+    /// Evaluates a (possibly multi-session) batch against the fabric.
+    ///
+    /// `segments` assigns noise: the points of `[seg.start, next.start)`
+    /// belong to the session whose stream is `seg.stream`, and point
+    /// `seg.start + k` draws `seg.stream.at(cursor + k)`. With a single
+    /// segment this is exactly the engine's own batch evaluation; with
+    /// many, each segment's outputs are bit-identical to the owning
+    /// session evaluating its sub-batch alone — the invariant the serving
+    /// layer's cross-agent batcher is built on. Pre-noise currents land in
+    /// `currents` so each session can fold its slice into its stats in
+    /// index order (see [`HmgmCimEngine::absorb_served_evals`]).
+    ///
+    /// Segments must start at 0, be strictly increasing, and lie inside
+    /// the batch. Nothing in `self` mutates; `scratch` is buffer reuse
+    /// only.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch, output/current length mismatch, or an
+    /// invalid segment list.
+    pub fn eval_segments(
+        &self,
+        batch: &PointBatch,
+        segments: &[NoiseSegment],
+        out: &mut [f64],
+        currents: &mut [f64],
+        policy: par::ChunkPolicy,
+        scratch: &mut EvalScratch,
+    ) {
+        check_batch_shape(self.map.dim(), batch, out);
+        assert_eq!(
+            out.len(),
+            currents.len(),
+            "currents scratch must match batch length"
+        );
+        let n = batch.len();
+        if n == 0 {
+            return;
+        }
+        assert!(
+            !segments.is_empty() && segments[0].start == 0,
+            "segments must cover the batch from index 0"
+        );
+        assert!(
+            segments.windows(2).all(|w| w[0].start < w[1].start),
+            "segment starts must be strictly increasing"
+        );
+        assert!(
+            segments[segments.len() - 1].start < n,
+            "segment start past the end of the batch"
+        );
+        let dim = self.dacs.len();
+        scratch.voltages.resize(dim, 0.0);
+        scratch.codes.resize(LANES * dim, 0);
+        let array = &self.array;
+        let dacs = &self.dacs;
+        let adc = &self.adc;
+        let axes = self.map.axes();
+        let noise = &self.noise;
+        let lut = self.lut.as_ref();
+        let i_floor = self.tech.i_leak * 0.01;
+        let gm_denom = self.tech.slope_n * self.tech.u_t;
+        // The standard normal for batch point `idx`, resolved through a
+        // monotone segment cursor: every evaluation path consumes its
+        // chunk's indices in increasing order, so after one binary
+        // search at the chunk's first point the cursor only ever steps
+        // forward — O(1) amortized per point, where a per-point
+        // `partition_point` becomes a visible share of noise lookup
+        // once a coalesced batch carries many sessions' segments. The
+        // lookup stays pure in (segments, idx), so chunk boundaries and
+        // thread counts remain unobservable in the output bits.
+        struct SegCursor<'a> {
+            segments: &'a [NoiseSegment],
+            pos: usize,
+        }
+        impl SegCursor<'_> {
+            fn z(&mut self, idx: usize) -> f64 {
+                while self.pos + 1 < self.segments.len() && self.segments[self.pos + 1].start <= idx
+                {
+                    self.pos += 1;
+                }
+                let seg = &self.segments[self.pos];
+                seg.stream
+                    .at(seg.stream.cursor() + (idx - seg.start) as u64)
+            }
+        }
+        let cursor_at = |idx: usize| SegCursor {
+            segments,
+            pos: segments.partition_point(|s| s.start <= idx) - 1,
+        };
+        // Noise + ADC stage, shared by every evaluation path; pure in
+        // (index, pre-noise current).
+        let finish = |cursor: &mut SegCursor<'_>, idx: usize, i_total: f64| -> (f64, f64) {
+            // Subthreshold-style transconductance estimate for the
+            // noise scale; the counter-based z keeps the draw tied
+            // to the absolute evaluation index of the owning session.
+            let gm = i_total / gm_denom;
+            let z = cursor.z(idx);
+            let i_noisy = (i_total + noise.sample_with_z(gm, i_total, z)).max(i_floor);
+            (adc.convert(i_noisy), i_total)
+        };
+        // Direct device-model evaluation of one point.
+        let eval_direct = |cursor: &mut SegCursor<'_>, idx: usize, voltages: &mut [f64]| {
+            for ((v, &x), (axis, dac)) in voltages
+                .iter_mut()
+                .zip(batch.point(idx))
+                .zip(axes.iter().zip(dacs))
+            {
+                *v = dac.convert(axis.to_voltage(x));
+            }
+            finish(cursor, idx, array.total_current(voltages))
+        };
+        // DAC codes of point `idx` into `codes[p*dim..]`.
+        let codes_for = |idx: usize, p: usize, codes: &mut [usize]| {
+            for ((c, &x), (axis, dac)) in codes[p * dim..(p + 1) * dim]
+                .iter_mut()
+                .zip(batch.point(idx))
+                .zip(axes.iter().zip(dacs))
+            {
+                *c = dac.code_for(axis.to_voltage(x)) as usize;
+            }
+        };
+        // One chunk of evaluations. The 4-wide LUT body is the
+        // vectorization seam: grouping is per-chunk-internal and the
+        // lane math is per-point identical to the scalar/direct path,
+        // so chunk boundaries, thread counts and the LUT toggle are
+        // all unobservable in the output bits. Noise stays tied to
+        // per-session absolute indices either way.
+        let run_range = |start: usize,
+                         out_chunk: &mut [f64],
+                         cur_chunk: &mut [f64],
+                         voltages: &mut [f64],
+                         codes: &mut [usize]| {
+            let mut cursor = cursor_at(start);
+            match lut {
+                Some(lut) => {
+                    let mut k = 0;
+                    while k + LANES <= out_chunk.len() {
+                        for p in 0..LANES {
+                            codes_for(start + k + p, p, codes);
+                        }
+                        let totals = lut.total_current4(codes);
+                        for (p, &i_total) in totals.iter().enumerate() {
+                            let (o, cur) = finish(&mut cursor, start + k + p, i_total);
+                            out_chunk[k + p] = o;
+                            cur_chunk[k + p] = cur;
+                        }
+                        k += LANES;
+                    }
+                    // Scalar remainder tail through the same table.
+                    for i in k..out_chunk.len() {
+                        codes_for(start + i, 0, codes);
+                        let (o, cur) =
+                            finish(&mut cursor, start + i, lut.total_current(&codes[..dim]));
+                        out_chunk[i] = o;
+                        cur_chunk[i] = cur;
+                    }
+                }
+                None => {
+                    for (i, (o, cur)) in out_chunk.iter_mut().zip(cur_chunk.iter_mut()).enumerate()
+                    {
+                        (*o, *cur) = eval_direct(&mut cursor, start + i, voltages);
+                    }
+                }
+            }
+        };
+        if policy.is_single_chunk(n) {
+            // Sequential path: reuse the caller's scratch — zero
+            // allocation per batch.
+            run_range(0, out, currents, &mut scratch.voltages, &mut scratch.codes);
+        } else {
+            par::zip_chunks_policy(policy, out, currents, |start, out_chunk, cur_chunk| {
+                // Per-chunk scratch (chunks may run concurrently).
+                let mut voltages = vec![0.0; dim];
+                let mut codes = vec![0usize; LANES * dim];
+                run_range(start, out_chunk, cur_chunk, &mut voltages, &mut codes);
+            });
+        }
+    }
+}
+
+/// An HMG mixture compiled onto an inverter array.
+///
+/// One value of this type is one evaluation *session*: the compiled
+/// fabric lives in a shared [`CimCompute`] behind an `Arc` (see
+/// [`Self::fork_session`]), while the session owns its noise cursor,
+/// operation counters and scratch.
+#[derive(Debug, Clone)]
+pub struct HmgmCimEngine {
+    compute: Arc<CimCompute>,
+    /// Counter-based evaluation noise: evaluation `i` (over the session's
     /// lifetime) is perturbed by `noise_stream.at(i)` regardless of how
     /// queries are batched, chunked or threaded.
     noise_stream: NoiseStream,
     stats: EngineStats,
-    /// Per-DAC-code reciprocal current table; `None` forces the direct
-    /// device-model path (see [`Self::with_direct_eval`]). Both paths
-    /// produce bit-identical outputs.
-    lut: Option<CodeLut>,
     /// Reused per-evaluation array-current scratch (stats are merged from
     /// it in index order after each batch).
     currents: Vec<f64>,
-    /// Reused DAC output buffer for the sequential single-chunk path
-    /// (threaded chunks carry their own).
-    voltages: Vec<f64>,
-    /// Reused DAC code buffer (`4 × dim`) for the sequential single-chunk
-    /// LUT path (threaded chunks carry their own).
-    codes: Vec<usize>,
+    /// Reused DAC scratch for the sequential single-chunk path.
+    scratch: EvalScratch,
 }
 
 impl HmgmCimEngine {
@@ -285,22 +542,25 @@ impl HmgmCimEngine {
         // evaluation path; exact, so no behavior change.
         let lut = CodeLut::build(&array, &dacs);
 
+        // The evaluation-noise seed comes from the config seed directly
+        // (not from `rng`), so the noise sequence does not depend on how
+        // many draws fabrication-time variation consumed.
+        let noise_seed = config.seed ^ NOISE_STREAM_SALT;
         Ok(Self {
-            array,
-            dacs,
-            adc,
-            map,
-            noise: NoiseModel::room_temperature(config.noise_bandwidth),
-            tech,
-            // Seeded from the config seed directly (not from `rng`), so
-            // the evaluation-noise sequence does not depend on how many
-            // draws fabrication-time variation consumed.
-            noise_stream: NoiseStream::new(config.seed ^ NOISE_STREAM_SALT),
+            compute: Arc::new(CimCompute {
+                array,
+                dacs,
+                adc,
+                map,
+                noise: NoiseModel::room_temperature(config.noise_bandwidth),
+                tech,
+                lut,
+                noise_seed,
+            }),
+            noise_stream: NoiseStream::new(noise_seed),
             stats: EngineStats::default(),
-            lut,
             currents: Vec::new(),
-            voltages: Vec::new(),
-            codes: Vec::new(),
+            scratch: EvalScratch::default(),
         })
     }
 
@@ -310,9 +570,77 @@ impl HmgmCimEngine {
     /// The table caches the *exact* per-code reciprocal currents, so both
     /// paths are bit-identical — this hook exists for parity tests and as
     /// the pre-optimization baseline of the kernel benchmarks.
+    ///
+    /// Copy-on-write: if the fabric is shared with forked sessions, they
+    /// keep the table.
     pub fn with_direct_eval(mut self) -> Self {
-        self.lut = None;
+        Arc::make_mut(&mut self.compute).lut = None;
         self
+    }
+
+    /// A fresh evaluation session over the same compiled fabric.
+    ///
+    /// Shares the fabricated array / converters / LUT via `Arc` and
+    /// resets the session state (noise cursor to the stream's origin,
+    /// counters to zero) — bit-identical to building a new engine from
+    /// the same model, map and config, without re-fabrication. This is
+    /// how a serving layer runs many agents on one substrate.
+    pub fn fork_session(&self) -> Self {
+        Self {
+            compute: Arc::clone(&self.compute),
+            noise_stream: NoiseStream::new(self.compute.noise_seed),
+            stats: EngineStats::default(),
+            currents: Vec::new(),
+            scratch: EvalScratch::default(),
+        }
+    }
+
+    /// The shared compiled fabric this session evaluates on.
+    pub fn compute(&self) -> &Arc<CimCompute> {
+        &self.compute
+    }
+
+    /// The session's noise stream (seed + cursor), e.g. for building the
+    /// [`NoiseSegment`] of a coalesced batch.
+    pub fn noise_stream(&self) -> NoiseStream {
+        self.noise_stream
+    }
+
+    /// Evaluates a coalesced multi-session batch against the shared
+    /// fabric (see [`CimCompute::eval_segments`]). This instance acts as
+    /// the *evaluator* — its own cursor and counters are untouched; each
+    /// owning session commits its slice of `currents` through
+    /// [`Self::absorb_served_evals`] afterwards.
+    pub fn serve_segments(
+        &mut self,
+        batch: &PointBatch,
+        segments: &[NoiseSegment],
+        out: &mut [f64],
+        currents: &mut [f64],
+        policy: par::ChunkPolicy,
+    ) {
+        self.compute
+            .eval_segments(batch, segments, out, currents, policy, &mut self.scratch);
+    }
+
+    /// Commits `currents.len()` externally served evaluations (this
+    /// session's slice of a coalesced batch) into the session state:
+    /// advances the noise cursor past the served range and folds the
+    /// pre-noise currents into the stats in index order — exactly the
+    /// bookkeeping [`Self::log_likelihood_into_chunked`] performs after
+    /// evaluating the same points itself, so a served session's state
+    /// stays bit-identical to a solo run.
+    pub fn absorb_served_evals(&mut self, currents: &[f64]) {
+        let n = currents.len();
+        self.noise_stream.advance(n as u64);
+        // Index-order merge: the same left-to-right association scalar
+        // calls would produce, independent of how chunks were assigned.
+        for &i_total in currents {
+            self.stats.current_sum += i_total;
+        }
+        self.stats.evaluations += n as u64;
+        self.stats.dac_conversions += (n * self.compute.dacs.len()) as u64;
+        self.stats.adc_conversions += n as u64;
     }
 
     /// Per-axis `(floors, ceilings)` in *world* units for a given map —
@@ -366,7 +694,7 @@ impl HmgmCimEngine {
     ///
     /// Panics if `point.len()` differs from the engine dimension.
     pub fn log_likelihood(&mut self, point: &[f64]) -> f64 {
-        let mut batch = PointBatch::new(self.map.dim());
+        let mut batch = PointBatch::new(self.compute.dim());
         batch.push(point);
         let mut out = [0.0];
         self.log_likelihood_into(&batch, &mut out);
@@ -412,153 +740,47 @@ impl HmgmCimEngine {
         out: &mut [f64],
         policy: par::ChunkPolicy,
     ) {
-        check_batch_shape(self.map.dim(), batch, out);
         let n = batch.len();
-        let dim = self.dacs.len();
-        let base = self.noise_stream.cursor();
         self.currents.resize(n, 0.0);
-        self.voltages.resize(dim, 0.0);
-        self.codes.resize(LANES * dim, 0);
         let mut currents = std::mem::take(&mut self.currents);
-        let mut own_voltages = std::mem::take(&mut self.voltages);
-        let mut own_codes = std::mem::take(&mut self.codes);
-        {
-            let array = &self.array;
-            let dacs = &self.dacs;
-            let adc = &self.adc;
-            let axes = self.map.axes();
-            let noise = &self.noise;
-            let stream = self.noise_stream;
-            let lut = self.lut.as_ref();
-            let i_floor = self.tech.i_leak * 0.01;
-            let gm_denom = self.tech.slope_n * self.tech.u_t;
-            // Noise + ADC stage, shared by every evaluation path; pure in
-            // (index, pre-noise current), so chunks can run it anywhere.
-            let finish = |idx: usize, i_total: f64| -> (f64, f64) {
-                // Subthreshold-style transconductance estimate for the
-                // noise scale; the counter-based z keeps the draw tied
-                // to the absolute evaluation index.
-                let gm = i_total / gm_denom;
-                let z = stream.at(base + idx as u64);
-                let i_noisy = (i_total + noise.sample_with_z(gm, i_total, z)).max(i_floor);
-                (adc.convert(i_noisy), i_total)
-            };
-            // Direct device-model evaluation of one point.
-            let eval_direct = |idx: usize, voltages: &mut [f64]| -> (f64, f64) {
-                for ((v, &x), (axis, dac)) in voltages
-                    .iter_mut()
-                    .zip(batch.point(idx))
-                    .zip(axes.iter().zip(dacs))
-                {
-                    *v = dac.convert(axis.to_voltage(x));
-                }
-                finish(idx, array.total_current(voltages))
-            };
-            // DAC codes of point `idx` into `codes[p*dim..]`.
-            let codes_for = |idx: usize, p: usize, codes: &mut [usize]| {
-                for ((c, &x), (axis, dac)) in codes[p * dim..(p + 1) * dim]
-                    .iter_mut()
-                    .zip(batch.point(idx))
-                    .zip(axes.iter().zip(dacs))
-                {
-                    *c = dac.code_for(axis.to_voltage(x)) as usize;
-                }
-            };
-            // One chunk of evaluations. The 4-wide LUT body is the
-            // vectorization seam: grouping is per-chunk-internal and the
-            // lane math is per-point identical to the scalar/direct path,
-            // so chunk boundaries, thread counts and the LUT toggle are
-            // all unobservable in the output bits. Noise stays tied to
-            // absolute indices either way.
-            let run_range = |start: usize,
-                             out_chunk: &mut [f64],
-                             cur_chunk: &mut [f64],
-                             voltages: &mut [f64],
-                             codes: &mut [usize]| {
-                match lut {
-                    Some(lut) => {
-                        let mut k = 0;
-                        while k + LANES <= out_chunk.len() {
-                            for p in 0..LANES {
-                                codes_for(start + k + p, p, codes);
-                            }
-                            let totals = lut.total_current4(codes);
-                            for (p, &i_total) in totals.iter().enumerate() {
-                                let (o, cur) = finish(start + k + p, i_total);
-                                out_chunk[k + p] = o;
-                                cur_chunk[k + p] = cur;
-                            }
-                            k += LANES;
-                        }
-                        // Scalar remainder tail through the same table.
-                        for i in k..out_chunk.len() {
-                            codes_for(start + i, 0, codes);
-                            let (o, cur) = finish(start + i, lut.total_current(&codes[..dim]));
-                            out_chunk[i] = o;
-                            cur_chunk[i] = cur;
-                        }
-                    }
-                    None => {
-                        for (i, (o, cur)) in
-                            out_chunk.iter_mut().zip(cur_chunk.iter_mut()).enumerate()
-                        {
-                            (*o, *cur) = eval_direct(start + i, voltages);
-                        }
-                    }
-                }
-            };
-            if policy.is_single_chunk(n) {
-                // Sequential path: reuse the engine's own scratch —
-                // zero allocation per batch.
-                run_range(0, out, &mut currents, &mut own_voltages, &mut own_codes);
-            } else {
-                par::zip_chunks_policy(
-                    policy,
-                    out,
-                    &mut currents,
-                    |start, out_chunk, cur_chunk| {
-                        // Per-chunk scratch (chunks may run concurrently).
-                        let mut voltages = vec![0.0; dim];
-                        let mut codes = vec![0usize; LANES * dim];
-                        run_range(start, out_chunk, cur_chunk, &mut voltages, &mut codes);
-                    },
-                );
-            }
-        }
-        self.voltages = own_voltages;
-        self.codes = own_codes;
-        self.noise_stream.advance(n as u64);
-        // Index-order merge: the same left-to-right association scalar
-        // calls would produce, independent of how chunks were assigned.
-        for &i_total in currents.iter() {
-            self.stats.current_sum += i_total;
-        }
+        // A solo batch is a one-segment coalesced batch: this session's
+        // stream covers everything from index 0.
+        let segments = [NoiseSegment {
+            start: 0,
+            stream: self.noise_stream,
+        }];
+        self.compute.eval_segments(
+            batch,
+            &segments,
+            out,
+            &mut currents,
+            policy,
+            &mut self.scratch,
+        );
+        self.absorb_served_evals(&currents);
         self.currents = currents;
-        self.stats.evaluations += n as u64;
-        self.stats.dac_conversions += (n * self.dacs.len()) as u64;
-        self.stats.adc_conversions += n as u64;
     }
 
     /// Sum of per-point log-likelihoods for a scan (batch-evaluated; an
     /// empty scan sums to zero).
     pub fn scan_log_likelihood(&mut self, points: &[Vec<f64>]) -> f64 {
-        let batch = PointBatch::from_rows(self.map.dim(), points);
+        let batch = PointBatch::from_rows(self.compute.dim(), points);
         self.log_likelihood_batch(&batch).iter().sum()
     }
 
     /// Query dimensionality.
     pub fn dim(&self) -> usize {
-        self.map.dim()
+        self.compute.dim()
     }
 
     /// The compiled array (for inspection and energy accounting).
     pub fn array(&self) -> &CimArray {
-        &self.array
+        &self.compute.array
     }
 
     /// The output ADC.
     pub fn adc(&self) -> &LogAdc {
-        &self.adc
+        &self.compute.adc
     }
 
     /// Operation counters accumulated since construction or the last
@@ -783,7 +1005,10 @@ mod tests {
         let config = CimEngineConfig::default();
         for n in [1usize, 3, 4, 5, 7, 64] {
             let mut fast = HmgmCimEngine::build(&model, map.clone(), config).unwrap();
-            assert!(fast.lut.is_some(), "default config should build the LUT");
+            assert!(
+                fast.compute.lut.is_some(),
+                "default config should build the LUT"
+            );
             let mut direct = HmgmCimEngine::build(&model, map.clone(), config)
                 .unwrap()
                 .with_direct_eval();

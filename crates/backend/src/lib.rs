@@ -123,6 +123,22 @@ impl PointBatch {
         self.data.extend_from_slice(&[x, y, z]);
     }
 
+    /// Appends every point of `other`, preserving order — the bulk path
+    /// for coalescing many staged batches into one (a single flat copy
+    /// instead of a per-point push).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn extend_from_batch(&mut self, other: &PointBatch) {
+        assert_eq!(
+            other.dim, self.dim,
+            "cannot extend a {}-d batch from a {}-d batch",
+            self.dim, other.dim
+        );
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// The `i`-th point.
     ///
     /// # Panics
@@ -261,6 +277,24 @@ mod tests {
         let empty = PointBatch::from_rows(3, &[]);
         assert_eq!(empty.dim(), 3);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn extend_from_batch_concatenates() {
+        let a = PointBatch::from_rows(2, &[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = PointBatch::from_rows(2, &[vec![5.0, 6.0]]);
+        let mut merged = PointBatch::new(2);
+        merged.extend_from_batch(&a);
+        merged.extend_from_batch(&b);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.as_flat(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot extend")]
+    fn extend_from_batch_rejects_dim_mismatch() {
+        let mut a = PointBatch::new(2);
+        a.extend_from_batch(&PointBatch::new(3));
     }
 
     #[test]

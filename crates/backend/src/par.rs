@@ -41,6 +41,14 @@
 /// still splitting the particle-filter-scale batches threading exists
 /// for. Benchmarks can override per policy via
 /// [`ChunkPolicy::with_min_chunk`].
+///
+/// To re-tune on a new host, run `cargo run --release -p navicim-bench
+/// --features parallel --bin bench_kernels -- --threads`: its sweep pins
+/// `(chunk_len, workers)` per batch size with the gate bypassed, and the
+/// batch size where multi-worker rows first beat the single-worker row
+/// is the new break-even. The fleet coalescer
+/// (`navicim-serve`) relies on this same gate — its merged cross-agent
+/// batches exist precisely to cross this threshold.
 pub const MIN_CHUNK: usize = 1024;
 
 /// Number of worker threads the host can usefully run.

@@ -177,11 +177,15 @@ pub(crate) struct ScanScratch {
     /// Reused projection buffer.
     points: Vec<Vec3>,
     /// Reused frame-wide query batch.
-    batch: PointBatch,
+    pub(crate) batch: PointBatch,
     /// Reused per-particle point counts.
-    counts: Vec<usize>,
+    pub(crate) counts: Vec<usize>,
     /// Reused per-point log-likelihood buffer.
-    lls: Vec<f64>,
+    pub(crate) lls: Vec<f64>,
+    /// Reused per-particle log-likelihood buffer (the reduce output when
+    /// the evaluation phase runs outside the sensor, see
+    /// `LocalizationPipeline::finish_frame`).
+    pub(crate) particle_lls: Vec<f64>,
 }
 
 impl Default for ScanScratch {
@@ -191,7 +195,52 @@ impl Default for ScanScratch {
             batch: PointBatch::new(3),
             counts: Vec::new(),
             lls: Vec::new(),
+            particle_lls: Vec::new(),
         }
+    }
+}
+
+/// Penalty for a hypothesis whose scan projects to no valid points:
+/// heavily penalized but finite.
+pub(crate) const BLIND_LL: f64 = -1e3;
+
+/// Phase A of the batched weight step: projects every particle's scan and
+/// stages the frame-wide query batch plus per-particle point counts into
+/// `scratch`. Shared verbatim by [`ScanSensor::log_likelihood_batch`] and
+/// `LocalizationPipeline::begin_frame`, so the split (externally served)
+/// evaluation path is bit-identical to the monolithic one by
+/// construction.
+pub(crate) fn stage_scan_batch(
+    camera: &DepthCamera,
+    obs: &DepthImage,
+    stride: usize,
+    states: &[Pose],
+    scratch: &mut ScanScratch,
+) {
+    scratch.batch.clear();
+    scratch.counts.clear();
+    for state in states {
+        camera.project_to_world_into(obs, *state, stride, &mut scratch.points);
+        scratch.counts.push(scratch.points.len());
+        for p in &scratch.points {
+            scratch.batch.push_xyz(p.x, p.y, p.z);
+        }
+    }
+}
+
+/// Phase B of the batched weight step: reduces per-point log-likelihoods
+/// (aligned with the staged batch) to per-particle weights; particles
+/// whose scan projected to no valid points score [`BLIND_LL`].
+pub(crate) fn reduce_scan_lls(sharpness: f64, counts: &[usize], lls: &[f64], out: &mut [f64]) {
+    let mut offset = 0;
+    for (o, &count) in out.iter_mut().zip(counts) {
+        if count == 0 {
+            *o = BLIND_LL;
+            continue;
+        }
+        let sum: f64 = lls[offset..offset + count].iter().sum();
+        *o = sharpness * sum / count as f64;
+        offset += count;
     }
 }
 
@@ -223,10 +272,6 @@ impl<'a> ScanSensor<'a> {
         }
     }
 
-    /// Penalty for a hypothesis whose scan projects to no valid points:
-    /// heavily penalized but finite.
-    const BLIND_LL: f64 = -1e3;
-
     /// Reduces one particle's per-point log-likelihoods to its weight.
     fn reduce(sharpness: f64, sum: f64, count: usize) -> f64 {
         sharpness * sum / count as f64
@@ -244,7 +289,7 @@ impl Measurement<Pose, DepthImage> for ScanSensor<'_> {
             scratch.batch.push_xyz(p.x, p.y, p.z);
         }
         if scratch.batch.is_empty() {
-            return Self::BLIND_LL;
+            return BLIND_LL;
         }
         scratch.lls.resize(scratch.batch.len(), 0.0);
         self.map
@@ -272,29 +317,11 @@ impl Measurement<Pose, DepthImage> for ScanSensor<'_> {
         }
         let sharpness = self.sharpness;
         let scratch = &mut *self.scratch;
-        scratch.batch.clear();
-        scratch.counts.clear();
-        for state in states {
-            self.camera
-                .project_to_world_into(obs, *state, self.stride, &mut scratch.points);
-            scratch.counts.push(scratch.points.len());
-            for p in &scratch.points {
-                scratch.batch.push_xyz(p.x, p.y, p.z);
-            }
-        }
+        stage_scan_batch(self.camera, obs, self.stride, states, scratch);
         scratch.lls.resize(scratch.batch.len(), 0.0);
         self.map
             .log_likelihood_into(&scratch.batch, &mut scratch.lls);
-        let mut offset = 0;
-        for (o, &count) in out.iter_mut().zip(&scratch.counts) {
-            if count == 0 {
-                *o = Self::BLIND_LL;
-                continue;
-            }
-            let sum: f64 = scratch.lls[offset..offset + count].iter().sum();
-            *o = Self::reduce(sharpness, sum, count);
-            offset += count;
-        }
+        reduce_scan_lls(sharpness, &scratch.counts, &scratch.lls, out);
     }
 }
 

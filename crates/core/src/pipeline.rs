@@ -32,6 +32,7 @@ use crate::registry::{BackendRegistry, BackendStats, MapBackend, MapFitContext};
 use crate::reportfmt::{fmt_pct, Csv, Table};
 use crate::vo::{AdaptiveMcPolicy, BayesianVo};
 use crate::{CoreError, Result};
+use navicim_backend::PointBatch;
 use navicim_energy::analog::AnalogCimProfile;
 use navicim_energy::digital::DigitalProfile;
 use navicim_energy::sram::SramCimProfile;
@@ -126,7 +127,10 @@ pub struct GateContext {
 /// Policies are stateful (`&mut self`) so hysteresis and dwell logic can
 /// live inside them; [`GatePolicy::reset`] returns a policy to its
 /// initial state for a fresh run.
-pub trait GatePolicy {
+///
+/// Policies are `Send` so whole pipelines can move across worker
+/// threads in a serving fleet.
+pub trait GatePolicy: Send {
     /// Policy name for reports.
     fn name(&self) -> &str;
 
@@ -135,6 +139,15 @@ pub trait GatePolicy {
 
     /// Resets internal state (dwell counters, switch counts).
     fn reset(&mut self) {}
+
+    /// A fresh copy of this policy in its initial state, for spawning
+    /// per-session pipelines off one prototype
+    /// ([`LocalizationPipeline::fork_session`]). The default `None`
+    /// marks a policy that cannot be duplicated; every built-in gate
+    /// supports it.
+    fn fork(&self) -> Option<Box<dyn GatePolicy>> {
+        None
+    }
 }
 
 /// The trivial policy: every frame on one pinned slot. Provides the
@@ -184,6 +197,12 @@ impl GatePolicy for AlwaysBackend {
 
     fn select(&mut self, _ctx: &GateContext) -> usize {
         self.slot
+    }
+
+    fn fork(&self) -> Option<Box<dyn GatePolicy>> {
+        let mut g = self.clone();
+        g.reset();
+        Some(Box::new(g))
     }
 }
 
@@ -349,6 +368,12 @@ impl GatePolicy for HysteresisGate {
         self.switches = 0;
         self.started = false;
     }
+
+    fn fork(&self) -> Option<Box<dyn GatePolicy>> {
+        let mut g = self.clone();
+        g.reset();
+        Some(Box::new(g))
+    }
 }
 
 /// Thresholds of the [`MultiSignalGate`]: the spread hysteresis band
@@ -505,6 +530,12 @@ impl GatePolicy for MultiSignalGate {
         self.rescues = 0;
         self.started = false;
     }
+
+    fn fork(&self) -> Option<Box<dyn GatePolicy>> {
+        let mut g = self.clone();
+        g.reset();
+        Some(Box::new(g))
+    }
 }
 
 /// Schedule of the [`PeriodicRefresh`] gate: a repeating cycle of
@@ -579,6 +610,12 @@ impl GatePolicy for PeriodicRefresh {
         } else {
             ANALOG_SLOT
         }
+    }
+
+    fn fork(&self) -> Option<Box<dyn GatePolicy>> {
+        let mut g = self.clone();
+        g.reset();
+        Some(Box::new(g))
     }
 }
 
@@ -1311,6 +1348,7 @@ impl PipelineRun {
 /// RNG/mask source and never touches the particle filter, so attaching
 /// it leaves the map-side stream (gate decisions, estimates, errors,
 /// map energy) bit-identical.
+#[derive(Clone)]
 pub struct VoStage {
     vo: BayesianVo,
     policy: AdaptiveMcPolicy,
@@ -1440,7 +1478,15 @@ impl VoStage {
         let iterations = self.policy.next_iterations(self.last_variance);
         self.vo
             .predict_n_into(&self.features, iterations, &mut self.pred);
-        let variance = self.pred.total_variance();
+        // Prefer the pre-quantization logit variance: at 4-bit output
+        // precision the quantized samples of different dropout masks
+        // frequently round onto identical codes, collapsing
+        // `total_variance()` to numerical dust and starving the noise
+        // inflation and gating consumers of any signal.
+        let variance = self
+            .pred
+            .total_logit_variance()
+            .unwrap_or_else(|| self.pred.total_variance());
         let delta = crate::vo::delta_pose_from_mean(&self.pred.mean);
         self.last_variance = Some(variance);
         self.last_delta = Some(delta);
@@ -1463,6 +1509,31 @@ impl VoStage {
             delta,
             energy_pj,
         })
+    }
+}
+
+/// Everything [`LocalizationPipeline::begin_frame`] decided before the
+/// likelihood evaluation, carried across the externally served
+/// evaluation to [`LocalizationPipeline::finish_frame`]: the gated slot,
+/// the bus snapshot, the resolved noise scale and the VO report.
+#[derive(Debug, Clone)]
+pub struct PendingFrame {
+    slot: usize,
+    signals: UncertaintySignals,
+    noise_scale: f64,
+    vo: Option<VoFrameReport>,
+}
+
+impl PendingFrame {
+    /// The backend slot the gate selected for this frame — the slot
+    /// whose backend must evaluate the staged batch.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// The uncertainty bus snapshot the gate saw.
+    pub fn signals(&self) -> &UncertaintySignals {
+        &self.signals
     }
 }
 
@@ -1490,6 +1561,9 @@ pub struct LocalizationPipeline {
     vo: Option<VoStage>,
     control: ControlSource,
     inflation: NoiseInflation,
+    /// First frame's pose — kept so forked sessions can re-draw their
+    /// own particle clouds around the same prior.
+    init_prior: Pose,
     frame: usize,
     current: usize,
 }
@@ -1619,6 +1693,7 @@ impl LocalizationPipeline {
             vo: None,
             control: ControlSource::GroundTruth,
             inflation: NoiseInflation::default(),
+            init_prior: prior,
             frame: 0,
             current: 0,
         })
@@ -1745,6 +1820,25 @@ impl LocalizationPipeline {
     /// that select an out-of-range slot and closed-loop mode without an
     /// attached [`VoStage`].
     pub fn step(&mut self, control: &Pose, depth: &DepthImage, truth: Pose) -> Result<FrameReport> {
+        let pending = self.prepare_frame(control, depth)?;
+        let mut sensor = ScanSensor::new(
+            self.backends[pending.slot].as_mut(),
+            &self.camera,
+            self.config.pixel_stride,
+            self.config.sharpness,
+            self.config.weight_path,
+            &mut self.scratch,
+        );
+        self.pf.update(depth, &mut sensor, &mut self.rng)?;
+        self.report_frame(pending, truth)
+    }
+
+    /// Everything [`Self::step`] does *before* the likelihood
+    /// evaluation: sample the bus, gate, step the VO stage, resolve the
+    /// control and run the motion prediction. Shared verbatim by
+    /// [`Self::step`] and [`Self::begin_frame`], so the split path is
+    /// bit-identical by construction.
+    fn prepare_frame(&mut self, control: &Pose, depth: &DepthImage) -> Result<PendingFrame> {
         let signals = self.signals();
         let ctx = GateContext {
             frame: self.frame,
@@ -1782,22 +1876,27 @@ impl LocalizationPipeline {
                 (vo.delta, self.inflation.scale(Some(vo.variance)))
             }
         };
-        let mut sensor = ScanSensor::new(
-            self.backends[slot].as_mut(),
-            &self.camera,
-            self.config.pixel_stride,
-            self.config.sharpness,
-            self.config.weight_path,
-            &mut self.scratch,
-        );
-        self.pf.step_scaled(
-            &control,
-            depth,
-            &self.config.motion,
+        self.pf
+            .predict_scaled(&control, &self.config.motion, noise_scale, &mut self.rng);
+        Ok(PendingFrame {
+            slot,
+            signals,
             noise_scale,
-            &mut sensor,
-            &mut self.rng,
-        )?;
+            vo,
+        })
+    }
+
+    /// Everything [`Self::step`] does *after* the filter absorbed the
+    /// frame's likelihoods: summary, innovation bookkeeping, stats
+    /// deltas, stream counters, energy pricing. Shared verbatim by
+    /// [`Self::step`] and [`Self::finish_frame`].
+    fn report_frame(&mut self, pending: PendingFrame, truth: Pose) -> Result<FrameReport> {
+        let PendingFrame {
+            slot,
+            signals,
+            noise_scale,
+            vo,
+        } = pending;
         let estimate = mean_pose(self.pf.particles());
         let summary = StepSummary {
             estimate,
@@ -1850,6 +1949,176 @@ impl LocalizationPipeline {
             evaluations: delta.evaluations,
             map_energy_pj,
             vo,
+        })
+    }
+
+    /// Phase A of the split frame step for serving layers: runs
+    /// [`Self::prepare_frame`] (bus, gate, VO, control, motion
+    /// prediction) and stages the frame-wide scan batch for the
+    /// predicted cloud into the pipeline's scratch, *without* evaluating
+    /// it. The caller evaluates [`Self::staged_batch`] against the
+    /// pending slot's backend — possibly coalesced with other sessions —
+    /// commits backend state via [`MapBackend::absorb_served`] on
+    /// [`Self::backend_mut`], and completes the frame with
+    /// [`Self::finish_frame`]. The staged evaluation is the
+    /// [`crate::localization::WeightPath::Batched`] route, which is
+    /// bit-identical to the scalar route (property-tested).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::step`]'s pre-evaluation half: out-of-range gate
+    /// slots, closed-loop mode without a VO stage.
+    pub fn begin_frame(&mut self, control: &Pose, depth: &DepthImage) -> Result<PendingFrame> {
+        let pending = self.prepare_frame(control, depth)?;
+        crate::localization::stage_scan_batch(
+            &self.camera,
+            depth,
+            self.config.pixel_stride,
+            self.pf.particles().states(),
+            &mut self.scratch,
+        );
+        Ok(pending)
+    }
+
+    /// The scan batch staged by the last [`Self::begin_frame`]: one
+    /// projected world-frame point cloud per particle, concatenated in
+    /// particle order.
+    pub fn staged_batch(&self) -> &PointBatch {
+        &self.scratch.batch
+    }
+
+    /// Phase B of the split frame step: takes the per-point
+    /// log-likelihoods of the staged batch (aligned with
+    /// [`Self::staged_batch`], as produced by the pending slot's
+    /// backend), reduces them to per-particle weights, runs the filter's
+    /// reweigh/resample half and emits the frame report.
+    ///
+    /// The caller is responsible for having committed the evaluation to
+    /// the serving backend ([`MapBackend::absorb_served`]) first, so the
+    /// report's stats delta and energy pricing see the frame's
+    /// evaluations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filter degeneracy and pricing errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lls` is not aligned with the staged batch.
+    pub fn finish_frame(
+        &mut self,
+        pending: PendingFrame,
+        lls: &[f64],
+        truth: Pose,
+    ) -> Result<FrameReport> {
+        assert_eq!(
+            lls.len(),
+            self.scratch.batch.len(),
+            "per-point log-likelihoods must align with the staged batch"
+        );
+        let sharpness = self.config.sharpness;
+        self.scratch
+            .particle_lls
+            .resize(self.pf.particles().len(), 0.0);
+        let mut particle_lls = std::mem::take(&mut self.scratch.particle_lls);
+        crate::localization::reduce_scan_lls(
+            sharpness,
+            &self.scratch.counts,
+            lls,
+            &mut particle_lls,
+        );
+        let absorbed = self.pf.absorb_log_likelihoods(&particle_lls, &mut self.rng);
+        self.scratch.particle_lls = particle_lls;
+        absorbed?;
+        self.report_frame(pending, truth)
+    }
+
+    /// Mutable access to the backend serving `slot` — the hook a serving
+    /// layer uses to commit coalesced evaluations
+    /// ([`MapBackend::absorb_served`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn backend_mut(&mut self, slot: usize) -> &mut dyn MapBackend {
+        self.backends[slot].as_mut()
+    }
+
+    /// Spawns an independent session off this pipeline: same map
+    /// backends (sharing the read-only fitted models / CIM fabric via
+    /// [`MapBackend::fork_session`]), same configuration, a fresh gate
+    /// in its initial state, and a fresh particle cloud drawn around the
+    /// dataset's first pose from `session_seed`.
+    ///
+    /// `fork_session(config.seed)` on a pristine pipeline is
+    /// bit-identical to building a fresh pipeline from the same dataset
+    /// and config — the fleet serving determinism anchor. Distinct seeds
+    /// give statistically independent agents over the same map.
+    ///
+    /// # Errors
+    ///
+    /// Rejects pipelines that have already stepped (session state such
+    /// as VO frame pairs and innovation trends is not rewound), gates
+    /// without [`GatePolicy::fork`] support, and backends without
+    /// [`MapBackend::fork_session`] support.
+    pub fn fork_session(&self, session_seed: u64) -> Result<Self> {
+        if self.frame != 0 {
+            return Err(CoreError::InvalidArgument(format!(
+                "fork_session requires a pristine pipeline, but {} frame(s) have been stepped",
+                self.frame
+            )));
+        }
+        let gate = self.gate.fork().ok_or_else(|| {
+            CoreError::InvalidArgument(format!(
+                "gate '{}' does not support session forking",
+                self.gate.name()
+            ))
+        })?;
+        let mut backends = Vec::with_capacity(self.backends.len());
+        for (backend, name) in self.backends.iter().zip(&self.names) {
+            backends.push(backend.fork_session().ok_or_else(|| {
+                CoreError::InvalidArgument(format!(
+                    "backend '{name}' does not support session forking"
+                ))
+            })?);
+        }
+        let mut rng = Pcg32::seed_from_u64(session_seed);
+        let states: Vec<Pose> = (0..self.config.num_particles)
+            .map(|_| {
+                crate::localization::perturb_pose(
+                    self.init_prior,
+                    self.config.init_spread,
+                    self.config.init_yaw_spread,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let pf = ParticleFilter::new(
+            navicim_filter::particle::ParticleSet::from_states(states)
+                .map_err(|e| CoreError::InvalidArgument(e.to_string()))?,
+            self.config.filter,
+        );
+        let prev_stats = backends.iter().map(|b| b.stats()).collect();
+        Ok(Self {
+            backends,
+            names: self.names.clone(),
+            gate,
+            camera: self.camera,
+            pf,
+            config: self.config.clone(),
+            pricing: self.pricing.clone(),
+            rng,
+            scratch: ScanScratch::default(),
+            innovation: vec![InnovationTracker::default(); self.names.len()],
+            innovation_last_frame: vec![None; self.names.len()],
+            prev_stats,
+            last_served: None,
+            vo: self.vo.clone(),
+            control: self.control,
+            inflation: self.inflation,
+            init_prior: self.init_prior,
+            frame: 0,
+            current: 0,
         })
     }
 
@@ -2845,5 +3114,86 @@ mod tests {
         assert_eq!(row[col("vo_energy_pj")].parse::<f64>().unwrap(), 3.0);
         assert_eq!(row[col("mc_iterations")].parse::<usize>().unwrap(), 8);
         assert_eq!(row[col("control_source")], "visual-odometry");
+    }
+
+    #[test]
+    fn pipeline_is_send() {
+        // Whole sessions move across fleet worker threads.
+        fn assert_send<T: Send>() {}
+        assert_send::<LocalizationPipeline>();
+        assert_send::<PendingFrame>();
+    }
+
+    #[test]
+    fn split_frame_path_matches_monolithic_step() {
+        // begin_frame → external evaluation → finish_frame must be
+        // bit-identical to step(), frame by frame, on a gated
+        // digital+analog pipeline (the serving fast path).
+        let ds = small_dataset();
+        let config = small_config(GateConfig::gated(DIGITAL_GMM, CIM_HMGM).with_hysteresis(
+            HysteresisConfig {
+                analog_enter: 0.12,
+                digital_enter: 0.2,
+                dwell: 2,
+                start: DIGITAL_SLOT,
+            },
+        ));
+        let mut mono = LocalizationPipeline::build(&ds, config.clone()).unwrap();
+        let mut split = LocalizationPipeline::build(&ds, config).unwrap();
+        let controls = ds.control_deltas();
+        let mut lls = Vec::new();
+        let mut served_analog = false;
+        for (t, control) in controls.iter().enumerate() {
+            let depth = &ds.frames[t + 1].depth;
+            let truth = ds.frames[t + 1].pose;
+            let expected = mono.step(control, depth, truth).unwrap();
+            let pending = split.begin_frame(control, depth).unwrap();
+            let slot = pending.slot();
+            served_analog |= slot == ANALOG_SLOT;
+            let batch = split.staged_batch().clone();
+            lls.resize(batch.len(), 0.0);
+            split
+                .backend_mut(slot)
+                .log_likelihood_into(&batch, &mut lls);
+            let report = split.finish_frame(pending, &lls, truth).unwrap();
+            assert_eq!(report, expected, "frame {t} diverged");
+        }
+        assert!(served_analog, "gate never exercised the analog slot");
+    }
+
+    #[test]
+    fn fork_session_with_master_seed_matches_fresh_build() {
+        // The fleet determinism anchor: fork_session(config.seed) on a
+        // pristine pipeline behaves exactly like a fresh build.
+        let ds = small_dataset();
+        let config = small_config(GateConfig::gated(DIGITAL_GMM, CIM_HMGM));
+        let prototype = LocalizationPipeline::build(&ds, config.clone()).unwrap();
+        let mut forked = prototype.fork_session(config.seed).unwrap();
+        let mut fresh = LocalizationPipeline::build(&ds, config.clone()).unwrap();
+        let run_forked = forked.run(&ds).unwrap();
+        let run_fresh = fresh.run(&ds).unwrap();
+        assert_eq!(run_forked.frames, run_fresh.frames);
+        assert_eq!(run_forked.stats, run_fresh.stats);
+        // Distinct seeds draw distinct clouds (independent agents).
+        let mut other = prototype.fork_session(config.seed ^ 0xdead_beef).unwrap();
+        let run_other = other.run(&ds).unwrap();
+        assert_ne!(
+            run_other.frames.last().unwrap().summary.estimate,
+            run_fresh.frames.last().unwrap().summary.estimate
+        );
+    }
+
+    #[test]
+    fn fork_session_rejects_stepped_pipelines() {
+        let ds = small_dataset();
+        let config = small_config(GateConfig::default());
+        let mut pipeline = LocalizationPipeline::build(&ds, config.clone()).unwrap();
+        assert!(pipeline.fork_session(1).is_ok());
+        let controls = ds.control_deltas();
+        pipeline
+            .step(&controls[0], &ds.frames[1].depth, ds.frames[1].pose)
+            .unwrap();
+        let err = pipeline.fork_session(1).unwrap_err().to_string();
+        assert!(err.contains("pristine"), "{err}");
     }
 }

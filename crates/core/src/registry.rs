@@ -34,9 +34,10 @@
 //! ```
 
 use crate::{CoreError, Result};
-use navicim_analog::engine::{CimEngineConfig, EngineStats, HmgmCimEngine};
+use navicim_analog::engine::{CimEngineConfig, EngineStats, HmgmCimEngine, NoiseSegment};
 use navicim_analog::mapping::SpaceMap;
-use navicim_backend::{check_batch_shape, LikelihoodBackend, PointBatch};
+use navicim_backend::{check_batch_shape, par, LikelihoodBackend, PointBatch};
+use navicim_device::noise::NoiseStream;
 use navicim_gmm::fit::{fit_diag_gmm, FitConfig};
 use navicim_gmm::hmg::{fit_hmgm, HmgmFitConfig};
 use navicim_math::rng::Pcg32;
@@ -134,7 +135,12 @@ impl From<EngineStats> for BackendStats {
 /// The evaluation contract is inherited from [`LikelihoodBackend`]:
 /// batch evaluation must be bit-identical to scalar evaluation in order,
 /// so the filter can batch whole frames freely.
-pub trait MapBackend: LikelihoodBackend {
+///
+/// Backends are `Send` so localization sessions can move across the
+/// worker threads of a serving layer; the optional serving surface
+/// ([`Self::fork_session`] and the coalesced-serving trio) lets many
+/// sessions share one fitted map with per-session evaluation state.
+pub trait MapBackend: LikelihoodBackend + Send {
     /// Backend name for reports (usually the registry key it was built
     /// under).
     fn name(&self) -> &str;
@@ -145,6 +151,77 @@ pub trait MapBackend: LikelihoodBackend {
 
     /// Operation counters accumulated since construction.
     fn stats(&self) -> BackendStats;
+
+    /// A fresh evaluation session over this backend's fitted map: the
+    /// same map parameters (shared where possible — the CIM backend
+    /// shares its fabricated fabric behind an `Arc`), with evaluation
+    /// state (noise cursor, counters) reset as if just built, so a fork
+    /// behaves bit-identically to rebuilding the backend from the same
+    /// fit. `None` when the backend cannot fork (e.g. closures with
+    /// captured mutable state); such backends cannot serve a fleet.
+    fn fork_session(&self) -> Option<Box<dyn MapBackend>> {
+        None
+    }
+
+    /// This session's counter-based evaluation noise stream, when
+    /// evaluations consume one (analog backends). A serving layer uses it
+    /// to build the [`NoiseSegment`]s of a coalesced batch and to audit
+    /// that successive claims stay contiguous
+    /// (`navicim_device::noise::StreamAudit`).
+    fn noise_stream(&self) -> Option<NoiseStream> {
+        None
+    }
+
+    /// Whether [`Self::serve_segments`] / [`Self::absorb_served`] are
+    /// implemented, i.e. a serving layer may coalesce many sessions'
+    /// frame batches into single large evaluations through this backend.
+    fn supports_coalesced_serving(&self) -> bool {
+        false
+    }
+
+    /// Evaluates a coalesced multi-session batch. `segments` assigns each
+    /// slice of the batch to its owning session's noise stream (digital
+    /// backends ignore it — their evaluations are pure, so any split is
+    /// bit-identical by the [`LikelihoodBackend`] contract). Pre-noise
+    /// array currents land in `currents` (untouched for digital
+    /// backends). This instance acts only as the evaluator: its own
+    /// session state must not change — each owning session commits its
+    /// slice via [`Self::absorb_served`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self.supports_coalesced_serving()` is false, and on
+    /// shape mismatches.
+    fn serve_segments(
+        &mut self,
+        batch: &PointBatch,
+        segments: &[NoiseSegment],
+        out: &mut [f64],
+        currents: &mut [f64],
+    ) {
+        let _ = (batch, segments, out, currents);
+        unimplemented!(
+            "backend {:?} does not support coalesced serving",
+            self.name()
+        );
+    }
+
+    /// Commits `count` externally served evaluations (this session's
+    /// slice of a coalesced batch, with its slice of the pre-noise
+    /// currents) into the session state — exactly the bookkeeping a
+    /// direct `log_likelihood_into` of the same points would have
+    /// performed, so served sessions stay bit-identical to solo runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self.supports_coalesced_serving()` is false.
+    fn absorb_served(&mut self, count: usize, currents: &[f64]) {
+        let _ = (count, currents);
+        unimplemented!(
+            "backend {:?} does not support coalesced serving",
+            self.name()
+        );
+    }
 }
 
 /// Everything a backend factory gets to build a map: the dataset's point
@@ -334,7 +411,7 @@ impl<B: LikelihoodBackend> LikelihoodBackend for NamedBackend<B> {
     }
 }
 
-impl<B: LikelihoodBackend> MapBackend for NamedBackend<B> {
+impl<B: LikelihoodBackend + Clone + Send + 'static> MapBackend for NamedBackend<B> {
     fn name(&self) -> &str {
         &self.name
     }
@@ -348,6 +425,37 @@ impl<B: LikelihoodBackend> MapBackend for NamedBackend<B> {
             evaluations: self.evaluations,
             ..BackendStats::default()
         }
+    }
+
+    fn fork_session(&self) -> Option<Box<dyn MapBackend>> {
+        Some(Box::new(Self {
+            name: self.name.clone(),
+            components: self.components,
+            evaluations: 0,
+            inner: self.inner.clone(),
+        }))
+    }
+
+    fn supports_coalesced_serving(&self) -> bool {
+        true
+    }
+
+    fn serve_segments(
+        &mut self,
+        batch: &PointBatch,
+        _segments: &[NoiseSegment],
+        out: &mut [f64],
+        _currents: &mut [f64],
+    ) {
+        // Digital evaluation is pure, so a concatenated batch is
+        // bit-identical to the per-session sub-batches by the
+        // LikelihoodBackend contract. Going through `inner` directly
+        // keeps this evaluator's own counter untouched.
+        self.inner.log_likelihood_into(batch, out);
+    }
+
+    fn absorb_served(&mut self, count: usize, _currents: &[f64]) {
+        self.evaluations += count as u64;
     }
 }
 
@@ -402,6 +510,44 @@ impl MapBackend for CimMapBackend {
     fn stats(&self) -> BackendStats {
         self.engine.stats().into()
     }
+
+    fn fork_session(&self) -> Option<Box<dyn MapBackend>> {
+        Some(Box::new(Self {
+            name: self.name.clone(),
+            engine: self.engine.fork_session(),
+        }))
+    }
+
+    fn noise_stream(&self) -> Option<NoiseStream> {
+        Some(self.engine.noise_stream())
+    }
+
+    fn supports_coalesced_serving(&self) -> bool {
+        true
+    }
+
+    fn serve_segments(
+        &mut self,
+        batch: &PointBatch,
+        segments: &[NoiseSegment],
+        out: &mut [f64],
+        currents: &mut [f64],
+    ) {
+        // The auto policy inherits `par::MIN_CHUNK` — the one chunk-size
+        // source of truth — so a coalesced batch threads exactly when a
+        // solo batch of the same size would.
+        self.engine
+            .serve_segments(batch, segments, out, currents, par::ChunkPolicy::auto());
+    }
+
+    fn absorb_served(&mut self, count: usize, currents: &[f64]) {
+        assert_eq!(
+            count,
+            currents.len(),
+            "analog absorb requires one pre-noise current per evaluation"
+        );
+        self.engine.absorb_served_evals(currents);
+    }
 }
 
 /// A [`MapBackend`] from a plain scoring closure — the cheapest way to
@@ -415,7 +561,7 @@ pub struct ClosureBackend<F> {
     f: F,
 }
 
-impl<F: FnMut(&[f64]) -> f64> ClosureBackend<F> {
+impl<F: FnMut(&[f64]) -> f64 + Send> ClosureBackend<F> {
     /// Wraps `f` as a `dim`-dimensional backend named `name`.
     pub fn new(name: impl Into<String>, dim: usize, components: usize, f: F) -> Self {
         Self {
@@ -428,7 +574,7 @@ impl<F: FnMut(&[f64]) -> f64> ClosureBackend<F> {
     }
 }
 
-impl<F: FnMut(&[f64]) -> f64> LikelihoodBackend for ClosureBackend<F> {
+impl<F: FnMut(&[f64]) -> f64 + Send> LikelihoodBackend for ClosureBackend<F> {
     fn dim(&self) -> usize {
         self.dim
     }
@@ -442,7 +588,7 @@ impl<F: FnMut(&[f64]) -> f64> LikelihoodBackend for ClosureBackend<F> {
     }
 }
 
-impl<F: FnMut(&[f64]) -> f64> MapBackend for ClosureBackend<F> {
+impl<F: FnMut(&[f64]) -> f64 + Send> MapBackend for ClosureBackend<F> {
     fn name(&self) -> &str {
         &self.name
     }

@@ -550,13 +550,20 @@ impl BayesianVo {
         };
         self.backend.reset();
         pred.resize_samples(t);
-        for (slot, &i) in pred.samples.iter_mut().zip(&order) {
-            self.qnet.forward_with_masks_into(
+        pred.resize_logit_samples(t);
+        for ((slot, logit_slot), &i) in pred
+            .samples
+            .iter_mut()
+            .zip(pred.logit_samples.iter_mut())
+            .zip(&order)
+        {
+            self.qnet.forward_with_masks_logits_into(
                 &mut self.backend,
                 features,
                 &self.mask_sets[i],
                 &mut self.ws,
                 slot,
+                logit_slot,
             );
         }
         mc_moments_in_place(pred);
@@ -924,6 +931,39 @@ mod tests {
             let owned = owned_vo.predict(&sample.features);
             pooled_vo.predict_into(&sample.features, &mut pooled);
             assert_eq!(owned, pooled);
+        }
+    }
+
+    #[test]
+    fn logit_variance_survives_narrow_quantization() {
+        // Regression: at the default 4-bit precision the quantized MC
+        // samples of different dropout masks frequently round onto
+        // identical output codes, collapsing `total_variance()` to
+        // numerical dust (~1e-19) — which starved the noise-inflation
+        // and gating consumers. The pre-quantization shadow logits must
+        // carry a live spread on every frame.
+        let ds = tiny_dataset(9);
+        let net = train_vo_network(&ds.samples, ds.feature_dim(), &tiny_train_config()).unwrap();
+        let mut vo = BayesianVo::build(
+            &net,
+            &calibration(&ds),
+            VoPipelineConfig {
+                mc_iterations: 16,
+                ..VoPipelineConfig::default()
+            },
+        )
+        .unwrap();
+        for sample in ds.samples.iter().take(5) {
+            let pred = vo.predict(&sample.features);
+            assert_eq!(pred.logit_samples.len(), pred.samples.len());
+            let logit_var = pred
+                .total_logit_variance()
+                .expect("quantized path captures logits");
+            assert!(
+                logit_var.is_finite() && logit_var > 1e-8,
+                "logit variance degenerate: {logit_var} (quantized: {})",
+                pred.total_variance()
+            );
         }
     }
 

@@ -253,6 +253,37 @@ impl<S: Clone> ParticleFilter<S> {
         let mut lls = std::mem::take(&mut self.ll_scratch);
         lls.resize(self.particles.len(), 0.0);
         sensor.log_likelihood_batch(self.particles.states(), obs, &mut lls);
+        let absorbed = self.absorb_log_likelihoods(&lls, rng);
+        self.ll_scratch = lls;
+        absorbed
+    }
+
+    /// Absorbs one frame's externally computed per-particle
+    /// log-likelihoods: records the innovation signal, reweights, tracks
+    /// pre-resample ESS and resamples on degeneracy.
+    ///
+    /// This is exactly the post-sensor half of [`Self::update`] (which
+    /// delegates here), split out so a serving layer can evaluate the
+    /// sensor batch elsewhere — e.g. coalesced across many sessions —
+    /// and feed the results back bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::FilterError::Degenerate`] when all weights
+    /// vanish.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lls.len()` differs from the particle count.
+    pub fn absorb_log_likelihoods<R>(&mut self, lls: &[f64], rng: &mut R) -> Result<()>
+    where
+        R: Rng64,
+    {
+        assert_eq!(
+            lls.len(),
+            self.particles.len(),
+            "one log-likelihood per particle"
+        );
         // Mean over the *finite* log-likelihoods only: a hard-gating
         // sensor may score a few out-of-support hypotheses at -inf
         // while the frame is otherwise fully informative, and one such
@@ -260,7 +291,7 @@ impl<S: Clone> ParticleFilter<S> {
         // frame. A frame with no finite hypothesis at all records -inf.
         let mut sum = 0.0;
         let mut finite = 0usize;
-        for &ll in &lls {
+        for &ll in lls {
             if ll.is_finite() {
                 sum += ll;
                 finite += 1;
@@ -271,9 +302,7 @@ impl<S: Clone> ParticleFilter<S> {
         } else {
             sum / finite as f64
         });
-        let reweighted = self.particles.reweight_log(&lls);
-        self.ll_scratch = lls;
-        reweighted?;
+        self.particles.reweight_log(lls)?;
         self.step_count += 1;
         let n = self.particles.len() as f64;
         let ess = self.particles.ess();

@@ -354,17 +354,29 @@ impl GmmEvalPlan<'_> {
     }
 }
 
-impl LikelihoodBackend for Gmm {
-    fn dim(&self) -> usize {
-        Gmm::dim(self)
-    }
-
-    fn log_likelihood_into(&mut self, batch: &PointBatch, out: &mut [f64]) {
+impl Gmm {
+    /// Batch log-likelihood under an explicit [`par::ChunkPolicy`].
+    ///
+    /// Identical bits to [`LikelihoodBackend::log_likelihood_into`] for
+    /// every `(chunk_len, workers)` pair — each point's math is
+    /// self-contained, so chunk boundaries and thread assignment are
+    /// unobservable in the output. Exposed so the thread-sweep bench can
+    /// re-tune [`par::MIN_CHUNK`] against the production kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or if `out.len() != batch.len()`.
+    pub fn log_likelihood_into_policy(
+        &mut self,
+        batch: &PointBatch,
+        out: &mut [f64],
+        policy: par::ChunkPolicy,
+    ) {
         let dim = Gmm::dim(self);
         check_batch_shape(dim, batch, out);
         let plan = self.eval_plan();
         let has_lane_path = matches!(self.covariance, Covariance::Diagonal(_));
-        par::for_each_chunk(out, |start, chunk| {
+        par::for_each_chunk_policy(policy, out, |start, chunk| {
             let k = plan.gmm.num_components();
             let mut offset = 0;
             // 4-wide body. Safe at any chunk boundary: each lane applies
@@ -389,6 +401,16 @@ impl LikelihoodBackend for Gmm {
                 *o = plan.log_pdf(batch.point(start + i), &mut terms);
             }
         });
+    }
+}
+
+impl LikelihoodBackend for Gmm {
+    fn dim(&self) -> usize {
+        Gmm::dim(self)
+    }
+
+    fn log_likelihood_into(&mut self, batch: &PointBatch, out: &mut [f64]) {
+        self.log_likelihood_into_policy(batch, out, par::ChunkPolicy::auto());
     }
 }
 
@@ -512,5 +534,22 @@ mod tests {
         let gmm = simple_diag();
         let sds = gmm.diag_std_devs().unwrap();
         assert_eq!(sds[1], vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn policy_batch_path_is_chunking_invariant() {
+        let mut gmm = simple_diag();
+        let mut rng = Pcg32::seed_from_u64(4);
+        let mut batch = PointBatch::with_capacity(2, 11);
+        for _ in 0..11 {
+            batch.push(&gmm.sample(&mut rng));
+        }
+        let mut auto = vec![0.0; 11];
+        gmm.log_likelihood_into(&batch, &mut auto);
+        for policy in [par::ChunkPolicy::exact(3, 4), par::ChunkPolicy::exact(1, 2)] {
+            let mut out = vec![0.0; 11];
+            gmm.log_likelihood_into_policy(&batch, &mut out, policy);
+            assert_eq!(out, auto);
+        }
     }
 }

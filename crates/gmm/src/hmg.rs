@@ -248,15 +248,27 @@ impl HmgmModel {
     }
 }
 
-impl LikelihoodBackend for HmgmModel {
-    fn dim(&self) -> usize {
-        HmgmModel::dim(self)
-    }
-
-    fn log_likelihood_into(&mut self, batch: &PointBatch, out: &mut [f64]) {
+impl HmgmModel {
+    /// Batch log-likelihood under an explicit [`par::ChunkPolicy`].
+    ///
+    /// Identical bits to [`LikelihoodBackend::log_likelihood_into`] for
+    /// every `(chunk_len, workers)` pair — each point's math is
+    /// self-contained, so chunk boundaries and thread assignment are
+    /// unobservable in the output. Exposed so the thread-sweep bench can
+    /// re-tune [`par::MIN_CHUNK`] against the production kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or if `out.len() != batch.len()`.
+    pub fn log_likelihood_into_policy(
+        &mut self,
+        batch: &PointBatch,
+        out: &mut [f64],
+        policy: par::ChunkPolicy,
+    ) {
         check_batch_shape(HmgmModel::dim(self), batch, out);
         let model = &*self;
-        par::for_each_chunk(out, |start, chunk| {
+        par::for_each_chunk_policy(policy, out, |start, chunk| {
             // 4-wide body plus scalar remainder tail; lane math is
             // per-point identical to `log_likelihood`, so any chunk
             // boundary or grouping yields the same bits.
@@ -272,6 +284,16 @@ impl LikelihoodBackend for HmgmModel {
                 *o = model.log_likelihood(batch.point(start + i));
             }
         });
+    }
+}
+
+impl LikelihoodBackend for HmgmModel {
+    fn dim(&self) -> usize {
+        HmgmModel::dim(self)
+    }
+
+    fn log_likelihood_into(&mut self, batch: &PointBatch, out: &mut [f64]) {
+        self.log_likelihood_into_policy(batch, out, par::ChunkPolicy::auto());
     }
 }
 
@@ -580,5 +602,24 @@ mod tests {
         let k = kernel2d();
         let m = HmgmModel::new(vec![1.0], vec![k]).unwrap();
         assert!(m.log_likelihood(&[100.0, -100.0]).is_finite());
+    }
+
+    #[test]
+    fn policy_batch_path_is_chunking_invariant() {
+        let k1 = HmgKernel::new(vec![0.0, 0.0], vec![1.0, 1.0], 1.0).unwrap();
+        let k2 = HmgKernel::new(vec![2.0, -1.0], vec![0.5, 0.8], 2.0).unwrap();
+        let mut m = HmgmModel::new(vec![2.0, 1.0], vec![k1, k2]).unwrap();
+        let mut rng = Pcg32::seed_from_u64(5);
+        let mut batch = PointBatch::with_capacity(2, 11);
+        for _ in 0..11 {
+            batch.push(&[rng.sample_normal(0.5, 1.5), rng.sample_normal(-0.5, 1.5)]);
+        }
+        let mut auto = vec![0.0; 11];
+        m.log_likelihood_into(&batch, &mut auto);
+        for policy in [par::ChunkPolicy::exact(3, 4), par::ChunkPolicy::exact(1, 2)] {
+            let mut out = vec![0.0; 11];
+            m.log_likelihood_into_policy(&batch, &mut out, policy);
+            assert_eq!(out, auto);
+        }
     }
 }

@@ -24,18 +24,37 @@ pub struct McPrediction {
     pub variance: Vec<f64>,
     /// All raw samples (`iterations × out_dim`).
     pub samples: Vec<Vec<f64>>,
+    /// Pre-quantization logit samples (`iterations × out_dim`), filled
+    /// only by quantized producers that capture the output layer's
+    /// full-precision shadow (e.g. `BayesianVo`); empty on
+    /// full-precision paths.
+    pub logit_samples: Vec<Vec<f64>>,
+    /// Predictive mean of the pre-quantization logits (empty when
+    /// [`Self::logit_samples`] is empty).
+    pub logit_mean: Vec<f64>,
+    /// Predictive variance of the pre-quantization logits — the
+    /// uncertainty signal that survives narrow output quantization,
+    /// where [`Self::variance`] can collapse because different dropout
+    /// masks round onto the same output codes.
+    pub logit_variance: Vec<f64>,
     /// Retired per-iteration buffers kept warm for reuse when the
     /// iteration count shrinks. Not part of the prediction's value (the
-    /// manual [`PartialEq`] ignores it).
+    /// manual [`PartialEq`] ignores it). Shared between sample and
+    /// logit-sample slots (same shape).
     spare: Vec<Vec<f64>>,
 }
 
-/// Equality is over the prediction's value — mean, variance and the
-/// active samples — not over pooled spare capacity, so a pooled
-/// prediction compares equal to a freshly allocated one.
+/// Equality is over the prediction's value — moments and the active
+/// sample sets (quantized and logit) — not over pooled spare capacity,
+/// so a pooled prediction compares equal to a freshly allocated one.
 impl PartialEq for McPrediction {
     fn eq(&self, other: &Self) -> bool {
-        self.mean == other.mean && self.variance == other.variance && self.samples == other.samples
+        self.mean == other.mean
+            && self.variance == other.variance
+            && self.samples == other.samples
+            && self.logit_samples == other.logit_samples
+            && self.logit_mean == other.logit_mean
+            && self.logit_variance == other.logit_variance
     }
 }
 
@@ -43,6 +62,19 @@ impl McPrediction {
     /// Total predictive uncertainty: the summed per-output variance.
     pub fn total_variance(&self) -> f64 {
         self.variance.iter().sum()
+    }
+
+    /// Total pre-quantization predictive uncertainty: the summed
+    /// per-output logit variance, or `None` when the producing path did
+    /// not capture logit samples. Consumers that need a live
+    /// uncertainty signal from a quantized network should prefer
+    /// `total_logit_variance().unwrap_or(total_variance())`.
+    pub fn total_logit_variance(&self) -> Option<f64> {
+        if self.logit_variance.is_empty() {
+            None
+        } else {
+            Some(self.logit_variance.iter().sum())
+        }
     }
 
     /// Per-output standard deviations.
@@ -64,6 +96,21 @@ impl McPrediction {
         }
         while self.samples.len() < iterations {
             self.samples.push(self.spare.pop().unwrap_or_default());
+        }
+    }
+
+    /// Sets the number of active logit-sample slots, with the same
+    /// pooling semantics as [`Self::resize_samples`] (the spare pool is
+    /// shared). Producers that do not capture logits call this with 0
+    /// so no stale shadow moments survive from a previous prediction.
+    pub fn resize_logit_samples(&mut self, iterations: usize) {
+        while self.logit_samples.len() > iterations {
+            self.spare
+                .push(self.logit_samples.pop().expect("len checked above"));
+        }
+        while self.logit_samples.len() < iterations {
+            self.logit_samples
+                .push(self.spare.pop().unwrap_or_default());
         }
     }
 }
@@ -188,6 +235,8 @@ impl McDropout {
             "input dimension must match network input dimension"
         );
         pred.resize_samples(iterations);
+        // Full-precision networks have no quantization to shadow.
+        pred.resize_logit_samples(0);
         for sample in pred.samples.iter_mut() {
             net.forward_into(input, Mode::McSample, rng, scratch, sample);
         }
@@ -215,19 +264,39 @@ pub fn mc_moments(samples: Vec<Vec<f64>>) -> McPrediction {
 ///
 /// Panics if `pred.samples` is empty.
 pub fn mc_moments_in_place(pred: &mut McPrediction) {
-    let out_dim = pred.samples[0].len();
-    let n = pred.samples.len() as f64;
-    pred.mean.clear();
-    pred.mean.resize(out_dim, 0.0);
-    for s in &pred.samples {
-        for (m, &v) in pred.mean.iter_mut().zip(s) {
+    moments(&pred.samples, &mut pred.mean, &mut pred.variance);
+    if pred.logit_samples.is_empty() {
+        pred.logit_mean.clear();
+        pred.logit_variance.clear();
+    } else {
+        assert_eq!(
+            pred.logit_samples.len(),
+            pred.samples.len(),
+            "logit samples must pair 1:1 with quantized samples"
+        );
+        moments(
+            &pred.logit_samples,
+            &mut pred.logit_mean,
+            &mut pred.logit_variance,
+        );
+    }
+}
+
+/// Unbiased per-output mean/variance over `samples`, into reused buffers.
+fn moments(samples: &[Vec<f64>], mean: &mut Vec<f64>, variance: &mut Vec<f64>) {
+    let out_dim = samples[0].len();
+    let n = samples.len() as f64;
+    mean.clear();
+    mean.resize(out_dim, 0.0);
+    for s in samples {
+        for (m, &v) in mean.iter_mut().zip(s) {
             *m += v / n;
         }
     }
-    pred.variance.clear();
-    pred.variance.resize(out_dim, 0.0);
-    for s in &pred.samples {
-        for ((var, &v), &m) in pred.variance.iter_mut().zip(s).zip(&pred.mean) {
+    variance.clear();
+    variance.resize(out_dim, 0.0);
+    for s in samples {
+        for ((var, &v), &m) in variance.iter_mut().zip(s).zip(mean.iter()) {
             *var += (v - m) * (v - m) / (n - 1.0);
         }
     }
@@ -411,6 +480,25 @@ mod tests {
         b.samples[1] = vec![2.0];
         mc_moments_in_place(&mut b);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn logit_moments_follow_logit_samples() {
+        let mut pred = mc_moments(vec![vec![1.0], vec![1.0]]);
+        assert_eq!(pred.total_logit_variance(), None);
+        pred.resize_logit_samples(2);
+        pred.logit_samples[0] = vec![1.0];
+        pred.logit_samples[1] = vec![3.0];
+        mc_moments_in_place(&mut pred);
+        assert_eq!(pred.logit_mean, vec![2.0]);
+        assert_eq!(pred.logit_variance, vec![2.0]);
+        assert_eq!(pred.total_logit_variance(), Some(2.0));
+        // Dropping the logit samples removes the shadow moments too —
+        // no stale uncertainty survives a producer switch.
+        pred.resize_logit_samples(0);
+        mc_moments_in_place(&mut pred);
+        assert_eq!(pred.total_logit_variance(), None);
+        assert!(pred.logit_mean.is_empty());
     }
 
     #[test]

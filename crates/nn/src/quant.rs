@@ -441,7 +441,49 @@ impl QuantizedMlp {
         ws: &mut ForwardWorkspace,
         out: &mut Vec<f64>,
     ) {
+        self.forward_impl(backend, x, masks, ws, out, None);
+    }
+
+    /// [`Self::forward_with_masks_into`] that additionally captures the
+    /// output layer's **pre-quantization logits**: the final dense
+    /// product recomputed from the full-precision input activations
+    /// (dequantized weights, same row mask and bias, no activation-code
+    /// rounding).
+    ///
+    /// At narrow activation widths the quantized outputs of different
+    /// dropout masks often collapse onto the same codes, flattening the
+    /// MC-Dropout predictive variance to numerical dust; the shadow
+    /// logits keep the mask-induced spread visible, which is what the
+    /// uncertainty consumers (VO noise inflation, gating) need. The
+    /// quantized output in `out` is bit-identical to
+    /// [`Self::forward_with_masks_into`] — the shadow product touches no
+    /// backend or workspace state used by the quantized path.
+    pub fn forward_with_masks_logits_into<B: QuantBackend>(
+        &self,
+        backend: &mut B,
+        x: &[f64],
+        masks: &[Vec<bool>],
+        ws: &mut ForwardWorkspace,
+        out: &mut Vec<f64>,
+        logits: &mut Vec<f64>,
+    ) {
+        self.forward_impl(backend, x, masks, ws, out, Some(logits));
+    }
+
+    fn forward_impl<B: QuantBackend>(
+        &self,
+        backend: &mut B,
+        x: &[f64],
+        masks: &[Vec<bool>],
+        ws: &mut ForwardWorkspace,
+        out: &mut Vec<f64>,
+        mut logits: Option<&mut Vec<f64>>,
+    ) {
         assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
+        let last_dense_li = self
+            .layers
+            .iter()
+            .rposition(|l| matches!(l, QuantLayer::Dense { .. }));
         let deterministic = masks.is_empty();
         if !deterministic {
             assert_eq!(
@@ -470,6 +512,27 @@ impl QuantizedMlp {
                         dropout_idx,
                         &mut ws.out_mask,
                     );
+                    // Shadow the output layer in full precision before
+                    // the quantized product overwrites `ws.h`.
+                    if Some(li) == last_dense_li {
+                        if let Some(logits) = logits.as_deref_mut() {
+                            logits.clear();
+                            let w_step = matrix.step();
+                            for (r, (&b, &keep)) in bias.iter().zip(&ws.out_mask).enumerate() {
+                                if keep {
+                                    let acc: f64 = matrix
+                                        .row(r)
+                                        .iter()
+                                        .zip(&ws.h)
+                                        .map(|(&c, &h)| c as f64 * h)
+                                        .sum();
+                                    logits.push(acc * w_step + b);
+                                } else {
+                                    logits.push(0.0);
+                                }
+                            }
+                        }
+                    }
                     backend.matvec_into(dense_idx, matrix, &ws.codes, &ws.out_mask, &mut ws.acc);
                     let scale = matrix.step() * act_quant.step();
                     ws.h_next.clear();
@@ -616,6 +679,43 @@ mod tests {
             vec![-1.0, 0.3, 0.8, -0.2],
             vec![0.1, 0.9, -0.7, 0.4],
         ]
+    }
+
+    #[test]
+    fn logit_capture_leaves_quantized_output_bit_identical() {
+        let net = trained_like_net(31);
+        let q = QuantizedMlp::from_mlp(&net, 4, 4, &calib()).unwrap();
+        let mut rng = Pcg32::seed_from_u64(7);
+        let masks = q.sample_masks(&mut rng);
+        let x = [0.5, -0.5, 0.25, 1.0];
+        let mut plain_backend = ExactBackend::new();
+        let mut shadow_backend = ExactBackend::new();
+        let mut plain_ws = ForwardWorkspace::default();
+        let mut shadow_ws = ForwardWorkspace::default();
+        let (mut plain, mut shadowed, mut logits) = (Vec::new(), Vec::new(), Vec::new());
+        q.forward_with_masks_into(&mut plain_backend, &x, &masks, &mut plain_ws, &mut plain);
+        q.forward_with_masks_logits_into(
+            &mut shadow_backend,
+            &x,
+            &masks,
+            &mut shadow_ws,
+            &mut shadowed,
+            &mut logits,
+        );
+        assert_eq!(
+            plain, shadowed,
+            "the shadow must not perturb the quantized path"
+        );
+        assert_eq!(logits.len(), q.out_dim());
+        // The shadow is the same dense product minus input-activation
+        // rounding, so it lands near the quantized output.
+        for (l, o) in logits.iter().zip(&plain) {
+            assert!(l.is_finite());
+            assert!(
+                (l - o).abs() < 1.0,
+                "logit {l} far from quantized output {o}"
+            );
+        }
     }
 
     #[test]

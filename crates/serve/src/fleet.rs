@@ -1,0 +1,559 @@
+//! The fleet: many localization sessions over shared map backends, with
+//! optional cross-agent likelihood batching.
+//!
+//! # Round structure
+//!
+//! [`Fleet::step_round`] advances every session one frame in a
+//! bulk-synchronous round:
+//!
+//! 1. **Phase A** (work-stealing parallel): each session runs
+//!    [`LocalizationPipeline::begin_frame`] — gate, VO, motion
+//!    prediction — and stages its frame-wide scan batch without
+//!    evaluating it.
+//! 2. **Coalesce** (coordinator): the staged batches are concatenated in
+//!    session-index order into one mega-batch per backend slot. Each
+//!    analog session contributes a [`NoiseSegment`] carrying its own
+//!    counter-based noise stream, and its claim on that stream is
+//!    audited for contiguity ([`StreamAudit`]). Each slot's mega-batch
+//!    is evaluated once through a fleet-owned evaluator backend
+//!    ([`MapBackend::serve_segments`]), amortizing per-call overheads
+//!    (and, with the `parallel` feature, crossing the chunking threshold
+//!    small per-session batches never reach).
+//! 3. **Phase B** (work-stealing parallel): each session commits its
+//!    slice ([`MapBackend::absorb_served`]) and completes the frame
+//!    ([`LocalizationPipeline::finish_frame`]).
+//!
+//! With coalescing off, each session runs its monolithic
+//! [`LocalizationPipeline::step`] instead — the N-independent-pipelines
+//! baseline.
+//!
+//! # Determinism contract
+//!
+//! Per-session outputs are **bit-identical** across all of: coalescing
+//! on/off, any worker count, and any task ordering. The chain: sessions
+//! fork with per-session RNG/filter/VO/noise state
+//! ([`LocalizationPipeline::fork_session`]); the analog noise value for
+//! a point is a pure function of (stream seed, stream index) via
+//! `NoiseStream::at`, so a session's slice of a mega-batch draws exactly
+//! the values its solo evaluation would; digital evaluations are pure,
+//! so any batch split is bit-identical by the `LikelihoodBackend`
+//! contract; and [`MapBackend::absorb_served`] replays exactly the
+//! bookkeeping a solo evaluation performs.
+
+use crate::steal::run_tasks;
+use navicim_analog::engine::NoiseSegment;
+use navicim_backend::PointBatch;
+use navicim_core::pipeline::{FrameReport, LocalizationPipeline, PendingFrame};
+use navicim_core::registry::MapBackend;
+use navicim_core::CoreError;
+use navicim_device::noise::{StreamAudit, StreamAuditError};
+use navicim_math::geom::Pose;
+use navicim_math::rng::{Pcg32, Rng64};
+use navicim_scene::camera::DepthImage;
+use navicim_scene::dataset::LocalizationDataset;
+use std::fmt;
+use std::time::Instant;
+
+/// A serving-layer failure.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A session's pipeline step failed.
+    Core(CoreError),
+    /// A session's noise-stream claim failed the contiguity audit — the
+    /// bit-identity guarantee would be void, so the round aborts.
+    Audit {
+        /// Session whose claim failed.
+        session: usize,
+        /// Backend slot the claim was for.
+        slot: usize,
+        /// The audit failure.
+        source: StreamAuditError,
+    },
+    /// The fleet configuration cannot be served (e.g. coalescing over a
+    /// backend without serving support).
+    Unsupported(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Core(e) => write!(f, "session step failed: {e}"),
+            Self::Audit {
+                session,
+                slot,
+                source,
+            } => write!(
+                f,
+                "noise audit failed for session {session} slot {slot}: {source}"
+            ),
+            Self::Unsupported(msg) => write!(f, "unsupported fleet configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Core(e) => Some(e),
+            Self::Audit { source, .. } => Some(source),
+            Self::Unsupported(_) => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+/// Serving-layer result.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// The order sessions are fed to the work-stealing executor — outputs
+/// are bit-identical for every variant (property-tested); the knob
+/// exists to drive interleaving robustness tests and scheduling
+/// experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TaskOrder {
+    /// Session-index order.
+    #[default]
+    Forward,
+    /// Reverse session-index order.
+    Reverse,
+    /// A deterministic Fisher–Yates shuffle of the given seed.
+    Shuffled(u64),
+}
+
+impl TaskOrder {
+    /// The session visitation order for `n` sessions.
+    fn permutation(self, n: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..n).collect();
+        match self {
+            Self::Forward => {}
+            Self::Reverse => order.reverse(),
+            Self::Shuffled(seed) => {
+                let mut rng = Pcg32::seed_from_u64(seed);
+                for i in (1..n).rev() {
+                    let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                    order.swap(i, j);
+                }
+            }
+        }
+        order
+    }
+}
+
+/// Fleet serving configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Worker threads for the per-session phases (clamped to ≥ 1).
+    pub workers: usize,
+    /// Coalesce per-session likelihood batches into one evaluation per
+    /// backend slot per round. Off = the N-independent-pipelines
+    /// baseline (each session runs its monolithic step).
+    pub coalesce: bool,
+    /// Order sessions are fed to the executor.
+    pub order: TaskOrder,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            coalesce: true,
+            order: TaskOrder::Forward,
+        }
+    }
+}
+
+/// Per-slot round scratch: the coalesced batch, its noise segments and
+/// the evaluation outputs, reused across rounds so the steady state
+/// allocates nothing.
+#[derive(Debug)]
+struct SlotScratch {
+    batch: PointBatch,
+    segments: Vec<NoiseSegment>,
+    lls: Vec<f64>,
+    currents: Vec<f64>,
+}
+
+impl Default for SlotScratch {
+    fn default() -> Self {
+        Self {
+            batch: PointBatch::new(3),
+            segments: Vec::new(),
+            lls: Vec::new(),
+            currents: Vec::new(),
+        }
+    }
+}
+
+/// Hundreds-to-thousands of concurrent localization sessions over one
+/// shared set of fitted map backends.
+///
+/// Built by forking a pristine prototype pipeline once per agent
+/// (sharing the read-only fitted maps / CIM fabric) plus one fleet-owned
+/// *evaluator* fork per backend slot, used only to execute coalesced
+/// batches — its own state is never committed; sessions commit their own
+/// slices.
+pub struct Fleet {
+    sessions: Vec<LocalizationPipeline>,
+    evaluators: Vec<Box<dyn MapBackend>>,
+    /// `[session][slot]` noise-stream auditors (`None` for digital
+    /// slots, which consume no stream).
+    audits: Vec<Vec<Option<StreamAudit>>>,
+    slots: Vec<SlotScratch>,
+    config: FleetConfig,
+    /// Per-agent latency of the last round, nanoseconds from round start
+    /// to that agent's frame completion.
+    last_latencies_ns: Vec<u64>,
+}
+
+impl fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fleet")
+            .field("agents", &self.sessions.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Fleet {
+    /// Forks `agents` sessions off `prototype` (which must be pristine —
+    /// see [`LocalizationPipeline::fork_session`]) with seeds
+    /// `seed_base + i`, plus one evaluator fork per backend slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fork failures; rejects `agents == 0` and, when
+    /// coalescing is on, backends without coalesced-serving support.
+    pub fn new(
+        prototype: &LocalizationPipeline,
+        agents: usize,
+        seed_base: u64,
+        config: FleetConfig,
+    ) -> Result<Self> {
+        if agents == 0 {
+            return Err(ServeError::Unsupported(
+                "fleet requires at least one agent".into(),
+            ));
+        }
+        if config.coalesce {
+            for slot in 0..prototype.num_backends() {
+                if !prototype.backend(slot).supports_coalesced_serving() {
+                    return Err(ServeError::Unsupported(format!(
+                        "backend '{}' (slot {slot}) does not support coalesced serving",
+                        prototype.backend_names()[slot]
+                    )));
+                }
+            }
+        }
+        let mut sessions = Vec::with_capacity(agents);
+        for i in 0..agents {
+            sessions.push(prototype.fork_session(seed_base.wrapping_add(i as u64))?);
+        }
+        let mut evaluators = Vec::with_capacity(prototype.num_backends());
+        for slot in 0..prototype.num_backends() {
+            evaluators.push(prototype.backend(slot).fork_session().ok_or_else(|| {
+                ServeError::Unsupported(format!(
+                    "backend '{}' (slot {slot}) does not support session forking",
+                    prototype.backend_names()[slot]
+                ))
+            })?);
+        }
+        let audits = sessions
+            .iter()
+            .map(|s| {
+                (0..s.num_backends())
+                    .map(|slot| {
+                        s.backend(slot)
+                            .noise_stream()
+                            .map(|ns| StreamAudit::begin(&ns))
+                    })
+                    .collect()
+            })
+            .collect();
+        let slots = (0..prototype.num_backends())
+            .map(|_| SlotScratch::default())
+            .collect();
+        Ok(Self {
+            sessions,
+            evaluators,
+            audits,
+            slots,
+            config,
+            last_latencies_ns: vec![0; agents],
+        })
+    }
+
+    /// Number of agents.
+    pub fn num_agents(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The session serving agent `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn session(&self, i: usize) -> &LocalizationPipeline {
+        &self.sessions[i]
+    }
+
+    /// Per-agent latency of the last round, in nanoseconds from round
+    /// start to that agent's frame completion (in coalesced rounds every
+    /// agent completes at the round barrier).
+    pub fn last_latencies_ns(&self) -> &[u64] {
+        &self.last_latencies_ns
+    }
+
+    /// Advances every session one frame on a shared `(control, depth,
+    /// truth)` broadcast, returning the frame reports in session order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first session failure and audit violations. The
+    /// fleet should be discarded after an error — sessions may have
+    /// diverged mid-round.
+    pub fn step_round(
+        &mut self,
+        control: &Pose,
+        depth: &DepthImage,
+        truth: Pose,
+    ) -> Result<Vec<FrameReport>> {
+        if self.config.coalesce {
+            self.step_round_coalesced(control, depth, truth)
+        } else {
+            self.step_round_independent(control, depth, truth)
+        }
+    }
+
+    /// The baseline: every session runs its monolithic step, scheduled
+    /// over the worker pool.
+    fn step_round_independent(
+        &mut self,
+        control: &Pose,
+        depth: &DepthImage,
+        truth: Pose,
+    ) -> Result<Vec<FrameReport>> {
+        let t0 = Instant::now();
+        let order = self.config.order.permutation(self.sessions.len());
+        let mut tasks: Vec<Option<(usize, LocalizationPipeline)>> =
+            std::mem::take(&mut self.sessions)
+                .into_iter()
+                .enumerate()
+                .map(Some)
+                .collect();
+        let tasks: Vec<(usize, LocalizationPipeline)> = order
+            .iter()
+            .map(|&i| {
+                tasks[i]
+                    .take()
+                    .expect("permutation visited a session twice")
+            })
+            .collect();
+        let done = run_tasks(self.config.workers, tasks, |_, (idx, mut session)| {
+            let report = session.step(control, depth, truth);
+            (idx, session, report, t0.elapsed().as_nanos() as u64)
+        });
+        self.reassemble(done)
+    }
+
+    /// Puts phase results back in session order, restores the session
+    /// vector and surfaces the first per-session error.
+    fn reassemble(
+        &mut self,
+        done: Vec<(
+            usize,
+            LocalizationPipeline,
+            navicim_core::Result<FrameReport>,
+            u64,
+        )>,
+    ) -> Result<Vec<FrameReport>> {
+        let n = done.len();
+        let mut sessions: Vec<Option<LocalizationPipeline>> = (0..n).map(|_| None).collect();
+        let mut reports: Vec<Option<navicim_core::Result<FrameReport>>> =
+            (0..n).map(|_| None).collect();
+        for (idx, session, report, latency_ns) in done {
+            sessions[idx] = Some(session);
+            reports[idx] = Some(report);
+            self.last_latencies_ns[idx] = latency_ns;
+        }
+        self.sessions = sessions
+            .into_iter()
+            .map(|s| s.expect("round lost a session"))
+            .collect();
+        reports
+            .into_iter()
+            .map(|r| r.expect("round lost a report").map_err(ServeError::from))
+            .collect()
+    }
+
+    /// The coalesced fast path: begin / merge-evaluate / finish.
+    fn step_round_coalesced(
+        &mut self,
+        control: &Pose,
+        depth: &DepthImage,
+        truth: Pose,
+    ) -> Result<Vec<FrameReport>> {
+        let t0 = Instant::now();
+        let n = self.sessions.len();
+        let order = self.config.order.permutation(n);
+
+        // Phase A: gate + VO + motion prediction + batch staging.
+        let mut tasks: Vec<Option<(usize, LocalizationPipeline)>> =
+            std::mem::take(&mut self.sessions)
+                .into_iter()
+                .enumerate()
+                .map(Some)
+                .collect();
+        let tasks: Vec<(usize, LocalizationPipeline)> = order
+            .iter()
+            .map(|&i| {
+                tasks[i]
+                    .take()
+                    .expect("permutation visited a session twice")
+            })
+            .collect();
+        let begun = run_tasks(self.config.workers, tasks, |_, (idx, mut session)| {
+            let pending = session.begin_frame(control, depth);
+            (idx, session, pending)
+        });
+        let mut sessions: Vec<Option<LocalizationPipeline>> = (0..n).map(|_| None).collect();
+        let mut pendings: Vec<Option<PendingFrame>> = (0..n).map(|_| None).collect();
+        let mut first_err: Option<ServeError> = None;
+        for (idx, session, pending) in begun {
+            sessions[idx] = Some(session);
+            match pending {
+                Ok(p) => pendings[idx] = Some(p),
+                Err(e) => {
+                    first_err.get_or_insert(ServeError::from(e));
+                }
+            }
+        }
+        let mut sessions: Vec<LocalizationPipeline> = sessions
+            .into_iter()
+            .map(|s| s.expect("round lost a session"))
+            .collect();
+        if let Some(e) = first_err {
+            self.sessions = sessions;
+            return Err(e);
+        }
+
+        // Coalesce: one mega-batch per slot, segments in session-index
+        // order so every session's slice draws its own noise indices.
+        for slot_scratch in &mut self.slots {
+            slot_scratch.batch.clear();
+            slot_scratch.segments.clear();
+        }
+        // (start, count) of each session's slice within its slot batch.
+        let mut spans: Vec<(usize, usize)> = Vec::with_capacity(n);
+        for (idx, session) in sessions.iter().enumerate() {
+            let slot = pendings[idx].as_ref().expect("pending missing").slot();
+            let staged = session.staged_batch();
+            let count = staged.len();
+            let scratch = &mut self.slots[slot];
+            let start = scratch.batch.len();
+            spans.push((start, count));
+            if count == 0 {
+                continue;
+            }
+            if let Some(stream) = session.backend(slot).noise_stream() {
+                let audit = self.audits[idx][slot]
+                    .as_mut()
+                    .expect("analog slot lost its auditor");
+                if let Err(source) = audit.claim(&stream, count as u64) {
+                    self.sessions = sessions;
+                    return Err(ServeError::Audit {
+                        session: idx,
+                        slot,
+                        source,
+                    });
+                }
+                scratch.segments.push(NoiseSegment { start, stream });
+            }
+            scratch.batch.extend_from_batch(staged);
+        }
+        for (slot, scratch) in self.slots.iter_mut().enumerate() {
+            let total = scratch.batch.len();
+            if total == 0 {
+                continue;
+            }
+            scratch.lls.resize(total, 0.0);
+            scratch.currents.resize(total, 0.0);
+            self.evaluators[slot].serve_segments(
+                &scratch.batch,
+                &scratch.segments,
+                &mut scratch.lls,
+                &mut scratch.currents,
+            );
+        }
+
+        // Phase B: commit slices and finish frames, work-stealing again.
+        // Tasks borrow their slices straight out of the slot scratch —
+        // the executor's scope outlives the round, and the scratch is
+        // read-only until every task has joined.
+        let slots = &self.slots;
+        let mut tasks: Vec<Option<(usize, LocalizationPipeline, PendingFrame, &[f64], &[f64])>> =
+            Vec::with_capacity(n);
+        for (idx, session) in sessions.drain(..).enumerate() {
+            let pending = pendings[idx].take().expect("pending missing");
+            let (start, count) = spans[idx];
+            let scratch = &slots[pending.slot()];
+            let lls = &scratch.lls[start..start + count];
+            let currents = &scratch.currents[start..start + count];
+            tasks.push(Some((idx, session, pending, lls, currents)));
+        }
+        let tasks: Vec<(usize, LocalizationPipeline, PendingFrame, &[f64], &[f64])> = order
+            .iter()
+            .map(|&i| {
+                tasks[i]
+                    .take()
+                    .expect("permutation visited a session twice")
+            })
+            .collect();
+        let done = run_tasks(
+            self.config.workers,
+            tasks,
+            |_, (idx, mut session, pending, lls, currents)| {
+                session
+                    .backend_mut(pending.slot())
+                    .absorb_served(lls.len(), currents);
+                let report = session.finish_frame(pending, lls, truth);
+                (idx, session, report, 0u64)
+            },
+        );
+        let reports = self.reassemble(done);
+        // Coalesced rounds complete every agent's frame at the barrier.
+        let round_ns = t0.elapsed().as_nanos() as u64;
+        self.last_latencies_ns.fill(round_ns);
+        reports
+    }
+
+    /// Streams the whole dataset, broadcasting each frame to every
+    /// session. Returns per-session frame reports,
+    /// `reports[session][frame]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates round failures.
+    pub fn run(&mut self, dataset: &LocalizationDataset) -> Result<Vec<Vec<FrameReport>>> {
+        let controls = dataset.control_deltas();
+        let mut per_session: Vec<Vec<FrameReport>> =
+            (0..self.sessions.len()).map(|_| Vec::new()).collect();
+        for (t, control) in controls.iter().enumerate() {
+            let truth = dataset.frames[t + 1].pose;
+            let reports = self.step_round(control, &dataset.frames[t + 1].depth, truth)?;
+            for (s, report) in reports.into_iter().enumerate() {
+                per_session[s].push(report);
+            }
+        }
+        Ok(per_session)
+    }
+}

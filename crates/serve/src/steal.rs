@@ -1,0 +1,146 @@
+//! A minimal work-stealing task executor built on `std::thread::scope` —
+//! no external dependencies, no unsafe code.
+//!
+//! Tasks are distributed round-robin across per-worker deques; an idle
+//! worker scans its peers and steals the back half of the first
+//! non-empty queue it finds. Fleet rounds never spawn tasks from inside
+//! tasks, so a worker may exit as soon as one full scan finds every
+//! queue empty: at that instant every remaining task is owned by a
+//! worker that is executing it (and will drain its own queue before
+//! exiting), never stranded.
+//!
+//! Determinism contract: the executor affects only *scheduling*. Each
+//! task owns its state and results are re-sorted by task index, so
+//! outputs are identical for any worker count or interleaving — the
+//! property the serve-level tests pin down.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Runs `tasks` across `workers` threads, returning the results in task
+/// order. `f` receives the task's original index and the task value.
+///
+/// With one worker (or zero, clamped to one) or at most one task, the
+/// tasks run inline on the caller's thread in index order — the
+/// sequential reference scheduling.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn run_tasks<T, R, F>(workers: usize, tasks: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = tasks.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let queues: Vec<Mutex<VecDeque<(usize, T)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, t) in tasks.into_iter().enumerate() {
+        queues[i % workers]
+            .lock()
+            .expect("worker queue poisoned")
+            .push_back((i, t));
+    }
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let results = &results;
+            let f = &f;
+            scope.spawn(move || {
+                let mut done: Vec<(usize, R)> = Vec::new();
+                loop {
+                    // Bind the pop so its MutexGuard drops before the
+                    // steal path runs — chaining `.or_else` directly
+                    // would hold the own-queue lock while locking a
+                    // victim, deadlocking against a mirrored steal.
+                    let own = queues[w].lock().expect("worker queue poisoned").pop_front();
+                    let task = own.or_else(|| steal_into(queues, w));
+                    match task {
+                        Some((i, t)) => done.push((i, f(i, t))),
+                        None => break,
+                    }
+                }
+                results
+                    .lock()
+                    .expect("result sink poisoned")
+                    .append(&mut done);
+            });
+        }
+    });
+    let mut collected = results.into_inner().expect("result sink poisoned");
+    debug_assert_eq!(collected.len(), n, "executor lost tasks");
+    collected.sort_unstable_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Scans the other workers' queues round-robin from `me + 1` and steals
+/// the back half of the first non-empty one: one task is returned to run
+/// immediately, the rest land in `me`'s queue. Victim and own locks are
+/// never held together, so lock order cannot deadlock.
+fn steal_into<T>(queues: &[Mutex<VecDeque<(usize, T)>>], me: usize) -> Option<(usize, T)> {
+    let w = queues.len();
+    for off in 1..w {
+        let victim = (me + off) % w;
+        let mut grabbed = {
+            let mut q = queues[victim].lock().expect("worker queue poisoned");
+            let len = q.len();
+            if len == 0 {
+                continue;
+            }
+            q.split_off(len - len.div_ceil(2))
+        };
+        let first = grabbed.pop_front();
+        if !grabbed.is_empty() {
+            queues[me]
+                .lock()
+                .expect("worker queue poisoned")
+                .append(&mut grabbed);
+        }
+        return first;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_task_exactly_once_in_order() {
+        for workers in [1, 2, 4, 7] {
+            let tasks: Vec<usize> = (0..53).collect();
+            let counter = AtomicUsize::new(0);
+            let out = run_tasks(workers, tasks, |i, t| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                assert_eq!(i, t);
+                t * 3
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 53, "workers={workers}");
+            assert_eq!(out, (0..53).map(|t| t * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single_task_sets() {
+        let empty: Vec<usize> = Vec::new();
+        assert!(run_tasks(4, empty, |_, t: usize| t).is_empty());
+        assert_eq!(run_tasks(4, vec![9usize], |i, t| (i, t)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn more_workers_than_tasks_is_fine() {
+        let out = run_tasks(16, (0..3).collect::<Vec<usize>>(), |_, t| t + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+}

@@ -37,4 +37,5 @@ pub use navicim_gmm as gmm;
 pub use navicim_math as math;
 pub use navicim_nn as nn;
 pub use navicim_scene as scene;
+pub use navicim_serve as serve;
 pub use navicim_sram as sram;

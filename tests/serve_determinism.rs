@@ -1,0 +1,139 @@
+//! Fleet-serving determinism: every session served by a [`Fleet`] must
+//! be bit-identical to running that session's pipeline alone, for any
+//! worker count, any task-feeding order, and coalescing on or off.
+//!
+//! This is the serving layer's whole contract — cross-agent likelihood
+//! batching is only admissible because the counter-based noise streams
+//! and the batch↔scalar evaluation guarantees make the coalesced
+//! evaluation a pure re-partitioning of each session's solo work.
+
+use navicim::core::localization::LocalizerConfig;
+use navicim::core::pipeline::{FrameReport, GateConfig, HysteresisConfig, LocalizationPipeline};
+use navicim::core::registry::{CIM_HMGM, DIGITAL_GMM};
+use navicim::scene::dataset::{LocalizationConfig, LocalizationDataset};
+use navicim::serve::{Fleet, FleetConfig, TaskOrder};
+
+fn dataset() -> LocalizationDataset {
+    LocalizationDataset::generate(
+        &LocalizationConfig {
+            image_width: 24,
+            image_height: 18,
+            map_points: 600,
+            frames: 6,
+            ..LocalizationConfig::default()
+        },
+        11,
+    )
+    .expect("dataset generates")
+}
+
+fn config() -> LocalizerConfig {
+    LocalizerConfig {
+        num_particles: 120,
+        pixel_stride: 7,
+        components: 8,
+        // A gated digital+analog pair so coalesced rounds route one
+        // mega-batch per slot and sessions migrate between slots.
+        gate: GateConfig::gated(DIGITAL_GMM, CIM_HMGM).with_hysteresis(HysteresisConfig {
+            analog_enter: 0.12,
+            digital_enter: 0.2,
+            dwell: 2,
+            start: 0,
+        }),
+        seed: 5,
+        ..LocalizerConfig::default()
+    }
+}
+
+const AGENTS: usize = 3;
+const SEED_BASE: u64 = 1000;
+
+/// Per-session solo runs: the parity baseline every fleet mode must hit.
+fn solo_reports(
+    prototype: &LocalizationPipeline,
+    ds: &LocalizationDataset,
+) -> Vec<Vec<FrameReport>> {
+    (0..AGENTS)
+        .map(|i| {
+            let mut session = prototype
+                .fork_session(SEED_BASE + i as u64)
+                .expect("fork succeeds");
+            session.run(ds).expect("solo run succeeds").frames
+        })
+        .collect()
+}
+
+#[test]
+fn fleet_is_bit_identical_to_solo_runs_across_schedules() {
+    let ds = dataset();
+    let prototype = LocalizationPipeline::build(&ds, config()).expect("prototype builds");
+    let solo = solo_reports(&prototype, &ds);
+
+    // Workers × coalescing × feeding order: every schedule must produce
+    // byte-for-byte the solo frame reports.
+    let schedules = [
+        (1, false, TaskOrder::Forward),
+        (1, true, TaskOrder::Forward),
+        (2, true, TaskOrder::Reverse),
+        (2, false, TaskOrder::Shuffled(42)),
+        (4, true, TaskOrder::Shuffled(42)),
+        (4, false, TaskOrder::Reverse),
+    ];
+    for (workers, coalesce, order) in schedules {
+        let mut fleet = Fleet::new(
+            &prototype,
+            AGENTS,
+            SEED_BASE,
+            FleetConfig {
+                workers,
+                coalesce,
+                order,
+            },
+        )
+        .expect("fleet builds");
+        let reports = fleet.run(&ds).expect("fleet run succeeds");
+        assert_eq!(
+            reports, solo,
+            "fleet diverged from solo runs (workers={workers}, \
+             coalesce={coalesce}, order={order:?})"
+        );
+    }
+}
+
+#[test]
+fn coalesced_sessions_commit_solo_backend_stats() {
+    // Evaluations routed through the fleet evaluator must land in each
+    // *session's* stats exactly as a solo run would book them.
+    let ds = dataset();
+    let prototype = LocalizationPipeline::build(&ds, config()).expect("prototype builds");
+    let mut fleet =
+        Fleet::new(&prototype, AGENTS, SEED_BASE, FleetConfig::default()).expect("fleet builds");
+    fleet.run(&ds).expect("fleet run succeeds");
+    for i in 0..AGENTS {
+        let mut solo = prototype
+            .fork_session(SEED_BASE + i as u64)
+            .expect("fork succeeds");
+        solo.run(&ds).expect("solo run succeeds");
+        for slot in 0..solo.num_backends() {
+            assert_eq!(
+                fleet.session(i).backend(slot).stats(),
+                solo.backend(slot).stats(),
+                "session {i} slot {slot} stats diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn fleet_latencies_are_recorded_per_round() {
+    let ds = dataset();
+    let prototype = LocalizationPipeline::build(&ds, config()).expect("prototype builds");
+    let mut fleet =
+        Fleet::new(&prototype, AGENTS, SEED_BASE, FleetConfig::default()).expect("fleet builds");
+    let controls = ds.control_deltas();
+    fleet
+        .step_round(&controls[0], &ds.frames[1].depth, ds.frames[1].pose)
+        .expect("round succeeds");
+    assert_eq!(fleet.last_latencies_ns().len(), AGENTS);
+    assert!(fleet.last_latencies_ns().iter().all(|&ns| ns > 0));
+}
