@@ -248,9 +248,10 @@ fn main() {
         ));
     }
     let json = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"smoke\": {smoke},\n  \"host\": {{\"arch\": \"{}\", \"os\": \"{}\", \"cores\": {cores}}},\n  \"config\": {{\"frames\": {frames}, \"particles\": 64, \"pixel_stride\": 7, \"reps\": {reps}}},\n  \"parity\": {{\"bit_identical\": {parity}}},\n  \"rows\": [\n{json_rows}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"serve\",\n  \"smoke\": {smoke},\n  \"host\": {{\"arch\": \"{}\", \"os\": \"{}\", \"cores\": {cores}, \"target_cpu\": \"{}\"}},\n  \"config\": {{\"frames\": {frames}, \"particles\": 64, \"pixel_stride\": 7, \"reps\": {reps}}},\n  \"parity\": {{\"bit_identical\": {parity}}},\n  \"rows\": [\n{json_rows}\n  ]\n}}\n",
         json_escape_free(std::env::consts::ARCH),
         json_escape_free(std::env::consts::OS),
+        json_escape_free(navicim_bench::target_cpu_label()),
     );
     std::fs::write(&out_path, json).expect("write bench snapshot");
     println!("wrote {out_path}");

@@ -121,9 +121,41 @@ pub fn calibration_inputs(dataset: &VoDataset, n: usize) -> Vec<Vec<f64>> {
         .collect()
 }
 
+/// The widest SIMD feature tier this binary was compiled for — the
+/// `target-cpu` provenance stamp for benchmark snapshots. The repo's
+/// `.cargo/config.toml` builds with `target-cpu=native` (instruction
+/// selection only; results stay bit-identical across hosts), so two
+/// snapshots with equal `cores` can still come from different silicon:
+/// this label plus the core count makes committed baselines and owed
+/// multi-core re-runs distinguishable.
+pub fn target_cpu_label() -> &'static str {
+    if cfg!(target_feature = "avx512f") {
+        "x86-64+avx512"
+    } else if cfg!(target_feature = "avx2") {
+        "x86-64+avx2"
+    } else if cfg!(target_feature = "sse4.2") {
+        "x86-64+sse4.2"
+    } else if cfg!(target_feature = "sse2") {
+        "x86-64+sse2"
+    } else if cfg!(target_feature = "neon") {
+        "aarch64+neon"
+    } else {
+        "baseline"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn target_cpu_label_is_a_fixed_token() {
+        // The label lands in committed JSON snapshots: non-empty, no
+        // whitespace or quotes to escape.
+        let label = target_cpu_label();
+        assert!(!label.is_empty());
+        assert!(label.chars().all(|c| c.is_ascii_graphic() && c != '"'));
+    }
 
     #[test]
     fn workloads_generate() {

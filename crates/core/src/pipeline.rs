@@ -36,9 +36,10 @@ use navicim_backend::PointBatch;
 use navicim_energy::analog::AnalogCimProfile;
 use navicim_energy::digital::DigitalProfile;
 use navicim_energy::sram::SramCimProfile;
-use navicim_filter::estimate::{mean_pose, position_spread};
+use navicim_filter::estimate::{mean_pose, position_nees, position_spread};
 use navicim_filter::filter::ParticleFilter;
-use navicim_filter::signals::InnovationTracker;
+pub use navicim_filter::signals::FaultDetectorConfig;
+use navicim_filter::signals::{FaultDetector, InnovationTracker};
 use navicim_math::geom::Pose;
 use navicim_math::rng::Pcg32;
 use navicim_nn::mc::McPrediction;
@@ -873,25 +874,61 @@ impl NoiseInflation {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidArgument`] unless `gain` is finite
-    /// and non-negative and `0 < floor <= ceiling` (both finite).
+    /// See [`Self::validate`].
     pub fn new(gain: f64, floor: f64, ceiling: f64) -> Result<Self> {
-        if !gain.is_finite() || !(gain >= 0.0) {
-            return Err(CoreError::InvalidArgument(format!(
-                "noise-inflation gain must be finite and >= 0, got {gain}"
-            )));
-        }
-        if !floor.is_finite() || !ceiling.is_finite() || !(floor > 0.0) || !(ceiling >= floor) {
-            return Err(CoreError::InvalidArgument(format!(
-                "noise-inflation bounds must be finite with 0 < floor <= ceiling \
-                 (got {floor} / {ceiling})"
-            )));
-        }
-        Ok(Self {
+        let inflation = Self {
             gain,
             floor,
             ceiling,
-        })
+        };
+        inflation.validate()?;
+        Ok(inflation)
+    }
+
+    /// Checks the invariants [`Self::scale`] relies on. The fields are
+    /// public (struct-literal construction is convenient in configs), so
+    /// every consumer that accepts a `NoiseInflation` must route it
+    /// through this — an unvalidated `floor > ceiling` would *panic*
+    /// inside `scale`'s clamp, and a non-finite gain would leak NaN
+    /// scales into the motion model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] — one distinct message per
+    /// rejection path — unless `gain` is finite and ≥ 0, `floor` is
+    /// finite and > 0, and `ceiling` is finite with `ceiling >= floor`.
+    pub fn validate(&self) -> Result<()> {
+        if !self.gain.is_finite() {
+            return Err(CoreError::InvalidArgument(format!(
+                "noise-inflation gain must be finite, got {}",
+                self.gain
+            )));
+        }
+        if !(self.gain >= 0.0) {
+            return Err(CoreError::InvalidArgument(format!(
+                "noise-inflation gain must be >= 0, got {}",
+                self.gain
+            )));
+        }
+        if !self.floor.is_finite() || !(self.floor > 0.0) {
+            return Err(CoreError::InvalidArgument(format!(
+                "noise-inflation floor must be finite and > 0, got {}",
+                self.floor
+            )));
+        }
+        if !self.ceiling.is_finite() {
+            return Err(CoreError::InvalidArgument(format!(
+                "noise-inflation ceiling must be finite, got {}",
+                self.ceiling
+            )));
+        }
+        if !(self.ceiling >= self.floor) {
+            return Err(CoreError::InvalidArgument(format!(
+                "noise-inflation ceiling must be >= floor (got floor {} / ceiling {})",
+                self.floor, self.ceiling
+            )));
+        }
+        Ok(())
     }
 
     /// The bounded motion-noise scale for one frame's VO variance.
@@ -910,6 +947,114 @@ impl NoiseInflation {
             }
             _ => self.ceiling,
         }
+    }
+}
+
+/// Tuning of the pipeline's fault-triggered safe mode
+/// ([`LocalizationPipeline::with_safe_mode`]).
+///
+/// The response mirrors the wake-up/fallback pattern the gate already
+/// implements for benign uncertainty, hardened for *faults*: when the
+/// CUSUM detector over the likelihood-innovation stream alarms, the
+/// pipeline overrides the gate to the accurate digital slot
+/// ([`DIGITAL_SLOT`]) and clamps the motion-noise scale to the
+/// [`NoiseInflation`] ceiling (maximum distrust widens the proposal so
+/// the cloud can re-acquire a teleported or drifted truth). Recovery is
+/// dwell-gated: safe mode holds for at least `hold_frames` and exits
+/// only once a fresh innovation reading clears `recovery_innovation`,
+/// at which point the detector re-arms for the next fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SafeModeConfig {
+    /// CUSUM tuning over the serving slot's innovation stream.
+    pub detector: FaultDetectorConfig,
+    /// Minimum frames to dwell in safe mode once entered (≥ 1) — the
+    /// re-acquisition transient itself sags the innovation, so an
+    /// undwelled exit check would flap.
+    pub hold_frames: usize,
+    /// Innovation level (finite) a frame must reach before safe mode
+    /// may exit: the first honest frame after a fault reads far *above*
+    /// its poisoned trend, so a mildly negative bar (e.g. −1) means
+    /// "no longer losing ground against the recent past".
+    pub recovery_innovation: f64,
+}
+
+impl Default for SafeModeConfig {
+    fn default() -> Self {
+        Self {
+            detector: FaultDetectorConfig::default(),
+            hold_frames: 3,
+            recovery_innovation: -1.0,
+        }
+    }
+}
+
+impl SafeModeConfig {
+    /// Validates the response tuning (the detector validates itself in
+    /// [`FaultDetector::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] unless `hold_frames >= 1`
+    /// and `recovery_innovation` is finite.
+    pub fn validate(&self) -> Result<()> {
+        if self.hold_frames == 0 {
+            return Err(CoreError::InvalidArgument(
+                "safe-mode hold_frames must be >= 1".into(),
+            ));
+        }
+        if !self.recovery_innovation.is_finite() {
+            return Err(CoreError::InvalidArgument(format!(
+                "safe-mode recovery innovation must be finite, got {}",
+                self.recovery_innovation
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Live fault-detection / safe-mode state riding the pipeline.
+#[derive(Debug, Clone)]
+struct SafeModeState {
+    config: SafeModeConfig,
+    detector: FaultDetector,
+    active: bool,
+    frames_in_mode: usize,
+    entries: u64,
+}
+
+impl SafeModeState {
+    fn new(config: SafeModeConfig) -> Result<Self> {
+        config.validate()?;
+        let detector = FaultDetector::new(config.detector).map_err(CoreError::Filter)?;
+        Ok(Self {
+            config,
+            detector,
+            active: false,
+            frames_in_mode: 0,
+            entries: 0,
+        })
+    }
+
+    /// Feeds one frame's innovation reading and advances the
+    /// enter/dwell/recover state machine. Returns
+    /// `(fault_alarmed, safe_mode_active)` for the frame.
+    fn update(&mut self, innovation: Option<f64>) -> (bool, bool) {
+        let alarm = self.detector.observe(innovation);
+        if self.active {
+            self.frames_in_mode += 1;
+            let recovered = innovation.is_some_and(|i| i >= self.config.recovery_innovation);
+            if self.frames_in_mode >= self.config.hold_frames && recovered {
+                self.active = false;
+                // Re-arm: the statistic and the latched alarm clear so
+                // the *next* fault is a fresh detection.
+                self.detector.reset();
+            }
+        } else if alarm {
+            self.active = true;
+            self.frames_in_mode = 0;
+            self.entries += 1;
+        }
+        (self.detector.alarmed(), self.active)
     }
 }
 
@@ -1040,6 +1185,20 @@ pub struct FrameReport {
     /// Filter summary after the update (estimate, error, post spread,
     /// ESS).
     pub summary: StepSummary,
+    /// Diagonal NEES of the post-update cloud against this frame's
+    /// truth ([`navicim_filter::estimate::position_nees`]): the
+    /// per-frame *consistency* of the filter — squared realized error
+    /// normalized by the covariance the filter itself claims. Near the
+    /// position dimension (3) when healthy; far above it when the
+    /// filter is confidently wrong (the fault signature).
+    pub nees: f64,
+    /// Whether the fault detector's alarm was latched this frame
+    /// (always `false` without [`LocalizationPipeline::with_safe_mode`]).
+    pub fault_active: bool,
+    /// Whether the safe-mode response (digital override + noise
+    /// ceiling) governed this frame (always `false` without
+    /// [`LocalizationPipeline::with_safe_mode`]).
+    pub safe_mode: bool,
     /// Ground-truth pose of this frame.
     pub truth: Pose,
     /// Map point evaluations served this frame.
@@ -1254,7 +1413,11 @@ impl PipelineRun {
     /// The exact header row [`Self::to_csv`] emits — the frame-log
     /// schema contract downstream loaders (gate training, offline
     /// analysis) parse against, locked by a round-trip test.
-    pub const CSV_HEADER: [&'static str; 19] = [
+    ///
+    /// Schema v3: v2's 19 columns plus the robustness triple appended
+    /// at the end (`nees`, `fault_active`, `safe_mode`), so v2 loaders
+    /// reading by index keep working.
+    pub const CSV_HEADER: [&'static str; 22] = [
         "frame",
         "slot",
         "backend",
@@ -1274,6 +1437,9 @@ impl PipelineRun {
         "vo_variance",
         "vo_energy_pj",
         "total_energy_pj",
+        "nees",
+        "fault_active",
+        "safe_mode",
     ];
 
     /// The run's frame log as CSV — one row per [`FrameReport`] carrying
@@ -1327,6 +1493,11 @@ impl PipelineRun {
                 opt(f.vo.map(|v| v.variance)),
                 opt(f.vo.map(|v| v.energy_pj)),
                 fin(f.total_energy_pj()),
+                fin(f.nees),
+                // Booleans as 0/1 so numeric loaders ingest the whole
+                // row without a string column.
+                format!("{}", u8::from(f.fault_active)),
+                format!("{}", u8::from(f.safe_mode)),
             ]);
         }
         csv
@@ -1522,11 +1693,14 @@ pub struct PendingFrame {
     signals: UncertaintySignals,
     noise_scale: f64,
     vo: Option<VoFrameReport>,
+    fault_active: bool,
+    safe_mode: bool,
 }
 
 impl PendingFrame {
-    /// The backend slot the gate selected for this frame — the slot
-    /// whose backend must evaluate the staged batch.
+    /// The backend slot serving this frame — the gate's selection, or
+    /// [`DIGITAL_SLOT`] when safe mode overrode it. The slot whose
+    /// backend must evaluate the staged batch.
     pub fn slot(&self) -> usize {
         self.slot
     }
@@ -1534,6 +1708,11 @@ impl PendingFrame {
     /// The uncertainty bus snapshot the gate saw.
     pub fn signals(&self) -> &UncertaintySignals {
         &self.signals
+    }
+
+    /// Whether the safe-mode response governs this frame.
+    pub fn safe_mode(&self) -> bool {
+        self.safe_mode
     }
 }
 
@@ -1561,6 +1740,9 @@ pub struct LocalizationPipeline {
     vo: Option<VoStage>,
     control: ControlSource,
     inflation: NoiseInflation,
+    /// Fault-detection + safe-mode response state (`None` = feature off,
+    /// bit-identical to every pre-safe-mode run).
+    safe: Option<SafeModeState>,
     /// First frame's pose — kept so forked sessions can re-draw their
     /// own particle clouds around the same prior.
     init_prior: Pose,
@@ -1693,6 +1875,7 @@ impl LocalizationPipeline {
             vo: None,
             control: ControlSource::GroundTruth,
             inflation: NoiseInflation::default(),
+            safe: None,
             init_prior: prior,
             frame: 0,
             current: 0,
@@ -1737,8 +1920,46 @@ impl LocalizationPipeline {
     ///
     /// Propagates [`NoiseInflation::new`] validation.
     pub fn with_noise_inflation(mut self, inflation: NoiseInflation) -> Result<Self> {
-        self.inflation = NoiseInflation::new(inflation.gain, inflation.floor, inflation.ceiling)?;
+        inflation.validate()?;
+        self.inflation = inflation;
         Ok(self)
+    }
+
+    /// Arms innovation-based fault detection with a safe-mode response
+    /// (builder style): a [`FaultDetector`] CUSUM over the serving
+    /// slot's likelihood-innovation stream which, once alarmed, forces
+    /// the [`DIGITAL_SLOT`] override and clamps the motion-noise scale
+    /// to the [`NoiseInflation`] ceiling until dwell-gated recovery.
+    /// Off by default — an unarmed pipeline is bit-identical to every
+    /// run before this feature existed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SafeModeConfig::validate`] and
+    /// [`FaultDetector::new`] validation.
+    pub fn with_safe_mode(mut self, config: SafeModeConfig) -> Result<Self> {
+        self.safe = Some(SafeModeState::new(config)?);
+        Ok(self)
+    }
+
+    /// The armed safe-mode tuning (`None` when fault detection is off).
+    pub fn safe_mode_config(&self) -> Option<&SafeModeConfig> {
+        self.safe.as_ref().map(|s| &s.config)
+    }
+
+    /// Whether the safe-mode response is currently governing frames.
+    pub fn safe_mode_active(&self) -> bool {
+        self.safe.as_ref().is_some_and(|s| s.active)
+    }
+
+    /// Whether the fault detector's alarm is currently latched.
+    pub fn fault_alarmed(&self) -> bool {
+        self.safe.as_ref().is_some_and(|s| s.detector.alarmed())
+    }
+
+    /// Number of distinct safe-mode entries so far this session.
+    pub fn safe_mode_entries(&self) -> u64 {
+        self.safe.as_ref().map_or(0, |s| s.entries)
     }
 
     /// The configured control source.
@@ -1840,19 +2061,36 @@ impl LocalizationPipeline {
     /// bit-identical by construction.
     fn prepare_frame(&mut self, control: &Pose, depth: &DepthImage) -> Result<PendingFrame> {
         let signals = self.signals();
+        // Fault detection runs on the same bus snapshot the gate sees:
+        // the serving slot's innovation reading from the previous frame.
+        // The state machine advances *before* gating so an alarm takes
+        // effect on this very frame, not one frame late.
+        let (fault_active, safe_mode) = match self.safe.as_mut() {
+            Some(safe) => safe.update(signals.innovation),
+            None => (false, false),
+        };
         let ctx = GateContext {
             frame: self.frame,
             signals,
             current: self.current,
             num_backends: self.backends.len(),
         };
-        let slot = self.gate.select(&ctx);
+        // The gate still selects (and advances its own dwell/schedule
+        // state) every frame; safe mode overrides the *outcome*, so on
+        // recovery the policy resumes from a coherent state instead of
+        // a frozen one.
+        let mut slot = self.gate.select(&ctx);
         if slot >= self.backends.len() {
             return Err(CoreError::InvalidArgument(format!(
                 "gate '{}' selected slot {slot} but only {} backend(s) are live",
                 self.gate.name(),
                 self.backends.len()
             )));
+        }
+        if safe_mode {
+            // Force-digital: the accurate substrate re-acquires the
+            // track while the fault (or its aftermath) persists.
+            slot = DIGITAL_SLOT;
         }
         // The VO stage steps *before* the filter so a closed loop can
         // feed the fresh frame-pair prediction into this frame's motion
@@ -1863,7 +2101,7 @@ impl LocalizationPipeline {
             Some(stage) => Some(stage.step(depth, &self.camera, &self.pricing)?),
             None => None,
         };
-        let (control, noise_scale) = match self.control {
+        let (control, mut noise_scale) = match self.control {
             ControlSource::GroundTruth => (*control, 1.0),
             ControlSource::VisualOdometry => {
                 let vo = vo.as_ref().ok_or_else(|| {
@@ -1876,6 +2114,12 @@ impl LocalizationPipeline {
                 (vo.delta, self.inflation.scale(Some(vo.variance)))
             }
         };
+        if safe_mode {
+            // Maximum-distrust clamp, routed through the validated
+            // NoiseInflation (scale(None) *is* the ceiling): the widened
+            // proposal lets the cloud re-acquire a teleported truth.
+            noise_scale = self.inflation.scale(None);
+        }
         self.pf
             .predict_scaled(&control, &self.config.motion, noise_scale, &mut self.rng);
         Ok(PendingFrame {
@@ -1883,6 +2127,8 @@ impl LocalizationPipeline {
             signals,
             noise_scale,
             vo,
+            fault_active,
+            safe_mode,
         })
     }
 
@@ -1896,6 +2142,8 @@ impl LocalizationPipeline {
             signals,
             noise_scale,
             vo,
+            fault_active,
+            safe_mode,
         } = pending;
         let estimate = mean_pose(self.pf.particles());
         let summary = StepSummary {
@@ -1904,6 +2152,7 @@ impl LocalizationPipeline {
             spread: position_spread(self.pf.particles()),
             ess: self.pf.particles().ess(),
         };
+        let nees = position_nees(self.pf.particles(), truth);
         // Fold this frame's mean log-likelihood into the serving slot's
         // innovation EWMA so the *next* frame's bus carries the delta
         // against that backend's own trend. A trend frozen while the
@@ -1945,6 +2194,9 @@ impl LocalizationPipeline {
             control_source: self.control,
             noise_scale,
             summary,
+            nees,
+            fault_active,
+            safe_mode,
             truth,
             evaluations: delta.evaluations,
             map_energy_pj,
@@ -2099,6 +2351,12 @@ impl LocalizationPipeline {
             self.config.filter,
         );
         let prev_stats = backends.iter().map(|b| b.stats()).collect();
+        // A forked session re-arms its own detector from the validated
+        // config — fault state is per-session, never inherited.
+        let safe = match &self.safe {
+            Some(s) => Some(SafeModeState::new(s.config)?),
+            None => None,
+        };
         Ok(Self {
             backends,
             names: self.names.clone(),
@@ -2116,6 +2374,7 @@ impl LocalizationPipeline {
             vo: self.vo.clone(),
             control: self.control,
             inflation: self.inflation,
+            safe,
             init_prior: self.init_prior,
             frame: 0,
             current: 0,
@@ -2951,25 +3210,81 @@ mod tests {
     }
 
     #[test]
-    fn noise_inflation_validation_and_bounds() {
+    fn noise_inflation_accepts_valid_configs() {
         assert!(NoiseInflation::new(30.0, 1.0, 4.0).is_ok());
+        // Degenerate-but-legal: zero gain, floor == ceiling.
         assert!(NoiseInflation::new(0.0, 0.5, 0.5).is_ok());
-        for (gain, floor, ceiling) in [
-            (-1.0, 1.0, 4.0),
-            (f64::NAN, 1.0, 4.0),
-            (f64::INFINITY, 1.0, 4.0),
-            (1.0, 0.0, 4.0),
-            (1.0, -1.0, 4.0),
-            (1.0, f64::NAN, 4.0),
-            (1.0, 2.0, 1.0),
-            (1.0, 1.0, f64::INFINITY),
-            (1.0, 1.0, f64::NAN),
-        ] {
-            assert!(
-                NoiseInflation::new(gain, floor, ceiling).is_err(),
-                "({gain}, {floor}, {ceiling}) accepted"
-            );
+    }
+
+    #[test]
+    fn noise_inflation_rejects_non_finite_gain() {
+        for gain in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = NoiseInflation::new(gain, 1.0, 4.0).unwrap_err();
+            assert!(err.to_string().contains("gain must be finite"), "{err}");
         }
+    }
+
+    #[test]
+    fn noise_inflation_rejects_negative_gain() {
+        let err = NoiseInflation::new(-1.0, 1.0, 4.0).unwrap_err();
+        assert!(err.to_string().contains("gain must be >= 0"), "{err}");
+    }
+
+    #[test]
+    fn noise_inflation_rejects_bad_floor() {
+        for floor in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = NoiseInflation::new(1.0, floor, 4.0).unwrap_err();
+            assert!(err.to_string().contains("floor"), "{err}");
+        }
+    }
+
+    #[test]
+    fn noise_inflation_rejects_non_finite_ceiling() {
+        for ceiling in [f64::NAN, f64::INFINITY] {
+            let err = NoiseInflation::new(1.0, 1.0, ceiling).unwrap_err();
+            assert!(err.to_string().contains("ceiling must be finite"), "{err}");
+        }
+    }
+
+    #[test]
+    fn noise_inflation_rejects_ceiling_below_floor() {
+        let err = NoiseInflation::new(1.0, 2.0, 1.0).unwrap_err();
+        assert!(
+            err.to_string().contains("ceiling must be >= floor"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn literal_constructed_inflation_is_caught_by_validate_not_by_a_panic() {
+        // The fields are public, so a struct literal can bypass `new` —
+        // `validate` must catch what `scale` would otherwise *panic* on
+        // (std clamp with floor > ceiling).
+        let inverted = NoiseInflation {
+            gain: 1.0,
+            floor: 4.0,
+            ceiling: 1.0,
+        };
+        assert!(inverted.validate().is_err());
+        let ds = small_dataset();
+        let err = LocalizationPipeline::build(&ds, small_config(GateConfig::default()))
+            .unwrap()
+            .with_noise_inflation(inverted)
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("ceiling must be >= floor"),
+            "{err}"
+        );
+        let nan_gain = NoiseInflation {
+            gain: f64::NAN,
+            floor: 1.0,
+            ceiling: 4.0,
+        };
+        assert!(nan_gain.validate().is_err());
+    }
+
+    #[test]
+    fn noise_inflation_scale_bounds() {
         let inflation = NoiseInflation::new(10.0, 1.0, 3.0).unwrap();
         // Total for any input: None and garbage price at the ceiling.
         assert_eq!(inflation.scale(None), 3.0);
@@ -2982,6 +3297,159 @@ mod tests {
         assert_eq!(inflation.scale(Some(10.0)), 3.0);
         // Negative variances (impossible, but total) clamp to the floor.
         assert_eq!(inflation.scale(Some(-5.0)), 1.0);
+    }
+
+    /// A detector tuning that fires within 1-2 frames of a blind burst
+    /// but stays quiet through clean tracking wobble.
+    fn test_safe_mode_config() -> SafeModeConfig {
+        SafeModeConfig {
+            detector: FaultDetectorConfig {
+                drift: 2.0,
+                threshold: 10.0,
+                warmup: 0,
+            },
+            hold_frames: 2,
+            recovery_innovation: -1.0,
+        }
+    }
+
+    #[test]
+    fn safe_mode_validation_rejects_bad_tunings() {
+        let ds = small_dataset();
+        let build =
+            || LocalizationPipeline::build(&ds, small_config(GateConfig::default())).unwrap();
+        assert!(build()
+            .with_safe_mode(SafeModeConfig {
+                hold_frames: 0,
+                ..SafeModeConfig::default()
+            })
+            .is_err());
+        assert!(build()
+            .with_safe_mode(SafeModeConfig {
+                recovery_innovation: f64::NAN,
+                ..SafeModeConfig::default()
+            })
+            .is_err());
+        // Detector validation propagates through the builder.
+        assert!(build()
+            .with_safe_mode(SafeModeConfig {
+                detector: FaultDetectorConfig {
+                    threshold: -1.0,
+                    ..FaultDetectorConfig::default()
+                },
+                ..SafeModeConfig::default()
+            })
+            .is_err());
+        assert!(build().with_safe_mode(SafeModeConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn armed_but_never_alarmed_safe_mode_is_bit_identical() {
+        // Arming fault detection must not perturb a clean run: the
+        // detector only *reads* the bus, so until it alarms every
+        // report is bit-identical to an unarmed pipeline's.
+        let ds = small_dataset();
+        let config = small_config(GateConfig::gated(DIGITAL_GMM, CIM_HMGM));
+        let base = LocalizationPipeline::build(&ds, config.clone())
+            .unwrap()
+            .run(&ds)
+            .unwrap();
+        let armed = LocalizationPipeline::build(&ds, config)
+            .unwrap()
+            .with_safe_mode(SafeModeConfig {
+                detector: FaultDetectorConfig {
+                    threshold: 1e9,
+                    ..FaultDetectorConfig::default()
+                },
+                ..SafeModeConfig::default()
+            })
+            .unwrap()
+            .run(&ds)
+            .unwrap();
+        assert_eq!(base.frames, armed.frames);
+        assert!(armed.frames.iter().all(|f| !f.fault_active && !f.safe_mode));
+        assert!(armed.frames.iter().all(|f| f.nees.is_finite()));
+    }
+
+    #[test]
+    fn blind_burst_trips_safe_mode_forces_digital_and_recovers() {
+        // An analog-pinned gate + a mid-run blind burst: the detector
+        // must alarm within two frames of the burst, the response must
+        // override the pinned slot to DIGITAL_SLOT and clamp the noise
+        // scale to the inflation ceiling, and once honest frames
+        // return, the dwell-gated exit must re-arm the detector.
+        let ds = small_dataset();
+        let config = small_config(GateConfig::always(vec![DIGITAL_GMM, CIM_HMGM], ANALOG_SLOT));
+        let mut pipeline = LocalizationPipeline::build(&ds, config)
+            .unwrap()
+            .with_safe_mode(test_safe_mode_config())
+            .unwrap();
+        let ceiling = pipeline.noise_inflation().scale(None);
+        let controls = ds.control_deltas();
+        let blind = DepthImage::new(ds.frames[0].depth.width(), ds.frames[0].depth.height());
+        let mut reports = Vec::new();
+        // 20 frames total, cycling the dataset; frames 6..9 are blind.
+        for t in 0..20 {
+            let k = t % controls.len();
+            let truth = ds.frames[k + 1].pose;
+            let depth = if (6..9).contains(&t) {
+                &blind
+            } else {
+                &ds.frames[k + 1].depth
+            };
+            reports.push(pipeline.step(&controls[k], depth, truth).unwrap());
+        }
+        // Clean prefix: quiet detector, gate-pinned analog slot.
+        for f in &reports[..6] {
+            assert!(
+                !f.fault_active && !f.safe_mode,
+                "false alarm at {}",
+                f.frame
+            );
+            assert_eq!(f.slot, ANALOG_SLOT);
+        }
+        // The first blind frame's BLIND_LL reading lands on the bus one
+        // frame later: detection by frame 7, never before the burst.
+        let first_detect = reports
+            .iter()
+            .position(|f| f.fault_active)
+            .expect("blind burst detected");
+        assert!(
+            (6..=7).contains(&first_detect),
+            "detected at {first_detect}"
+        );
+        // While safe mode governs: forced digital + ceiling clamp.
+        let governed: Vec<&FrameReport> = reports.iter().filter(|f| f.safe_mode).collect();
+        assert!(governed.len() >= 2, "safe mode never engaged");
+        for f in &governed {
+            assert_eq!(f.slot, DIGITAL_SLOT, "frame {} not forced digital", f.frame);
+            assert_eq!(f.noise_scale, ceiling, "frame {} not clamped", f.frame);
+        }
+        // Recovery: honest frames resume, safe mode exits and re-arms.
+        assert!(!pipeline.safe_mode_active(), "safe mode never exited");
+        assert!(!pipeline.fault_alarmed(), "detector never re-armed");
+        assert_eq!(pipeline.safe_mode_entries(), 1);
+        let last = reports.last().unwrap();
+        assert!(!last.safe_mode);
+        assert_eq!(last.slot, ANALOG_SLOT, "gate did not resume after recovery");
+    }
+
+    #[test]
+    fn forked_sessions_get_fresh_fault_state() {
+        let ds = small_dataset();
+        let config = small_config(GateConfig::gated(DIGITAL_GMM, CIM_HMGM));
+        let prototype = LocalizationPipeline::build(&ds, config)
+            .unwrap()
+            .with_safe_mode(test_safe_mode_config())
+            .unwrap();
+        let fork = prototype.fork_session(99).unwrap();
+        assert_eq!(
+            fork.safe_mode_config(),
+            prototype.safe_mode_config(),
+            "fork keeps the tuning"
+        );
+        assert!(!fork.safe_mode_active());
+        assert_eq!(fork.safe_mode_entries(), 0);
     }
 
     #[test]
@@ -3065,6 +3533,9 @@ mod tests {
                 spread: 0.25,
                 ess: 100.0,
             },
+            nees: f64::NAN,
+            fault_active: true,
+            safe_mode: false,
             truth: Pose::IDENTITY,
             evaluations: 10,
             map_energy_pj: f64::NAN,
@@ -3102,9 +3573,13 @@ mod tests {
             "map_energy_pj",
             "vo_variance",
             "total_energy_pj",
+            "nees",
         ] {
             assert_eq!(row[col(poisoned)], "", "{poisoned} leaked a token");
         }
+        // The robustness booleans render as 0/1.
+        assert_eq!(row[col("fault_active")], "1");
+        assert_eq!(row[col("safe_mode")], "0");
         // No NaN/inf token anywhere in the document.
         assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
         // Finite values round-trip exactly through the shortest format.

@@ -47,6 +47,32 @@ pub fn position_spread(particles: &ParticleSet<Pose>) -> f64 {
         .sqrt()
 }
 
+/// Variance floor for [`position_nees`], in m²: axes the cloud has
+/// collapsed below this (σ < 1 µm) are treated as claiming that
+/// certainty, so any realized error there reads as inconsistency.
+pub const NEES_VAR_FLOOR: f64 = 1e-12;
+
+/// Diagonal NEES (normalized estimation error squared) of the cloud's
+/// positional belief against the true position: per axis, squared
+/// mean-estimate error over the weighted particle variance, summed.
+///
+/// A consistent filter holds this near the position dimension (3);
+/// values far above it mean the filter is *overconfident* — its
+/// covariance no longer explains its realized error — which is the
+/// per-frame trust metric faults and attacks show up in even while the
+/// raw error still looks plausible. Collapsed axes price their variance
+/// at [`NEES_VAR_FLOOR`], so the result is finite for every cloud.
+pub fn position_nees(particles: &ParticleSet<Pose>, truth: Pose) -> f64 {
+    let (mean, var) = particles.weighted_moments(|p| p.translation.to_array());
+    let t = truth.translation.to_array();
+    let mut nees = 0.0;
+    for axis in 0..3 {
+        let e = mean[axis] - t[axis];
+        nees += e * e / var[axis].max(NEES_VAR_FLOOR);
+    }
+    nees
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +130,39 @@ mod tests {
         assert!(s_wide > 5.0 * s_tight);
         // For isotropic σ per axis, spread ≈ σ√3.
         assert!((s_tight / (0.05 * 3f64.sqrt()) - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn nees_is_small_when_truth_sits_inside_the_cloud() {
+        let center = Vec3::new(1.0, -2.0, 0.5);
+        let set = cloud(center, 0.0, 0.1, 2000, 4);
+        // Truth at the cloud center: NEES well under the dimension.
+        assert!(position_nees(&set, Pose::from_position_euler(center, 0.0, 0.0, 0.0)) < 3.0);
+        // Truth one σ off per axis: NEES near 3.
+        let off = center + Vec3::new(0.1, 0.1, 0.1);
+        let nees = position_nees(&set, Pose::from_position_euler(off, 0.0, 0.0, 0.0));
+        assert!(nees > 1.0 && nees < 6.0, "nees = {nees}");
+    }
+
+    #[test]
+    fn nees_explodes_for_an_overconfident_cloud() {
+        let center = Vec3::new(1.0, -2.0, 0.5);
+        let tight = cloud(center, 0.0, 0.01, 500, 5);
+        let truth = Pose::from_position_euler(center + Vec3::new(0.5, 0.0, 0.0), 0.0, 0.0, 0.0);
+        // 50σ of realized error against a 1 cm cloud: wildly inconsistent.
+        assert!(position_nees(&tight, truth) > 1e3);
+    }
+
+    #[test]
+    fn nees_is_finite_for_a_collapsed_cloud() {
+        let pose = Pose::from_position_euler(Vec3::new(3.0, 1.0, 2.0), 0.0, 0.0, 0.0);
+        let set = ParticleSet::from_states(vec![pose]).unwrap();
+        // Zero error on a zero-variance cloud: exactly consistent.
+        assert_eq!(position_nees(&set, pose), 0.0);
+        // Any error on a zero-variance cloud: huge but finite (floored).
+        let off = Pose::from_position_euler(Vec3::new(3.1, 1.0, 2.0), 0.0, 0.0, 0.0);
+        let nees = position_nees(&set, off);
+        assert!(nees.is_finite() && nees > 1e6);
     }
 
     #[test]

@@ -152,6 +152,33 @@ impl<S: Clone> ParticleSet<S> {
         var[0] + var[1] + var[2]
     }
 
+    /// Weighted per-axis mean and variance of a 3-vector projection of
+    /// the state, in one fused two-pass traversal.
+    ///
+    /// The accumulation order per axis is exactly that of
+    /// [`Self::weighted_covariance_trace`], so the component sum of the
+    /// returned variances is bit-identical to the trace — this is the
+    /// NEES-consistency read: the diagonal of the filter covariance next
+    /// to the mean it was taken around.
+    pub fn weighted_moments<F: Fn(&S) -> [f64; 3]>(&self, f: F) -> ([f64; 3], [f64; 3]) {
+        let mut mean = [0.0f64; 3];
+        for (s, &w) in self.states.iter().zip(&self.weights) {
+            let v = f(s);
+            for (m, x) in mean.iter_mut().zip(v) {
+                *m += w * x;
+            }
+        }
+        let mut var = [0.0f64; 3];
+        for (s, &w) in self.states.iter().zip(&self.weights) {
+            let v = f(s);
+            for ((acc, x), m) in var.iter_mut().zip(v).zip(mean) {
+                let d = x - m;
+                *acc += w * d * d;
+            }
+        }
+        (mean, var)
+    }
+
     /// Weighted variance of a scalar function of the state.
     pub fn weighted_variance<F: Fn(&S) -> f64>(&self, f: F) -> f64 {
         let mean = self.weighted_mean(&f);
@@ -263,5 +290,32 @@ mod tests {
         // Bit-identical, not just approximately equal: the fused pass
         // accumulates the same sums in the same order.
         assert_eq!(trace, per_axis);
+    }
+
+    #[test]
+    fn moments_sum_is_bit_identical_to_covariance_trace() {
+        use navicim_math::rng::SampleExt;
+        let mut rng = Pcg32::seed_from_u64(77);
+        let states: Vec<[f64; 3]> = (0..150)
+            .map(|_| {
+                [
+                    rng.sample_normal(0.3, 0.9),
+                    rng.sample_normal(1.1, 0.4),
+                    rng.sample_normal(-0.7, 2.0),
+                ]
+            })
+            .collect();
+        let mut set = ParticleSet::from_states(states).unwrap();
+        let lls: Vec<f64> = (0..150).map(|i| -((i % 5) as f64) * 0.3).collect();
+        set.reweight_log(&lls).unwrap();
+        let (mean, var) = set.weighted_moments(|s| *s);
+        assert_eq!(
+            var[0] + var[1] + var[2],
+            set.weighted_covariance_trace(|s| *s)
+        );
+        for axis in 0..3 {
+            assert_eq!(mean[axis], set.weighted_mean(|s| s[axis]));
+            assert!(var[axis] > 0.0);
+        }
     }
 }

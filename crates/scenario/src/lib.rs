@@ -1,0 +1,71 @@
+//! Fault-injection scenario scripting for the localization pipeline —
+//! breaking the tracker on purpose.
+//!
+//! Every headline number upstream of this crate is measured on one
+//! clean synthetic flight regime. The paper's pitch, however, is
+//! autonomy under *unknown* conditions, so this crate provides the
+//! machinery to manufacture known-bad ones and grade the pipeline's
+//! response:
+//!
+//! - [`fault::ScenarioScript`] — a declarative schedule of timed
+//!   [`fault::FaultEvent`]s (kidnapped-robot teleports, sensor dropout
+//!   and stuck-value faults, adversarial offset/spoof injection,
+//!   low-texture stretches, 1k+-frame drift runs) over a
+//!   [`navicim_scene::dataset::LocalizationDataset`],
+//! - [`stream::ScenarioStream`] — the script applied as a wrapper over
+//!   the dataset's frame stream: a looping cursor turns a short orbit
+//!   into an arbitrarily long run, controls are always derived from the
+//!   *actually served* pose pairs, and depth faults mutate cloned
+//!   [`navicim_scene::camera::DepthImage`]s deterministically (per-frame
+//!   counter-seeded draws, so a scenario replays bit-identically),
+//! - [`stream::run_scenario`] / [`stream::ScenarioOutcome`] — drive a
+//!   [`navicim_core::pipeline::LocalizationPipeline`] through a script
+//!   and grade the result: detection delay per fault window, false
+//!   alarms outside them, post-recovery error re-convergence, NEES
+//!   consistency.
+//!
+//! The detection/response side under test lives in `navicim-core`
+//! (`LocalizationPipeline::with_safe_mode`) and `navicim-filter`
+//! (`FaultDetector` over the per-slot `InnovationTracker`); this crate
+//! deliberately only *injects* and *grades*.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fault;
+pub mod stream;
+
+pub use fault::{FaultEvent, FaultKind, ScenarioScript};
+pub use stream::{run_scenario, ScenarioFrame, ScenarioOutcome, ScenarioStream};
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for scenario construction and runs.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// An argument was outside its valid domain.
+    InvalidArgument(String),
+    /// The pipeline under test failed mid-scenario.
+    Core(navicim_core::CoreError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Self::Core(e) => write!(f, "pipeline error: {e}"),
+        }
+    }
+}
+
+impl Error for ScenarioError {}
+
+impl From<navicim_core::CoreError> for ScenarioError {
+    fn from(e: navicim_core::CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ScenarioError>;

@@ -167,6 +167,40 @@ impl Default for FleetConfig {
     }
 }
 
+/// One round's inputs: either a single `(control, depth, truth)` triple
+/// broadcast to every session, or one triple per agent (fault-injection
+/// sweeps, heterogeneous fleets). Internal — the round paths below are
+/// written against `get(idx)` and never know which shape they serve.
+enum RoundInputs<'a> {
+    Shared {
+        control: &'a Pose,
+        depth: &'a DepthImage,
+        truth: Pose,
+    },
+    PerAgent {
+        controls: &'a [Pose],
+        depths: &'a [DepthImage],
+        truths: &'a [Pose],
+    },
+}
+
+impl RoundInputs<'_> {
+    fn get(&self, idx: usize) -> (&Pose, &DepthImage, Pose) {
+        match self {
+            Self::Shared {
+                control,
+                depth,
+                truth,
+            } => (control, depth, *truth),
+            Self::PerAgent {
+                controls,
+                depths,
+                truths,
+            } => (&controls[idx], &depths[idx], truths[idx]),
+        }
+    }
+}
+
 /// Per-slot round scratch: the coalesced batch, its noise segments and
 /// the evaluation outputs, reused across rounds so the steady state
 /// allocates nothing.
@@ -327,21 +361,58 @@ impl Fleet {
         depth: &DepthImage,
         truth: Pose,
     ) -> Result<Vec<FrameReport>> {
+        self.step_inputs(&RoundInputs::Shared {
+            control,
+            depth,
+            truth,
+        })
+    }
+
+    /// Advances every session one frame on **per-agent** `(control,
+    /// depth, truth)` triples — agent `i` consumes `controls[i]`,
+    /// `depths[i]`, `truths[i]`. This is the fault-injection entry
+    /// point: a scenario sweep feeds faulted inputs to a subset of
+    /// agents while the rest fly clean, and the determinism contract
+    /// (bit-identity across coalescing on/off, worker count, and task
+    /// order) holds per agent exactly as for [`Fleet::step_round`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects input slices whose length differs from the agent count;
+    /// otherwise as [`Fleet::step_round`].
+    pub fn step_round_each(
+        &mut self,
+        controls: &[Pose],
+        depths: &[DepthImage],
+        truths: &[Pose],
+    ) -> Result<Vec<FrameReport>> {
+        let n = self.sessions.len();
+        if controls.len() != n || depths.len() != n || truths.len() != n {
+            return Err(ServeError::Unsupported(format!(
+                "per-agent round needs {n} controls/depths/truths, got {}/{}/{}",
+                controls.len(),
+                depths.len(),
+                truths.len()
+            )));
+        }
+        self.step_inputs(&RoundInputs::PerAgent {
+            controls,
+            depths,
+            truths,
+        })
+    }
+
+    fn step_inputs(&mut self, inputs: &RoundInputs<'_>) -> Result<Vec<FrameReport>> {
         if self.config.coalesce {
-            self.step_round_coalesced(control, depth, truth)
+            self.step_round_coalesced(inputs)
         } else {
-            self.step_round_independent(control, depth, truth)
+            self.step_round_independent(inputs)
         }
     }
 
     /// The baseline: every session runs its monolithic step, scheduled
     /// over the worker pool.
-    fn step_round_independent(
-        &mut self,
-        control: &Pose,
-        depth: &DepthImage,
-        truth: Pose,
-    ) -> Result<Vec<FrameReport>> {
+    fn step_round_independent(&mut self, inputs: &RoundInputs<'_>) -> Result<Vec<FrameReport>> {
         let t0 = Instant::now();
         let order = self.config.order.permutation(self.sessions.len());
         let mut tasks: Vec<Option<(usize, LocalizationPipeline)>> =
@@ -359,6 +430,7 @@ impl Fleet {
             })
             .collect();
         let done = run_tasks(self.config.workers, tasks, |_, (idx, mut session)| {
+            let (control, depth, truth) = inputs.get(idx);
             let report = session.step(control, depth, truth);
             (idx, session, report, t0.elapsed().as_nanos() as u64)
         });
@@ -396,12 +468,7 @@ impl Fleet {
     }
 
     /// The coalesced fast path: begin / merge-evaluate / finish.
-    fn step_round_coalesced(
-        &mut self,
-        control: &Pose,
-        depth: &DepthImage,
-        truth: Pose,
-    ) -> Result<Vec<FrameReport>> {
+    fn step_round_coalesced(&mut self, inputs: &RoundInputs<'_>) -> Result<Vec<FrameReport>> {
         let t0 = Instant::now();
         let n = self.sessions.len();
         let order = self.config.order.permutation(n);
@@ -422,6 +489,7 @@ impl Fleet {
             })
             .collect();
         let begun = run_tasks(self.config.workers, tasks, |_, (idx, mut session)| {
+            let (control, depth, _) = inputs.get(idx);
             let pending = session.begin_frame(control, depth);
             (idx, session, pending)
         });
@@ -522,6 +590,7 @@ impl Fleet {
             self.config.workers,
             tasks,
             |_, (idx, mut session, pending, lls, currents)| {
+                let (_, _, truth) = inputs.get(idx);
                 session
                     .backend_mut(pending.slot())
                     .absorb_served(lls.len(), currents);

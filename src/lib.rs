@@ -36,6 +36,7 @@ pub use navicim_filter as filter;
 pub use navicim_gmm as gmm;
 pub use navicim_math as math;
 pub use navicim_nn as nn;
+pub use navicim_scenario as scenario;
 pub use navicim_scene as scene;
 pub use navicim_serve as serve;
 pub use navicim_sram as sram;

@@ -1,0 +1,193 @@
+//! Property sweep over the fault-injection layer: scenario streams stay
+//! deterministic and schedule-faithful for arbitrary fault windows, and
+//! the safe-mode response holds its invariants across fault onset ×
+//! gate policy — including slot-switch-during-fault interleavings,
+//! where a gate migration lands mid-burst on a cold innovation tracker.
+
+use navicim::core::localization::LocalizerConfig;
+use navicim::core::pipeline::{
+    FaultDetectorConfig, GateConfig, HysteresisConfig, LocalizationPipeline, MultiSignalConfig,
+    NoiseInflation, SafeModeConfig, ANALOG_SLOT, DIGITAL_SLOT,
+};
+use navicim::core::registry::{CIM_HMGM, DIGITAL_GMM};
+use navicim::scenario::{FaultEvent, FaultKind, ScenarioScript, ScenarioStream};
+use navicim::scene::dataset::{LocalizationConfig, LocalizationDataset};
+use proptest::prelude::*;
+
+fn dataset() -> LocalizationDataset {
+    LocalizationDataset::generate(
+        &LocalizationConfig {
+            image_width: 24,
+            image_height: 18,
+            map_points: 600,
+            frames: 8,
+            ..LocalizationConfig::default()
+        },
+        7,
+    )
+    .expect("dataset generates")
+}
+
+/// The gate policies the safe-mode sweep interleaves with fault onset.
+/// Index 0 pins the analog slot (a stable innovation bus, so detection
+/// is guaranteed); 1 and 2 migrate between slots mid-run, exercising
+/// the cold-tracker and dwell interactions.
+fn gate_for(policy: usize) -> GateConfig {
+    match policy {
+        0 => GateConfig::always(vec![DIGITAL_GMM, CIM_HMGM], ANALOG_SLOT),
+        1 => GateConfig::gated(DIGITAL_GMM, CIM_HMGM).with_hysteresis(HysteresisConfig {
+            analog_enter: 0.10,
+            digital_enter: 0.14,
+            dwell: 2,
+            start: DIGITAL_SLOT,
+        }),
+        _ => GateConfig::multi_signal(
+            DIGITAL_GMM,
+            CIM_HMGM,
+            MultiSignalConfig {
+                spread: HysteresisConfig {
+                    analog_enter: 0.10,
+                    digital_enter: 0.14,
+                    dwell: 2,
+                    start: DIGITAL_SLOT,
+                },
+                innovation_wake: -5.0,
+                ess_wake: 0.02,
+            },
+        ),
+    }
+}
+
+fn armed_pipeline(ds: &LocalizationDataset, gate: GateConfig) -> LocalizationPipeline {
+    let config = LocalizerConfig {
+        num_particles: 120,
+        pixel_stride: 7,
+        components: 8,
+        init_spread: 0.1,
+        init_yaw_spread: 0.05,
+        gate,
+        seed: 3,
+        ..LocalizerConfig::default()
+    };
+    LocalizationPipeline::build(ds, config)
+        .expect("pipeline builds")
+        .with_safe_mode(SafeModeConfig {
+            // An order of magnitude above this regime's clean-flight
+            // CUSUM excursions; a blind frame reads ~-1000.
+            detector: FaultDetectorConfig {
+                drift: 4.0,
+                threshold: 60.0,
+                warmup: 2,
+            },
+            hold_frames: 2,
+            recovery_innovation: -1.0,
+        })
+        .expect("safe mode arms")
+        .with_noise_inflation(NoiseInflation::new(0.0, 1.0, 4.0).expect("valid inflation"))
+        .expect("inflation validates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any scheduled window and depth-fault kind, the stream's
+    /// per-frame fault flags match the schedule exactly, faulted depth
+    /// is mutated only inside the window, and two replays of the same
+    /// script are bit-identical.
+    #[test]
+    fn stream_is_schedule_faithful_and_replayable(
+        at_frame in 0usize..20,
+        duration in 1usize..5,
+        kind_pick in 0usize..4,
+        fraction in 0.2f64..1.0,
+    ) {
+        let kind = match kind_pick {
+            0 => FaultKind::Dropout { fraction },
+            1 => FaultKind::StuckValue { depth_m: 2.0 },
+            2 => FaultKind::Spoof { depth_m: 0.8, fraction },
+            _ => FaultKind::LowTexture,
+        };
+        let frames = at_frame + duration + 4;
+        let script = ScenarioScript::clean("sweep", frames).with_event(FaultEvent {
+            at_frame,
+            duration,
+            kind,
+        });
+        let ds = dataset();
+        let a: Vec<_> = ScenarioStream::new(&ds, &script).expect("stream").collect();
+        let b: Vec<_> = ScenarioStream::new(&ds, &script).expect("stream").collect();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), frames);
+        let clean: Vec<_> = ScenarioStream::new(&ds, &ScenarioScript::clean("c", frames))
+            .expect("stream")
+            .collect();
+        for (f, c) in a.iter().zip(&clean) {
+            prop_assert_eq!(f.fault_active, script.fault_active_at(f.frame));
+            prop_assert_eq!(f.control, c.control);
+            prop_assert_eq!(f.truth, c.truth);
+            if !f.fault_active {
+                prop_assert_eq!(&f.depth, &c.depth);
+            }
+        }
+    }
+}
+
+proptest! {
+    // Pipeline-heavy: each case is two ~20-frame localization runs.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Fault onset × gate policy: the armed pipeline never alarms
+    /// before the fault, every safe-mode frame is forced onto the
+    /// digital slot at the inflation ceiling, per-frame outputs stay
+    /// finite, and the whole faulted run is deterministic.
+    #[test]
+    fn safe_mode_invariants_across_onset_and_gate(
+        onset in 6usize..14,
+        policy in 0usize..3,
+    ) {
+        let ds = dataset();
+        let frames = onset + 10;
+        let script = ScenarioScript::clean("burst", frames).with_event(FaultEvent {
+            at_frame: onset,
+            duration: 3,
+            kind: FaultKind::Dropout { fraction: 1.0 },
+        });
+        let run = |()| -> Vec<_> {
+            let mut pipeline = armed_pipeline(&ds, gate_for(policy));
+            navicim::scenario::run_scenario(&mut pipeline, &ds, &script)
+                .expect("scenario runs")
+                .reports
+        };
+        let reports = run(());
+        let ceiling = 4.0;
+        for (t, r) in reports.iter().enumerate() {
+            // No false alarm on the clean prefix.
+            if t < onset {
+                prop_assert!(!r.fault_active, "false alarm at clean frame {t}");
+                prop_assert!(!r.safe_mode);
+            }
+            // The safe-mode override: digital slot, ceiling noise.
+            if r.safe_mode {
+                prop_assert_eq!(r.slot, DIGITAL_SLOT);
+                prop_assert_eq!(r.noise_scale, ceiling);
+            }
+            // Numeric invariants hold even on fully blind frames.
+            prop_assert!(r.summary.error.is_finite());
+            prop_assert!(r.summary.spread.is_finite());
+            prop_assert!(r.noise_scale.is_finite() && r.noise_scale >= 1.0);
+            prop_assert!(r.nees >= 0.0);
+        }
+        // A pinned-analog gate guarantees a warm innovation bus, so the
+        // blind burst must be caught there (migrating gates may
+        // legitimately miss it if a switch lands mid-burst on a cold
+        // tracker).
+        if policy == 0 {
+            prop_assert!(
+                reports[onset..].iter().any(|r| r.fault_active),
+                "pinned-analog run never detected the blind burst at {onset}"
+            );
+        }
+        // Bit-identical replay.
+        prop_assert_eq!(reports, run(()));
+    }
+}

@@ -8,8 +8,13 @@
 //! evaluation a pure re-partitioning of each session's solo work.
 
 use navicim::core::localization::LocalizerConfig;
-use navicim::core::pipeline::{FrameReport, GateConfig, HysteresisConfig, LocalizationPipeline};
+use navicim::core::pipeline::{
+    FaultDetectorConfig, FrameReport, GateConfig, HysteresisConfig, LocalizationPipeline,
+    SafeModeConfig,
+};
 use navicim::core::registry::{CIM_HMGM, DIGITAL_GMM};
+use navicim::math::geom::Pose;
+use navicim::scene::camera::DepthImage;
 use navicim::scene::dataset::{LocalizationConfig, LocalizationDataset};
 use navicim::serve::{Fleet, FleetConfig, TaskOrder};
 
@@ -122,6 +127,164 @@ fn coalesced_sessions_commit_solo_backend_stats() {
             );
         }
     }
+}
+
+const SWEEP_FRAMES: usize = 16;
+const FAULT_WINDOW: std::ops::Range<usize> = 8..11;
+
+/// A clean wrap-consistent frame stream for the sweep: the scenario
+/// layer's looping cursor gives more rounds than the dataset has frames
+/// without the odometry discontinuity a naive replay would inject.
+fn sweep_frames(ds: &LocalizationDataset) -> Vec<navicim::scenario::ScenarioFrame> {
+    let script = navicim::scenario::ScenarioScript::clean("fleet-sweep", SWEEP_FRAMES);
+    navicim::scenario::ScenarioStream::new(ds, &script)
+        .expect("stream builds")
+        .collect()
+}
+
+/// Drives a fleet through the clean stream with per-agent inputs:
+/// `faulted` agents receive a fully blind depth image on the frames in
+/// [`FAULT_WINDOW`], everyone else flies clean.
+fn run_faulted_sweep(
+    prototype: &LocalizationPipeline,
+    ds: &LocalizationDataset,
+    config: FleetConfig,
+    faulted: &[usize],
+) -> Vec<Vec<FrameReport>> {
+    let blind = DepthImage::new(ds.frames[0].depth.width(), ds.frames[0].depth.height());
+    let mut fleet = Fleet::new(prototype, AGENTS, SEED_BASE, config).expect("fleet builds");
+    let mut per_agent: Vec<Vec<FrameReport>> = (0..AGENTS).map(|_| Vec::new()).collect();
+    for f in sweep_frames(ds) {
+        let depths: Vec<DepthImage> = (0..AGENTS)
+            .map(|i| {
+                if faulted.contains(&i) && FAULT_WINDOW.contains(&f.frame) {
+                    blind.clone()
+                } else {
+                    f.depth.clone()
+                }
+            })
+            .collect();
+        let controls_each: Vec<Pose> = vec![f.control; AGENTS];
+        let truths: Vec<Pose> = vec![f.truth; AGENTS];
+        let reports = fleet
+            .step_round_each(&controls_each, &depths, &truths)
+            .expect("per-agent round succeeds");
+        for (i, r) in reports.into_iter().enumerate() {
+            per_agent[i].push(r);
+        }
+    }
+    per_agent
+}
+
+/// The parity baseline: one agent's solo replay of the same sweep.
+fn solo_sweep(
+    prototype: &LocalizationPipeline,
+    ds: &LocalizationDataset,
+    agent: usize,
+    faulted: bool,
+) -> Vec<FrameReport> {
+    let blind = DepthImage::new(ds.frames[0].depth.width(), ds.frames[0].depth.height());
+    let mut session = prototype
+        .fork_session(SEED_BASE + agent as u64)
+        .expect("fork succeeds");
+    sweep_frames(ds)
+        .into_iter()
+        .map(|f| {
+            let depth = if faulted && FAULT_WINDOW.contains(&f.frame) {
+                &blind
+            } else {
+                &f.depth
+            };
+            session
+                .step(&f.control, depth, f.truth)
+                .expect("solo step succeeds")
+        })
+        .collect()
+}
+
+#[test]
+fn per_agent_faults_stay_isolated_in_coalesced_rounds() {
+    let ds = dataset();
+    let prototype = LocalizationPipeline::build(&ds, config())
+        .expect("prototype builds")
+        .with_safe_mode(SafeModeConfig {
+            // Tuned above the clean-flight wobble on this tiny config:
+            // slot-migration transients legitimately swing the
+            // innovation by ~±20, while a blind frame reads ~-1000.
+            detector: FaultDetectorConfig {
+                drift: 4.0,
+                threshold: 50.0,
+                warmup: 2,
+            },
+            hold_frames: 2,
+            recovery_innovation: -1.0,
+        })
+        .expect("safe mode arms");
+    const FAULTED: usize = 1;
+    let fleet_reports = run_faulted_sweep(&prototype, &ds, FleetConfig::default(), &[FAULTED]);
+
+    // The faulted agent noticed: its detector latched and safe mode
+    // engaged. Its neighbors never did.
+    assert!(
+        fleet_reports[FAULTED].iter().any(|r| r.safe_mode),
+        "faulted agent never entered safe mode"
+    );
+    for (i, reports) in fleet_reports.iter().enumerate() {
+        if i != FAULTED {
+            assert!(
+                reports.iter().all(|r| !r.fault_active && !r.safe_mode),
+                "clean agent {i} raised a fault alarm"
+            );
+        }
+    }
+
+    // Isolation: every agent — including the faulted one — is
+    // bit-identical to its solo replay of the same per-agent inputs; a
+    // neighbor's fault leaks nothing through the coalesced mega-batch.
+    for i in 0..AGENTS {
+        let solo = solo_sweep(&prototype, &ds, i, i == FAULTED);
+        assert_eq!(fleet_reports[i], solo, "agent {i} diverged from solo");
+    }
+
+    // And the per-agent path keeps the full determinism contract: the
+    // same faulted sweep is bit-identical across coalescing, worker
+    // count, and feeding order.
+    for (workers, coalesce, order) in [
+        (1, false, TaskOrder::Forward),
+        (2, true, TaskOrder::Reverse),
+        (4, false, TaskOrder::Shuffled(42)),
+    ] {
+        let again = run_faulted_sweep(
+            &prototype,
+            &ds,
+            FleetConfig {
+                workers,
+                coalesce,
+                order,
+            },
+            &[FAULTED],
+        );
+        assert_eq!(
+            again, fleet_reports,
+            "faulted sweep diverged (workers={workers}, coalesce={coalesce}, order={order:?})"
+        );
+    }
+}
+
+#[test]
+fn step_round_each_rejects_mismatched_input_lengths() {
+    let ds = dataset();
+    let prototype = LocalizationPipeline::build(&ds, config()).expect("prototype builds");
+    let mut fleet =
+        Fleet::new(&prototype, AGENTS, SEED_BASE, FleetConfig::default()).expect("fleet builds");
+    let controls = ds.control_deltas();
+    let short_controls = vec![controls[0]; AGENTS - 1];
+    let depths = vec![ds.frames[1].depth.clone(); AGENTS];
+    let truths = vec![ds.frames[1].pose; AGENTS];
+    let err = fleet
+        .step_round_each(&short_controls, &depths, &truths)
+        .expect_err("length mismatch must be rejected");
+    assert!(err.to_string().contains("per-agent round"));
 }
 
 #[test]
