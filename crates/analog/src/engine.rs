@@ -31,8 +31,31 @@ use navicim_device::noise::{NoiseModel, NoiseStream};
 use navicim_device::params::TechParams;
 use navicim_device::variation::ProcessVariation;
 use navicim_gmm::hmg::HmgmModel;
+use navicim_gmm::prune::{PruneConfig, PruneIndex, PruneScratch, PRUNE_TILE};
 use navicim_math::rng::Pcg32;
 use navicim_math::simd::{F64x4, LANES};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Device slack (nats) in the CIM column-gating margin, which totals
+/// `ln K +` this value (see
+/// [`PruneIndex::for_hmg_parts_with_margin`]).
+///
+/// The index bounds the *mathematical* replica-weighted HMG mixture, but
+/// the array evaluates its device realization — process variation,
+/// DAC/ADC quantization and inverter-bell shape mismatch all perturb
+/// per-column contributions. The log-ADC resolves ~0.08-nat steps, so a
+/// column is visible only when its relative contribution reaches ~4%;
+/// with this slack the summed dropped columns stay below `e⁻¹² ≈ 6·10⁻⁶`
+/// relative, leaving ~3 decades of head-room for device-induced swing
+/// while still gating on device-constrained sigma floors (the minimum
+/// programmable kernel width is a fixed fraction of the map span, so
+/// margins in the digital `ln(K/ε)` regime would rarely gate anything).
+/// One residual: gated far columns stop conducting their leakage-level
+/// currents, so deep-tail evaluations — where the total current is
+/// itself near the leakage floor — may shift by an ADC step;
+/// likelihoods there are floor-dominated noise either way. Gating
+/// defaults off.
+pub const CIM_PRUNE_SLACK_NATS: f64 = 12.0;
 
 /// Configuration of a CIM likelihood engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,6 +102,13 @@ pub struct EngineStats {
     /// Sum of total array currents over all evaluations, in amperes
     /// (divide by `evaluations` for the average conduction current).
     pub current_sum: f64,
+    /// Analog column activations actually driven. Column gating skips
+    /// the DAC→array drive of pruned columns, so this falls below
+    /// [`Self::column_slots`] exactly by the skipped activations.
+    pub column_activations: u64,
+    /// Column activation slots offered (evaluations × array columns);
+    /// equals [`Self::column_activations`] whenever gating is off.
+    pub column_slots: u64,
 }
 
 impl EngineStats {
@@ -88,6 +118,17 @@ impl EngineStats {
             0.0
         } else {
             self.current_sum / self.evaluations as f64
+        }
+    }
+
+    /// Fraction of offered column slots actually driven — the factor the
+    /// energy model scales per-evaluation DAC drive energy by. `1.0`
+    /// when no slots were offered (ungated or idle engines).
+    pub fn active_column_fraction(&self) -> f64 {
+        if self.column_slots == 0 {
+            1.0
+        } else {
+            self.column_activations as f64 / self.column_slots as f64
         }
     }
 }
@@ -174,6 +215,48 @@ impl CodeLut {
         i_total
     }
 
+    /// Total current over a gated column subset (`cols` ascending), one
+    /// point. Per-column math and iteration order match
+    /// [`Self::total_current`] exactly, so the full-set subset
+    /// reproduces it bit for bit.
+    fn total_current_cols(&self, codes: &[usize], cols: &[u32]) -> f64 {
+        let mut i_total = 0.0;
+        for &j in cols {
+            let col = j as usize * self.dim * self.levels;
+            let mut inv_sum = 0.0;
+            for (axis, &code) in codes.iter().enumerate() {
+                inv_sum += self.recips[col + axis * self.levels + code];
+            }
+            i_total += self.replicas[j as usize] * (1.0 / inv_sum);
+        }
+        i_total
+    }
+
+    /// Gated-subset counterpart of [`Self::total_current4`]: four points,
+    /// columns restricted to `cols`, each lane bit-identical to the
+    /// scalar [`Self::total_current_cols`].
+    fn total_current4_cols(&self, codes: &[usize], cols: &[u32]) -> [f64; LANES] {
+        debug_assert_eq!(codes.len(), LANES * self.dim);
+        let mut i_total = F64x4::splat(0.0);
+        for &j in cols {
+            let col = j as usize * self.dim * self.levels;
+            let mut inv_sum = F64x4::splat(0.0);
+            for axis in 0..self.dim {
+                let strip = col + axis * self.levels;
+                let g = F64x4::new([
+                    self.recips[strip + codes[axis]],
+                    self.recips[strip + codes[self.dim + axis]],
+                    self.recips[strip + codes[2 * self.dim + axis]],
+                    self.recips[strip + codes[3 * self.dim + axis]],
+                ]);
+                inv_sum = inv_sum + g;
+            }
+            i_total =
+                i_total + F64x4::splat(self.replicas[j as usize]) * (F64x4::splat(1.0) / inv_sum);
+        }
+        i_total.to_array()
+    }
+
     /// Total array currents for four points at once (`codes[p·dim + axis]`)
     /// through explicit f64 lanes.
     ///
@@ -221,6 +304,24 @@ pub struct NoiseSegment {
 pub struct EvalScratch {
     voltages: Vec<f64>,
     codes: Vec<usize>,
+    prune: PruneScratch,
+}
+
+/// Column-gating state compiled alongside the fabric: the spatial index
+/// over the *programmed* columns plus the query conditioning that maps
+/// tile AABBs onto what the DACs actually evaluate.
+#[derive(Debug, Clone)]
+struct CimPrune {
+    /// Culling index over the column centers, weighted by replica counts
+    /// (the factors the array multiplies by), at a `ln K +`
+    /// [`CIM_PRUNE_SLACK_NATS`] total margin.
+    index: PruneIndex,
+    /// Per-axis world ranges of the space map — the window the DAC input
+    /// clamp folds every query into before conversion.
+    ranges: Vec<(f64, f64)>,
+    /// Per-axis pad of one DAC step in world units, absorbing input
+    /// quantization after the clamp.
+    pad: Vec<f64>,
 }
 
 /// The immutable compiled CIM fabric: fabricated array, converters, the
@@ -244,6 +345,11 @@ pub struct CimCompute {
     /// device-model path (see [`HmgmCimEngine::with_direct_eval`]). Both
     /// paths produce bit-identical outputs.
     lut: Option<CodeLut>,
+    /// Column gating (see [`HmgmCimEngine::build_with_pruning`]); `None`
+    /// drives every column. Gating applies only on the LUT path — the
+    /// direct device-model path always evaluates the full array, serving
+    /// as the physical reference the gate approximates.
+    prune: Option<CimPrune>,
     /// Seed every session's evaluation [`NoiseStream`] starts from
     /// (`config.seed ^ NOISE_STREAM_SALT`).
     noise_seed: u64,
@@ -300,6 +406,37 @@ impl CimCompute {
         policy: par::ChunkPolicy,
         scratch: &mut EvalScratch,
     ) {
+        self.eval_segments_counted(batch, segments, out, currents, policy, scratch, None);
+    }
+
+    /// [`Self::eval_segments`] that additionally reports per-segment
+    /// column activations into `seg_activations` (same length as
+    /// `segments`), so each owning session can price its gated DAC drive
+    /// (see [`HmgmCimEngine::absorb_served_evals_gated`]). Without
+    /// gating every segment reports `len × columns`.
+    ///
+    /// Column gating, when compiled in ([`HmgmCimEngine::build_with_pruning`])
+    /// and on the LUT path, works in fixed tiles of [`PRUNE_TILE`]
+    /// consecutive points anchored at each segment's start: the tile's
+    /// clamped+padded AABB is intersected with the culling index and only
+    /// surviving columns are driven. Anchoring at segment starts makes
+    /// the gating decisions — and therefore the output bits — invariant
+    /// under chunk policy *and* under coalescing (a segment's points see
+    /// the same tiles whether served solo or inside a mega-batch), while
+    /// noise draws stay tied to per-session absolute indices as always.
+    /// A tile containing any non-finite coordinate falls back to the
+    /// full column set, bit-identical to the ungated path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn eval_segments_counted(
+        &self,
+        batch: &PointBatch,
+        segments: &[NoiseSegment],
+        out: &mut [f64],
+        currents: &mut [f64],
+        policy: par::ChunkPolicy,
+        scratch: &mut EvalScratch,
+        seg_activations: Option<&mut [u64]>,
+    ) {
         check_batch_shape(self.map.dim(), batch, out);
         assert_eq!(
             out.len(),
@@ -308,6 +445,9 @@ impl CimCompute {
         );
         let n = batch.len();
         if n == 0 {
+            if let Some(acts_out) = seg_activations {
+                acts_out.fill(0);
+            }
             return;
         }
         assert!(
@@ -393,6 +533,115 @@ impl CimCompute {
                 *c = dac.code_for(axis.to_voltage(x)) as usize;
             }
         };
+        if let (Some(gate), Some(lut)) = (self.prune.as_ref(), lut) {
+            // Column-gated LUT path. Tiles anchor at segment starts (see
+            // the method docs); pieces are chunk ∩ segment ∩ tile, each
+            // evaluated over the full tile's survivor set so chunk and
+            // segment geometry never leak into the gating decision.
+            // Activations are counted per segment through atomics because
+            // one segment's tiles may land in concurrently-running
+            // chunks; the sums are exact u64 counts, so the tally is
+            // deterministic regardless of interleaving.
+            let k_cols = self.array.num_columns() as u64;
+            let acts: Vec<AtomicU64> = segments.iter().map(|_| AtomicU64::new(0)).collect();
+            let seg_end_of = |si: usize| segments.get(si + 1).map_or(n, |s| s.start);
+            let run_range_gated = |start: usize,
+                                   out_chunk: &mut [f64],
+                                   cur_chunk: &mut [f64],
+                                   codes: &mut [usize],
+                                   pscratch: &mut PruneScratch| {
+                let mut cursor = cursor_at(start);
+                let end = start + out_chunk.len();
+                let mut si = segments.partition_point(|s| s.start <= start) - 1;
+                let mut pos = start;
+                while pos < end {
+                    let seg_start = segments[si].start;
+                    let seg_end = seg_end_of(si);
+                    let tile_lo = seg_start + ((pos - seg_start) / PRUNE_TILE) * PRUNE_TILE;
+                    let tile_hi = (tile_lo + PRUNE_TILE).min(seg_end);
+                    let piece_end = end.min(tile_hi);
+                    let cands = gate.index.candidates_for_points_clamped(
+                        batch.flat_range(tile_lo, tile_hi),
+                        &gate.pad,
+                        &gate.ranges,
+                        pscratch,
+                    );
+                    let piece = (piece_end - pos) as u64;
+                    let mut i = pos;
+                    match cands {
+                        Some(cols) => {
+                            acts[si].fetch_add(piece * cols.len() as u64, Ordering::Relaxed);
+                            while i + LANES <= piece_end {
+                                for p in 0..LANES {
+                                    codes_for(i + p, p, codes);
+                                }
+                                let totals = lut.total_current4_cols(codes, cols);
+                                for (p, &i_total) in totals.iter().enumerate() {
+                                    let (o, cur) = finish(&mut cursor, i + p, i_total);
+                                    out_chunk[i + p - start] = o;
+                                    cur_chunk[i + p - start] = cur;
+                                }
+                                i += LANES;
+                            }
+                            for idx in i..piece_end {
+                                codes_for(idx, 0, codes);
+                                let (o, cur) = finish(
+                                    &mut cursor,
+                                    idx,
+                                    lut.total_current_cols(&codes[..dim], cols),
+                                );
+                                out_chunk[idx - start] = o;
+                                cur_chunk[idx - start] = cur;
+                            }
+                        }
+                        None => {
+                            // Non-finite tile: full-array evaluation,
+                            // bit-identical to the ungated path.
+                            acts[si].fetch_add(piece * k_cols, Ordering::Relaxed);
+                            while i + LANES <= piece_end {
+                                for p in 0..LANES {
+                                    codes_for(i + p, p, codes);
+                                }
+                                let totals = lut.total_current4(codes);
+                                for (p, &i_total) in totals.iter().enumerate() {
+                                    let (o, cur) = finish(&mut cursor, i + p, i_total);
+                                    out_chunk[i + p - start] = o;
+                                    cur_chunk[i + p - start] = cur;
+                                }
+                                i += LANES;
+                            }
+                            for idx in i..piece_end {
+                                codes_for(idx, 0, codes);
+                                let (o, cur) =
+                                    finish(&mut cursor, idx, lut.total_current(&codes[..dim]));
+                                out_chunk[idx - start] = o;
+                                cur_chunk[idx - start] = cur;
+                            }
+                        }
+                    }
+                    pos = piece_end;
+                    if pos >= seg_end {
+                        si += 1;
+                    }
+                }
+            };
+            if policy.is_single_chunk(n) {
+                run_range_gated(0, out, currents, &mut scratch.codes, &mut scratch.prune);
+            } else {
+                par::zip_chunks_policy(policy, out, currents, |start, out_chunk, cur_chunk| {
+                    let mut codes = vec![0usize; LANES * dim];
+                    let mut pscratch = PruneScratch::default();
+                    run_range_gated(start, out_chunk, cur_chunk, &mut codes, &mut pscratch);
+                });
+            }
+            if let Some(acts_out) = seg_activations {
+                assert_eq!(acts_out.len(), segments.len(), "seg_activations length");
+                for (o, a) in acts_out.iter_mut().zip(&acts) {
+                    *o = a.load(Ordering::Relaxed);
+                }
+            }
+            return;
+        }
         // One chunk of evaluations. The 4-wide LUT body is the
         // vectorization seam: grouping is per-chunk-internal and the
         // lane math is per-point identical to the scalar/direct path,
@@ -448,6 +697,16 @@ impl CimCompute {
                 let mut codes = vec![0usize; LANES * dim];
                 run_range(start, out_chunk, cur_chunk, &mut voltages, &mut codes);
             });
+        }
+        if let Some(acts_out) = seg_activations {
+            // Ungated (or direct-path): every evaluation drives every
+            // column.
+            assert_eq!(acts_out.len(), segments.len(), "seg_activations length");
+            let k_cols = self.array.num_columns() as u64;
+            for (si, o) in acts_out.iter_mut().enumerate() {
+                let seg_len = segments.get(si + 1).map_or(n, |s| s.start) - segments[si].start;
+                *o = seg_len as u64 * k_cols;
+            }
         }
     }
 }
@@ -555,6 +814,7 @@ impl HmgmCimEngine {
                 noise: NoiseModel::room_temperature(config.noise_bandwidth),
                 tech,
                 lut,
+                prune: None,
                 noise_seed,
             }),
             noise_stream: NoiseStream::new(noise_seed),
@@ -562,6 +822,57 @@ impl HmgmCimEngine {
             currents: Vec::new(),
             scratch: EvalScratch::default(),
         })
+    }
+
+    /// As [`Self::build`], compiling a column-gating index alongside the
+    /// fabric when `prune` is enabled.
+    ///
+    /// The index is built over the *programmed* columns — kernel
+    /// geometry from the model, weights replaced by the replica counts
+    /// the array actually multiplies by — at a `ln K +`
+    /// [`CIM_PRUNE_SLACK_NATS`] total margin tuned to log-ADC visibility
+    /// rather than the digital gate. At evaluation time (LUT path only),
+    /// tiles of
+    /// [`PRUNE_TILE`] points are intersected with the index after
+    /// clamping their AABB to each axis's world range (mirroring the DAC
+    /// input clamp) and padding by one DAC step (absorbing input
+    /// quantization); gated columns are simply not driven, and the
+    /// skipped activations are reported through [`EngineStats`] for
+    /// energy pricing. With `prune` disabled this is exactly
+    /// [`Self::build`].
+    pub fn build_with_pruning(
+        model: &HmgmModel,
+        map: SpaceMap,
+        config: CimEngineConfig,
+        prune: PruneConfig,
+    ) -> Result<Self> {
+        let mut engine = Self::build(model, map, config)?;
+        if prune.enabled {
+            let compute = Arc::make_mut(&mut engine.compute);
+            let replica_weights: Vec<f64> = compute
+                .array
+                .columns()
+                .iter()
+                .map(|c| c.replicas() as f64)
+                .collect();
+            if let Some(index) = PruneIndex::for_hmg_parts_with_margin(
+                &replica_weights,
+                model.kernels(),
+                prune,
+                (model.num_components() as f64).ln() + CIM_PRUNE_SLACK_NATS,
+            ) {
+                let ranges = compute.map.axes().iter().map(|a| a.world_range()).collect();
+                let pad = compute
+                    .map
+                    .axes()
+                    .iter()
+                    .zip(&compute.dacs)
+                    .map(|(a, d)| a.sigma_to_world(d.lsb()))
+                    .collect();
+                compute.prune = Some(CimPrune { index, ranges, pad });
+            }
+        }
+        Ok(engine)
     }
 
     /// Disables the per-code current table, forcing every evaluation
@@ -623,6 +934,30 @@ impl HmgmCimEngine {
             .eval_segments(batch, segments, out, currents, policy, &mut self.scratch);
     }
 
+    /// [`Self::serve_segments`] that also reports per-segment column
+    /// activations (see [`CimCompute::eval_segments_counted`]), so each
+    /// owning session can commit its slice through
+    /// [`Self::absorb_served_evals_gated`].
+    pub fn serve_segments_counted(
+        &mut self,
+        batch: &PointBatch,
+        segments: &[NoiseSegment],
+        out: &mut [f64],
+        currents: &mut [f64],
+        policy: par::ChunkPolicy,
+        seg_activations: &mut [u64],
+    ) {
+        self.compute.eval_segments_counted(
+            batch,
+            segments,
+            out,
+            currents,
+            policy,
+            &mut self.scratch,
+            Some(seg_activations),
+        );
+    }
+
     /// Commits `currents.len()` externally served evaluations (this
     /// session's slice of a coalesced batch) into the session state:
     /// advances the noise cursor past the served range and folds the
@@ -631,6 +966,16 @@ impl HmgmCimEngine {
     /// evaluating the same points itself, so a served session's state
     /// stays bit-identical to a solo run.
     pub fn absorb_served_evals(&mut self, currents: &[f64]) {
+        let slots = currents.len() as u64 * self.compute.array.num_columns() as u64;
+        self.absorb_served_evals_gated(currents, slots);
+    }
+
+    /// [`Self::absorb_served_evals`] with an explicit column-activation
+    /// count for the served range (from
+    /// [`Self::serve_segments_counted`]), so gated sessions price only
+    /// the columns actually driven. `absorb_served_evals` is the
+    /// all-columns special case.
+    pub fn absorb_served_evals_gated(&mut self, currents: &[f64], column_activations: u64) {
         let n = currents.len();
         self.noise_stream.advance(n as u64);
         // Index-order merge: the same left-to-right association scalar
@@ -641,6 +986,8 @@ impl HmgmCimEngine {
         self.stats.evaluations += n as u64;
         self.stats.dac_conversions += (n * self.compute.dacs.len()) as u64;
         self.stats.adc_conversions += n as u64;
+        self.stats.column_slots += n as u64 * self.compute.array.num_columns() as u64;
+        self.stats.column_activations += column_activations;
     }
 
     /// Per-axis `(floors, ceilings)` in *world* units for a given map —
@@ -749,15 +1096,17 @@ impl HmgmCimEngine {
             start: 0,
             stream: self.noise_stream,
         }];
-        self.compute.eval_segments(
+        let mut seg_acts = [0u64];
+        self.compute.eval_segments_counted(
             batch,
             &segments,
             out,
             &mut currents,
             policy,
             &mut self.scratch,
+            Some(&mut seg_acts),
         );
-        self.absorb_served_evals(&currents);
+        self.absorb_served_evals_gated(&currents, seg_acts[0]);
         self.currents = currents;
     }
 
@@ -1028,6 +1377,220 @@ mod tests {
             );
             assert_eq!(fast.stats(), direct.stats(), "n = {n}");
         }
+    }
+
+    /// Many well-separated kernels on the test map, so a tight particle
+    /// cloud's tile AABB excludes most columns by a wide margin.
+    fn spread_model(map: &SpaceMap, k: usize) -> HmgmModel {
+        let tech = TechParams::cmos_45nm();
+        let (floor, _ceil) = HmgmCimEngine::recommended_sigma_bounds(&tech, map);
+        let sigma = floor;
+        let mut rng = Pcg32::seed_from_u64(41);
+        let mut kernels = Vec::new();
+        let mut weights = Vec::new();
+        for _ in 0..k {
+            let mean = vec![
+                rng.sample_uniform(-0.95, 0.95),
+                rng.sample_uniform(-0.95, 0.95),
+                rng.sample_uniform(-0.95, 0.95),
+            ];
+            kernels.push(HmgKernel::new(mean, vec![sigma; 3], 1.0).unwrap());
+            weights.push(rng.sample_uniform(0.2, 1.0));
+        }
+        HmgmModel::new(weights, kernels).unwrap()
+    }
+
+    fn clustered_batch(center: &[f64], n: usize, spread: f64, seed: u64) -> PointBatch {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let mut batch = PointBatch::new(center.len());
+        let mut p = vec![0.0; center.len()];
+        for _ in 0..n {
+            for (v, &c) in p.iter_mut().zip(center) {
+                *v = rng.sample_normal(c, spread);
+            }
+            batch.push(&p);
+        }
+        batch
+    }
+
+    #[test]
+    fn prune_off_build_is_the_plain_build() {
+        let map = test_map();
+        let model = test_model(&map);
+        let config = CimEngineConfig::default();
+        let mut plain = HmgmCimEngine::build(&model, map.clone(), config).unwrap();
+        let mut off =
+            HmgmCimEngine::build_with_pruning(&model, map, config, PruneConfig::default()).unwrap();
+        assert!(off.compute.prune.is_none());
+        let batch = clustered_batch(&[-0.5, 0.0, 0.2], 40, 0.1, 50);
+        assert_eq!(
+            plain.log_likelihood_batch(&batch),
+            off.log_likelihood_batch(&batch)
+        );
+        assert_eq!(plain.stats(), off.stats());
+        assert_eq!(plain.stats().column_activations, 40 * 2);
+        assert_eq!(plain.stats().column_slots, 40 * 2);
+    }
+
+    #[test]
+    fn gated_with_all_columns_surviving_is_bit_identical() {
+        // Two near kernels and a huge margin: nothing ever prunes, so the
+        // gated engine must reproduce the ungated one bit for bit —
+        // outputs, noise consumption and stats.
+        let map = test_map();
+        let model = test_model(&map);
+        let config = CimEngineConfig::default();
+        let mut plain = HmgmCimEngine::build(&model, map.clone(), config).unwrap();
+        let mut gated =
+            HmgmCimEngine::build_with_pruning(&model, map, config, PruneConfig::enabled()).unwrap();
+        assert!(gated.compute.prune.is_some());
+        let mut rng = Pcg32::seed_from_u64(51);
+        let mut batch = PointBatch::new(3);
+        for _ in 0..300 {
+            batch.push(&[
+                rng.sample_uniform(-1.0, 1.0),
+                rng.sample_uniform(-1.0, 1.0),
+                rng.sample_uniform(-1.0, 1.0),
+            ]);
+        }
+        assert_eq!(
+            plain.log_likelihood_batch(&batch),
+            gated.log_likelihood_batch(&batch)
+        );
+        assert_eq!(plain.stats(), gated.stats());
+        assert_eq!(gated.stats().column_activations, 300 * 2);
+    }
+
+    #[test]
+    fn gating_drops_columns_and_stays_accurate() {
+        let map = test_map();
+        let model = spread_model(&map, 24);
+        let config = CimEngineConfig::default();
+        let mut plain = HmgmCimEngine::build(&model, map.clone(), config).unwrap();
+        let mut gated =
+            HmgmCimEngine::build_with_pruning(&model, map, config, PruneConfig::enabled()).unwrap();
+        // Tight cloud around one kernel center: far columns gate out.
+        let center = model.kernels()[0].means().to_vec();
+        let batch = clustered_batch(&center, 200, 0.01, 52);
+        let full = plain.log_likelihood_batch(&batch);
+        let pruned = gated.log_likelihood_batch(&batch);
+        let slots = gated.stats().column_slots;
+        let acts = gated.stats().column_activations;
+        assert_eq!(slots, 200 * 24);
+        assert!(acts < slots, "expected gating: {acts} of {slots} slots");
+        assert!(acts >= 200, "survivor set is never empty");
+        // Near a peak the gated current differs from the full current by
+        // far less than one log-ADC step, so outputs agree to within a
+        // single code boundary flip.
+        let step = gated.adc().log_lsb();
+        for (i, (p, f)) in pruned.iter().zip(&full).enumerate() {
+            assert!(
+                (p - f).abs() <= step * 1.5 + 1e-12,
+                "point {i}: gated {p} vs full {f} (step {step})"
+            );
+        }
+        // Ungated counters are untouched by gating.
+        assert_eq!(plain.stats().evaluations, gated.stats().evaluations);
+        assert_eq!(plain.stats().dac_conversions, gated.stats().dac_conversions);
+    }
+
+    #[test]
+    fn gated_outputs_are_chunking_invariant() {
+        let map = test_map();
+        let model = spread_model(&map, 24);
+        let config = CimEngineConfig::default();
+        let prune = PruneConfig::enabled();
+        let center = model.kernels()[0].means().to_vec();
+        let mut batch = clustered_batch(&center, 300, 0.01, 53);
+        // A few far outliers so tiles mix survivor sets.
+        let mut rng = Pcg32::seed_from_u64(54);
+        for _ in 0..17 {
+            batch.push(&[
+                rng.sample_uniform(-1.0, 1.0),
+                rng.sample_uniform(-1.0, 1.0),
+                rng.sample_uniform(-1.0, 1.0),
+            ]);
+        }
+        let mut reference =
+            HmgmCimEngine::build_with_pruning(&model, map.clone(), config, prune).unwrap();
+        let mut expected = vec![0.0; batch.len()];
+        reference.log_likelihood_into(&batch, &mut expected);
+        for chunk_len in [1usize, 7, 64, batch.len()] {
+            for workers in [1usize, 2, 4] {
+                let mut engine =
+                    HmgmCimEngine::build_with_pruning(&model, map.clone(), config, prune).unwrap();
+                let mut out = vec![0.0; batch.len()];
+                engine.log_likelihood_into_chunked(
+                    &batch,
+                    &mut out,
+                    par::ChunkPolicy::exact(chunk_len, workers),
+                );
+                assert_eq!(out, expected, "chunk {chunk_len}, workers {workers}");
+                assert_eq!(engine.stats(), reference.stats());
+            }
+        }
+    }
+
+    #[test]
+    fn gated_coalesced_segments_match_solo_sessions() {
+        // Noise-index invariance under gating: a coalesced two-session
+        // mega-batch reproduces each session's solo gated run bit for
+        // bit — tiles anchor at segment starts and noise draws address
+        // per-session absolute indices, so neither coalescing nor gating
+        // perturbs the other.
+        let map = test_map();
+        let model = spread_model(&map, 24);
+        let config = CimEngineConfig::default();
+        let root =
+            HmgmCimEngine::build_with_pruning(&model, map, config, PruneConfig::enabled()).unwrap();
+        let c0 = model.kernels()[0].means().to_vec();
+        let c1 = model.kernels()[1].means().to_vec();
+        let a = clustered_batch(&c0, 300, 0.01, 55);
+        let b = clustered_batch(&c1, 277, 0.01, 56);
+        // Solo runs on fresh sessions.
+        let mut solo_a = root.fork_session();
+        let mut solo_b = root.fork_session();
+        let want_a = solo_a.log_likelihood_batch(&a);
+        let want_b = solo_b.log_likelihood_batch(&b);
+        // Coalesced run: one mega-batch, two noise segments.
+        let mut sess_a = root.fork_session();
+        let mut sess_b = root.fork_session();
+        let mut evaluator = root.fork_session();
+        let mut mega = PointBatch::new(3);
+        for p in a.iter() {
+            mega.push(p);
+        }
+        for p in b.iter() {
+            mega.push(p);
+        }
+        let segments = [
+            NoiseSegment {
+                start: 0,
+                stream: sess_a.noise_stream(),
+            },
+            NoiseSegment {
+                start: a.len(),
+                stream: sess_b.noise_stream(),
+            },
+        ];
+        let mut out = vec![0.0; mega.len()];
+        let mut currents = vec![0.0; mega.len()];
+        let mut acts = [0u64; 2];
+        evaluator.serve_segments_counted(
+            &mega,
+            &segments,
+            &mut out,
+            &mut currents,
+            par::ChunkPolicy::exact(37, 3),
+            &mut acts,
+        );
+        assert_eq!(&out[..a.len()], &want_a[..]);
+        assert_eq!(&out[a.len()..], &want_b[..]);
+        sess_a.absorb_served_evals_gated(&currents[..a.len()], acts[0]);
+        sess_b.absorb_served_evals_gated(&currents[a.len()..], acts[1]);
+        assert_eq!(sess_a.stats(), solo_a.stats());
+        assert_eq!(sess_b.stats(), solo_b.stats());
+        assert!(sess_a.stats().column_activations < sess_a.stats().column_slots);
     }
 
     #[test]

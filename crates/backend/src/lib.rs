@@ -98,6 +98,12 @@ impl PointBatch {
         self.data.len() / self.dim
     }
 
+    /// Number of points the batch can hold without reallocating —
+    /// the steady-state-allocation probe for buffer-reuse tests.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity() / self.dim
+    }
+
     /// Whether the batch holds no points.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
@@ -136,6 +142,11 @@ impl PointBatch {
             "cannot extend a {}-d batch from a {}-d batch",
             self.dim, other.dim
         );
+        // Exact reservation: the coalescing caller knows the incoming
+        // span size here, so growing by amortized doubling would only
+        // overshoot the steady-state capacity the round scratch settles
+        // into.
+        self.data.reserve_exact(other.data.len());
         self.data.extend_from_slice(&other.data);
     }
 

@@ -40,7 +40,8 @@ use navicim_backend::par::{self, ChunkPolicy};
 use navicim_backend::{LikelihoodBackend, PointBatch};
 use navicim_gmm::fit::{fit_diag_gmm, FitConfig};
 use navicim_gmm::gaussian::{Covariance, Gmm};
-use navicim_gmm::hmg::{fit_hmgm, HmgmFitConfig, HmgmModel};
+use navicim_gmm::hmg::{fit_hmgm, HmgKernel, HmgmFitConfig, HmgmModel};
+use navicim_gmm::prune::{PruneConfig, PRUNE_EPSILON};
 use navicim_math::rng::{Pcg32, SampleExt};
 use navicim_math::simd::ulp_distance;
 use navicim_math::stats::{log_sum_exp, LN_2PI};
@@ -169,6 +170,53 @@ struct Row {
     n: usize,
     workers: usize,
     ns_per_point: f64,
+}
+
+/// Component counts of the pruning sweep: wide mixtures are where the
+/// spatial index pays, so the sweep starts past the localization
+/// pipeline's defaults.
+const PRUNE_COMPONENTS: [usize; 3] = [16, 64, 256];
+
+/// Scattered 3-d diagonal GMM: components spread uniformly over a
+/// ±10 box, each a tight blob — the map shape the prune index targets.
+fn prune_spread_gmm(k: usize) -> Gmm {
+    let mut rng = Pcg32::seed_from_u64(21);
+    let means: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..3).map(|_| rng.sample_uniform(-10.0, 10.0)).collect())
+        .collect();
+    let vars = vec![vec![0.2, 0.3, 0.25]; k];
+    Gmm::new(vec![1.0 / k as f64; k], means, Covariance::Diagonal(vars)).unwrap()
+}
+
+/// Scattered 3-d HMGM over the same ±10 box.
+fn prune_spread_hmgm(k: usize) -> HmgmModel {
+    let mut rng = Pcg32::seed_from_u64(22);
+    let kernels: Vec<HmgKernel> = (0..k)
+        .map(|_| {
+            HmgKernel::new(
+                (0..3).map(|_| rng.sample_uniform(-10.0, 10.0)).collect(),
+                vec![0.4, 0.5, 0.45],
+                1.0,
+            )
+            .unwrap()
+        })
+        .collect();
+    HmgmModel::new(vec![1.0; k], kernels).unwrap()
+}
+
+/// Query batch clustered near one component — the localized scan the
+/// index prunes against.
+fn clustered_queries(center: &[f64], n: usize, seed: u64) -> PointBatch {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let mut batch = PointBatch::with_capacity(3, n);
+    for _ in 0..n {
+        batch.push(&[
+            center[0] + rng.sample_normal(0.0, 0.3),
+            center[1] + rng.sample_normal(0.0, 0.3),
+            center[2] + rng.sample_normal(0.0, 0.3),
+        ]);
+    }
+    batch
 }
 
 /// Worker count the auto [`ChunkPolicy`] resolves to for a batch of `n`
@@ -493,6 +541,207 @@ fn main() {
         }
     }
 
+    // ---- spatial component pruning ----
+    // Scattered components, clustered queries: the shape the prune index
+    // is built for. Digital rows are parity-gated at the documented
+    // additive PRUNE_EPSILON and off-mode must stay bit-identical; the
+    // CIM rows exercise column gating, whose error budget is the log-ADC
+    // step rather than epsilon.
+    let mut prune_rows: Vec<Row> = Vec::new();
+    let mut prune_digital_max_abs = 0.0f64;
+    let mut prune_off_exact = true;
+    let mut cim_prune_max_abs = 0.0f64;
+    let mut cim_log_lsb = 0.0f64;
+    let mut cim_min_active_fraction = 1.0f64;
+    for &k in &PRUNE_COMPONENTS {
+        let gmm_full = prune_spread_gmm(k);
+        let mut gmm_pruned = gmm_full.clone();
+        gmm_pruned.set_prune(PruneConfig::enabled());
+        let hmgm_full = prune_spread_hmgm(k);
+        let mut hmgm_pruned = hmgm_full.clone();
+        hmgm_pruned.set_prune(PruneConfig::enabled());
+
+        // Device-constrained spread model for the CIM column-gating rows:
+        // sigma pinned at the programmable floor of a space covering the
+        // same ±10 box.
+        let anchor_pts = vec![vec![-10.0, -10.0, -10.0], vec![10.0, 10.0, 10.0]];
+        let space = SpaceMap::fit_to_points(&anchor_pts, 0.15, 0.85, 0.1).unwrap();
+        let tech = navicim_device::params::TechParams::cmos_45nm();
+        let (floor, _) = HmgmCimEngine::recommended_sigma_bounds(&tech, &space);
+        let mut rngc = Pcg32::seed_from_u64(23);
+        let cim_kernels: Vec<HmgKernel> = (0..k)
+            .map(|_| {
+                HmgKernel::new(
+                    (0..3).map(|_| rngc.sample_uniform(-9.5, 9.5)).collect(),
+                    vec![floor; 3],
+                    1.0,
+                )
+                .unwrap()
+            })
+            .collect();
+        let cim_model = HmgmModel::new(vec![1.0; k], cim_kernels).unwrap();
+        let mut cim_full =
+            HmgmCimEngine::build(&cim_model, space.clone(), CimEngineConfig::default()).unwrap();
+        let mut cim_pruned = HmgmCimEngine::build_with_pruning(
+            &cim_model,
+            space.clone(),
+            CimEngineConfig::default(),
+            PruneConfig::enabled(),
+        )
+        .unwrap();
+        cim_log_lsb = cim_pruned.adc().log_lsb();
+
+        for &n in batch_sizes {
+            let batch = clustered_queries(&gmm_full.means()[0], n, 31);
+            // The CIM rows query from a box corner: the device-floored
+            // sigmas (~10% of the axis span) mean only components whose
+            // per-axis z clears the `ln K + 12` nat margin can gate, and
+            // a mid-box cluster never sees such distances. A corner
+            // cluster puts the far half of the box 10+ sigma out.
+            let cim_batch = clustered_queries(&[-9.0, -9.0, -9.0], n, 33);
+            let mut out = vec![0.0; n];
+            let mut out_full = vec![0.0; n];
+
+            // Digital parity: epsilon bound on, bit-identity off.
+            let mut gf = gmm_full.clone();
+            gmm_pruned.log_likelihood_into(&batch, &mut out);
+            gf.log_likelihood_into(&batch, &mut out_full);
+            for (a, b) in out.iter().zip(&out_full) {
+                prune_digital_max_abs = prune_digital_max_abs.max((a - b).abs());
+            }
+            let mut g_off = gmm_full.clone();
+            g_off.set_prune(PruneConfig::enabled());
+            g_off.set_prune(PruneConfig::default());
+            g_off.log_likelihood_into(&batch, &mut out);
+            prune_off_exact &= out
+                .iter()
+                .zip(&out_full)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            let mut hf = hmgm_full.clone();
+            hmgm_pruned.log_likelihood_into(&batch, &mut out);
+            hf.log_likelihood_into(&batch, &mut out_full);
+            for (a, b) in out.iter().zip(&out_full) {
+                prune_digital_max_abs = prune_digital_max_abs.max((a - b).abs());
+            }
+            let mut h_off = hmgm_full.clone();
+            h_off.set_prune(PruneConfig::enabled());
+            h_off.set_prune(PruneConfig::default());
+            h_off.log_likelihood_into(&batch, &mut out);
+            prune_off_exact &= out
+                .iter()
+                .zip(&out_full)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+
+            // CIM parity from aligned noise cursors: fresh engines so
+            // evaluation i draws the same counter-based noise on both.
+            {
+                let mut a = HmgmCimEngine::build_with_pruning(
+                    &cim_model,
+                    space.clone(),
+                    CimEngineConfig::default(),
+                    PruneConfig::enabled(),
+                )
+                .unwrap();
+                let mut b =
+                    HmgmCimEngine::build(&cim_model, space.clone(), CimEngineConfig::default())
+                        .unwrap();
+                a.log_likelihood_into(&cim_batch, &mut out);
+                b.log_likelihood_into(&cim_batch, &mut out_full);
+                for (x, y) in out.iter().zip(&out_full) {
+                    cim_prune_max_abs = cim_prune_max_abs.max((x - y).abs());
+                }
+                cim_min_active_fraction =
+                    cim_min_active_fraction.min(a.stats().active_column_fraction());
+            }
+
+            // Timings: pruned row first, full row second (pairwise).
+            for (kernel, pruned_ns, full_ns) in [
+                (
+                    "gmm_plan",
+                    {
+                        let iters = calibrate_iters(target_ns, || {
+                            gmm_pruned.log_likelihood_into(&batch, &mut out);
+                        });
+                        time_ns(reps, iters, || {
+                            gmm_pruned.log_likelihood_into(&batch, &mut out);
+                            std::hint::black_box(out[0]);
+                        }) / n as f64
+                    },
+                    {
+                        let mut full = gmm_full.clone();
+                        let iters = calibrate_iters(target_ns, || {
+                            full.log_likelihood_into(&batch, &mut out);
+                        });
+                        time_ns(reps, iters, || {
+                            full.log_likelihood_into(&batch, &mut out);
+                            std::hint::black_box(out[0]);
+                        }) / n as f64
+                    },
+                ),
+                (
+                    "hmgm",
+                    {
+                        let iters = calibrate_iters(target_ns, || {
+                            hmgm_pruned.log_likelihood_into(&batch, &mut out);
+                        });
+                        time_ns(reps, iters, || {
+                            hmgm_pruned.log_likelihood_into(&batch, &mut out);
+                            std::hint::black_box(out[0]);
+                        }) / n as f64
+                    },
+                    {
+                        let mut full = hmgm_full.clone();
+                        let iters = calibrate_iters(target_ns, || {
+                            full.log_likelihood_into(&batch, &mut out);
+                        });
+                        time_ns(reps, iters, || {
+                            full.log_likelihood_into(&batch, &mut out);
+                            std::hint::black_box(out[0]);
+                        }) / n as f64
+                    },
+                ),
+                (
+                    "cim_engine",
+                    {
+                        let iters = calibrate_iters(target_ns, || {
+                            cim_pruned.log_likelihood_into(&cim_batch, &mut out);
+                        });
+                        time_ns(reps, iters, || {
+                            cim_pruned.log_likelihood_into(&cim_batch, &mut out);
+                            std::hint::black_box(out[0]);
+                        }) / n as f64
+                    },
+                    {
+                        let iters = calibrate_iters(target_ns, || {
+                            cim_full.log_likelihood_into(&cim_batch, &mut out);
+                        });
+                        time_ns(reps, iters, || {
+                            cim_full.log_likelihood_into(&cim_batch, &mut out);
+                            std::hint::black_box(out[0]);
+                        }) / n as f64
+                    },
+                ),
+            ] {
+                prune_rows.push(Row {
+                    kernel,
+                    variant: "pruned",
+                    k,
+                    n,
+                    workers: auto_workers(n),
+                    ns_per_point: pruned_ns,
+                });
+                prune_rows.push(Row {
+                    kernel,
+                    variant: "full",
+                    k,
+                    n,
+                    workers: auto_workers(n),
+                    ns_per_point: full_ns,
+                });
+            }
+        }
+    }
+
     // ---- report ----
     let mut ok = true;
     println!("kernel      k   n      scalar_ref  simd      speedup");
@@ -546,7 +795,34 @@ fn main() {
             );
         }
     }
+    println!(
+        "pruning sweep (spatial index, clustered queries; epsilon = {PRUNE_EPSILON:.0e} nats)"
+    );
+    println!("kernel      k   n      full      pruned    speedup");
+    for pair in prune_rows.chunks(2) {
+        let [pruned, full] = pair else { unreachable!() };
+        println!(
+            "{:<10} {:>3} {:>5}  {:>8.1}ns {:>8.1}ns  {:>5.2}x",
+            pruned.kernel,
+            pruned.k,
+            pruned.n,
+            full.ns_per_point,
+            pruned.ns_per_point,
+            full.ns_per_point / pruned.ns_per_point
+        );
+        for r in [pruned, full] {
+            if !json_rows.is_empty() {
+                json_rows.push_str(",\n");
+            }
+            json_rows.push_str(&row_json(r));
+        }
+    }
     println!("parity: gmm {gmm_max_ulp} ulp, hmgm {hmgm_max_ulp} ulp, cim exact: {cim_exact}");
+    println!(
+        "prune parity: digital max |diff| {prune_digital_max_abs:.2e} (gate {PRUNE_EPSILON:.0e}), \
+         off-mode bit-identical: {prune_off_exact}, cim max |diff| {cim_prune_max_abs:.2e} \
+         (log-ADC lsb {cim_log_lsb:.2e}), min active column fraction {cim_min_active_fraction:.3}"
+    );
     if gmm_max_ulp > DIGITAL_MAX_ULP || hmgm_max_ulp > DIGITAL_MAX_ULP {
         eprintln!("FAIL: digital SIMD drift exceeds the {DIGITAL_MAX_ULP}-ulp gate");
         ok = false;
@@ -555,9 +831,34 @@ fn main() {
         eprintln!("FAIL: CIM LUT path is not bit-identical to the direct path");
         ok = false;
     }
+    if prune_digital_max_abs > PRUNE_EPSILON {
+        eprintln!(
+            "FAIL: pruned digital drift {prune_digital_max_abs:.3e} exceeds the \
+             PRUNE_EPSILON gate {PRUNE_EPSILON:.0e}"
+        );
+        ok = false;
+    }
+    if !prune_off_exact {
+        eprintln!("FAIL: prune-off evaluation is not bit-identical to a never-pruned model");
+        ok = false;
+    }
+    // Column gating error budget: the log-ADC step (plus slack for the
+    // exp path), not epsilon — a gated far column changes the array
+    // current below converter visibility.
+    if cim_prune_max_abs > cim_log_lsb * 2.0 {
+        eprintln!(
+            "FAIL: column-gated CIM drift {cim_prune_max_abs:.3e} exceeds two \
+             log-ADC steps ({cim_log_lsb:.3e} each)"
+        );
+        ok = false;
+    }
+    if cim_min_active_fraction >= 1.0 {
+        eprintln!("FAIL: column gating never dropped a column on the clustered workload");
+        ok = false;
+    }
 
     let json = format!(
-        "{{\n  \"bench\": \"kernels\",\n  \"smoke\": {smoke},\n  \"host\": {{\"arch\": \"{}\", \"os\": \"{}\", \"cores\": {cores}, \"target_cpu\": \"{}\"}},\n  \"config\": {{\"dim\": 3, \"reps\": {reps}, \"threads_sweep\": {threads}}},\n  \"parity\": {{\"gmm_max_ulp\": {gmm_max_ulp}, \"hmgm_max_ulp\": {hmgm_max_ulp}, \"digital_ulp_gate\": {DIGITAL_MAX_ULP}, \"cim_bit_identical\": {cim_exact}}},\n  \"rows\": [\n{json_rows}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"kernels\",\n  \"smoke\": {smoke},\n  \"host\": {{\"arch\": \"{}\", \"os\": \"{}\", \"cores\": {cores}, \"target_cpu\": \"{}\"}},\n  \"config\": {{\"dim\": 3, \"reps\": {reps}, \"threads_sweep\": {threads}}},\n  \"parity\": {{\"gmm_max_ulp\": {gmm_max_ulp}, \"hmgm_max_ulp\": {hmgm_max_ulp}, \"digital_ulp_gate\": {DIGITAL_MAX_ULP}, \"cim_bit_identical\": {cim_exact}}},\n  \"prune\": {{\"epsilon\": {PRUNE_EPSILON:e}, \"digital_max_abs\": {prune_digital_max_abs:e}, \"off_bit_identical\": {prune_off_exact}, \"cim_max_abs\": {cim_prune_max_abs:e}, \"cim_log_adc_lsb\": {cim_log_lsb:e}, \"cim_min_active_fraction\": {cim_min_active_fraction:.4}}},\n  \"rows\": [\n{json_rows}\n  ]\n}}\n",
         json_escape_free(std::env::consts::ARCH),
         json_escape_free(std::env::consts::OS),
         json_escape_free(navicim_bench::target_cpu_label()),

@@ -27,6 +27,7 @@ use navicim_backend::PointBatch;
 use navicim_filter::filter::{FilterConfig, Measurement};
 use navicim_filter::motion::OdometryMotion;
 use navicim_gmm::fit::FitConfig;
+use navicim_gmm::prune::PruneConfig;
 use navicim_math::geom::{Pose, Quat, Vec3};
 use navicim_math::rng::{Rng64, SampleExt};
 use navicim_scene::camera::{DepthCamera, DepthImage};
@@ -76,6 +77,10 @@ pub struct LocalizerConfig {
     pub weight_path: WeightPath,
     /// Mixture-fit settings (GMM warm start for both backends).
     pub fit: FitConfig,
+    /// Spatial component-pruning knob, compiled into every backend's
+    /// fitted map (see `navicim_gmm::prune`). Off by default; off-mode
+    /// evaluation is bit-identical to previous releases.
+    pub prune: PruneConfig,
     /// Backend-arbitration section: which backend slots the streaming
     /// pipeline instantiates and which [`crate::pipeline::GatePolicy`]
     /// picks between them per frame. The default is single-backend mode
@@ -101,6 +106,7 @@ impl Default for LocalizerConfig {
             cim: CimEngineConfig::default(),
             weight_path: WeightPath::default(),
             fit: FitConfig::default(),
+            prune: PruneConfig::default(),
             gate: GateConfig::default(),
             seed: 0xd20e,
         }

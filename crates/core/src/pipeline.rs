@@ -1107,8 +1107,17 @@ impl EnergyPricing {
             return Ok(0.0);
         }
         let per_eval = if delta.is_analog() {
-            self.analog
-                .likelihood_eval_pj(delta.avg_current(), dim, dac_bits, adc_bits)?
+            // Column gating shows up twice in the delta: the measured
+            // average current already excludes gated columns, and the
+            // activation fraction scales the per-column DAC drive term
+            // (1.0 — bitwise the ungated price — when gating is off).
+            self.analog.likelihood_eval_pj_gated(
+                delta.avg_current(),
+                dim,
+                dac_bits,
+                adc_bits,
+                delta.active_column_fraction(),
+            )?
         } else {
             self.digital
                 .gmm_point_pj(dim, components.max(1), self.digital_bits)?
@@ -1830,6 +1839,7 @@ impl LocalizationPipeline {
             components: config.components,
             fit: &config.fit,
             cim: &config.cim,
+            prune: config.prune,
             // Factories seed their own fit RNGs from the master seed; the
             // filter RNG below advances independently, so neither backend
             // choice nor slot count perturbs the particle stream.
@@ -2655,6 +2665,80 @@ mod tests {
         assert_eq!(run.switches(), 0);
         // The digital slot was built but never served.
         assert_eq!(run.stats[DIGITAL_SLOT].evaluations, 0);
+    }
+
+    #[test]
+    fn pruning_gates_cim_columns_and_lowers_priced_energy() {
+        // Column gating needs query locality: the range-limited camera
+        // must see a small patch of a large map, so far-wall components
+        // fall outside the CIM gating margin. The default tabletop room
+        // is too small for that (one scan covers half the map), hence
+        // the oversized room here.
+        let scene_config = LocalizationConfig {
+            tabletop: navicim_scene::scene::TabletopParams {
+                room_half: 12.0,
+                ..navicim_scene::scene::TabletopParams::default()
+            },
+            image_width: 24,
+            image_height: 18,
+            map_points: 1800,
+            frames: 10,
+            ..LocalizationConfig::default()
+        };
+        let ds = LocalizationDataset::generate(&scene_config, 7).unwrap();
+        let base = LocalizerConfig {
+            num_particles: 250,
+            pixel_stride: 7,
+            components: 24,
+            gate: GateConfig {
+                backends: vec![DIGITAL_GMM.into(), CIM_HMGM.into()],
+                policy: GateKind::Always(ANALOG_SLOT),
+            },
+            seed: 3,
+            ..LocalizerConfig::default()
+        };
+        let full = LocalizationPipeline::build(&ds, base.clone())
+            .unwrap()
+            .run(&ds)
+            .unwrap();
+        let pruned_config = LocalizerConfig {
+            prune: navicim_gmm::prune::PruneConfig::enabled(),
+            ..base
+        };
+        let pruned = LocalizationPipeline::build(&ds, pruned_config)
+            .unwrap()
+            .run(&ds)
+            .unwrap();
+        // Same workload either way: identical frame count and evaluation
+        // counts on the analog slot.
+        assert_eq!(pruned.frames.len(), full.frames.len());
+        assert_eq!(
+            pruned.stats[ANALOG_SLOT].evaluations,
+            full.stats[ANALOG_SLOT].evaluations
+        );
+        // Off-mode accounting drives every column slot; the pruned run
+        // actually gates columns away.
+        let off = &full.stats[ANALOG_SLOT];
+        assert_eq!(off.column_activations, off.column_slots);
+        let on = &pruned.stats[ANALOG_SLOT];
+        assert!(on.column_slots > 0);
+        assert!(
+            on.column_activations < on.column_slots,
+            "expected gating on the pipeline run: {} of {} slots driven",
+            on.column_activations,
+            on.column_slots
+        );
+        // The priced joint energy reflects the skipped DAC→array column
+        // activations (and the lower measured array current).
+        assert!(
+            pruned.total_map_energy_pj() < full.total_map_energy_pj(),
+            "pruned {} pJ should undercut full {} pJ",
+            pruned.total_map_energy_pj(),
+            full.total_map_energy_pj()
+        );
+        for f in &pruned.frames {
+            assert!(f.map_energy_pj > 0.0);
+        }
     }
 
     #[test]

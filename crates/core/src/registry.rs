@@ -40,6 +40,7 @@ use navicim_backend::{check_batch_shape, par, LikelihoodBackend, PointBatch};
 use navicim_device::noise::NoiseStream;
 use navicim_gmm::fit::{fit_diag_gmm, FitConfig};
 use navicim_gmm::hmg::{fit_hmgm, HmgmFitConfig};
+use navicim_gmm::prune::PruneConfig;
 use navicim_math::rng::Pcg32;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -66,6 +67,13 @@ pub struct BackendStats {
     /// Sum of total array currents over all evaluations, in amperes
     /// (analog backends only).
     pub current_sum: f64,
+    /// Analog column activations actually driven (gated columns
+    /// excluded; zero for digital backends).
+    pub column_activations: u64,
+    /// Column activation slots offered — evaluations × array columns
+    /// (zero for digital backends; equals `column_activations` when
+    /// gating is off).
+    pub column_slots: u64,
 }
 
 impl BackendStats {
@@ -103,6 +111,19 @@ impl BackendStats {
             dac_conversions: self.dac_conversions - earlier.dac_conversions,
             adc_conversions: self.adc_conversions - earlier.adc_conversions,
             current_sum: self.current_sum - earlier.current_sum,
+            column_activations: self.column_activations - earlier.column_activations,
+            column_slots: self.column_slots - earlier.column_slots,
+        }
+    }
+
+    /// Fraction of offered column slots actually driven (1.0 when none
+    /// were offered — digital backends, idle analog backends) — the
+    /// factor the energy model scales per-evaluation DAC drive by.
+    pub fn active_column_fraction(&self) -> f64 {
+        if self.column_slots == 0 {
+            1.0
+        } else {
+            self.column_activations as f64 / self.column_slots as f64
         }
     }
 
@@ -114,6 +135,8 @@ impl BackendStats {
             dac_conversions: self.dac_conversions + other.dac_conversions,
             adc_conversions: self.adc_conversions + other.adc_conversions,
             current_sum: self.current_sum + other.current_sum,
+            column_activations: self.column_activations + other.column_activations,
+            column_slots: self.column_slots + other.column_slots,
         }
     }
 }
@@ -125,6 +148,8 @@ impl From<EngineStats> for BackendStats {
             dac_conversions: s.dac_conversions,
             adc_conversions: s.adc_conversions,
             current_sum: s.current_sum,
+            column_activations: s.column_activations,
+            column_slots: s.column_slots,
         }
     }
 }
@@ -222,6 +247,32 @@ pub trait MapBackend: LikelihoodBackend + Send {
             self.name()
         );
     }
+
+    /// [`Self::serve_segments`] that additionally reports per-segment
+    /// column activations into `seg_activations` (same length as
+    /// `segments`), so gated analog sessions can price only the columns
+    /// actually driven. The default delegates to plain serving and
+    /// reports zero — correct for backends without column accounting
+    /// (digital backends leave the column counters at zero throughout).
+    fn serve_segments_counted(
+        &mut self,
+        batch: &PointBatch,
+        segments: &[NoiseSegment],
+        out: &mut [f64],
+        currents: &mut [f64],
+        seg_activations: &mut [u64],
+    ) {
+        self.serve_segments(batch, segments, out, currents);
+        seg_activations.fill(0);
+    }
+
+    /// [`Self::absorb_served`] with the session's column-activation count
+    /// from [`Self::serve_segments_counted`]. The default ignores the
+    /// count — again correct for backends without column accounting.
+    fn absorb_served_gated(&mut self, count: usize, currents: &[f64], column_activations: u64) {
+        let _ = column_activations;
+        self.absorb_served(count, currents);
+    }
 }
 
 /// Everything a backend factory gets to build a map: the dataset's point
@@ -241,6 +292,11 @@ pub struct MapFitContext<'a> {
     /// sample process corners, the localizer seed to resample fits and
     /// particle clouds.
     pub cim: &'a CimEngineConfig,
+    /// Spatial component-pruning knob, compiled into the fitted map by
+    /// every default factory (digital kernels gate at the documented
+    /// `PRUNE_EPSILON`; the CIM backend turns it into column gating).
+    /// Disabled by default — off-mode is bit-identical by construction.
+    pub prune: PruneConfig,
     /// Seed for map fitting (salted internally so factory fit draws never
     /// collide with the localizer's particle-init stream).
     pub seed: u64,
@@ -340,7 +396,8 @@ fn fit_rng(seed: u64) -> Pcg32 {
 
 fn build_digital_gmm(ctx: &MapFitContext<'_>) -> Result<Box<dyn MapBackend>> {
     let mut rng = fit_rng(ctx.seed);
-    let gmm = fit_diag_gmm(ctx.points, ctx.components, ctx.fit, &mut rng)?;
+    let mut gmm = fit_diag_gmm(ctx.points, ctx.components, ctx.fit, &mut rng)?;
+    gmm.set_prune(ctx.prune);
     let components = gmm.num_components();
     Ok(Box::new(NamedBackend::new(DIGITAL_GMM, components, gmm)))
 }
@@ -351,7 +408,8 @@ fn build_digital_hmgm(ctx: &MapFitContext<'_>) -> Result<Box<dyn MapBackend>> {
         gmm: *ctx.fit,
         ..HmgmFitConfig::default()
     };
-    let model = fit_hmgm(ctx.points, ctx.components, &config, &mut rng)?;
+    let mut model = fit_hmgm(ctx.points, ctx.components, &config, &mut rng)?;
+    model.set_prune(ctx.prune);
     let components = model.num_components();
     Ok(Box::new(NamedBackend::new(DIGITAL_HMGM, components, model)))
 }
@@ -369,7 +427,7 @@ fn build_cim_hmgm(ctx: &MapFitContext<'_>) -> Result<Box<dyn MapBackend>> {
         ..HmgmFitConfig::default()
     };
     let model = fit_hmgm(ctx.points, ctx.components, &hmgm_config, &mut rng)?;
-    let engine = HmgmCimEngine::build(&model, space, *cim)?;
+    let engine = HmgmCimEngine::build_with_pruning(&model, space, *cim, ctx.prune)?;
     Ok(Box::new(CimMapBackend::new(engine)))
 }
 
@@ -548,6 +606,34 @@ impl MapBackend for CimMapBackend {
         );
         self.engine.absorb_served_evals(currents);
     }
+
+    fn serve_segments_counted(
+        &mut self,
+        batch: &PointBatch,
+        segments: &[NoiseSegment],
+        out: &mut [f64],
+        currents: &mut [f64],
+        seg_activations: &mut [u64],
+    ) {
+        self.engine.serve_segments_counted(
+            batch,
+            segments,
+            out,
+            currents,
+            par::ChunkPolicy::auto(),
+            seg_activations,
+        );
+    }
+
+    fn absorb_served_gated(&mut self, count: usize, currents: &[f64], column_activations: u64) {
+        assert_eq!(
+            count,
+            currents.len(),
+            "analog absorb requires one pre-noise current per evaluation"
+        );
+        self.engine
+            .absorb_served_evals_gated(currents, column_activations);
+    }
 }
 
 /// A [`MapBackend`] from a plain scoring closure — the cheapest way to
@@ -633,6 +719,7 @@ mod tests {
             components: 4,
             fit,
             cim,
+            prune: PruneConfig::default(),
             seed: 9,
         }
     }
@@ -722,18 +809,26 @@ mod tests {
             dac_conversions: 30,
             adc_conversions: 10,
             current_sum: 1.0,
+            column_activations: 35,
+            column_slots: 40,
         };
         let later = BackendStats {
             evaluations: 25,
             dac_conversions: 75,
             adc_conversions: 25,
             current_sum: 2.5,
+            column_activations: 80,
+            column_slots: 100,
         };
         let delta = later.delta_since(&earlier);
         assert_eq!(delta.evaluations, 15);
         assert_eq!(delta.dac_conversions, 45);
         assert_eq!(delta.adc_conversions, 15);
         assert!((delta.current_sum - 1.5).abs() < 1e-12);
+        assert_eq!(delta.column_activations, 45);
+        assert_eq!(delta.column_slots, 60);
+        assert!((delta.active_column_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(BackendStats::default().active_column_fraction(), 1.0);
         assert_eq!(earlier.merged(&delta), later);
         assert_eq!(
             BackendStats::default().merged(&later).evaluations,
@@ -748,6 +843,7 @@ mod tests {
             dac_conversions: 12,
             adc_conversions: 4,
             current_sum: 8e-6,
+            ..BackendStats::default()
         };
         assert!((stats.avg_current() - 2e-6).abs() < 1e-18);
         assert!(stats.is_analog());

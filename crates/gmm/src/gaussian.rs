@@ -5,6 +5,7 @@
 //! depth pixel on a digital datapath. The CIM co-design replaces it with
 //! the [`crate::hmg`] family.
 
+use crate::prune::{PruneConfig, PruneIndex, PruneScratch, PRUNE_TILE};
 use crate::{GmmError, Result};
 use navicim_backend::{check_batch_shape, par, LikelihoodBackend, PointBatch};
 use navicim_math::linalg::Matrix;
@@ -27,6 +28,9 @@ pub struct Gmm {
     weights: Vec<f64>,
     means: Vec<Vec<f64>>,
     covariance: Covariance,
+    /// Spatial culling index for the batch paths; `None` (the default)
+    /// keeps every evaluation path untouched. See [`crate::prune`].
+    prune: Option<PruneIndex>,
 }
 
 impl Gmm {
@@ -74,7 +78,23 @@ impl Gmm {
             weights,
             means,
             covariance,
+            prune: None,
         })
+    }
+
+    /// Enables (or, with a disabled config, clears) spatial component
+    /// pruning for the batch paths. Builds the [`PruneIndex`] once; a
+    /// full-covariance model has no bound model and stays unpruned.
+    /// With pruning active, batch results carry the documented additive
+    /// [`crate::prune::PRUNE_EPSILON`] tolerance; disabled (the default)
+    /// they are bit-identical to a model that never saw this call.
+    pub fn set_prune(&mut self, config: PruneConfig) {
+        self.prune = PruneIndex::for_diag_gmm(self, config);
+    }
+
+    /// The active pruning index, if any.
+    pub fn prune_index(&self) -> Option<&PruneIndex> {
+        self.prune.as_ref()
     }
 
     /// Number of mixture components.
@@ -352,6 +372,95 @@ impl GmmEvalPlan<'_> {
         }
         Some(out)
     }
+
+    /// [`Self::log_pdf`] restricted to the candidate components of a
+    /// pruned tile (ascending ids). Applies the identical per-component
+    /// math and reduction, just over fewer terms — the dropped terms are
+    /// bounded below the survivors' floor by the prune margin, so the
+    /// result differs from the full evaluation by at most
+    /// [`crate::prune::PRUNE_EPSILON`] nats.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a full-covariance plan (no pruning path) or dimension
+    /// mismatch.
+    pub fn log_pdf_subset(&self, x: &[f64], cands: &[u32], terms: &mut Vec<f64>) -> f64 {
+        let plan = self
+            .diag
+            .as_ref()
+            .expect("pruning requires a diagonal plan");
+        let gmm = self.gmm;
+        let dim = gmm.dim();
+        assert_eq!(x.len(), dim, "query dimension mismatch");
+        terms.clear();
+        for &j in cands {
+            let k = j as usize;
+            let c = plan.consts[k];
+            let nhiv = &plan.neg_half_inv_vars[k * dim..(k + 1) * dim];
+            let mean = &gmm.means[k];
+            let mut quad = 0.0;
+            for i in 0..dim {
+                let d = x[i] - mean[i];
+                quad = (nhiv[i] * d).mul_add(d, quad);
+            }
+            terms.push(c + quad);
+        }
+        log_sum_exp_fast(terms)
+    }
+
+    /// [`Self::log_pdf4`] restricted to candidate components — the lane
+    /// path of [`Self::log_pdf_subset`], bit-identical to it per point.
+    pub fn log_pdf4_subset(
+        &self,
+        flat: &[f64],
+        cands: &[u32],
+        terms4: &mut Vec<F64x4>,
+        xs4: &mut Vec<F64x4>,
+    ) -> Option<[f64; 4]> {
+        let plan = self.diag.as_ref()?;
+        let gmm = self.gmm;
+        let dim = gmm.dim();
+        assert_eq!(flat.len(), LANES * dim, "expected exactly four points");
+        xs4.clear();
+        for i in 0..dim {
+            xs4.push(F64x4::new([
+                flat[i],
+                flat[dim + i],
+                flat[2 * dim + i],
+                flat[3 * dim + i],
+            ]));
+        }
+        terms4.clear();
+        for &j in cands {
+            let k = j as usize;
+            let c = plan.consts[k];
+            let nhiv = &plan.neg_half_inv_vars[k * dim..(k + 1) * dim];
+            let mean = &gmm.means[k];
+            let mut quad = F64x4::splat(0.0);
+            for i in 0..dim {
+                let d = xs4[i] - F64x4::splat(mean[i]);
+                quad = (F64x4::splat(nhiv[i]) * d).mul_add(d, quad);
+            }
+            terms4.push(F64x4::splat(c) + quad);
+        }
+        let mut m = F64x4::splat(f64::NEG_INFINITY);
+        for t in terms4.iter() {
+            m = m.max(*t);
+        }
+        let mut s = F64x4::splat(0.0);
+        for t in terms4.iter() {
+            s = s + (*t - m).exp();
+        }
+        let mut out = [0.0; LANES];
+        for (lane, o) in out.iter_mut().enumerate() {
+            *o = if m.lane(lane) == f64::NEG_INFINITY {
+                f64::NEG_INFINITY
+            } else {
+                m.lane(lane) + s.lane(lane).ln()
+            };
+        }
+        Some(out)
+    }
 }
 
 impl Gmm {
@@ -376,6 +485,65 @@ impl Gmm {
         check_batch_shape(dim, batch, out);
         let plan = self.eval_plan();
         let has_lane_path = matches!(self.covariance, Covariance::Diagonal(_));
+        if let Some(index) = self.prune.as_ref() {
+            let n = batch.len();
+            par::for_each_chunk_policy(policy, out, |start, chunk| {
+                // Pruned body: fixed tiles anchored at absolute batch
+                // indices share one candidate query, so the pruning
+                // decision — and therefore the output bits — cannot
+                // depend on chunk boundaries or thread assignment.
+                let k = plan.gmm.num_components();
+                let mut scratch = PruneScratch::default();
+                let mut terms4 = Vec::with_capacity(k);
+                let mut xs4 = Vec::with_capacity(dim);
+                let mut terms = Vec::with_capacity(k);
+                let end = start + chunk.len();
+                let mut pos = start;
+                while pos < end {
+                    let tile_lo = (pos / PRUNE_TILE) * PRUNE_TILE;
+                    let tile_hi = (tile_lo + PRUNE_TILE).min(n);
+                    let piece_end = end.min(tile_hi);
+                    let tile = batch.flat_range(tile_lo, tile_hi);
+                    let cands = index.candidates_for_points(tile, &[], &mut scratch);
+                    let mut offset = pos;
+                    match cands {
+                        Some(cands) => {
+                            while offset + LANES <= piece_end {
+                                let flat = batch.flat_range(offset, offset + LANES);
+                                let four = plan
+                                    .log_pdf4_subset(flat, cands, &mut terms4, &mut xs4)
+                                    .expect("diagonal plan has a lane path");
+                                chunk[offset - start..offset - start + LANES]
+                                    .copy_from_slice(&four);
+                                offset += LANES;
+                            }
+                            for i in offset..piece_end {
+                                chunk[i - start] =
+                                    plan.log_pdf_subset(batch.point(i), cands, &mut terms);
+                            }
+                        }
+                        // Non-finite tile: full evaluation, bit-identical
+                        // to the unpruned path for these points.
+                        None => {
+                            while offset + LANES <= piece_end {
+                                let flat = batch.flat_range(offset, offset + LANES);
+                                let four = plan
+                                    .log_pdf4(flat, &mut terms4, &mut xs4)
+                                    .expect("diagonal plan has a lane path");
+                                chunk[offset - start..offset - start + LANES]
+                                    .copy_from_slice(&four);
+                                offset += LANES;
+                            }
+                            for i in offset..piece_end {
+                                chunk[i - start] = plan.log_pdf(batch.point(i), &mut terms);
+                            }
+                        }
+                    }
+                    pos = piece_end;
+                }
+            });
+            return;
+        }
         par::for_each_chunk_policy(policy, out, |start, chunk| {
             let k = plan.gmm.num_components();
             let mut offset = 0;

@@ -12,6 +12,7 @@
 //! diagonal GMM ([`fit_hmgm`]).
 
 use crate::fit::{fit_diag_gmm, FitConfig};
+use crate::prune::{PruneConfig, PruneIndex, PruneScratch, PRUNE_TILE};
 use crate::{check_dims, GmmError, Result};
 use navicim_backend::{check_batch_shape, par, LikelihoodBackend, PointBatch};
 use navicim_math::rng::Rng64;
@@ -133,6 +134,9 @@ impl HmgKernel {
 pub struct HmgmModel {
     weights: Vec<f64>,
     kernels: Vec<HmgKernel>,
+    /// Spatial culling index for the batch paths; `None` (the default)
+    /// keeps every evaluation path untouched. See [`crate::prune`].
+    prune: Option<PruneIndex>,
 }
 
 impl HmgmModel {
@@ -157,7 +161,25 @@ impl HmgmModel {
         if kernels.iter().any(|k| k.dim() != dim) {
             return Err(GmmError::InconsistentDimensions);
         }
-        Ok(Self { weights, kernels })
+        Ok(Self {
+            weights,
+            kernels,
+            prune: None,
+        })
+    }
+
+    /// Enables (or, with a disabled config, clears) spatial component
+    /// pruning for the batch paths. With pruning active, batch results
+    /// carry the documented additive [`crate::prune::PRUNE_EPSILON`]
+    /// tolerance; disabled (the default) they are bit-identical to a
+    /// model that never saw this call.
+    pub fn set_prune(&mut self, config: PruneConfig) {
+        self.prune = PruneIndex::for_hmgm(self, config);
+    }
+
+    /// The active pruning index, if any.
+    pub fn prune_index(&self) -> Option<&PruneIndex> {
+        self.prune.as_ref()
     }
 
     /// Number of mixture components.
@@ -246,6 +268,61 @@ impl HmgmModel {
         }
         out
     }
+
+    /// [`Self::log_likelihood`] restricted to the candidate kernels of a
+    /// pruned tile (ascending ids): the identical per-kernel math and
+    /// fused accumulation over fewer terms. The dropped terms are bounded
+    /// below the survivors by the prune margin, so the result differs
+    /// from the full evaluation by at most
+    /// [`crate::prune::PRUNE_EPSILON`] nats.
+    pub fn log_likelihood_subset(&self, x: &[f64], cands: &[u32]) -> f64 {
+        let mut total = 0.0;
+        for &j in cands {
+            let j = j as usize;
+            total = self.weights[j].mul_add(self.kernels[j].eval(x), total);
+        }
+        total.max(1e-300).ln()
+    }
+
+    /// [`Self::log_likelihood4`] restricted to candidate kernels — the
+    /// lane path of [`Self::log_likelihood_subset`], bit-identical to it
+    /// per point.
+    fn log_likelihood4_subset(
+        &self,
+        flat: &[f64],
+        cands: &[u32],
+        xs4: &mut Vec<F64x4>,
+    ) -> [f64; LANES] {
+        let dim = self.dim();
+        debug_assert_eq!(flat.len(), LANES * dim);
+        xs4.clear();
+        for i in 0..dim {
+            xs4.push(F64x4::new([
+                flat[i],
+                flat[dim + i],
+                flat[2 * dim + i],
+                flat[3 * dim + i],
+            ]));
+        }
+        let mut total = F64x4::splat(0.0);
+        for &j in cands {
+            let j = j as usize;
+            let (w, k) = (&self.weights[j], &self.kernels[j]);
+            let peak = F64x4::splat(k.amplitude * dim as f64);
+            let mut inv_sum = F64x4::splat(0.0);
+            for i in 0..dim {
+                let z = (xs4[i] - F64x4::splat(k.means[i])) / F64x4::splat(k.sigmas[i]);
+                let g = (F64x4::splat(-0.5) * z * z).exp().max(F64x4::splat(1e-300));
+                inv_sum = inv_sum + F64x4::splat(1.0) / g;
+            }
+            total = F64x4::splat(*w).mul_add(peak / inv_sum, total);
+        }
+        let mut out = [0.0; LANES];
+        for (lane, o) in out.iter_mut().enumerate() {
+            *o = total.lane(lane).max(1e-300).ln();
+        }
+        out
+    }
 }
 
 impl HmgmModel {
@@ -268,6 +345,57 @@ impl HmgmModel {
     ) {
         check_batch_shape(HmgmModel::dim(self), batch, out);
         let model = &*self;
+        if let Some(index) = self.prune.as_ref() {
+            let n = batch.len();
+            par::for_each_chunk_policy(policy, out, |start, chunk| {
+                // Pruned body: fixed tiles anchored at absolute batch
+                // indices share one candidate query, so the pruning
+                // decision — and therefore the output bits — cannot
+                // depend on chunk boundaries or thread assignment.
+                let mut scratch = PruneScratch::default();
+                let mut xs4 = Vec::with_capacity(model.dim());
+                let end = start + chunk.len();
+                let mut pos = start;
+                while pos < end {
+                    let tile_lo = (pos / PRUNE_TILE) * PRUNE_TILE;
+                    let tile_hi = (tile_lo + PRUNE_TILE).min(n);
+                    let piece_end = end.min(tile_hi);
+                    let tile = batch.flat_range(tile_lo, tile_hi);
+                    let cands = index.candidates_for_points(tile, &[], &mut scratch);
+                    let mut offset = pos;
+                    match cands {
+                        Some(cands) => {
+                            while offset + LANES <= piece_end {
+                                let flat = batch.flat_range(offset, offset + LANES);
+                                chunk[offset - start..offset - start + LANES].copy_from_slice(
+                                    &model.log_likelihood4_subset(flat, cands, &mut xs4),
+                                );
+                                offset += LANES;
+                            }
+                            for i in offset..piece_end {
+                                chunk[i - start] =
+                                    model.log_likelihood_subset(batch.point(i), cands);
+                            }
+                        }
+                        // Non-finite tile: full evaluation, bit-identical
+                        // to the unpruned path for these points.
+                        None => {
+                            while offset + LANES <= piece_end {
+                                let flat = batch.flat_range(offset, offset + LANES);
+                                chunk[offset - start..offset - start + LANES]
+                                    .copy_from_slice(&model.log_likelihood4(flat, &mut xs4));
+                                offset += LANES;
+                            }
+                            for i in offset..piece_end {
+                                chunk[i - start] = model.log_likelihood(batch.point(i));
+                            }
+                        }
+                    }
+                    pos = piece_end;
+                }
+            });
+            return;
+        }
         par::for_each_chunk_policy(policy, out, |start, chunk| {
             // 4-wide body plus scalar remainder tail; lane math is
             // per-point identical to `log_likelihood`, so any chunk

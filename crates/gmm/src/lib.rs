@@ -35,6 +35,7 @@ pub mod fit;
 pub mod gaussian;
 pub mod hmg;
 pub mod kmeans;
+pub mod prune;
 
 use std::error::Error;
 use std::fmt;

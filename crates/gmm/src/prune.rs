@@ -1,0 +1,952 @@
+//! Spatially-indexed component pruning for mixture likelihood kernels.
+//!
+//! Every batch likelihood path is O(points × components), yet a localized
+//! particle cloud overlaps a handful of map components at most — the rest
+//! contribute terms that are exponentially negligible. This module builds
+//! a uniform grid over the component-mean bounding box once per model
+//! (`PruneIndex`), storing per-cell candidate lists derived from
+//! *conservative* per-component log-contribution bounds. Batch paths
+//! compute the axis-aligned bounding box of a fixed tile of query points,
+//! intersect it with the grid, and evaluate only the surviving candidates.
+//!
+//! # The epsilon gate
+//!
+//! A component `k` is dropped for a query AABB only when its log-term
+//! upper bound sits more than `margin = ln(K/PRUNE_EPSILON) + 1` below
+//! the best lower bound over the candidate set. The component attaining
+//! that lower bound is always kept and dominates every dropped term by at
+//! least `e^margin` at *every* point of the AABB, so the additive
+//! log-likelihood error of a pruned evaluation is at most
+//! `ln(1 + K·e^{-margin}) ≤ PRUNE_EPSILON/e` nats. This is the same
+//! documented-tolerance contract style as `EXP_FAST_MAX_ULP`: the gate is
+//! explicit, conservative and property-tested, and pruning defaults
+//! **off** with the off mode bit-identical by construction (the full
+//! evaluation paths are untouched).
+//!
+//! # Tiling
+//!
+//! Queries are grouped into fixed tiles of [`PRUNE_TILE`] consecutive
+//! batch points, anchored at absolute batch indices (or, for coalesced
+//! multi-session batches, at each session's segment start). Because a
+//! tile's AABB is computed over the *full* tile regardless of chunk
+//! boundaries, the pruning decision is invariant under every
+//! `par::ChunkPolicy` — chunking stays unobservable in the output bits,
+//! pruned or not. A tile containing any non-finite coordinate falls back
+//! to the full component set, so NaN/∞ propagation matches the unpruned
+//! path exactly.
+
+use crate::gaussian::{Covariance, Gmm};
+use crate::hmg::{HmgKernel, HmgmModel};
+use navicim_math::stats::LN_2PI;
+
+/// Additive log-likelihood tolerance of a pruned evaluation, in nats.
+///
+/// The prune margin is derived from this bound (see the module docs), so
+/// pruned and full evaluations agree to well below any downstream
+/// consumer's resolution — particle weights are normalized ratios of
+/// exponentials, where 1e-6 nats is a relative weight change of ~1e-6.
+pub const PRUNE_EPSILON: f64 = 1e-6;
+
+/// Number of consecutive batch points sharing one pruning decision.
+///
+/// Small enough that a localized particle cloud's tiles stay tight,
+/// large enough that the per-tile AABB + grid query cost (O(dim·TILE +
+/// K)) is negligible against the evaluations it saves.
+pub const PRUNE_TILE: usize = 256;
+
+/// Cap on per-axis grid resolution (cells_per_axis is clamped to it).
+const MAX_CELLS_PER_AXIS: usize = 32;
+
+/// Cap on total grid cells across all axes.
+const MAX_TOTAL_CELLS: usize = 32_768;
+
+/// `-ln(1e-300)`: the largest per-axis log-deficit the HMG evaluation
+/// can realize before its `1e-300` factor floor saturates. Bounds are
+/// capped here so they stay conservative against the floored kernel.
+const HMG_AXIS_CAP: f64 = 690.775_527_898_213_7;
+
+/// Pruning knob threaded from `LocalizerConfig` down to every kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneConfig {
+    /// Master switch; `false` (the default) leaves every evaluation path
+    /// untouched and bit-identical to previous releases.
+    pub enabled: bool,
+    /// Grid resolution per axis (clamped to keep the cell table small).
+    pub cells_per_axis: usize,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            cells_per_axis: 8,
+        }
+    }
+}
+
+impl PruneConfig {
+    /// An enabled config with the default grid resolution.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// The per-component bound model behind a [`PruneIndex`].
+#[derive(Debug, Clone, PartialEq)]
+enum BoundModel {
+    /// Diagonal GMM: log term `t_k(x) = c_k + Σᵢ nhivᵢ·(xᵢ−μᵢ)²`, exactly
+    /// the hoisted form the digital evaluation plan computes.
+    DiagGauss {
+        /// `ln w_k − Σᵢ ln σ_{k,i} − d/2·ln 2π` per component.
+        consts: Vec<f64>,
+        /// `−1/(2σ²)` per component × axis, flattened row-major.
+        neg_half_inv_vars: Vec<f64>,
+    },
+    /// HMG mixture: log term `ln(w_k·a_k·d) − ln Σᵢ exp(zᵢ²/2)` with
+    /// `zᵢ = (xᵢ−μᵢ)/σᵢ`, bounded through per-axis z-extremes.
+    Hmg {
+        /// `ln(w_k · amplitude_k · d)` per component.
+        log_peaks: Vec<f64>,
+        /// `1/σ` per component × axis, flattened row-major.
+        inv_sigmas: Vec<f64>,
+    },
+}
+
+/// Reusable query-side scratch for [`PruneIndex::candidates_for_points`]
+/// (AABB, candidate bitset, upper-bound staging). One per worker chunk,
+/// mirroring the existing per-chunk `terms4`/`xs4` idiom.
+#[derive(Debug, Clone, Default)]
+pub struct PruneScratch {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    seen: Vec<u64>,
+    span: Vec<(usize, usize)>,
+    idx: Vec<usize>,
+    union: Vec<u32>,
+    cands: Vec<u32>,
+    uppers: Vec<f64>,
+}
+
+/// Uniform spatial grid over the component means with per-cell
+/// conservative candidate lists. Built once at backend construction;
+/// shared read-only by every chunk of every batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneIndex {
+    dim: usize,
+    k: usize,
+    /// Grid origin per axis (min component mean).
+    grid_lo: Vec<f64>,
+    /// Cell width per axis (> 0).
+    cell_w: Vec<f64>,
+    /// Cells per axis.
+    cells: usize,
+    /// Component means, flattened row-major (`k × dim`).
+    means: Vec<f64>,
+    /// Candidate component ids per cell, ascending, row-major cell order.
+    cell_candidates: Vec<Vec<u32>>,
+    /// The epsilon-derived log-domain prune margin (see module docs).
+    margin: f64,
+    model: BoundModel,
+}
+
+impl PruneIndex {
+    /// Builds an index over a diagonal [`Gmm`]'s components.
+    ///
+    /// Returns `None` for full-covariance models (no bound model — the
+    /// full evaluation path is used unconditionally) and for disabled
+    /// configs.
+    pub fn for_diag_gmm(gmm: &Gmm, config: PruneConfig) -> Option<Self> {
+        if !config.enabled {
+            return None;
+        }
+        let Covariance::Diagonal(vars) = gmm.covariance() else {
+            return None;
+        };
+        let dim = gmm.dim();
+        let k = gmm.num_components();
+        let mut consts = Vec::with_capacity(k);
+        let mut nhiv = Vec::with_capacity(k * dim);
+        let mut means = Vec::with_capacity(k * dim);
+        for (j, vj) in vars.iter().enumerate() {
+            // Exactly the DiagPlan hoisting, so bounds and realized terms
+            // share one formula.
+            let mut c = gmm.weights()[j].max(1e-300).ln() - 0.5 * dim as f64 * LN_2PI;
+            for &v in vj {
+                c -= 0.5 * v.ln();
+                nhiv.push(-0.5 / v);
+            }
+            consts.push(c);
+            means.extend_from_slice(&gmm.means()[j]);
+        }
+        Some(Self::build(
+            dim,
+            k,
+            means,
+            BoundModel::DiagGauss {
+                consts,
+                neg_half_inv_vars: nhiv,
+            },
+            config,
+            Self::digital_margin(k),
+        ))
+    }
+
+    /// The margin (nats) guaranteeing the documented additive
+    /// [`PRUNE_EPSILON`] bound on exact digital evaluation:
+    /// `ln(K/ε)` for the summed dropped terms plus one nat of slack
+    /// covering the `exp_fast`/`f64::exp` ulp gap between bound math and
+    /// realized terms.
+    pub fn digital_margin(k: usize) -> f64 {
+        (k as f64 / PRUNE_EPSILON).ln() + 1.0
+    }
+
+    /// Builds an index over an [`HmgmModel`]'s kernels.
+    pub fn for_hmgm(model: &HmgmModel, config: PruneConfig) -> Option<Self> {
+        Self::for_hmg_parts(model.weights(), model.kernels(), config, 0.0)
+    }
+
+    /// Builds an HMG index from explicit weights (the CIM engine passes
+    /// per-column replica counts, the actual analog current multipliers)
+    /// plus an extra safety margin in nats absorbing device-side
+    /// distortion (process variation, DAC quantization, kernel shape
+    /// mismatch) between the mathematical bound and the column current.
+    pub fn for_hmg_parts(
+        weights: &[f64],
+        kernels: &[HmgKernel],
+        config: PruneConfig,
+        extra_margin: f64,
+    ) -> Option<Self> {
+        let k = kernels.len();
+        Self::for_hmg_parts_with_margin(
+            weights,
+            kernels,
+            config,
+            Self::digital_margin(k) + extra_margin.max(0.0),
+        )
+    }
+
+    /// [`Self::for_hmg_parts`] with an explicit *total* margin in nats,
+    /// replacing the [`PRUNE_EPSILON`]-derived digital margin entirely.
+    ///
+    /// The CIM engine uses this: its outputs are log-ADC-quantized at a
+    /// ~0.08-nat step, so gating tuned to `ln K` head-room plus a device
+    /// slack far below the digital `ln(K/ε)` keeps dropped-column error
+    /// orders of magnitude under ADC visibility while gating aggressively
+    /// enough to matter on device-constrained sigma floors. The margin is
+    /// floored at `ln K + 1` so the summed dropped terms always stay at
+    /// least `1/e` nats below the realized maximum.
+    pub fn for_hmg_parts_with_margin(
+        weights: &[f64],
+        kernels: &[HmgKernel],
+        config: PruneConfig,
+        margin: f64,
+    ) -> Option<Self> {
+        if !config.enabled || weights.is_empty() || weights.len() != kernels.len() {
+            return None;
+        }
+        let dim = kernels[0].dim();
+        let k = kernels.len();
+        let margin = margin.max((k as f64).ln() + 1.0);
+        let mut log_peaks = Vec::with_capacity(k);
+        let mut inv_sigmas = Vec::with_capacity(k * dim);
+        let mut means = Vec::with_capacity(k * dim);
+        for (w, kern) in weights.iter().zip(kernels) {
+            log_peaks.push((w * kern.amplitude() * dim as f64).max(1e-300).ln());
+            for (&m, &s) in kern.means().iter().zip(kern.sigmas()) {
+                means.push(m);
+                inv_sigmas.push(1.0 / s);
+            }
+        }
+        Some(Self::build(
+            dim,
+            k,
+            means,
+            BoundModel::Hmg {
+                log_peaks,
+                inv_sigmas,
+            },
+            config,
+            margin,
+        ))
+    }
+
+    fn build(
+        dim: usize,
+        k: usize,
+        means: Vec<f64>,
+        model: BoundModel,
+        config: PruneConfig,
+        margin: f64,
+    ) -> Self {
+        // Grid over the component-mean bounding box; degenerate axes get
+        // an artificial width so every cell stays well-formed.
+        let mut grid_lo = vec![f64::INFINITY; dim];
+        let mut grid_hi = vec![f64::NEG_INFINITY; dim];
+        for j in 0..k {
+            for i in 0..dim {
+                grid_lo[i] = grid_lo[i].min(means[j * dim + i]);
+                grid_hi[i] = grid_hi[i].max(means[j * dim + i]);
+            }
+        }
+        let mut cells = config.cells_per_axis.clamp(1, MAX_CELLS_PER_AXIS);
+        while cells > 1 && cells.pow(dim as u32) > MAX_TOTAL_CELLS {
+            cells -= 1;
+        }
+        let cell_w: Vec<f64> = (0..dim)
+            .map(|i| ((grid_hi[i] - grid_lo[i]).max(1e-9)) / cells as f64)
+            .collect();
+
+        let index = Self {
+            dim,
+            k,
+            grid_lo,
+            cell_w,
+            cells,
+            means,
+            cell_candidates: Vec::new(),
+            margin,
+            model,
+        };
+        index.with_cell_lists()
+    }
+
+    /// Fills the per-cell candidate lists by running the margin rule on
+    /// every cell's AABB. Edge cells extend to ±∞ so any query point —
+    /// also ones outside the mean bounding box — maps to a valid cell
+    /// with sound bounds.
+    fn with_cell_lists(mut self) -> Self {
+        let total = self.cells.pow(self.dim as u32);
+        let mut lists = Vec::with_capacity(total);
+        let mut lo = vec![0.0; self.dim];
+        let mut hi = vec![0.0; self.dim];
+        let mut idx = vec![0usize; self.dim];
+        for _ in 0..total {
+            for i in 0..self.dim {
+                lo[i] = if idx[i] == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    self.grid_lo[i] + idx[i] as f64 * self.cell_w[i]
+                };
+                hi[i] = if idx[i] + 1 == self.cells {
+                    f64::INFINITY
+                } else {
+                    self.grid_lo[i] + (idx[i] + 1) as f64 * self.cell_w[i]
+                };
+            }
+            lists.push(self.candidates_for_aabb(&lo, &hi, None));
+            // Row-major multi-index increment.
+            for i in (0..self.dim).rev() {
+                idx[i] += 1;
+                if idx[i] < self.cells {
+                    break;
+                }
+                idx[i] = 0;
+            }
+        }
+        self.cell_candidates = lists;
+        self
+    }
+
+    /// Number of components indexed.
+    pub fn num_components(&self) -> usize {
+        self.k
+    }
+
+    /// Index dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Upper bound of component `j`'s log term over the AABB. Attained
+    /// at the in-box point nearest the mean per axis, so it is exact for
+    /// boxes containing the mean.
+    fn upper_bound(&self, j: usize, lo: &[f64], hi: &[f64]) -> f64 {
+        let mj = &self.means[j * self.dim..(j + 1) * self.dim];
+        match &self.model {
+            BoundModel::DiagGauss {
+                consts,
+                neg_half_inv_vars,
+            } => {
+                let nhiv = &neg_half_inv_vars[j * self.dim..(j + 1) * self.dim];
+                let mut quad = 0.0;
+                for i in 0..self.dim {
+                    let d = (lo[i] - mj[i]).max(mj[i] - hi[i]).max(0.0);
+                    quad += nhiv[i] * d * d;
+                }
+                consts[j] + quad
+            }
+            BoundModel::Hmg {
+                log_peaks,
+                inv_sigmas,
+            } => {
+                let inv_s = &inv_sigmas[j * self.dim..(j + 1) * self.dim];
+                // Smallest per-axis deficit aᵢ = zᵢ²/2 over the box →
+                // smallest Σ exp(aᵢ) → largest term.
+                log_peaks[j]
+                    - Self::log_sum_exp_capped(self.dim, |i| {
+                        let d = (lo[i] - mj[i]).max(mj[i] - hi[i]).max(0.0);
+                        let z = d * inv_s[i];
+                        0.5 * z * z
+                    })
+            }
+        }
+    }
+
+    /// Lower bound of component `j`'s log term over the AABB (the value
+    /// at the in-box point farthest from the mean per axis).
+    fn lower_bound(&self, j: usize, lo: &[f64], hi: &[f64]) -> f64 {
+        let mj = &self.means[j * self.dim..(j + 1) * self.dim];
+        match &self.model {
+            BoundModel::DiagGauss {
+                consts,
+                neg_half_inv_vars,
+            } => {
+                let nhiv = &neg_half_inv_vars[j * self.dim..(j + 1) * self.dim];
+                let mut quad = 0.0;
+                for i in 0..self.dim {
+                    let d = (hi[i] - mj[i]).max(mj[i] - lo[i]).max(0.0);
+                    // ±∞ extents make d·d overflow to +∞ and the product
+                    // to −∞: the bound degrades gracefully to "no floor".
+                    quad += nhiv[i] * (d * d);
+                }
+                consts[j] + quad
+            }
+            BoundModel::Hmg {
+                log_peaks,
+                inv_sigmas,
+            } => {
+                let inv_s = &inv_sigmas[j * self.dim..(j + 1) * self.dim];
+                log_peaks[j]
+                    - Self::log_sum_exp_capped(self.dim, |i| {
+                        let d = (hi[i] - mj[i]).max(mj[i] - lo[i]).max(0.0);
+                        let z = d * inv_s[i];
+                        0.5 * z * z
+                    })
+            }
+        }
+    }
+
+    /// `ln Σᵢ exp(aᵢ)` over per-axis deficits, each capped at the
+    /// evaluation's `1e-300` factor floor so the bound tracks the
+    /// floored kernel (never exponentiates raw z²/2).
+    fn log_sum_exp_capped(dim: usize, a: impl Fn(usize) -> f64) -> f64 {
+        let mut m = 0.0f64;
+        for i in 0..dim {
+            m = m.max(a(i).min(HMG_AXIS_CAP));
+        }
+        let mut s = 0.0;
+        for i in 0..dim {
+            s += (a(i).min(HMG_AXIS_CAP) - m).exp();
+        }
+        m + s.ln()
+    }
+
+    /// The margin rule on an explicit AABB: keep `j` iff
+    /// `U_j ≥ max_i L_i − margin`, always retaining the best-upper-bound
+    /// component so the survivor set is never empty. `within` restricts
+    /// the scan to a pre-filtered candidate set (the cell-list union).
+    fn candidates_for_aabb(&self, lo: &[f64], hi: &[f64], within: Option<&[u32]>) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut uppers = Vec::new();
+        self.refine(lo, hi, within, &mut out, &mut uppers);
+        out
+    }
+
+    fn refine(
+        &self,
+        lo: &[f64],
+        hi: &[f64],
+        within: Option<&[u32]>,
+        out: &mut Vec<u32>,
+        uppers: &mut Vec<f64>,
+    ) {
+        out.clear();
+        uppers.clear();
+        let mut best_lower = f64::NEG_INFINITY;
+        let mut best_upper = f64::NEG_INFINITY;
+        let mut best_upper_j = 0u32;
+        let mut scan = |j: u32| {
+            let u = self.upper_bound(j as usize, lo, hi);
+            if u > best_upper {
+                best_upper = u;
+                best_upper_j = j;
+            }
+            let l = self.lower_bound(j as usize, lo, hi);
+            if l > best_lower {
+                best_lower = l;
+            }
+            out.push(j);
+            uppers.push(u);
+        };
+        match within {
+            Some(set) => set.iter().for_each(|&j| scan(j)),
+            None => (0..self.k as u32).for_each(&mut scan),
+        }
+        let cut = best_lower - self.margin;
+        let mut w = 0;
+        for r in 0..out.len() {
+            if uppers[r] >= cut || out[r] == best_upper_j {
+                out[w] = out[r];
+                w += 1;
+            }
+        }
+        out.truncate(w);
+        if out.is_empty() {
+            // All bounds −∞ (possible only for degenerate zero-weight
+            // models): keep the best-upper component for a deterministic,
+            // non-empty survivor set.
+            out.push(best_upper_j);
+        }
+    }
+
+    /// Grid cell index of a coordinate on one axis.
+    fn cell_of(&self, axis: usize, x: f64) -> usize {
+        let r = (x - self.grid_lo[axis]) / self.cell_w[axis];
+        if r.is_nan() {
+            return 0;
+        }
+        (r.floor().max(0.0) as usize).min(self.cells - 1)
+    }
+
+    /// Candidate components for a tile of `points.len()/dim` row-major
+    /// query points, optionally padded per axis (`pad` empty = none;
+    /// the CIM engine pads by one DAC step to absorb input quantization).
+    ///
+    /// Returns `None` when any coordinate is non-finite — the caller
+    /// must fall back to the full component set so NaN/∞ propagation
+    /// matches the unpruned path bit for bit. Otherwise the returned
+    /// slice is ascending and non-empty, and valid until the next call
+    /// on the same scratch.
+    pub fn candidates_for_points<'s>(
+        &self,
+        points: &[f64],
+        pad: &[f64],
+        scratch: &'s mut PruneScratch,
+    ) -> Option<&'s [u32]> {
+        self.candidates_for_points_clamped(points, pad, &[], scratch)
+    }
+
+    /// As [`Self::candidates_for_points`], with the tile AABB first
+    /// clamped into per-axis `ranges` (empty = no clamping), *then*
+    /// padded. The CIM engine clamps to each axis's world range —
+    /// mirroring the DAC input clamp, which maps every query onto that
+    /// window before evaluation — so far-out tiles query the cells their
+    /// points actually evaluate in.
+    pub fn candidates_for_points_clamped<'s>(
+        &self,
+        points: &[f64],
+        pad: &[f64],
+        ranges: &[(f64, f64)],
+        scratch: &'s mut PruneScratch,
+    ) -> Option<&'s [u32]> {
+        debug_assert_eq!(points.len() % self.dim, 0);
+        scratch.lo.clear();
+        scratch.lo.resize(self.dim, f64::INFINITY);
+        scratch.hi.clear();
+        scratch.hi.resize(self.dim, f64::NEG_INFINITY);
+        let mut finite = true;
+        for p in points.chunks_exact(self.dim) {
+            for (i, &x) in p.iter().enumerate() {
+                finite &= x.is_finite();
+                scratch.lo[i] = scratch.lo[i].min(x);
+                scratch.hi[i] = scratch.hi[i].max(x);
+            }
+        }
+        if !finite || points.is_empty() {
+            return None;
+        }
+        if !ranges.is_empty() {
+            debug_assert_eq!(ranges.len(), self.dim);
+            for (i, &(r_lo, r_hi)) in ranges.iter().enumerate() {
+                scratch.lo[i] = scratch.lo[i].clamp(r_lo, r_hi);
+                scratch.hi[i] = scratch.hi[i].clamp(r_lo, r_hi);
+            }
+        }
+        if !pad.is_empty() {
+            debug_assert_eq!(pad.len(), self.dim);
+            for i in 0..self.dim {
+                scratch.lo[i] -= pad[i];
+                scratch.hi[i] += pad[i];
+            }
+        }
+        // Union of the covered cells' candidate lists via a bitset, then
+        // the margin rule on the tile AABB itself. Ascending order falls
+        // out of the bitset scan, keeping subset evaluation order (and
+        // CIM column order) deterministic.
+        let words = self.k.div_ceil(64);
+        scratch.seen.clear();
+        scratch.seen.resize(words, 0);
+        scratch.span.clear();
+        scratch.idx.clear();
+        for i in 0..self.dim {
+            let a = self.cell_of(i, scratch.lo[i]);
+            let b = self.cell_of(i, scratch.hi[i]);
+            scratch.span.push((a, b));
+            scratch.idx.push(a);
+        }
+        let (span, idx) = (&scratch.span, &mut scratch.idx);
+        loop {
+            let mut cell = 0usize;
+            for &j in idx.iter() {
+                cell = cell * self.cells + j;
+            }
+            for &c in &self.cell_candidates[cell] {
+                scratch.seen[c as usize / 64] |= 1u64 << (c % 64);
+            }
+            // Advance the multi-index over the covered cell ranges.
+            let mut done = true;
+            for i in (0..self.dim).rev() {
+                if idx[i] < span[i].1 {
+                    idx[i] += 1;
+                    done = false;
+                    break;
+                }
+                idx[i] = span[i].0;
+            }
+            if done {
+                break;
+            }
+        }
+        scratch.union.clear();
+        for (w, &word) in scratch.seen.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                scratch.union.push((w * 64 + b) as u32);
+                bits &= bits - 1;
+            }
+        }
+        let PruneScratch {
+            lo,
+            hi,
+            union,
+            cands,
+            uppers,
+            ..
+        } = scratch;
+        self.refine(lo, hi, Some(union), cands, uppers);
+        Some(&scratch.cands)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::Covariance;
+    use navicim_math::rng::{Pcg32, SampleExt};
+
+    fn spread_gmm(k: usize) -> Gmm {
+        let mut rng = Pcg32::seed_from_u64(7);
+        let means: Vec<Vec<f64>> = (0..k)
+            .map(|_| {
+                vec![
+                    rng.sample_uniform(-10.0, 10.0),
+                    rng.sample_uniform(-10.0, 10.0),
+                ]
+            })
+            .collect();
+        let vars = vec![vec![0.2, 0.3]; k];
+        Gmm::new(vec![1.0 / k as f64; k], means, Covariance::Diagonal(vars)).unwrap()
+    }
+
+    fn spread_hmgm(k: usize) -> HmgmModel {
+        let mut rng = Pcg32::seed_from_u64(8);
+        let kernels: Vec<HmgKernel> = (0..k)
+            .map(|_| {
+                HmgKernel::new(
+                    vec![
+                        rng.sample_uniform(-10.0, 10.0),
+                        rng.sample_uniform(-10.0, 10.0),
+                    ],
+                    vec![0.4, 0.5],
+                    1.0,
+                )
+                .unwrap()
+            })
+            .collect();
+        HmgmModel::new(vec![1.0; k], kernels).unwrap()
+    }
+
+    #[test]
+    fn disabled_config_builds_nothing() {
+        let gmm = spread_gmm(8);
+        assert!(PruneIndex::for_diag_gmm(&gmm, PruneConfig::default()).is_none());
+        let hm = spread_hmgm(8);
+        assert!(PruneIndex::for_hmgm(&hm, PruneConfig::default()).is_none());
+    }
+
+    #[test]
+    fn bounds_are_conservative_gmm() {
+        let gmm = spread_gmm(16);
+        let index = PruneIndex::for_diag_gmm(&gmm, PruneConfig::enabled()).unwrap();
+        let plan = gmm.eval_plan();
+        let mut rng = Pcg32::seed_from_u64(9);
+        let mut terms = Vec::new();
+        for _ in 0..50 {
+            let cx = rng.sample_uniform(-11.0, 11.0);
+            let cy = rng.sample_uniform(-11.0, 11.0);
+            let (lo, hi) = ([cx - 0.7, cy - 0.4], [cx + 0.7, cy + 0.4]);
+            for _ in 0..20 {
+                let x = [
+                    rng.sample_uniform(lo[0], hi[0]),
+                    rng.sample_uniform(lo[1], hi[1]),
+                ];
+                plan.log_pdf(&x, &mut terms);
+                for j in 0..gmm.num_components() {
+                    let u = index.upper_bound(j, &lo, &hi);
+                    let l = index.lower_bound(j, &lo, &hi);
+                    assert!(
+                        terms[j] <= u + 1e-9 && terms[j] >= l - 1e-9,
+                        "component {j}: term {} outside [{l}, {u}]",
+                        terms[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_are_conservative_hmg() {
+        let model = spread_hmgm(16);
+        let index = PruneIndex::for_hmgm(&model, PruneConfig::enabled()).unwrap();
+        let mut rng = Pcg32::seed_from_u64(10);
+        for _ in 0..50 {
+            let cx = rng.sample_uniform(-11.0, 11.0);
+            let cy = rng.sample_uniform(-11.0, 11.0);
+            let (lo, hi) = ([cx - 0.5, cy - 0.8], [cx + 0.5, cy + 0.8]);
+            for _ in 0..20 {
+                let x = [
+                    rng.sample_uniform(lo[0], hi[0]),
+                    rng.sample_uniform(lo[1], hi[1]),
+                ];
+                for (j, (w, kern)) in model.weights().iter().zip(model.kernels()).enumerate() {
+                    let term = (w * kern.eval(&x)).max(1e-300).ln();
+                    let u = index.upper_bound(j, &lo, &hi);
+                    let l = index.lower_bound(j, &lo, &hi);
+                    // exp_fast tolerance: bounds hold to ~1e-9 relative.
+                    assert!(
+                        term <= u + 1e-6 && term >= l - 1e-6,
+                        "kernel {j}: term {term} outside [{l}, {u}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tight_tile_prunes_far_components() {
+        let gmm = spread_gmm(64);
+        let index = PruneIndex::for_diag_gmm(&gmm, PruneConfig::enabled()).unwrap();
+        // A tight cloud around one mean should keep far fewer than K.
+        let m = &gmm.means()[0];
+        let mut pts = Vec::new();
+        for s in 0..32 {
+            pts.push(m[0] + (s as f64 - 16.0) * 0.01);
+            pts.push(m[1] + (s as f64 - 16.0) * 0.008);
+        }
+        let mut scratch = PruneScratch::default();
+        let cands = index
+            .candidates_for_points(&pts, &[], &mut scratch)
+            .unwrap();
+        assert!(!cands.is_empty());
+        assert!(
+            cands.len() < 64,
+            "expected pruning, kept {} of 64",
+            cands.len()
+        );
+        assert!(cands.contains(&0), "the enclosing component must survive");
+        assert!(cands.windows(2).all(|w| w[0] < w[1]), "ascending order");
+    }
+
+    #[test]
+    fn non_finite_tile_returns_none() {
+        let gmm = spread_gmm(8);
+        let index = PruneIndex::for_diag_gmm(&gmm, PruneConfig::enabled()).unwrap();
+        let mut scratch = PruneScratch::default();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let pts = vec![0.0, 0.0, bad, 1.0];
+            assert!(index
+                .candidates_for_points(&pts, &[], &mut scratch)
+                .is_none());
+        }
+        assert!(index
+            .candidates_for_points(&[], &[], &mut scratch)
+            .is_none());
+    }
+
+    #[test]
+    fn far_outside_grid_still_resolves() {
+        let gmm = spread_gmm(8);
+        let index = PruneIndex::for_diag_gmm(&gmm, PruneConfig::enabled()).unwrap();
+        let mut scratch = PruneScratch::default();
+        let pts = vec![1e6, -1e6, 1e6 + 1.0, -1e6 - 1.0];
+        let cands = index
+            .candidates_for_points(&pts, &[], &mut scratch)
+            .unwrap();
+        assert!(!cands.is_empty(), "survivor set is never empty");
+    }
+
+    #[test]
+    fn pruned_gmm_batch_matches_full_within_epsilon() {
+        use navicim_backend::{par, PointBatch};
+        let mut rng = Pcg32::seed_from_u64(21);
+        for &k in &[4usize, 16, 64] {
+            let mut full = spread_gmm(k);
+            let mut pruned = spread_gmm(k);
+            pruned.set_prune(PruneConfig::enabled());
+            // Clustered cloud (pruning active) plus scattered outliers.
+            let mut batch = PointBatch::new(2);
+            let (cx, cy) = (rng.sample_uniform(-8.0, 8.0), rng.sample_uniform(-8.0, 8.0));
+            for _ in 0..700 {
+                batch.push(&[rng.sample_normal(cx, 0.3), rng.sample_normal(cy, 0.3)]);
+            }
+            for _ in 0..61 {
+                batch.push(&[
+                    rng.sample_uniform(-12.0, 12.0),
+                    rng.sample_uniform(-12.0, 12.0),
+                ]);
+            }
+            let mut want = vec![0.0; batch.len()];
+            full.log_likelihood_into_policy(&batch, &mut want, par::ChunkPolicy::auto());
+            for policy in [
+                par::ChunkPolicy::auto(),
+                par::ChunkPolicy::exact(100, 4),
+                par::ChunkPolicy::exact(3, 2),
+            ] {
+                let mut got = vec![0.0; batch.len()];
+                pruned.log_likelihood_into_policy(&batch, &mut got, policy);
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert!(
+                        (g - w).abs() <= PRUNE_EPSILON,
+                        "k={k} point {i}: pruned {g} vs full {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_hmgm_batch_matches_full_within_epsilon() {
+        use navicim_backend::{par, PointBatch};
+        let mut rng = Pcg32::seed_from_u64(22);
+        for &k in &[4usize, 16, 64] {
+            let mut full = spread_hmgm(k);
+            let mut pruned = spread_hmgm(k);
+            pruned.set_prune(PruneConfig::enabled());
+            let mut batch = PointBatch::new(2);
+            let (cx, cy) = (rng.sample_uniform(-8.0, 8.0), rng.sample_uniform(-8.0, 8.0));
+            for _ in 0..700 {
+                batch.push(&[rng.sample_normal(cx, 0.4), rng.sample_normal(cy, 0.4)]);
+            }
+            for _ in 0..61 {
+                batch.push(&[
+                    rng.sample_uniform(-12.0, 12.0),
+                    rng.sample_uniform(-12.0, 12.0),
+                ]);
+            }
+            let mut want = vec![0.0; batch.len()];
+            full.log_likelihood_into_policy(&batch, &mut want, par::ChunkPolicy::auto());
+            for policy in [
+                par::ChunkPolicy::auto(),
+                par::ChunkPolicy::exact(100, 4),
+                par::ChunkPolicy::exact(3, 2),
+            ] {
+                let mut got = vec![0.0; batch.len()];
+                pruned.log_likelihood_into_policy(&batch, &mut got, policy);
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert!(
+                        (g - w).abs() <= PRUNE_EPSILON,
+                        "k={k} point {i}: pruned {g} vs full {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_points_fall_back_bit_identically() {
+        use navicim_backend::{par, PointBatch};
+        let mut rng = Pcg32::seed_from_u64(23);
+        let mut full = spread_gmm(16);
+        let mut pruned = spread_gmm(16);
+        pruned.set_prune(PruneConfig::enabled());
+        let mut batch = PointBatch::new(2);
+        for i in 0..50 {
+            match i % 9 {
+                3 => batch.push(&[f64::NAN, rng.sample_uniform(-5.0, 5.0)]),
+                6 => batch.push(&[rng.sample_uniform(-5.0, 5.0), f64::NEG_INFINITY]),
+                _ => batch.push(&[rng.sample_uniform(-5.0, 5.0), rng.sample_uniform(-5.0, 5.0)]),
+            }
+        }
+        // The poisoned tile (every tile here: n < PRUNE_TILE) falls back
+        // to the full path, so outputs are bit-identical — including NaN
+        // propagation patterns.
+        let mut want = vec![0.0; batch.len()];
+        full.log_likelihood_into_policy(&batch, &mut want, par::ChunkPolicy::auto());
+        let mut got = vec![0.0; batch.len()];
+        pruned.log_likelihood_into_policy(&batch, &mut got, par::ChunkPolicy::exact(7, 3));
+        assert_eq!(
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // Same contract on the HMG side.
+        let mut hfull = spread_hmgm(16);
+        let mut hpruned = spread_hmgm(16);
+        hpruned.set_prune(PruneConfig::enabled());
+        let mut hwant = vec![0.0; batch.len()];
+        hfull.log_likelihood_into_policy(&batch, &mut hwant, par::ChunkPolicy::auto());
+        let mut hgot = vec![0.0; batch.len()];
+        hpruned.log_likelihood_into_policy(&batch, &mut hgot, par::ChunkPolicy::exact(7, 3));
+        assert_eq!(
+            hwant.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            hgot.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn prune_toggle_off_restores_bit_identity() {
+        use navicim_backend::{par, PointBatch};
+        let mut rng = Pcg32::seed_from_u64(24);
+        let mut batch = PointBatch::new(2);
+        for _ in 0..300 {
+            batch.push(&[
+                rng.sample_uniform(-10.0, 10.0),
+                rng.sample_uniform(-10.0, 10.0),
+            ]);
+        }
+        let mut baseline = spread_gmm(32);
+        let mut toggled = spread_gmm(32);
+        toggled.set_prune(PruneConfig::enabled());
+        toggled.set_prune(PruneConfig::default());
+        let mut want = vec![0.0; batch.len()];
+        baseline.log_likelihood_into_policy(&batch, &mut want, par::ChunkPolicy::auto());
+        let mut got = vec![0.0; batch.len()];
+        toggled.log_likelihood_into_policy(&batch, &mut got, par::ChunkPolicy::auto());
+        assert_eq!(
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn padding_widens_the_query() {
+        let gmm = spread_gmm(64);
+        let index = PruneIndex::for_diag_gmm(&gmm, PruneConfig::enabled()).unwrap();
+        let m = &gmm.means()[0];
+        let pts = vec![m[0], m[1]];
+        let mut s1 = PruneScratch::default();
+        let mut s2 = PruneScratch::default();
+        let narrow = index
+            .candidates_for_points(&pts, &[], &mut s1)
+            .unwrap()
+            .len();
+        let wide = index
+            .candidates_for_points(&pts, &[5.0, 5.0], &mut s2)
+            .unwrap()
+            .len();
+        assert!(wide >= narrow, "padding can only add candidates");
+    }
+}

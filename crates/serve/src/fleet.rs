@@ -208,6 +208,11 @@ impl RoundInputs<'_> {
 struct SlotScratch {
     batch: PointBatch,
     segments: Vec<NoiseSegment>,
+    /// Session index behind each entry of `segments`, for routing the
+    /// per-segment column-activation counts back to their owners.
+    seg_sessions: Vec<usize>,
+    /// Column activations per segment, from the counted serve.
+    seg_acts: Vec<u64>,
     lls: Vec<f64>,
     currents: Vec<f64>,
 }
@@ -217,6 +222,8 @@ impl Default for SlotScratch {
         Self {
             batch: PointBatch::new(3),
             segments: Vec::new(),
+            seg_sessions: Vec::new(),
+            seg_acts: Vec::new(),
             lls: Vec::new(),
             currents: Vec::new(),
         }
@@ -238,6 +245,11 @@ pub struct Fleet {
     /// slots, which consume no stream).
     audits: Vec<Vec<Option<StreamAudit>>>,
     slots: Vec<SlotScratch>,
+    /// `(start, count)` of each session's slice within its slot batch,
+    /// reused across rounds (clear-don't-drop).
+    spans: Vec<(usize, usize)>,
+    /// Per-session column activations of the last coalesced round.
+    session_acts: Vec<u64>,
     config: FleetConfig,
     /// Per-agent latency of the last round, nanoseconds from round start
     /// to that agent's frame completion.
@@ -316,6 +328,8 @@ impl Fleet {
             evaluators,
             audits,
             slots,
+            spans: Vec::with_capacity(agents),
+            session_acts: vec![0; agents],
             config,
             last_latencies_ns: vec![0; agents],
         })
@@ -519,16 +533,17 @@ impl Fleet {
         for slot_scratch in &mut self.slots {
             slot_scratch.batch.clear();
             slot_scratch.segments.clear();
+            slot_scratch.seg_sessions.clear();
         }
-        // (start, count) of each session's slice within its slot batch.
-        let mut spans: Vec<(usize, usize)> = Vec::with_capacity(n);
+        self.spans.clear();
+        self.session_acts.fill(0);
         for (idx, session) in sessions.iter().enumerate() {
             let slot = pendings[idx].as_ref().expect("pending missing").slot();
             let staged = session.staged_batch();
             let count = staged.len();
             let scratch = &mut self.slots[slot];
             let start = scratch.batch.len();
-            spans.push((start, count));
+            self.spans.push((start, count));
             if count == 0 {
                 continue;
             }
@@ -545,6 +560,7 @@ impl Fleet {
                     });
                 }
                 scratch.segments.push(NoiseSegment { start, stream });
+                scratch.seg_sessions.push(idx);
             }
             scratch.batch.extend_from_batch(staged);
         }
@@ -555,12 +571,21 @@ impl Fleet {
             }
             scratch.lls.resize(total, 0.0);
             scratch.currents.resize(total, 0.0);
-            self.evaluators[slot].serve_segments(
+            scratch.seg_acts.clear();
+            scratch.seg_acts.resize(scratch.segments.len(), 0);
+            self.evaluators[slot].serve_segments_counted(
                 &scratch.batch,
                 &scratch.segments,
                 &mut scratch.lls,
                 &mut scratch.currents,
+                &mut scratch.seg_acts,
             );
+            // Route each segment's column-activation count back to the
+            // session that staged it, so Phase B commits exactly the
+            // accounting a solo evaluation would have recorded.
+            for (&sidx, &acts) in scratch.seg_sessions.iter().zip(&scratch.seg_acts) {
+                self.session_acts[sidx] = acts;
+            }
         }
 
         // Phase B: commit slices and finish frames, work-stealing again.
@@ -568,17 +593,31 @@ impl Fleet {
         // the executor's scope outlives the round, and the scratch is
         // read-only until every task has joined.
         let slots = &self.slots;
-        let mut tasks: Vec<Option<(usize, LocalizationPipeline, PendingFrame, &[f64], &[f64])>> =
-            Vec::with_capacity(n);
+        type PhaseBTask<'a> = (
+            usize,
+            LocalizationPipeline,
+            PendingFrame,
+            &'a [f64],
+            &'a [f64],
+            u64,
+        );
+        let mut tasks: Vec<Option<PhaseBTask<'_>>> = Vec::with_capacity(n);
         for (idx, session) in sessions.drain(..).enumerate() {
             let pending = pendings[idx].take().expect("pending missing");
-            let (start, count) = spans[idx];
+            let (start, count) = self.spans[idx];
             let scratch = &slots[pending.slot()];
             let lls = &scratch.lls[start..start + count];
             let currents = &scratch.currents[start..start + count];
-            tasks.push(Some((idx, session, pending, lls, currents)));
+            tasks.push(Some((
+                idx,
+                session,
+                pending,
+                lls,
+                currents,
+                self.session_acts[idx],
+            )));
         }
-        let tasks: Vec<(usize, LocalizationPipeline, PendingFrame, &[f64], &[f64])> = order
+        let tasks: Vec<PhaseBTask<'_>> = order
             .iter()
             .map(|&i| {
                 tasks[i]
@@ -589,11 +628,11 @@ impl Fleet {
         let done = run_tasks(
             self.config.workers,
             tasks,
-            |_, (idx, mut session, pending, lls, currents)| {
+            |_, (idx, mut session, pending, lls, currents, acts)| {
                 let (_, _, truth) = inputs.get(idx);
                 session
                     .backend_mut(pending.slot())
-                    .absorb_served(lls.len(), currents);
+                    .absorb_served_gated(lls.len(), currents, acts);
                 let report = session.finish_frame(pending, lls, truth);
                 (idx, session, report, 0u64)
             },
@@ -624,5 +663,96 @@ impl Fleet {
             }
         }
         Ok(per_session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navicim_core::localization::LocalizerConfig;
+    use navicim_core::pipeline::{GateConfig, GateKind, LocalizationPipeline, ANALOG_SLOT};
+    use navicim_core::registry::{CIM_HMGM, DIGITAL_GMM};
+    use navicim_scene::dataset::{LocalizationConfig, LocalizationDataset};
+
+    /// Clear-don't-drop across rounds: after one full pass over the
+    /// dataset has sized every buffer to the fleet's working set, further
+    /// rounds must not grow any round-scratch allocation — the coalesced
+    /// steady state is allocation-free.
+    #[test]
+    fn coalesced_round_scratch_reaches_allocation_steady_state() {
+        let ds = LocalizationDataset::generate(
+            &LocalizationConfig {
+                image_width: 24,
+                image_height: 18,
+                map_points: 500,
+                frames: 6,
+                ..LocalizationConfig::default()
+            },
+            11,
+        )
+        .expect("dataset generates");
+        let config = LocalizerConfig {
+            num_particles: 100,
+            pixel_stride: 7,
+            components: 8,
+            // Pinned to the analog slot so every round routes the same
+            // mega-batch through the counted CIM serve path.
+            gate: GateConfig {
+                backends: vec![DIGITAL_GMM.into(), CIM_HMGM.into()],
+                policy: GateKind::Always(ANALOG_SLOT),
+            },
+            seed: 5,
+            ..LocalizerConfig::default()
+        };
+        let prototype = LocalizationPipeline::build(&ds, config).expect("prototype builds");
+        let mut fleet = Fleet::new(
+            &prototype,
+            3,
+            900,
+            FleetConfig {
+                workers: 2,
+                coalesce: true,
+                order: TaskOrder::Forward,
+            },
+        )
+        .expect("fleet builds");
+        let footprint = |f: &Fleet| {
+            let mut v = vec![f.spans.capacity(), f.session_acts.capacity()];
+            for s in &f.slots {
+                v.extend([
+                    s.batch.capacity(),
+                    s.segments.capacity(),
+                    s.seg_sessions.capacity(),
+                    s.seg_acts.capacity(),
+                    s.lls.capacity(),
+                    s.currents.capacity(),
+                ]);
+            }
+            v
+        };
+        // Warm-up pass: every frame's working set is seen once.
+        let controls = ds.control_deltas();
+        for (t, control) in controls.iter().enumerate() {
+            fleet
+                .step_round(control, &ds.frames[t + 1].depth, ds.frames[t + 1].pose)
+                .expect("warm-up round");
+        }
+        let warm = footprint(&fleet);
+        assert!(
+            warm.iter().sum::<usize>() > 0,
+            "warm-up should have sized the scratch"
+        );
+        // Second pass over the same observations: same per-round working
+        // sets, so every capacity must hold exactly.
+        for (t, control) in controls.iter().enumerate() {
+            fleet
+                .step_round(control, &ds.frames[t + 1].depth, ds.frames[t + 1].pose)
+                .expect("steady-state round");
+            assert_eq!(
+                footprint(&fleet),
+                warm,
+                "round {t} of the second pass grew the round scratch"
+            );
+        }
     }
 }
