@@ -300,11 +300,31 @@ pub struct NoiseSegment {
 
 /// Reusable DAC scratch buffers for [`CimCompute::eval_segments`]
 /// (sequential single-chunk path only; threaded chunks carry their own).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct EvalScratch {
     voltages: Vec<f64>,
     codes: Vec<usize>,
     prune: PruneScratch,
+    /// Per-segment column-activation tallies of the gated LUT path,
+    /// zeroed each call (atomics: one segment's tiles may land in
+    /// concurrently-running chunks).
+    acts: Vec<AtomicU64>,
+}
+
+// Manual impl: `AtomicU64` is not `Clone`; snapshot the tallies.
+impl Clone for EvalScratch {
+    fn clone(&self) -> Self {
+        Self {
+            voltages: self.voltages.clone(),
+            codes: self.codes.clone(),
+            prune: self.prune.clone(),
+            acts: self
+                .acts
+                .iter()
+                .map(|a| AtomicU64::new(a.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
 }
 
 /// Column-gating state compiled alongside the fabric: the spatial index
@@ -543,7 +563,14 @@ impl CimCompute {
             // chunks; the sums are exact u64 counts, so the tally is
             // deterministic regardless of interleaving.
             let k_cols = self.array.num_columns() as u64;
-            let acts: Vec<AtomicU64> = segments.iter().map(|_| AtomicU64::new(0)).collect();
+            // Per-segment tallies live in the reusable scratch so the
+            // steady state stays allocation-free once the scratch has
+            // grown to the segment count.
+            scratch.acts.clear();
+            scratch
+                .acts
+                .resize_with(segments.len(), || AtomicU64::new(0));
+            let acts = &scratch.acts;
             let seg_end_of = |si: usize| segments.get(si + 1).map_or(n, |s| s.start);
             let run_range_gated = |start: usize,
                                    out_chunk: &mut [f64],
@@ -636,7 +663,7 @@ impl CimCompute {
             }
             if let Some(acts_out) = seg_activations {
                 assert_eq!(acts_out.len(), segments.len(), "seg_activations length");
-                for (o, a) in acts_out.iter_mut().zip(&acts) {
+                for (o, a) in acts_out.iter_mut().zip(acts) {
                     *o = a.load(Ordering::Relaxed);
                 }
             }
@@ -754,6 +781,7 @@ impl HmgmCimEngine {
         let mut rng = Pcg32::seed_from_u64(config.seed);
 
         // Program one column per mixture component.
+        // lint: reduction-order max-fold is order-insensitive up to NaN, excluded by model validation
         let w_max = model
             .weights()
             .iter()
@@ -977,6 +1005,7 @@ impl HmgmCimEngine {
     /// all-columns special case.
     pub fn absorb_served_evals_gated(&mut self, currents: &[f64], column_activations: u64) {
         let n = currents.len();
+        // lint: allow(noise-stream-seq) post-batch cursor commit: the batch already drew .at(cursor + k); advance only publishes the watermark
         self.noise_stream.advance(n as u64);
         // Index-order merge: the same left-to-right association scalar
         // calls would produce, independent of how chunks were assigned.

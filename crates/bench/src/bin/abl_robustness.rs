@@ -304,8 +304,8 @@ fn fleet_sweep(
         let reports = fleet
             .step_round_each(&controls, &depths, &truths)
             .expect("fleet round succeeds");
-        for (i, r) in reports.into_iter().enumerate() {
-            per_agent[i].push(r);
+        for (i, r) in reports.iter().enumerate() {
+            per_agent[i].push(r.clone());
         }
     }
 

@@ -96,10 +96,10 @@ fn run_once(
         let reports = fleet
             .step_round(control, &ds.frames[t + 1].depth, ds.frames[t + 1].pose)
             .expect("round succeeds");
-        latencies.extend_from_slice(fleet.last_latencies_ns());
-        for (s, report) in reports.into_iter().enumerate() {
-            per_session[s].push(report);
+        for (s, report) in reports.iter().enumerate() {
+            per_session[s].push(report.clone());
         }
+        latencies.extend_from_slice(fleet.last_latencies_ns());
     }
     (t0.elapsed().as_secs_f64(), latencies, per_session)
 }

@@ -1653,6 +1653,7 @@ impl VoStage {
         self.features.extend_from_slice(&self.prev_grid);
         self.features.extend_from_slice(&self.curr_grid);
         for (c, p) in self.curr_grid.iter().zip(&self.prev_grid) {
+            // lint: allow(hot-path-alloc) amortized push into a buffer cleared each frame; capacity is retained
             self.features.push(c - p);
         }
         let iterations = self.policy.next_iterations(self.last_variance);

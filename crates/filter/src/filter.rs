@@ -1,6 +1,6 @@
 //! The generic predict/weight/resample particle-filter loop.
 
-use crate::particle::ParticleSet;
+use crate::particle::{ParticleSet, ResampleBuffers};
 use crate::Result;
 use navicim_math::rng::Rng64;
 use navicim_math::sample::ResampleScheme;
@@ -116,6 +116,9 @@ pub struct ParticleFilter<S> {
     step_count: u64,
     /// Reused per-update log-likelihood buffer (one slot per particle).
     ll_scratch: Vec<f64>,
+    /// Reused resampling buffers (index/weight/state staging), so a
+    /// warmed filter resamples without touching the heap.
+    resample_scratch: ResampleBuffers<S>,
     /// Mean log-likelihood of the most recent measurement update.
     last_mean_ll: Option<f64>,
     /// ESS fraction of the most recent update, measured before any
@@ -132,6 +135,7 @@ impl<S: Clone> ParticleFilter<S> {
             resample_count: 0,
             step_count: 0,
             ll_scratch: Vec::new(),
+            resample_scratch: ResampleBuffers::default(),
             last_mean_ll: None,
             last_pre_resample_ess_fraction: None,
         }
@@ -312,7 +316,11 @@ impl<S: Clone> ParticleFilter<S> {
         // ESS rescue needs to see.
         self.last_pre_resample_ess_fraction = Some((ess / n).min(1.0));
         if ess < self.config.ess_fraction * n {
-            self.particles.resample(self.config.scheme, rng);
+            self.particles.resample_with_scratch(
+                self.config.scheme,
+                rng,
+                &mut self.resample_scratch,
+            );
             self.resample_count += 1;
         }
         Ok(())

@@ -2,8 +2,7 @@
 
 use crate::{FilterError, Result};
 use navicim_math::rng::Rng64;
-use navicim_math::sample::{effective_sample_size, ResampleScheme};
-use navicim_math::stats::log_sum_exp;
+use navicim_math::sample::{effective_sample_size, ResampleScheme, ResampleScratch};
 
 /// A set of weighted hypotheses over states of type `S`.
 ///
@@ -13,6 +12,29 @@ use navicim_math::stats::log_sum_exp;
 pub struct ParticleSet<S> {
     states: Vec<S>,
     weights: Vec<f64>,
+}
+
+/// Reusable buffers for [`ParticleSet::resample_with_scratch`]: selected
+/// indices, the scheme's own scratch and the next-generation state
+/// staging. Owned by the caller (the filter), so the set itself stays a
+/// pure value type — equality and clones see only states and weights.
+#[derive(Debug, Clone)]
+pub struct ResampleBuffers<S> {
+    indices: Vec<usize>,
+    scheme: ResampleScratch,
+    states: Vec<S>,
+}
+
+// Manual impl: the derive would demand `S: Default`, which empty buffers
+// have no use for.
+impl<S> Default for ResampleBuffers<S> {
+    fn default() -> Self {
+        Self {
+            indices: Vec::new(),
+            scheme: ResampleScratch::default(),
+            states: Vec::new(),
+        }
+    }
 }
 
 impl<S: Clone> ParticleSet<S> {
@@ -91,17 +113,33 @@ impl<S: Clone> ParticleSet<S> {
                 log_likelihoods.len()
             )));
         }
-        let combined: Vec<f64> = self
-            .weights
-            .iter()
-            .zip(log_likelihoods)
-            .map(|(w, ll)| w.max(1e-300).ln() + ll)
-            .collect();
-        let lse = log_sum_exp(&combined);
+        // Streaming log-sum-exp over the combined log-weights
+        // `c_i = ln(max(w_i, 1e-300)) + ll_i`, recomputing `c_i` per
+        // pass instead of materializing it: this is the per-frame hot
+        // path and must not touch the heap. Each pass visits particles
+        // in index order with the exact operations of
+        // [`log_sum_exp`] on a materialized slice, so the result is
+        // bit-identical to the former `collect`-based implementation.
+        let combined = |w: &f64, ll: &f64| w.max(1e-300).ln() + ll;
+        let mut m = f64::NEG_INFINITY;
+        for (w, ll) in self.weights.iter().zip(log_likelihoods) {
+            m = m.max(combined(w, ll));
+        }
+        if m == f64::NEG_INFINITY || m.is_nan() {
+            return Err(FilterError::Degenerate);
+        }
+        let mut sum = 0.0;
+        for (w, ll) in self.weights.iter().zip(log_likelihoods) {
+            sum += (combined(w, ll) - m).exp();
+        }
+        let lse = m + sum.ln();
         if lse == f64::NEG_INFINITY || lse.is_nan() {
             return Err(FilterError::Degenerate);
         }
-        for (w, c) in self.weights.iter_mut().zip(&combined) {
+        // Weights are only written once the frame is known non-degenerate,
+        // so the error paths above leave the set untouched.
+        for (w, ll) in self.weights.iter_mut().zip(log_likelihoods) {
+            let c = combined(w, ll);
             *w = (c - lse).exp();
         }
         Ok(())
@@ -109,10 +147,38 @@ impl<S: Clone> ParticleSet<S> {
 
     /// Resamples the set with the given scheme; weights become uniform.
     pub fn resample<R: Rng64 + ?Sized>(&mut self, scheme: ResampleScheme, rng: &mut R) {
-        let indices = scheme.resample(&self.weights, rng);
-        self.states = indices.iter().map(|&i| self.states[i].clone()).collect();
+        let mut scratch = ResampleBuffers::default();
+        self.resample_with_scratch(scheme, rng, &mut scratch);
+    }
+
+    /// [`Self::resample`] through caller-owned buffers: the selected
+    /// indices, the scheme's normalized-weight scratch and the
+    /// next-generation state staging all live in `scratch`, so a filter
+    /// that resamples every few frames stays allocation-free once the
+    /// buffers have grown to the particle count. Bit-identical to
+    /// [`Self::resample`], which delegates here.
+    pub fn resample_with_scratch<R: Rng64 + ?Sized>(
+        &mut self,
+        scheme: ResampleScheme,
+        rng: &mut R,
+        scratch: &mut ResampleBuffers<S>,
+    ) {
+        scheme.resample_into(
+            &self.weights,
+            rng,
+            &mut scratch.scheme,
+            &mut scratch.indices,
+        );
+        scratch.states.clear();
+        scratch
+            .states
+            .extend(scratch.indices.iter().map(|&i| self.states[i].clone()));
+        // The previous generation swaps into the scratch and is reused as
+        // next resample's staging capacity (clear-don't-drop).
+        std::mem::swap(&mut self.states, &mut scratch.states);
         let n = self.states.len();
-        self.weights = vec![1.0 / n as f64; n];
+        self.weights.clear();
+        self.weights.resize(n, 1.0 / n as f64);
     }
 
     /// Weighted mean of a scalar function of the state.

@@ -23,7 +23,7 @@ pub enum Covariance {
 }
 
 /// A Gaussian mixture model.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Gmm {
     weights: Vec<f64>,
     means: Vec<Vec<f64>>,
@@ -31,6 +31,25 @@ pub struct Gmm {
     /// Spatial culling index for the batch paths; `None` (the default)
     /// keeps every evaluation path untouched. See [`crate::prune`].
     prune: Option<PruneIndex>,
+    /// Hoisted diagonal-plan constants, built once at construction (the
+    /// parameters are immutable after [`Gmm::new`]). `None` for full
+    /// covariance.
+    diag_plan: Option<DiagPlan>,
+    /// Reused component/axis scratch for the single-chunk batch path, so
+    /// a warmed model evaluates frames without touching the heap.
+    scratch: BatchScratch,
+}
+
+/// Equality is over the model parameters (and the pruning index derived
+/// from them): `diag_plan` is a pure function of those parameters and
+/// `scratch` is evaluation state, so neither can distinguish models.
+impl PartialEq for Gmm {
+    fn eq(&self, other: &Self) -> bool {
+        self.weights == other.weights
+            && self.means == other.means
+            && self.covariance == other.covariance
+            && self.prune == other.prune
+    }
 }
 
 impl Gmm {
@@ -74,11 +93,14 @@ impl Gmm {
                 }
             }
         }
+        let diag_plan = DiagPlan::build(&weights, &covariance);
         Ok(Self {
             weights,
             means,
             covariance,
             prune: None,
+            diag_plan,
+            scratch: BatchScratch::default(),
         })
     }
 
@@ -153,39 +175,18 @@ impl Gmm {
         plan.log_pdf(x, &mut terms)
     }
 
-    /// Builds the reusable evaluation plan for this mixture.
+    /// The reusable evaluation plan for this mixture.
     ///
     /// The plan hoists everything that does not depend on the query point
     /// — per-component log-weights, normalization constants and inverse
-    /// variances — so a batch of N points pays for it once instead of N
-    /// times. [`Gmm::log_pdf`] and the [`LikelihoodBackend`] impl share
-    /// it, which is what makes them bit-identical.
+    /// variances. The hoisted data is computed once at construction and
+    /// borrowed here, so taking a plan is free: a batch of N points (and
+    /// every scalar [`Gmm::log_pdf`] call) shares the same constants,
+    /// which is what makes them bit-identical.
     pub fn eval_plan(&self) -> GmmEvalPlan<'_> {
-        match &self.covariance {
-            Covariance::Diagonal(vars) => {
-                let dim = self.dim();
-                let mut consts = Vec::with_capacity(self.num_components());
-                let mut neg_half_inv_vars = Vec::with_capacity(self.num_components() * dim);
-                for (k, vk) in vars.iter().enumerate() {
-                    let mut c = self.weights[k].max(1e-300).ln() - 0.5 * dim as f64 * LN_2PI;
-                    for &v in vk {
-                        c -= 0.5 * v.ln();
-                        neg_half_inv_vars.push(-0.5 / v);
-                    }
-                    consts.push(c);
-                }
-                GmmEvalPlan {
-                    gmm: self,
-                    diag: Some(DiagPlan {
-                        consts,
-                        neg_half_inv_vars,
-                    }),
-                }
-            }
-            Covariance::Full(_) => GmmEvalPlan {
-                gmm: self,
-                diag: None,
-            },
+        GmmEvalPlan {
+            gmm: self,
+            diag: self.diag_plan.as_ref(),
         }
     }
 
@@ -215,6 +216,7 @@ impl Gmm {
                     .map(|_| rng.sample_standard_normal())
                     .collect();
                 let l = chol.lower();
+                // lint: reduction-order lower-triangular forward order, fixed by the Cholesky factor layout
                 (0..self.dim())
                     .map(|i| self.means[k][i] + (0..=i).map(|j| l[(i, j)] * z[j]).sum::<f64>())
                     .collect()
@@ -246,6 +248,44 @@ struct DiagPlan {
     neg_half_inv_vars: Vec<f64>,
 }
 
+impl DiagPlan {
+    /// Hoists the query-independent constants of a validated diagonal
+    /// parameter set; `None` for full covariance (no hoisted form).
+    fn build(weights: &[f64], covariance: &Covariance) -> Option<Self> {
+        let Covariance::Diagonal(vars) = covariance else {
+            return None;
+        };
+        let dim = vars[0].len();
+        let mut consts = Vec::with_capacity(weights.len());
+        let mut neg_half_inv_vars = Vec::with_capacity(weights.len() * dim);
+        for (k, vk) in vars.iter().enumerate() {
+            let mut c = weights[k].max(1e-300).ln() - 0.5 * dim as f64 * LN_2PI;
+            for &v in vk {
+                c -= 0.5 * v.ln();
+                neg_half_inv_vars.push(-0.5 / v);
+            }
+            consts.push(c);
+        }
+        Some(Self {
+            consts,
+            neg_half_inv_vars,
+        })
+    }
+}
+
+/// Reused per-evaluation buffers of the batch likelihood kernel:
+/// component terms (scalar and 4-wide), the transposed axis lanes and the
+/// pruning tile scratch. Held by the [`Gmm`] so the single-chunk path —
+/// the per-frame production configuration — is allocation-free once
+/// warmed; the threaded path gives each chunk closure its own.
+#[derive(Debug, Clone, Default)]
+struct BatchScratch {
+    terms: Vec<f64>,
+    terms4: Vec<F64x4>,
+    xs4: Vec<F64x4>,
+    prune: PruneScratch,
+}
+
 /// A reusable, query-independent evaluation plan for a [`Gmm`].
 ///
 /// Built once per batch (or per scalar call) by [`Gmm::eval_plan`]. For
@@ -254,7 +294,7 @@ struct DiagPlan {
 #[derive(Debug, Clone)]
 pub struct GmmEvalPlan<'a> {
     gmm: &'a Gmm,
-    diag: Option<DiagPlan>,
+    diag: Option<&'a DiagPlan>,
 }
 
 impl GmmEvalPlan<'_> {
@@ -274,7 +314,7 @@ impl GmmEvalPlan<'_> {
         let dim = gmm.dim();
         assert_eq!(x.len(), dim, "query dimension mismatch");
         terms.clear();
-        match &self.diag {
+        match self.diag {
             Some(plan) => {
                 for (k, &c) in plan.consts.iter().enumerate() {
                     let nhiv = &plan.neg_half_inv_vars[k * dim..(k + 1) * dim];
@@ -324,7 +364,7 @@ impl GmmEvalPlan<'_> {
         terms4: &mut Vec<F64x4>,
         xs4: &mut Vec<F64x4>,
     ) -> Option<[f64; 4]> {
-        let plan = self.diag.as_ref()?;
+        let plan = self.diag?;
         let gmm = self.gmm;
         let dim = gmm.dim();
         assert_eq!(flat.len(), LANES * dim, "expected exactly four points");
@@ -385,10 +425,7 @@ impl GmmEvalPlan<'_> {
     /// Panics on a full-covariance plan (no pruning path) or dimension
     /// mismatch.
     pub fn log_pdf_subset(&self, x: &[f64], cands: &[u32], terms: &mut Vec<f64>) -> f64 {
-        let plan = self
-            .diag
-            .as_ref()
-            .expect("pruning requires a diagonal plan");
+        let plan = self.diag.expect("pruning requires a diagonal plan");
         let gmm = self.gmm;
         let dim = gmm.dim();
         assert_eq!(x.len(), dim, "query dimension mismatch");
@@ -417,7 +454,7 @@ impl GmmEvalPlan<'_> {
         terms4: &mut Vec<F64x4>,
         xs4: &mut Vec<F64x4>,
     ) -> Option<[f64; 4]> {
-        let plan = self.diag.as_ref()?;
+        let plan = self.diag?;
         let gmm = self.gmm;
         let dim = gmm.dim();
         assert_eq!(flat.len(), LANES * dim, "expected exactly four points");
@@ -483,92 +520,127 @@ impl Gmm {
     ) {
         let dim = Gmm::dim(self);
         check_batch_shape(dim, batch, out);
-        let plan = self.eval_plan();
+        let n = batch.len();
         let has_lane_path = matches!(self.covariance, Covariance::Diagonal(_));
-        if let Some(index) = self.prune.as_ref() {
-            let n = batch.len();
-            par::for_each_chunk_policy(policy, out, |start, chunk| {
-                // Pruned body: fixed tiles anchored at absolute batch
-                // indices share one candidate query, so the pruning
-                // decision — and therefore the output bits — cannot
-                // depend on chunk boundaries or thread assignment.
-                let k = plan.gmm.num_components();
-                let mut scratch = PruneScratch::default();
-                let mut terms4 = Vec::with_capacity(k);
-                let mut xs4 = Vec::with_capacity(dim);
-                let mut terms = Vec::with_capacity(k);
-                let end = start + chunk.len();
-                let mut pos = start;
-                while pos < end {
-                    let tile_lo = (pos / PRUNE_TILE) * PRUNE_TILE;
-                    let tile_hi = (tile_lo + PRUNE_TILE).min(n);
-                    let piece_end = end.min(tile_hi);
-                    let tile = batch.flat_range(tile_lo, tile_hi);
-                    let cands = index.candidates_for_points(tile, &[], &mut scratch);
-                    let mut offset = pos;
-                    match cands {
-                        Some(cands) => {
-                            while offset + LANES <= piece_end {
-                                let flat = batch.flat_range(offset, offset + LANES);
-                                let four = plan
-                                    .log_pdf4_subset(flat, cands, &mut terms4, &mut xs4)
-                                    .expect("diagonal plan has a lane path");
-                                chunk[offset - start..offset - start + LANES]
-                                    .copy_from_slice(&four);
-                                offset += LANES;
-                            }
-                            for i in offset..piece_end {
-                                chunk[i - start] =
-                                    plan.log_pdf_subset(batch.point(i), cands, &mut terms);
-                            }
-                        }
-                        // Non-finite tile: full evaluation, bit-identical
-                        // to the unpruned path for these points.
-                        None => {
-                            while offset + LANES <= piece_end {
-                                let flat = batch.flat_range(offset, offset + LANES);
-                                let four = plan
-                                    .log_pdf4(flat, &mut terms4, &mut xs4)
-                                    .expect("diagonal plan has a lane path");
-                                chunk[offset - start..offset - start + LANES]
-                                    .copy_from_slice(&four);
-                                offset += LANES;
-                            }
-                            for i in offset..piece_end {
-                                chunk[i - start] = plan.log_pdf(batch.point(i), &mut terms);
-                            }
-                        }
-                    }
-                    pos = piece_end;
+        if policy.is_single_chunk(n) {
+            // Sequential production path: evaluate the whole batch inline
+            // through the struct-held scratch — allocation-free once the
+            // buffers have grown to the component count.
+            let mut scratch = std::mem::take(&mut self.scratch);
+            let plan = self.eval_plan();
+            match self.prune.as_ref() {
+                Some(index) => {
+                    Self::eval_range_pruned(&plan, index, batch, n, 0, out, &mut scratch)
                 }
-            });
+                None => Self::eval_range(&plan, has_lane_path, batch, 0, out, &mut scratch),
+            }
+            self.scratch = scratch;
             return;
         }
-        par::for_each_chunk_policy(policy, out, |start, chunk| {
-            let k = plan.gmm.num_components();
-            let mut offset = 0;
-            // 4-wide body. Safe at any chunk boundary: each lane applies
-            // the exact scalar per-point math, so the grouping below is
-            // unobservable in the output bits.
-            if has_lane_path {
-                let mut terms4 = Vec::with_capacity(k);
-                let mut xs4 = Vec::with_capacity(dim);
-                while offset + LANES <= chunk.len() {
-                    let flat = batch.flat_range(start + offset, start + offset + LANES);
-                    let four = plan
-                        .log_pdf4(flat, &mut terms4, &mut xs4)
-                        .expect("diagonal plan has a lane path");
-                    chunk[offset..offset + LANES].copy_from_slice(&four);
-                    offset += LANES;
+        let plan = self.eval_plan();
+        if let Some(index) = self.prune.as_ref() {
+            par::for_each_chunk_policy(policy, out, |start, chunk| {
+                // Threaded chunk: worker-local scratch (allocates by
+                // design — thread spawning already does). Bit-identical
+                // to the inline path: scratch capacity is unobservable.
+                // lint: allow(hot-path-alloc) threaded chunk closures own their scratch
+                let mut scratch = BatchScratch::default();
+                Self::eval_range_pruned(&plan, index, batch, n, start, chunk, &mut scratch);
+            });
+        } else {
+            par::for_each_chunk_policy(policy, out, |start, chunk| {
+                // lint: allow(hot-path-alloc) threaded chunk closures own their scratch
+                let mut scratch = BatchScratch::default();
+                Self::eval_range(&plan, has_lane_path, batch, start, chunk, &mut scratch);
+            });
+        }
+    }
+
+    /// Pruned evaluation of `chunk` (the output slice anchored at batch
+    /// index `start`): fixed tiles anchored at absolute batch indices
+    /// share one candidate query, so the pruning decision — and therefore
+    /// the output bits — cannot depend on chunk boundaries or thread
+    /// assignment.
+    fn eval_range_pruned(
+        plan: &GmmEvalPlan<'_>,
+        index: &PruneIndex,
+        batch: &PointBatch,
+        n: usize,
+        start: usize,
+        chunk: &mut [f64],
+        s: &mut BatchScratch,
+    ) {
+        let end = start + chunk.len();
+        let mut pos = start;
+        while pos < end {
+            let tile_lo = (pos / PRUNE_TILE) * PRUNE_TILE;
+            let tile_hi = (tile_lo + PRUNE_TILE).min(n);
+            let piece_end = end.min(tile_hi);
+            let tile = batch.flat_range(tile_lo, tile_hi);
+            let cands = index.candidates_for_points(tile, &[], &mut s.prune);
+            let mut offset = pos;
+            match cands {
+                Some(cands) => {
+                    while offset + LANES <= piece_end {
+                        let flat = batch.flat_range(offset, offset + LANES);
+                        let four = plan
+                            .log_pdf4_subset(flat, cands, &mut s.terms4, &mut s.xs4)
+                            .expect("diagonal plan has a lane path");
+                        chunk[offset - start..offset - start + LANES].copy_from_slice(&four);
+                        offset += LANES;
+                    }
+                    for i in offset..piece_end {
+                        chunk[i - start] = plan.log_pdf_subset(batch.point(i), cands, &mut s.terms);
+                    }
+                }
+                // Non-finite tile: full evaluation, bit-identical
+                // to the unpruned path for these points.
+                None => {
+                    while offset + LANES <= piece_end {
+                        let flat = batch.flat_range(offset, offset + LANES);
+                        let four = plan
+                            .log_pdf4(flat, &mut s.terms4, &mut s.xs4)
+                            .expect("diagonal plan has a lane path");
+                        chunk[offset - start..offset - start + LANES].copy_from_slice(&four);
+                        offset += LANES;
+                    }
+                    for i in offset..piece_end {
+                        chunk[i - start] = plan.log_pdf(batch.point(i), &mut s.terms);
+                    }
                 }
             }
-            // Scalar remainder tail (and the whole chunk for full
-            // covariance models).
-            let mut terms = Vec::with_capacity(k);
-            for (i, o) in chunk.iter_mut().enumerate().skip(offset) {
-                *o = plan.log_pdf(batch.point(start + i), &mut terms);
+            pos = piece_end;
+        }
+    }
+
+    /// Unpruned evaluation of `chunk` (anchored at batch index `start`).
+    fn eval_range(
+        plan: &GmmEvalPlan<'_>,
+        has_lane_path: bool,
+        batch: &PointBatch,
+        start: usize,
+        chunk: &mut [f64],
+        s: &mut BatchScratch,
+    ) {
+        let mut offset = 0;
+        // 4-wide body. Safe at any chunk boundary: each lane applies
+        // the exact scalar per-point math, so the grouping below is
+        // unobservable in the output bits.
+        if has_lane_path {
+            while offset + LANES <= chunk.len() {
+                let flat = batch.flat_range(start + offset, start + offset + LANES);
+                let four = plan
+                    .log_pdf4(flat, &mut s.terms4, &mut s.xs4)
+                    .expect("diagonal plan has a lane path");
+                chunk[offset..offset + LANES].copy_from_slice(&four);
+                offset += LANES;
             }
-        });
+        }
+        // Scalar remainder tail (and the whole chunk for full
+        // covariance models).
+        for (i, o) in chunk.iter_mut().enumerate().skip(offset) {
+            *o = plan.log_pdf(batch.point(start + i), &mut s.terms);
+        }
     }
 }
 

@@ -130,13 +130,35 @@ impl HmgKernel {
 }
 
 /// A mixture of HMG kernels: the co-designed map model of Section II.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct HmgmModel {
     weights: Vec<f64>,
     kernels: Vec<HmgKernel>,
     /// Spatial culling index for the batch paths; `None` (the default)
     /// keeps every evaluation path untouched. See [`crate::prune`].
     prune: Option<PruneIndex>,
+    /// Reused lane/pruning scratch for the single-chunk batch path, so a
+    /// warmed model evaluates frames without touching the heap.
+    scratch: HmgScratch,
+}
+
+/// Reused per-evaluation buffers of the HMGM batch kernel: transposed
+/// axis lanes plus the pruning tile scratch. Held by the model so the
+/// single-chunk path is allocation-free once warmed; the threaded path
+/// gives each chunk closure its own.
+#[derive(Debug, Clone, Default)]
+struct HmgScratch {
+    xs4: Vec<F64x4>,
+    prune: PruneScratch,
+}
+
+/// Equality is over the model parameters (and the pruning index derived
+/// from them): `scratch` is evaluation state and cannot distinguish
+/// models.
+impl PartialEq for HmgmModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.weights == other.weights && self.kernels == other.kernels && self.prune == other.prune
+    }
 }
 
 impl HmgmModel {
@@ -165,6 +187,7 @@ impl HmgmModel {
             weights,
             kernels,
             prune: None,
+            scratch: HmgScratch::default(),
         })
     }
 
@@ -344,74 +367,105 @@ impl HmgmModel {
         policy: par::ChunkPolicy,
     ) {
         check_batch_shape(HmgmModel::dim(self), batch, out);
+        let n = batch.len();
+        if policy.is_single_chunk(n) {
+            // Sequential production path: evaluate the whole batch inline
+            // through the struct-held scratch — allocation-free once the
+            // buffers have grown to the model dimension.
+            let mut scratch = std::mem::take(&mut self.scratch);
+            match self.prune.as_ref() {
+                Some(index) => self.eval_range_pruned(index, batch, n, 0, out, &mut scratch),
+                None => self.eval_range(batch, 0, out, &mut scratch),
+            }
+            self.scratch = scratch;
+            return;
+        }
         let model = &*self;
         if let Some(index) = self.prune.as_ref() {
-            let n = batch.len();
             par::for_each_chunk_policy(policy, out, |start, chunk| {
-                // Pruned body: fixed tiles anchored at absolute batch
-                // indices share one candidate query, so the pruning
-                // decision — and therefore the output bits — cannot
-                // depend on chunk boundaries or thread assignment.
-                let mut scratch = PruneScratch::default();
-                let mut xs4 = Vec::with_capacity(model.dim());
-                let end = start + chunk.len();
-                let mut pos = start;
-                while pos < end {
-                    let tile_lo = (pos / PRUNE_TILE) * PRUNE_TILE;
-                    let tile_hi = (tile_lo + PRUNE_TILE).min(n);
-                    let piece_end = end.min(tile_hi);
-                    let tile = batch.flat_range(tile_lo, tile_hi);
-                    let cands = index.candidates_for_points(tile, &[], &mut scratch);
-                    let mut offset = pos;
-                    match cands {
-                        Some(cands) => {
-                            while offset + LANES <= piece_end {
-                                let flat = batch.flat_range(offset, offset + LANES);
-                                chunk[offset - start..offset - start + LANES].copy_from_slice(
-                                    &model.log_likelihood4_subset(flat, cands, &mut xs4),
-                                );
-                                offset += LANES;
-                            }
-                            for i in offset..piece_end {
-                                chunk[i - start] =
-                                    model.log_likelihood_subset(batch.point(i), cands);
-                            }
-                        }
-                        // Non-finite tile: full evaluation, bit-identical
-                        // to the unpruned path for these points.
-                        None => {
-                            while offset + LANES <= piece_end {
-                                let flat = batch.flat_range(offset, offset + LANES);
-                                chunk[offset - start..offset - start + LANES]
-                                    .copy_from_slice(&model.log_likelihood4(flat, &mut xs4));
-                                offset += LANES;
-                            }
-                            for i in offset..piece_end {
-                                chunk[i - start] = model.log_likelihood(batch.point(i));
-                            }
-                        }
-                    }
-                    pos = piece_end;
-                }
+                // Threaded chunk: worker-local scratch (allocates by
+                // design — thread spawning already does). Bit-identical
+                // to the inline path: scratch capacity is unobservable.
+                // lint: allow(hot-path-alloc) threaded chunk closures own their scratch
+                let mut scratch = HmgScratch::default();
+                model.eval_range_pruned(index, batch, n, start, chunk, &mut scratch);
             });
             return;
         }
         par::for_each_chunk_policy(policy, out, |start, chunk| {
-            // 4-wide body plus scalar remainder tail; lane math is
-            // per-point identical to `log_likelihood`, so any chunk
-            // boundary or grouping yields the same bits.
-            let mut offset = 0;
-            let mut xs4 = Vec::with_capacity(model.dim());
-            while offset + LANES <= chunk.len() {
-                let flat = batch.flat_range(start + offset, start + offset + LANES);
-                chunk[offset..offset + LANES]
-                    .copy_from_slice(&model.log_likelihood4(flat, &mut xs4));
-                offset += LANES;
-            }
-            for (i, o) in chunk.iter_mut().enumerate().skip(offset) {
-                *o = model.log_likelihood(batch.point(start + i));
-            }
+            // lint: allow(hot-path-alloc) threaded chunk closures own their scratch
+            let mut scratch = HmgScratch::default();
+            model.eval_range(batch, start, chunk, &mut scratch);
         });
+    }
+
+    /// Pruned evaluation of `chunk` (the output slice anchored at batch
+    /// index `start`): fixed tiles anchored at absolute batch indices
+    /// share one candidate query, so the pruning decision — and therefore
+    /// the output bits — cannot depend on chunk boundaries or thread
+    /// assignment.
+    fn eval_range_pruned(
+        &self,
+        index: &PruneIndex,
+        batch: &PointBatch,
+        n: usize,
+        start: usize,
+        chunk: &mut [f64],
+        s: &mut HmgScratch,
+    ) {
+        let end = start + chunk.len();
+        let mut pos = start;
+        while pos < end {
+            let tile_lo = (pos / PRUNE_TILE) * PRUNE_TILE;
+            let tile_hi = (tile_lo + PRUNE_TILE).min(n);
+            let piece_end = end.min(tile_hi);
+            let tile = batch.flat_range(tile_lo, tile_hi);
+            let cands = index.candidates_for_points(tile, &[], &mut s.prune);
+            let mut offset = pos;
+            match cands {
+                Some(cands) => {
+                    while offset + LANES <= piece_end {
+                        let flat = batch.flat_range(offset, offset + LANES);
+                        chunk[offset - start..offset - start + LANES]
+                            .copy_from_slice(&self.log_likelihood4_subset(flat, cands, &mut s.xs4));
+                        offset += LANES;
+                    }
+                    for i in offset..piece_end {
+                        chunk[i - start] = self.log_likelihood_subset(batch.point(i), cands);
+                    }
+                }
+                // Non-finite tile: full evaluation, bit-identical
+                // to the unpruned path for these points.
+                None => {
+                    while offset + LANES <= piece_end {
+                        let flat = batch.flat_range(offset, offset + LANES);
+                        chunk[offset - start..offset - start + LANES]
+                            .copy_from_slice(&self.log_likelihood4(flat, &mut s.xs4));
+                        offset += LANES;
+                    }
+                    for i in offset..piece_end {
+                        chunk[i - start] = self.log_likelihood(batch.point(i));
+                    }
+                }
+            }
+            pos = piece_end;
+        }
+    }
+
+    /// Unpruned evaluation of `chunk` (anchored at batch index `start`):
+    /// 4-wide body plus scalar remainder tail; lane math is per-point
+    /// identical to [`Self::log_likelihood`], so any chunk boundary or
+    /// grouping yields the same bits.
+    fn eval_range(&self, batch: &PointBatch, start: usize, chunk: &mut [f64], s: &mut HmgScratch) {
+        let mut offset = 0;
+        while offset + LANES <= chunk.len() {
+            let flat = batch.flat_range(start + offset, start + offset + LANES);
+            chunk[offset..offset + LANES].copy_from_slice(&self.log_likelihood4(flat, &mut s.xs4));
+            offset += LANES;
+        }
+        for (i, o) in chunk.iter_mut().enumerate().skip(offset) {
+            *o = self.log_likelihood(batch.point(start + i));
+        }
     }
 }
 
@@ -547,6 +601,7 @@ pub fn fit_hmgm<R: Rng64 + ?Sized>(
             }
             weights[j] = nk / n as f64;
             for d in 0..dim {
+                // lint: reduction-order point-index order, matching the scalar EM update
                 let mu: f64 = points
                     .iter()
                     .enumerate()
@@ -554,6 +609,7 @@ pub fn fit_hmgm<R: Rng64 + ?Sized>(
                     .sum::<f64>()
                     / nk;
                 means[j][d] = mu;
+                // lint: reduction-order point-index order, matching the scalar EM update
                 let var: f64 = points
                     .iter()
                     .enumerate()

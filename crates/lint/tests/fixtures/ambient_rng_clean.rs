@@ -1,0 +1,3 @@
+pub fn jitter(stream: &NoiseStream, i: u64) -> f64 {
+    stream.at(i)
+}

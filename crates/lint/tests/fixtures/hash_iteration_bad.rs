@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn tally(xs: &[usize]) -> HashMap<usize, usize> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,9 @@
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[usize]) -> BTreeMap<usize, usize> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

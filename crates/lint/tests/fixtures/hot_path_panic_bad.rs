@@ -1,0 +1,7 @@
+pub fn pick(xs: &[f64]) -> f64 {
+    let first = xs.first().unwrap();
+    if !first.is_finite() {
+        panic!("non-finite weight");
+    }
+    *first
+}

@@ -1,0 +1,4 @@
+pub fn pick(xs: &[f64]) -> Option<f64> {
+    let first = xs.first()?;
+    first.is_finite().then_some(*first)
+}

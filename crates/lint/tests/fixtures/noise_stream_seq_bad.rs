@@ -1,0 +1,5 @@
+pub fn serve(stream: &mut NoiseStream, out: &mut [f64]) {
+    for o in out.iter_mut() {
+        *o = stream.next_z();
+    }
+}

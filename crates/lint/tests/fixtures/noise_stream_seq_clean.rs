@@ -1,0 +1,5 @@
+pub fn serve(stream: &NoiseStream, base: u64, out: &mut [f64]) {
+    for (k, o) in out.iter_mut().enumerate() {
+        *o = stream.at(base + k as u64);
+    }
+}

@@ -1,0 +1,3 @@
+pub fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}

@@ -1,0 +1,4 @@
+pub fn total(xs: &[f64]) -> f64 {
+    // lint: reduction-order slice order, matching the scalar reference path
+    xs.iter().sum::<f64>()
+}

@@ -1,0 +1,3 @@
+pub fn read_first(xs: &[f64]) -> f64 {
+    unsafe { *xs.get_unchecked(0) }
+}

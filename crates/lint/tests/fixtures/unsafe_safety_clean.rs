@@ -1,0 +1,5 @@
+pub fn read_first(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,4 @@
+pub fn frame_seed() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

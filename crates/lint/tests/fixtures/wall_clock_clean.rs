@@ -1,0 +1,5 @@
+pub fn frame_seed(counter: u64) -> u64 {
+    // "Instant::now" in a string or comment must not trip the rule.
+    let _label = "Instant::now";
+    counter.wrapping_mul(0x9E3779B97F4A7C15)
+}

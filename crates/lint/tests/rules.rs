@@ -1,0 +1,138 @@
+//! Per-rule fixture tests: each rule must fire on its violating fixture
+//! and stay silent on the clean one, with the fixture linted under a
+//! path that puts it in the rule's scope.
+
+use navicim_lint::lint_source;
+
+fn rules_at(path: &str, source: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = lint_source(path, source)
+        .into_iter()
+        .map(|f| f.rule)
+        .collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn wall_clock_fixture_pair() {
+    let bad = include_str!("fixtures/wall_clock_bad.rs");
+    let clean = include_str!("fixtures/wall_clock_clean.rs");
+    assert!(rules_at("crates/core/src/pipeline.rs", bad).contains(&"wall-clock"));
+    assert!(rules_at("crates/core/src/pipeline.rs", clean).is_empty());
+    // The same source is fine in measurement code.
+    assert!(rules_at("crates/bench/src/bin/bench_kernels.rs", bad).is_empty());
+}
+
+#[test]
+fn ambient_rng_fixture_pair() {
+    let bad = include_str!("fixtures/ambient_rng_bad.rs");
+    let clean = include_str!("fixtures/ambient_rng_clean.rs");
+    assert!(rules_at("crates/math/src/rng.rs", bad).contains(&"ambient-rng"));
+    assert!(rules_at("crates/math/src/rng.rs", clean).is_empty());
+}
+
+#[test]
+fn hash_iteration_fixture_pair() {
+    let bad = include_str!("fixtures/hash_iteration_bad.rs");
+    let clean = include_str!("fixtures/hash_iteration_clean.rs");
+    assert!(rules_at("crates/gmm/src/fit.rs", bad).contains(&"hash-iteration"));
+    assert!(rules_at("crates/gmm/src/fit.rs", clean).is_empty());
+    // Bench only reports timings: exempt.
+    assert!(rules_at("crates/bench/src/bin/bench_serve.rs", bad).is_empty());
+}
+
+#[test]
+fn unsafe_safety_fixture_pair() {
+    let bad = include_str!("fixtures/unsafe_safety_bad.rs");
+    let clean = include_str!("fixtures/unsafe_safety_clean.rs");
+    assert!(rules_at("crates/math/src/simd.rs", bad).contains(&"unsafe-safety"));
+    assert!(rules_at("crates/math/src/simd.rs", clean).is_empty());
+}
+
+#[test]
+fn hot_path_panic_fixture_pair() {
+    let bad = include_str!("fixtures/hot_path_panic_bad.rs");
+    let clean = include_str!("fixtures/hot_path_panic_clean.rs");
+    assert!(rules_at("crates/core/src/pipeline.rs", bad).contains(&"hot-path-panic"));
+    assert!(rules_at("crates/core/src/pipeline.rs", clean).is_empty());
+    // Outside the hot-path module list the rule does not apply.
+    assert!(rules_at("crates/scene/src/camera.rs", bad).is_empty());
+}
+
+#[test]
+fn hot_path_expect_allowlist_is_per_file() {
+    let src = "pub fn f(x: Option<u32>) -> u32 { x.expect(\"invariant\") }\n";
+    // fleet.rs carries a written reason for documented expects…
+    assert!(rules_at("crates/serve/src/fleet.rs", src).is_empty());
+    // …pipeline.rs does not, so the same code is a finding there.
+    assert!(rules_at("crates/core/src/pipeline.rs", src).contains(&"hot-path-panic"));
+}
+
+#[test]
+fn reduction_order_fixture_pair() {
+    let bad = include_str!("fixtures/reduction_order_bad.rs");
+    let clean = include_str!("fixtures/reduction_order_clean.rs");
+    assert!(rules_at("crates/math/src/simd.rs", bad).contains(&"reduction-order"));
+    assert!(rules_at("crates/math/src/simd.rs", clean).is_empty());
+    // Non-kernel files are out of scope.
+    assert!(rules_at("crates/scene/src/camera.rs", bad).is_empty());
+}
+
+#[test]
+fn hot_path_alloc_fixture_pair() {
+    let bad = include_str!("fixtures/hot_path_alloc_bad.rs");
+    let clean = include_str!("fixtures/hot_path_alloc_clean.rs");
+    assert!(rules_at("crates/analog/src/engine.rs", bad).contains(&"hot-path-alloc"));
+    assert!(rules_at("crates/analog/src/engine.rs", clean).is_empty());
+}
+
+#[test]
+fn noise_stream_seq_fixture_pair() {
+    let bad = include_str!("fixtures/noise_stream_seq_bad.rs");
+    let clean = include_str!("fixtures/noise_stream_seq_clean.rs");
+    assert!(rules_at("crates/serve/src/coalesce.rs", bad).contains(&"noise-stream-seq"));
+    assert!(rules_at("crates/serve/src/coalesce.rs", clean).is_empty());
+}
+
+#[test]
+fn suppression_requires_reason() {
+    let with_reason =
+        "// lint: allow(hash-iteration) order never observed: keys drained through sort below\n\
+                       use std::collections::HashMap;\n";
+    assert!(rules_at("crates/gmm/src/fit.rs", with_reason).is_empty());
+
+    let without_reason = "// lint: allow(hash-iteration)\n\
+                          use std::collections::HashMap;\n";
+    let rules = rules_at("crates/gmm/src/fit.rs", without_reason);
+    assert!(
+        rules.contains(&"lint-directive"),
+        "reasonless allow must itself be a finding: {rules:?}"
+    );
+}
+
+#[test]
+fn suppression_only_covers_adjacent_line() {
+    let far = "// lint: allow(hash-iteration) some reason\n\nlet x = 1;\n\
+               use std::collections::HashMap;\n";
+    assert!(rules_at("crates/gmm/src/fit.rs", far).contains(&"hash-iteration"));
+}
+
+#[test]
+fn cfg_test_code_is_exempt() {
+    let src = "pub fn prod() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   use std::collections::HashMap;\n\
+                   fn t() { let _ = std::time::Instant::now(); }\n\
+               }\n";
+    assert!(rules_at("crates/gmm/src/fit.rs", src).is_empty());
+}
+
+#[test]
+fn tokens_in_strings_and_comments_do_not_fire() {
+    let src = "pub fn doc() -> &'static str {\n\
+               // HashMap and Instant::now discussed here only.\n\
+               \"HashMap thread_rng Instant::now unsafe\"\n\
+               }\n";
+    assert!(rules_at("crates/gmm/src/fit.rs", src).is_empty());
+}

@@ -33,8 +33,16 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// The crate is `unsafe`-free except for the opt-in counting allocator
+// behind the `alloc-audit` feature, whose `GlobalAlloc` impl is the one
+// place the language forces `unsafe` on us. `forbid` (unoverridable)
+// stays the default; the feature downgrades it to `deny` so the audit
+// module alone may opt out, with `// SAFETY:` comments on every block.
+#![cfg_attr(not(feature = "alloc-audit"), forbid(unsafe_code))]
+#![cfg_attr(feature = "alloc-audit", deny(unsafe_code))]
 
+#[cfg(feature = "alloc-audit")]
+pub mod alloc_audit;
 pub mod geom;
 pub mod linalg;
 pub mod metrics;

@@ -38,13 +38,47 @@ impl ResampleScheme {
     ///
     /// Panics if `weights` is empty or does not sum to a positive value.
     pub fn resample<R: Rng64 + ?Sized>(self, weights: &[f64], rng: &mut R) -> Vec<usize> {
+        let mut scratch = ResampleScratch::default();
+        let mut out = Vec::new();
+        self.resample_into(weights, rng, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Self::resample`] into caller-owned buffers: `out` receives the
+    /// selected indices, `scratch` holds the normalized weights (and any
+    /// scheme-specific intermediate). Bit-identical to [`Self::resample`]
+    /// — which delegates here — but allocation-free once the buffers have
+    /// reached the particle count, which is what keeps the filter's
+    /// resampling frames inside the workspace's zero-alloc steady-state
+    /// contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or does not sum to a positive value.
+    pub fn resample_into<R: Rng64 + ?Sized>(
+        self,
+        weights: &[f64],
+        rng: &mut R,
+        scratch: &mut ResampleScratch,
+        out: &mut Vec<usize>,
+    ) {
         match self {
-            ResampleScheme::Systematic => systematic(weights, rng),
-            ResampleScheme::Multinomial => multinomial(weights, rng),
-            ResampleScheme::Stratified => stratified(weights, rng),
-            ResampleScheme::Residual => residual(weights, rng),
+            ResampleScheme::Systematic => systematic_into(weights, rng, scratch, out),
+            ResampleScheme::Multinomial => multinomial_into(weights, rng, scratch, out),
+            ResampleScheme::Stratified => stratified_into(weights, rng, scratch, out),
+            ResampleScheme::Residual => residual_into(weights, rng, scratch, out),
         }
     }
+}
+
+/// Reusable buffers for [`ResampleScheme::resample_into`]: the
+/// normalized-weight copy every scheme takes, plus the per-scheme
+/// intermediate (multinomial's CDF, residual's remainders). Grows to the
+/// particle count once, then resampling is allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct ResampleScratch {
+    norm: Vec<f64>,
+    aux: Vec<f64>,
 }
 
 impl std::fmt::Display for ResampleScheme {
@@ -59,14 +93,17 @@ impl std::fmt::Display for ResampleScheme {
     }
 }
 
-fn normalized(weights: &[f64]) -> Vec<f64> {
+// lint: reduction-order — the normalization total is summed in index
+// order; resampling indices (and so the filter trajectory) depend on it.
+fn normalized_into(weights: &[f64], norm: &mut Vec<f64>) {
     assert!(!weights.is_empty(), "resampling requires weights");
     let total: f64 = weights.iter().sum();
     assert!(
         total > 0.0 && total.is_finite(),
         "resampling requires a positive finite total weight"
     );
-    weights.iter().map(|w| w / total).collect()
+    norm.clear();
+    norm.extend(weights.iter().map(|w| w / total));
 }
 
 /// Systematic resampling: returns `weights.len()` selected indices.
@@ -75,11 +112,30 @@ fn normalized(weights: &[f64]) -> Vec<f64> {
 ///
 /// Panics if `weights` is empty or sums to a non-positive value.
 pub fn systematic<R: Rng64 + ?Sized>(weights: &[f64], rng: &mut R) -> Vec<usize> {
-    let w = normalized(weights);
+    let mut scratch = ResampleScratch::default();
+    let mut out = Vec::new();
+    systematic_into(weights, rng, &mut scratch, &mut out);
+    out
+}
+
+/// [`systematic`] into caller-owned buffers (see
+/// [`ResampleScheme::resample_into`]).
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn systematic_into<R: Rng64 + ?Sized>(
+    weights: &[f64],
+    rng: &mut R,
+    scratch: &mut ResampleScratch,
+    out: &mut Vec<usize>,
+) {
+    normalized_into(weights, &mut scratch.norm);
+    let w = &scratch.norm;
     let n = w.len();
     let step = 1.0 / n as f64;
     let mut u = rng.next_f64() * step;
-    let mut out = Vec::with_capacity(n);
+    out.clear();
     let mut cum = w[0];
     let mut i = 0;
     for _ in 0..n {
@@ -90,7 +146,6 @@ pub fn systematic<R: Rng64 + ?Sized>(weights: &[f64], rng: &mut R) -> Vec<usize>
         out.push(i);
         u += step;
     }
-    out
 }
 
 /// Multinomial resampling: n independent categorical draws.
@@ -99,24 +154,43 @@ pub fn systematic<R: Rng64 + ?Sized>(weights: &[f64], rng: &mut R) -> Vec<usize>
 ///
 /// Panics if `weights` is empty or sums to a non-positive value.
 pub fn multinomial<R: Rng64 + ?Sized>(weights: &[f64], rng: &mut R) -> Vec<usize> {
-    let w = normalized(weights);
+    let mut scratch = ResampleScratch::default();
+    let mut out = Vec::new();
+    multinomial_into(weights, rng, &mut scratch, &mut out);
+    out
+}
+
+/// [`multinomial`] into caller-owned buffers (see
+/// [`ResampleScheme::resample_into`]).
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn multinomial_into<R: Rng64 + ?Sized>(
+    weights: &[f64],
+    rng: &mut R,
+    scratch: &mut ResampleScratch,
+    out: &mut Vec<usize>,
+) {
+    normalized_into(weights, &mut scratch.norm);
+    let w = &scratch.norm;
     let n = w.len();
     // Cumulative distribution + binary search per draw.
-    let mut cdf = Vec::with_capacity(n);
+    let cdf = &mut scratch.aux;
+    cdf.clear();
     let mut acc = 0.0;
-    for &wi in &w {
+    for &wi in w {
         acc += wi;
         cdf.push(acc);
     }
-    (0..n)
-        .map(|_| {
-            let u = rng.next_f64();
-            match cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
-                Ok(i) => i,
-                Err(i) => i.min(n - 1),
-            }
-        })
-        .collect()
+    out.clear();
+    out.extend((0..n).map(|_| {
+        let u = rng.next_f64();
+        match cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(n - 1),
+        }
+    }));
 }
 
 /// Stratified resampling: one uniform draw per equal-probability stratum.
@@ -125,9 +199,28 @@ pub fn multinomial<R: Rng64 + ?Sized>(weights: &[f64], rng: &mut R) -> Vec<usize
 ///
 /// Panics if `weights` is empty or sums to a non-positive value.
 pub fn stratified<R: Rng64 + ?Sized>(weights: &[f64], rng: &mut R) -> Vec<usize> {
-    let w = normalized(weights);
+    let mut scratch = ResampleScratch::default();
+    let mut out = Vec::new();
+    stratified_into(weights, rng, &mut scratch, &mut out);
+    out
+}
+
+/// [`stratified`] into caller-owned buffers (see
+/// [`ResampleScheme::resample_into`]).
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn stratified_into<R: Rng64 + ?Sized>(
+    weights: &[f64],
+    rng: &mut R,
+    scratch: &mut ResampleScratch,
+    out: &mut Vec<usize>,
+) {
+    normalized_into(weights, &mut scratch.norm);
+    let w = &scratch.norm;
     let n = w.len();
-    let mut out = Vec::with_capacity(n);
+    out.clear();
     let mut cum = w[0];
     let mut i = 0;
     for k in 0..n {
@@ -138,7 +231,6 @@ pub fn stratified<R: Rng64 + ?Sized>(weights: &[f64], rng: &mut R) -> Vec<usize>
         }
         out.push(i);
     }
-    out
 }
 
 /// Residual resampling: deterministic ⌊n wᵢ⌋ copies, multinomial remainder.
@@ -147,10 +239,30 @@ pub fn stratified<R: Rng64 + ?Sized>(weights: &[f64], rng: &mut R) -> Vec<usize>
 ///
 /// Panics if `weights` is empty or sums to a non-positive value.
 pub fn residual<R: Rng64 + ?Sized>(weights: &[f64], rng: &mut R) -> Vec<usize> {
-    let w = normalized(weights);
+    let mut scratch = ResampleScratch::default();
+    let mut out = Vec::new();
+    residual_into(weights, rng, &mut scratch, &mut out);
+    out
+}
+
+/// [`residual`] into caller-owned buffers (see
+/// [`ResampleScheme::resample_into`]).
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn residual_into<R: Rng64 + ?Sized>(
+    weights: &[f64],
+    rng: &mut R,
+    scratch: &mut ResampleScratch,
+    out: &mut Vec<usize>,
+) {
+    normalized_into(weights, &mut scratch.norm);
+    let w = &scratch.norm;
     let n = w.len();
-    let mut out = Vec::with_capacity(n);
-    let mut residuals = Vec::with_capacity(n);
+    out.clear();
+    let residuals = &mut scratch.aux;
+    residuals.clear();
     for (i, &wi) in w.iter().enumerate() {
         let copies = (wi * n as f64).floor() as usize;
         for _ in 0..copies {
@@ -160,6 +272,7 @@ pub fn residual<R: Rng64 + ?Sized>(weights: &[f64], rng: &mut R) -> Vec<usize> {
     }
     let remaining = n - out.len();
     if remaining > 0 {
+        // lint: reduction-order — residual mass summed in index order.
         let total: f64 = residuals.iter().sum();
         if total <= 0.0 {
             // All mass consumed by floor copies; fill uniformly.
@@ -168,11 +281,10 @@ pub fn residual<R: Rng64 + ?Sized>(weights: &[f64], rng: &mut R) -> Vec<usize> {
             }
         } else {
             for _ in 0..remaining {
-                out.push(rng.sample_weighted(&residuals));
+                out.push(rng.sample_weighted(residuals));
             }
         }
     }
-    out
 }
 
 /// Effective sample size `1 / Σ wᵢ²` of normalized weights.

@@ -268,6 +268,7 @@ pub fn exp_fast(x: f64) -> f64 {
 /// assert_eq!(log_sum_exp_fast(&[]), f64::NEG_INFINITY);
 /// ```
 pub fn log_sum_exp_fast(xs: &[f64]) -> f64 {
+    // lint: reduction-order max-fold is order-insensitive up to NaN, which callers exclude
     let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     if m == f64::NEG_INFINITY {
         return f64::NEG_INFINITY;

@@ -254,6 +254,17 @@ pub struct Fleet {
     /// Per-agent latency of the last round, nanoseconds from round start
     /// to that agent's frame completion.
     last_latencies_ns: Vec<u64>,
+    /// Cached session visitation order — a pure function of the
+    /// immutable `config.order`, computed once instead of per round.
+    order: Vec<usize>,
+    /// Reused per-round pending-frame staging of the sequential
+    /// coalesced path, indexed by session.
+    pendings: Vec<Option<PendingFrame>>,
+    /// Reused per-round result staging, indexed by session.
+    results: Vec<Option<navicim_core::Result<FrameReport>>>,
+    /// Reused session-order report buffer the round entry points hand
+    /// out.
+    reports: Vec<FrameReport>,
 }
 
 impl fmt::Debug for Fleet {
@@ -332,6 +343,10 @@ impl Fleet {
             session_acts: vec![0; agents],
             config,
             last_latencies_ns: vec![0; agents],
+            order: config.order.permutation(agents),
+            pendings: Vec::with_capacity(agents),
+            results: Vec::with_capacity(agents),
+            reports: Vec::with_capacity(agents),
         })
     }
 
@@ -363,6 +378,8 @@ impl Fleet {
 
     /// Advances every session one frame on a shared `(control, depth,
     /// truth)` broadcast, returning the frame reports in session order.
+    /// The returned slice borrows a fleet-owned buffer reused across
+    /// rounds (clone what must outlive the next round).
     ///
     /// # Errors
     ///
@@ -374,7 +391,7 @@ impl Fleet {
         control: &Pose,
         depth: &DepthImage,
         truth: Pose,
-    ) -> Result<Vec<FrameReport>> {
+    ) -> Result<&[FrameReport]> {
         self.step_inputs(&RoundInputs::Shared {
             control,
             depth,
@@ -399,7 +416,7 @@ impl Fleet {
         controls: &[Pose],
         depths: &[DepthImage],
         truths: &[Pose],
-    ) -> Result<Vec<FrameReport>> {
+    ) -> Result<&[FrameReport]> {
         let n = self.sessions.len();
         if controls.len() != n || depths.len() != n || truths.len() != n {
             return Err(ServeError::Unsupported(format!(
@@ -416,7 +433,7 @@ impl Fleet {
         })
     }
 
-    fn step_inputs(&mut self, inputs: &RoundInputs<'_>) -> Result<Vec<FrameReport>> {
+    fn step_inputs(&mut self, inputs: &RoundInputs<'_>) -> Result<&[FrameReport]> {
         if self.config.coalesce {
             self.step_round_coalesced(inputs)
         } else {
@@ -424,17 +441,33 @@ impl Fleet {
         }
     }
 
-    /// The baseline: every session runs its monolithic step, scheduled
-    /// over the worker pool.
-    fn step_round_independent(&mut self, inputs: &RoundInputs<'_>) -> Result<Vec<FrameReport>> {
+    /// The baseline: every session runs its monolithic step — inline in
+    /// permutation order with one worker (the allocation-free steady
+    /// state), or scheduled over the worker pool.
+    fn step_round_independent(&mut self, inputs: &RoundInputs<'_>) -> Result<&[FrameReport]> {
         let t0 = Instant::now();
-        let order = self.config.order.permutation(self.sessions.len());
+        let n = self.sessions.len();
+        if self.config.workers <= 1 {
+            self.results.clear();
+            self.results.resize_with(n, || None);
+            for &idx in &self.order {
+                let (control, depth, truth) = inputs.get(idx);
+                let report = self.sessions[idx].step(control, depth, truth);
+                self.last_latencies_ns[idx] = t0.elapsed().as_nanos() as u64;
+                self.results[idx] = Some(report);
+            }
+            return self.collect_reports();
+        }
+        // Threaded round: sessions are staged out by value for the
+        // work-stealing pool (allocates by design — so does thread
+        // spawning). Outputs are bit-identical to the inline path.
+        let order = &self.order;
         let mut tasks: Vec<Option<(usize, LocalizationPipeline)>> =
             std::mem::take(&mut self.sessions)
                 .into_iter()
                 .enumerate()
                 .map(Some)
-                .collect();
+                .collect(); // lint: allow(hot-path-alloc) threaded staging collects sessions by value; threaded rounds allocate by design
         let tasks: Vec<(usize, LocalizationPipeline)> = order
             .iter()
             .map(|&i| {
@@ -442,18 +475,19 @@ impl Fleet {
                     .take()
                     .expect("permutation visited a session twice")
             })
-            .collect();
+            .collect(); // lint: allow(hot-path-alloc) threaded staging collects sessions by value; threaded rounds allocate by design
         let done = run_tasks(self.config.workers, tasks, |_, (idx, mut session)| {
             let (control, depth, truth) = inputs.get(idx);
             let report = session.step(control, depth, truth);
             (idx, session, report, t0.elapsed().as_nanos() as u64)
         });
-        self.reassemble(done)
+        self.absorb_done(done);
+        self.collect_reports()
     }
 
-    /// Puts phase results back in session order, restores the session
-    /// vector and surfaces the first per-session error.
-    fn reassemble(
+    /// Puts threaded-phase results back in session order: restores the
+    /// session vector and stages each session's result and latency.
+    fn absorb_done(
         &mut self,
         done: Vec<(
             usize,
@@ -461,39 +495,96 @@ impl Fleet {
             navicim_core::Result<FrameReport>,
             u64,
         )>,
-    ) -> Result<Vec<FrameReport>> {
+    ) {
         let n = done.len();
-        let mut sessions: Vec<Option<LocalizationPipeline>> = (0..n).map(|_| None).collect();
-        let mut reports: Vec<Option<navicim_core::Result<FrameReport>>> =
-            (0..n).map(|_| None).collect();
+        self.results.clear();
+        self.results.resize_with(n, || None);
+        let mut sessions: Vec<Option<LocalizationPipeline>> = (0..n).map(|_| None).collect(); // lint: allow(hot-path-alloc) threaded staging collects sessions by value; threaded rounds allocate by design
         for (idx, session, report, latency_ns) in done {
             sessions[idx] = Some(session);
-            reports[idx] = Some(report);
+            self.results[idx] = Some(report);
             self.last_latencies_ns[idx] = latency_ns;
         }
         self.sessions = sessions
             .into_iter()
             .map(|s| s.expect("round lost a session"))
-            .collect();
-        reports
-            .into_iter()
-            .map(|r| r.expect("round lost a report").map_err(ServeError::from))
-            .collect()
+            .collect(); // lint: allow(hot-path-alloc) threaded staging collects sessions by value; threaded rounds allocate by design
     }
 
-    /// The coalesced fast path: begin / merge-evaluate / finish.
-    fn step_round_coalesced(&mut self, inputs: &RoundInputs<'_>) -> Result<Vec<FrameReport>> {
+    /// Drains the staged per-session results into the reused report
+    /// buffer, surfacing the first per-session error (by session index,
+    /// matching the former collect-based behavior).
+    fn collect_reports(&mut self) -> Result<&[FrameReport]> {
+        self.reports.clear();
+        for r in self.results.iter_mut() {
+            match r.take().expect("round lost a report") {
+                Ok(report) => self.reports.push(report),
+                Err(e) => return Err(ServeError::from(e)),
+            }
+        }
+        Ok(&self.reports)
+    }
+
+    /// The coalesced fast path: begin / merge-evaluate / finish. With
+    /// one worker both per-session phases run inline in permutation
+    /// order through the reused staging buffers — the allocation-free
+    /// steady state; threaded rounds stage sessions by value for the
+    /// work-stealing pool. Outputs are bit-identical either way.
+    fn step_round_coalesced(&mut self, inputs: &RoundInputs<'_>) -> Result<&[FrameReport]> {
         let t0 = Instant::now();
         let n = self.sessions.len();
-        let order = self.config.order.permutation(n);
+        if self.config.workers <= 1 {
+            // Phase A inline: gate + VO + motion prediction + staging.
+            self.pendings.clear();
+            self.pendings.resize_with(n, || None);
+            let mut first_err: Option<ServeError> = None;
+            for &idx in &self.order {
+                let (control, depth, _) = inputs.get(idx);
+                match self.sessions[idx].begin_frame(control, depth) {
+                    Ok(p) => self.pendings[idx] = Some(p),
+                    Err(e) => {
+                        first_err.get_or_insert(ServeError::from(e));
+                    }
+                }
+            }
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            self.coalesce_and_serve()?;
+            // Phase B inline: commit slices and finish frames.
+            self.results.clear();
+            self.results.resize_with(n, || None);
+            for &idx in &self.order {
+                let pending = self.pendings[idx].take().expect("pending missing");
+                let (_, _, truth) = inputs.get(idx);
+                let (start, count) = self.spans[idx];
+                let slot = pending.slot();
+                let scratch = &self.slots[slot];
+                let lls = &scratch.lls[start..start + count];
+                let currents = &scratch.currents[start..start + count];
+                let session = &mut self.sessions[idx];
+                session.backend_mut(slot).absorb_served_gated(
+                    lls.len(),
+                    currents,
+                    self.session_acts[idx],
+                );
+                self.results[idx] = Some(session.finish_frame(pending, lls, truth));
+            }
+            // Coalesced rounds complete every agent's frame at the
+            // barrier.
+            let round_ns = t0.elapsed().as_nanos() as u64;
+            self.last_latencies_ns.fill(round_ns);
+            return self.collect_reports();
+        }
 
-        // Phase A: gate + VO + motion prediction + batch staging.
+        // Phase A (threaded): gate + VO + motion prediction + staging.
+        let order = &self.order;
         let mut tasks: Vec<Option<(usize, LocalizationPipeline)>> =
             std::mem::take(&mut self.sessions)
                 .into_iter()
                 .enumerate()
                 .map(Some)
-                .collect();
+                .collect(); // lint: allow(hot-path-alloc) threaded staging collects sessions by value; threaded rounds allocate by design
         let tasks: Vec<(usize, LocalizationPipeline)> = order
             .iter()
             .map(|&i| {
@@ -501,35 +592,99 @@ impl Fleet {
                     .take()
                     .expect("permutation visited a session twice")
             })
-            .collect();
+            .collect(); // lint: allow(hot-path-alloc) threaded staging collects sessions by value; threaded rounds allocate by design
         let begun = run_tasks(self.config.workers, tasks, |_, (idx, mut session)| {
             let (control, depth, _) = inputs.get(idx);
             let pending = session.begin_frame(control, depth);
             (idx, session, pending)
         });
-        let mut sessions: Vec<Option<LocalizationPipeline>> = (0..n).map(|_| None).collect();
-        let mut pendings: Vec<Option<PendingFrame>> = (0..n).map(|_| None).collect();
+        let mut sessions: Vec<Option<LocalizationPipeline>> = (0..n).map(|_| None).collect(); // lint: allow(hot-path-alloc) threaded staging collects sessions by value; threaded rounds allocate by design
+        self.pendings.clear();
+        self.pendings.resize_with(n, || None);
         let mut first_err: Option<ServeError> = None;
         for (idx, session, pending) in begun {
             sessions[idx] = Some(session);
             match pending {
-                Ok(p) => pendings[idx] = Some(p),
+                Ok(p) => self.pendings[idx] = Some(p),
                 Err(e) => {
                     first_err.get_or_insert(ServeError::from(e));
                 }
             }
         }
-        let mut sessions: Vec<LocalizationPipeline> = sessions
+        self.sessions = sessions
             .into_iter()
             .map(|s| s.expect("round lost a session"))
-            .collect();
+            .collect(); // lint: allow(hot-path-alloc) threaded staging collects sessions by value; threaded rounds allocate by design
         if let Some(e) = first_err {
-            self.sessions = sessions;
             return Err(e);
         }
+        self.coalesce_and_serve()?;
 
-        // Coalesce: one mega-batch per slot, segments in session-index
-        // order so every session's slice draws its own noise indices.
+        // Phase B (threaded): commit slices and finish frames, work-
+        // stealing again. Tasks borrow their slices straight out of the
+        // slot scratch — the executor's scope outlives the round, and
+        // the scratch is read-only until every task has joined.
+        let slots = &self.slots;
+        type PhaseBTask<'a> = (
+            usize,
+            LocalizationPipeline,
+            PendingFrame,
+            &'a [f64],
+            &'a [f64],
+            u64,
+        );
+        let mut tasks: Vec<Option<PhaseBTask<'_>>> = Vec::with_capacity(n); // lint: allow(hot-path-alloc) threaded Phase B stages borrowed tasks; threaded rounds allocate by design
+        for (idx, session) in self.sessions.drain(..).enumerate() {
+            let pending = self.pendings[idx].take().expect("pending missing");
+            let (start, count) = self.spans[idx];
+            let scratch = &slots[pending.slot()];
+            let lls = &scratch.lls[start..start + count];
+            let currents = &scratch.currents[start..start + count];
+            // lint: allow(hot-path-alloc) threaded Phase B stages borrowed tasks; threaded rounds allocate by design
+            tasks.push(Some((
+                idx,
+                session,
+                pending,
+                lls,
+                currents,
+                self.session_acts[idx],
+            )));
+        }
+        let tasks: Vec<PhaseBTask<'_>> = self
+            .order
+            .iter()
+            .map(|&i| {
+                tasks[i]
+                    .take()
+                    .expect("permutation visited a session twice")
+            })
+            .collect(); // lint: allow(hot-path-alloc) threaded staging collects sessions by value; threaded rounds allocate by design
+        let done = run_tasks(
+            self.config.workers,
+            tasks,
+            |_, (idx, mut session, pending, lls, currents, acts)| {
+                let (_, _, truth) = inputs.get(idx);
+                session
+                    .backend_mut(pending.slot())
+                    .absorb_served_gated(lls.len(), currents, acts);
+                let report = session.finish_frame(pending, lls, truth);
+                (idx, session, report, 0u64)
+            },
+        );
+        self.absorb_done(done);
+        // Coalesced rounds complete every agent's frame at the barrier.
+        let round_ns = t0.elapsed().as_nanos() as u64;
+        self.last_latencies_ns.fill(round_ns);
+        self.collect_reports()
+    }
+
+    /// Coalesces every session's staged batch into one mega-batch per
+    /// slot — segments in session-index order so every session's slice
+    /// draws its own noise indices — and serves each through the fleet
+    /// evaluator, routing per-segment column-activation counts back to
+    /// the sessions that staged them (so Phase B commits exactly the
+    /// accounting a solo evaluation would have recorded).
+    fn coalesce_and_serve(&mut self) -> Result<()> {
         for slot_scratch in &mut self.slots {
             slot_scratch.batch.clear();
             slot_scratch.segments.clear();
@@ -537,12 +692,13 @@ impl Fleet {
         }
         self.spans.clear();
         self.session_acts.fill(0);
-        for (idx, session) in sessions.iter().enumerate() {
-            let slot = pendings[idx].as_ref().expect("pending missing").slot();
+        for (idx, session) in self.sessions.iter().enumerate() {
+            let slot = self.pendings[idx].as_ref().expect("pending missing").slot();
             let staged = session.staged_batch();
             let count = staged.len();
             let scratch = &mut self.slots[slot];
             let start = scratch.batch.len();
+            // lint: allow(hot-path-alloc) amortized push into a buffer cleared each round; capacity is retained
             self.spans.push((start, count));
             if count == 0 {
                 continue;
@@ -552,14 +708,15 @@ impl Fleet {
                     .as_mut()
                     .expect("analog slot lost its auditor");
                 if let Err(source) = audit.claim(&stream, count as u64) {
-                    self.sessions = sessions;
                     return Err(ServeError::Audit {
                         session: idx,
                         slot,
                         source,
                     });
                 }
+                // lint: allow(hot-path-alloc) amortized push into a buffer cleared each round; capacity is retained
                 scratch.segments.push(NoiseSegment { start, stream });
+                // lint: allow(hot-path-alloc) amortized push into a buffer cleared each round; capacity is retained
                 scratch.seg_sessions.push(idx);
             }
             scratch.batch.extend_from_batch(staged);
@@ -580,68 +737,11 @@ impl Fleet {
                 &mut scratch.currents,
                 &mut scratch.seg_acts,
             );
-            // Route each segment's column-activation count back to the
-            // session that staged it, so Phase B commits exactly the
-            // accounting a solo evaluation would have recorded.
             for (&sidx, &acts) in scratch.seg_sessions.iter().zip(&scratch.seg_acts) {
                 self.session_acts[sidx] = acts;
             }
         }
-
-        // Phase B: commit slices and finish frames, work-stealing again.
-        // Tasks borrow their slices straight out of the slot scratch —
-        // the executor's scope outlives the round, and the scratch is
-        // read-only until every task has joined.
-        let slots = &self.slots;
-        type PhaseBTask<'a> = (
-            usize,
-            LocalizationPipeline,
-            PendingFrame,
-            &'a [f64],
-            &'a [f64],
-            u64,
-        );
-        let mut tasks: Vec<Option<PhaseBTask<'_>>> = Vec::with_capacity(n);
-        for (idx, session) in sessions.drain(..).enumerate() {
-            let pending = pendings[idx].take().expect("pending missing");
-            let (start, count) = self.spans[idx];
-            let scratch = &slots[pending.slot()];
-            let lls = &scratch.lls[start..start + count];
-            let currents = &scratch.currents[start..start + count];
-            tasks.push(Some((
-                idx,
-                session,
-                pending,
-                lls,
-                currents,
-                self.session_acts[idx],
-            )));
-        }
-        let tasks: Vec<PhaseBTask<'_>> = order
-            .iter()
-            .map(|&i| {
-                tasks[i]
-                    .take()
-                    .expect("permutation visited a session twice")
-            })
-            .collect();
-        let done = run_tasks(
-            self.config.workers,
-            tasks,
-            |_, (idx, mut session, pending, lls, currents, acts)| {
-                let (_, _, truth) = inputs.get(idx);
-                session
-                    .backend_mut(pending.slot())
-                    .absorb_served_gated(lls.len(), currents, acts);
-                let report = session.finish_frame(pending, lls, truth);
-                (idx, session, report, 0u64)
-            },
-        );
-        let reports = self.reassemble(done);
-        // Coalesced rounds complete every agent's frame at the barrier.
-        let round_ns = t0.elapsed().as_nanos() as u64;
-        self.last_latencies_ns.fill(round_ns);
-        reports
+        Ok(())
     }
 
     /// Streams the whole dataset, broadcasting each frame to every
@@ -658,8 +758,8 @@ impl Fleet {
         for (t, control) in controls.iter().enumerate() {
             let truth = dataset.frames[t + 1].pose;
             let reports = self.step_round(control, &dataset.frames[t + 1].depth, truth)?;
-            for (s, report) in reports.into_iter().enumerate() {
-                per_session[s].push(report);
+            for (s, report) in reports.iter().enumerate() {
+                per_session[s].push(report.clone());
             }
         }
         Ok(per_session)

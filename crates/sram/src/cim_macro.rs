@@ -16,7 +16,7 @@
 //!   full-equivalent MACs, ADC conversions, row activations.
 
 use crate::{Result, SramError};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Macro configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,7 +107,9 @@ struct LayerState {
 #[derive(Debug, Clone)]
 pub struct SramCimMacro {
     config: MacroConfig,
-    layers: HashMap<usize, LayerState>,
+    /// Ordered by layer id: iteration order (e.g. [`Self::reset_reuse`])
+    /// must not depend on hash state.
+    layers: BTreeMap<usize, LayerState>,
     stats: MacroStats,
     /// Reused changed-column index scratch for the delta path.
     changed: Vec<usize>,
@@ -118,7 +120,7 @@ impl SramCimMacro {
     pub fn new(config: MacroConfig) -> Self {
         Self {
             config,
-            layers: HashMap::new(),
+            layers: BTreeMap::new(),
             stats: MacroStats::default(),
             changed: Vec::new(),
         }

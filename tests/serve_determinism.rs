@@ -169,8 +169,8 @@ fn run_faulted_sweep(
         let reports = fleet
             .step_round_each(&controls_each, &depths, &truths)
             .expect("per-agent round succeeds");
-        for (i, r) in reports.into_iter().enumerate() {
-            per_agent[i].push(r);
+        for (i, r) in reports.iter().enumerate() {
+            per_agent[i].push(r.clone());
         }
     }
     per_agent
